@@ -1,0 +1,64 @@
+"""F1 - recall-vs-cost curves: w-KNNG (forest size sweep) vs IVF (nprobe
+sweep) on the mid-dimensional clustered workload.
+
+Each system's accuracy dial is swept and the (recall, modeled cycles,
+wall-clock) series printed - the data behind the paper's recall/time
+figure.  Expected shape: both curves rise monotonically; the w-KNNG curve
+sits left of (cheaper than) the IVF curve in the high-recall region, and
+they may cross in the low-recall region where a single coarse probe is
+unbeatable.
+"""
+
+import pytest
+
+from conftest import publish
+from repro.baselines.ivf import IVFConfig, IVFFlatIndex
+from repro.bench.sweep import run_ivf, run_wknng
+from repro.core.config import BuildConfig
+from repro.metrics.records import RecordSet
+
+TREES = (1, 2, 3, 4, 6, 8, 12)
+NPROBES = (1, 2, 4, 8, 16, 32, 64)
+WORKLOAD = "clustered-128d"
+
+
+def test_f1_recall_cost_curves(benchmark, workbench, results_dir):
+    x, gt = workbench.load(WORKLOAD)
+    records = RecordSet()
+
+    for trees in TREES:
+        cfg = BuildConfig(k=16, strategy="tiled", n_trees=trees, leaf_size=64,
+                          refine_iters=2, seed=0)
+        res = run_wknng(x, gt, cfg)
+        records.add("F1", {"system": "w-knng", "dial": f"trees={trees}"},
+                    {"recall": res.recall,
+                     "modeled_mcycles": res.modeled_cycles / 1e6,
+                     "seconds": res.seconds})
+
+    index = IVFFlatIndex(IVFConfig(seed=7)).fit(x)
+    for nprobe in NPROBES:
+        if nprobe > index.n_lists:
+            break
+        res = run_ivf(x, gt, 16, IVFConfig(seed=7), nprobe=nprobe, index=index)
+        records.add("F1", {"system": "ivf-flat", "dial": f"nprobe={nprobe}"},
+                    {"recall": res.recall,
+                     "modeled_mcycles": res.modeled_cycles / 1e6,
+                     "seconds": res.seconds})
+
+    publish(results_dir, "F1_recall_time", records.to_table())
+
+    # figure rendering: recall (x) vs modeled cost (y, log)
+    from repro.bench.plots import Series, ascii_plot
+
+    wk = Series("w-knng (trees sweep)")
+    iv = Series("ivf-flat (nprobe sweep)")
+    for rec in records:
+        target = wk if rec.params["system"] == "w-knng" else iv
+        target.add(rec.results["recall"], rec.results["modeled_mcycles"])
+    fig = ascii_plot([wk, iv], title="F1: recall vs modeled Mcycles",
+                     xlabel="recall", ylabel="Mcycles (log)", logy=True)
+    publish(results_dir, "F1_recall_time_figure", fig)
+
+    cfg = BuildConfig(k=16, strategy="tiled", n_trees=4, leaf_size=64,
+                      refine_iters=2, seed=0)
+    benchmark.pedantic(lambda: run_wknng(x, gt, cfg), rounds=1, iterations=1)

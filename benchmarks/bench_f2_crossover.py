@@ -1,0 +1,93 @@
+"""F2 - the dimensionality crossover between the atomic and tiled strategies.
+
+Reproduces the abstract's claim 3: "w-KNNG atomic is more successful when
+applied to a smaller number of dimensions, while the tiled w-KNNG approach
+was successful in general scenarios for higher dimensional points."
+
+The series reports the atomic/tiled modeled-cycle ratio across
+dimensionality (ratio < 1: atomic wins; > 1: tiled wins) plus the tile-size
+ablation called out in DESIGN.md.  The mechanism (see
+repro.bench.costmodel): at low d the direct schedule's leaf working set is
+cache-resident and sub-warp packed, so atomic's one-compare insertion wins;
+once the working set overflows cache, tiled's shared-memory staging takes
+over.
+"""
+
+import pytest
+
+from conftest import publish
+from repro.baselines.bruteforce import BruteForceKNN
+from repro.bench.sweep import run_wknng
+from repro.core.config import BuildConfig
+from repro.data.synthetic import gaussian_mixture
+from repro.metrics.records import RecordSet
+
+DIMS = (4, 8, 16, 32, 64, 128, 256, 512, 960)
+TILE_SIZES = (8, 32, 128)
+N = 3000
+K = 16
+
+
+def _dataset(d):
+    x = gaussian_mixture(N, d, n_clusters=64, cluster_std=1.5,
+                         center_scale=4.0, seed=3)
+    gt, _ = BruteForceKNN(x).search(x, K, exclude_self=True)
+    return x, gt
+
+
+def test_f2_crossover_series(benchmark, results_dir):
+    records = RecordSet()
+    ratios = {}
+    for d in DIMS:
+        x, gt = _dataset(d)
+        cycles = {}
+        for strategy in ("atomic", "tiled"):
+            cfg = BuildConfig(k=K, strategy=strategy, n_trees=4, leaf_size=64,
+                              refine_iters=2, seed=0)
+            cycles[strategy] = run_wknng(x, gt, cfg).modeled_cycles
+        ratios[d] = cycles["atomic"] / cycles["tiled"]
+        records.add("F2", {"dim": d},
+                    {"atomic_mcycles": cycles["atomic"] / 1e6,
+                     "tiled_mcycles": cycles["tiled"] / 1e6,
+                     "atomic_over_tiled": ratios[d]})
+    publish(results_dir, "F2_crossover", records.to_table())
+
+    from repro.bench.plots import Series, ascii_plot
+
+    ratio_series = Series("atomic / tiled modeled cycles")
+    unity = Series("parity (1.0)")
+    for d in DIMS:
+        ratio_series.add(d, ratios[d])
+        unity.add(d, 1.0)
+    fig = ascii_plot([ratio_series, unity],
+                     title="F2: strategy cost ratio vs dimensionality",
+                     xlabel="dim (log)", ylabel="atomic/tiled", logx=True)
+    publish(results_dir, "F2_crossover_figure", fig)
+
+    # the reproduction criterion: atomic wins at the low end, tiled at the top
+    assert ratios[min(DIMS)] < 1.0, "atomic should win at low dimensionality"
+    assert ratios[max(DIMS)] > 1.0, "tiled should win at high dimensionality"
+
+    x, gt = _dataset(64)
+    cfg = BuildConfig(k=K, strategy="atomic", n_trees=4, leaf_size=64,
+                      refine_iters=2, seed=0)
+    benchmark.pedantic(lambda: run_wknng(x, gt, cfg), rounds=1, iterations=1)
+
+
+def test_f2_tile_size_ablation(benchmark, results_dir):
+    records = RecordSet()
+    x, gt = _dataset(128)
+    for tile in TILE_SIZES:
+        cfg = BuildConfig(k=K, strategy="tiled",
+                          strategy_kwargs={"tile_size": tile},
+                          n_trees=4, leaf_size=64, refine_iters=2, seed=0)
+        res = run_wknng(x, gt, cfg)
+        records.add("F2-ablation", {"tile_size": tile},
+                    {"recall": res.recall,
+                     "modeled_mcycles": res.modeled_cycles / 1e6,
+                     "merge_rounds": res.detail["counters"]["merge_rounds"]})
+    publish(results_dir, "F2_tile_ablation", records.to_table())
+
+    cfg = BuildConfig(k=K, strategy="tiled", strategy_kwargs={"tile_size": 32},
+                      n_trees=4, leaf_size=64, refine_iters=2, seed=0)
+    benchmark.pedantic(lambda: run_wknng(x, gt, cfg), rounds=1, iterations=1)

@@ -1,0 +1,61 @@
+"""F3 - build-cost scaling with dataset size.
+
+The forest method's per-point work is set by (trees x leaf size) +
+refinement, independent of n, so total work grows near-linearly - unlike
+exact brute force's O(n^2).  The series reports total and per-point work
+for w-KNNG and brute force across n, and the wall-clock of each build.
+"""
+
+import time
+
+import pytest
+
+from conftest import publish
+from repro.baselines.bruteforce import BruteForceKNN
+from repro.bench.sweep import run_wknng
+from repro.core.config import BuildConfig
+from repro.data.synthetic import gaussian_mixture
+from repro.metrics.records import RecordSet
+
+SIZES = (1000, 2000, 4000, 8000, 16000)
+DIM = 64
+K = 16
+
+
+def test_f3_scaling_with_n(benchmark, results_dir):
+    records = RecordSet()
+    for n in SIZES:
+        x = gaussian_mixture(n, DIM, n_clusters=max(8, n // 100), seed=4)
+        t0 = time.perf_counter()
+        bf = BruteForceKNN(x)
+        gt, _ = bf.search(x, K, exclude_self=True)
+        bf_seconds = time.perf_counter() - t0
+
+        cfg = BuildConfig(k=K, strategy="tiled", n_trees=4, leaf_size=64,
+                          refine_iters=2, seed=0)
+        res = run_wknng(x, gt, cfg)
+        evals = res.detail["counters"]["distance_evals"]
+        records.add(
+            "F3",
+            {"n": n},
+            {
+                "wknng_recall": res.recall,
+                "wknng_seconds": res.seconds,
+                "wknng_evals_per_point": evals / n,
+                "wknng_mcycles": res.modeled_cycles / 1e6,
+                "bruteforce_seconds": bf_seconds,
+                "bruteforce_evals_per_point": n - 1,
+            },
+        )
+    publish(results_dir, "F3_scaling_n", records.to_table())
+
+    rows = list(records)
+    first, last = rows[0], rows[-1]
+    growth = last.results["wknng_evals_per_point"] / first.results["wknng_evals_per_point"]
+    assert growth < 2.0, "w-KNNG per-point work should stay near-flat in n"
+
+    x = gaussian_mixture(SIZES[1], DIM, n_clusters=20, seed=4)
+    gt, _ = BruteForceKNN(x).search(x, K, exclude_self=True)
+    cfg = BuildConfig(k=K, strategy="tiled", n_trees=4, leaf_size=64,
+                      refine_iters=2, seed=0)
+    benchmark.pedantic(lambda: run_wknng(x, gt, cfg), rounds=1, iterations=1)

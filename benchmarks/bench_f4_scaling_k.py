@@ -1,0 +1,57 @@
+"""F4 - sensitivity to the neighbour count K.
+
+Insertion work grows with K for every strategy, but differently: the
+atomic strategy's accept count (one CAS + re-scan each) grows ~linearly in
+K, while the tiled strategy's bulk merges amortise the K-sized list access
+over a whole tile.  The series reports modeled cycles and the insertion
+share per strategy across K - the figure behind the paper's guidance that
+the lock-free path is most attractive at small K.
+"""
+
+import pytest
+
+from conftest import publish
+from repro.baselines.bruteforce import BruteForceKNN
+from repro.bench.sweep import run_wknng
+from repro.core.config import BuildConfig
+from repro.data.synthetic import gaussian_mixture
+from repro.metrics.records import RecordSet
+
+KS = (4, 8, 16, 32, 64)
+N = 3000
+DIM = 64
+
+
+def test_f4_scaling_with_k(benchmark, results_dir):
+    x = gaussian_mixture(N, DIM, n_clusters=64, cluster_std=1.5,
+                         center_scale=4.0, seed=5)
+    bf = BruteForceKNN(x)
+    records = RecordSet()
+    for k in KS:
+        gt, _ = bf.search(x, k, exclude_self=True)
+        for strategy in ("atomic", "tiled"):
+            cfg = BuildConfig(k=k, strategy=strategy, n_trees=4,
+                              leaf_size=max(2 * k + 2, 64),
+                              refine_iters=2, seed=0)
+            res = run_wknng(x, gt, cfg)
+            cyc = res.detail["cycles"]
+            records.add(
+                "F4",
+                {"k": k, "strategy": strategy},
+                {
+                    "recall": res.recall,
+                    "modeled_mcycles": res.modeled_cycles / 1e6,
+                    "insertion_share": cyc["insertion_cycles"] / max(1, cyc["total_cycles"]),
+                    "attempts": res.detail["counters"]["atomic_attempts"],
+                },
+            )
+    publish(results_dir, "F4_scaling_k", records.to_table())
+
+    # insertion share of the atomic strategy must grow with K
+    atomic_rows = [r for r in records if r.params["strategy"] == "atomic"]
+    assert atomic_rows[-1].results["insertion_share"] > atomic_rows[0].results["insertion_share"]
+
+    gt, _ = bf.search(x, 16, exclude_self=True)
+    cfg = BuildConfig(k=16, strategy="atomic", n_trees=4, leaf_size=64,
+                      refine_iters=2, seed=0)
+    benchmark.pedantic(lambda: run_wknng(x, gt, cfg), rounds=1, iterations=1)

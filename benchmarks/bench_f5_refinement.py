@@ -1,0 +1,48 @@
+"""F5 - refinement (NN-descent local join) rounds vs recall.
+
+The ablation behind the pipeline's second phase: starting from a small
+forest, each local-join round adds candidates along neighbour-of-neighbour
+paths.  The series reports recall, cumulative work and per-round
+insertions across refinement budgets - expected shape: steep recall gains
+in the first 2-3 rounds, then convergence (insertions -> 0), the signature
+of NN-descent.
+"""
+
+import pytest
+
+from conftest import publish
+from repro.bench.sweep import run_wknng
+from repro.core.config import BuildConfig
+from repro.metrics.records import RecordSet
+
+ITER_BUDGETS = (0, 1, 2, 3, 4, 6)
+WORKLOAD = "clustered-128d"
+
+
+def test_f5_refinement_rounds(benchmark, workbench, results_dir):
+    x, gt = workbench.load(WORKLOAD)
+    records = RecordSet()
+    recalls = []
+    for iters in ITER_BUDGETS:
+        cfg = BuildConfig(k=16, strategy="tiled", n_trees=2, leaf_size=64,
+                          refine_iters=iters, seed=0)
+        res = run_wknng(x, gt, cfg)
+        recalls.append(res.recall)
+        records.add(
+            "F5",
+            {"refine_iters": iters},
+            {
+                "recall": res.recall,
+                "modeled_mcycles": res.modeled_cycles / 1e6,
+                "seconds": res.seconds,
+                "insertions_per_round": res.detail["report"]["refine_insertions"],
+            },
+        )
+    publish(results_dir, "F5_refinement", records.to_table())
+
+    assert recalls[0] < recalls[-1], "refinement must improve recall"
+    assert recalls[-1] > 0.9, "refined graph should be accurate"
+
+    cfg = BuildConfig(k=16, strategy="tiled", n_trees=2, leaf_size=64,
+                      refine_iters=3, seed=0)
+    benchmark.pedantic(lambda: run_wknng(x, gt, cfg), rounds=1, iterations=1)

@@ -1,0 +1,94 @@
+"""F7 - RP-forest shape ablation: leaf size and tree count vs recall/cost.
+
+Two sweeps over the forest's accuracy dials with refinement disabled (so
+the forest's own contribution is visible):
+
+* leaf size: bigger leaves -> quadratically more pairs per tree, better
+  per-tree recall;
+* tree count: linearly more work, diminishing recall returns (each extra
+  tree catches pairs all previous trees missed);
+* spill fraction (extension): overlapping splits catch boundary pairs a
+  hard split separates - recall per tree rises with spill at the cost of
+  super-linear leaf volume.
+"""
+
+import pytest
+
+from conftest import publish
+from repro.bench.sweep import run_wknng
+from repro.core.config import BuildConfig
+from repro.metrics.records import RecordSet
+
+LEAF_SIZES = (32, 64, 128, 256, 512)
+TREE_COUNTS = (1, 2, 4, 8, 16)
+SPILLS = (0.0, 0.1, 0.2, 0.3)
+WORKLOAD = "clustered-128d"
+
+
+def test_f7_leaf_size_sweep(benchmark, workbench, results_dir):
+    x, gt = workbench.load(WORKLOAD)
+    records = RecordSet()
+    recalls = []
+    for leaf in LEAF_SIZES:
+        cfg = BuildConfig(k=16, strategy="tiled", n_trees=4, leaf_size=leaf,
+                          refine_iters=0, seed=0)
+        res = run_wknng(x, gt, cfg)
+        recalls.append(res.recall)
+        records.add("F7-leaf", {"leaf_size": leaf},
+                    {"recall": res.recall,
+                     "modeled_mcycles": res.modeled_cycles / 1e6,
+                     "evals_per_point": res.detail["counters"]["distance_evals"] / len(x)})
+    publish(results_dir, "F7_leaf_size", records.to_table())
+    assert recalls == sorted(recalls) or recalls[-1] > recalls[0]
+
+    cfg = BuildConfig(k=16, strategy="tiled", n_trees=4, leaf_size=128,
+                      refine_iters=0, seed=0)
+    benchmark.pedantic(lambda: run_wknng(x, gt, cfg), rounds=1, iterations=1)
+
+
+def test_f7_tree_count_sweep(benchmark, workbench, results_dir):
+    x, gt = workbench.load(WORKLOAD)
+    records = RecordSet()
+    recalls = []
+    for trees in TREE_COUNTS:
+        cfg = BuildConfig(k=16, strategy="tiled", n_trees=trees, leaf_size=64,
+                          refine_iters=0, seed=0)
+        res = run_wknng(x, gt, cfg)
+        recalls.append(res.recall)
+        records.add("F7-trees", {"n_trees": trees},
+                    {"recall": res.recall,
+                     "modeled_mcycles": res.modeled_cycles / 1e6})
+    publish(results_dir, "F7_tree_count", records.to_table())
+
+    assert recalls[-1] > recalls[0]
+    # diminishing returns per *tree*: the marginal recall of each added
+    # tree in the last doubling is below the first tree's marginal recall
+    first_marginal = (recalls[1] - recalls[0]) / (TREE_COUNTS[1] - TREE_COUNTS[0])
+    last_marginal = (recalls[-1] - recalls[-2]) / (TREE_COUNTS[-1] - TREE_COUNTS[-2])
+    assert last_marginal <= first_marginal + 0.005
+
+    cfg = BuildConfig(k=16, strategy="tiled", n_trees=4, leaf_size=64,
+                      refine_iters=0, seed=0)
+    benchmark.pedantic(lambda: run_wknng(x, gt, cfg), rounds=1, iterations=1)
+
+
+def test_f7_spill_sweep(benchmark, workbench, results_dir):
+    x, gt = workbench.load(WORKLOAD)
+    records = RecordSet()
+    recalls = []
+    for spill in SPILLS:
+        cfg = BuildConfig(k=16, strategy="tiled", n_trees=2, leaf_size=64,
+                          refine_iters=0, spill=spill, seed=0)
+        res = run_wknng(x, gt, cfg)
+        recalls.append(res.recall)
+        records.add("F7-spill", {"spill": spill},
+                    {"recall": res.recall,
+                     "modeled_mcycles": res.modeled_cycles / 1e6,
+                     "evals_per_point": res.detail["counters"]["distance_evals"] / len(x)})
+    publish(results_dir, "F7_spill", records.to_table())
+
+    assert recalls[-1] > recalls[0], "spill must raise per-tree recall"
+
+    cfg = BuildConfig(k=16, strategy="tiled", n_trees=2, leaf_size=64,
+                      refine_iters=0, spill=0.2, seed=0)
+    benchmark.pedantic(lambda: run_wknng(x, gt, cfg), rounds=1, iterations=1)

@@ -1,0 +1,83 @@
+"""F8 - end-to-end application: the K-NN graph stage inside t-SNE.
+
+The paper motivates w-KNNG with t-SNE, whose affinity stage consumes a
+K-NN graph.  This bench runs the full t-SNE pipeline on a clustered
+dataset and reports the stage breakdown (graph build vs affinity
+calibration vs gradient descent) plus the embedding quality proxy
+(intra/inter-cluster distance ratio).  Expected shape: the graph stage is
+a modest fraction of total time thanks to the approximate builder, and an
+exact-brute-force graph stage is substantially slower at equal embedding
+quality.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import publish
+from repro.apps.tsne import TSNE, TSNEConfig
+from repro.baselines.bruteforce import BruteForceKNN
+from repro.metrics.records import RecordSet
+
+N = 1200
+DIM = 50
+CLUSTERS = 8
+
+
+@pytest.fixture(scope="module")
+def labeled_data():
+    rng = np.random.default_rng(8)
+    centers = rng.standard_normal((CLUSTERS, DIM)) * 8
+    labels = rng.integers(0, CLUSTERS, N)
+    x = (centers[labels] + rng.standard_normal((N, DIM))).astype(np.float32)
+    return x, labels
+
+
+def _separation(emb, labels):
+    d = np.sqrt(((emb[:, None, :] - emb[None, :, :]) ** 2).sum(-1))
+    same = labels[:, None] == labels[None, :]
+    np.fill_diagonal(same, False)
+    return float(d[~same].mean() / max(d[same].mean(), 1e-9))
+
+
+def test_f8_tsne_pipeline(benchmark, labeled_data, results_dir):
+    x, labels = labeled_data
+    records = RecordSet()
+
+    model = TSNE(TSNEConfig(perplexity=20, n_iter=250, exaggeration_iters=100,
+                            seed=0))
+    t0 = time.perf_counter()
+    emb = model.fit_transform(x)
+    total = time.perf_counter() - t0
+    graph_seconds = sum(
+        model.knn_graph.meta["report"]["phase_seconds"].values()
+    )
+    records.add(
+        "F8",
+        {"graph_stage": "w-knng"},
+        {
+            "total_seconds": total,
+            "knng_seconds": graph_seconds,
+            "knng_share": graph_seconds / total,
+            "kl": model.kl_divergence_,
+            "cluster_separation": _separation(emb, labels),
+        },
+    )
+
+    # exact-graph comparison point: time the brute-force graph stage alone
+    t0 = time.perf_counter()
+    BruteForceKNN(x).knn_graph(model.config.effective_k())
+    exact_graph_seconds = time.perf_counter() - t0
+    records.add("F8", {"graph_stage": "bruteforce"},
+                {"knng_seconds": exact_graph_seconds})
+
+    publish(results_dir, "F8_tsne", records.to_table())
+
+    assert _separation(emb, labels) > 2.0, "embedding must separate clusters"
+
+    benchmark.pedantic(
+        lambda: TSNE(TSNEConfig(perplexity=20, n_iter=50,
+                                exaggeration_iters=25, seed=0)).fit_transform(x),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,68 @@
+"""F9 (extension) - multi-SM occupancy of the leaf kernels.
+
+Not a paper figure: an extension study using the simulator's per-block
+cycle accounting.  A leaf all-pairs launch is a grid of independent
+blocks, so wall-cycles on a ``p``-SM device follow the makespan of
+distributing the blocks; the series shows the parallel speedup curve per
+strategy and where it saturates (when blocks outnumber SMs only slightly,
+the longest block dominates - the tiled strategy's one-block-per-leaf
+geometry saturates earlier than the one-warp-per-point direct kernels).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import publish
+from repro.core.rpforest import build_tree
+from repro.data.synthetic import gaussian_mixture
+from repro.metrics.records import RecordSet
+from repro.simt.config import DeviceConfig
+from repro.simt.device import Device
+from repro.simt_kernels.pipeline import _DeviceLists, _launch_leaf
+
+N = 256
+DIM = 32
+K = 8
+SMS = (1, 2, 4, 8, 16, 32)
+
+
+def _run_strategy(strategy: str):
+    x = gaussian_mixture(N, DIM, n_clusters=8, seed=11)
+    tree = build_tree(x, leaf_size=24, rng=3)
+    device = Device(DeviceConfig())
+    lists = _DeviceLists(device, N, K, strategy)
+    xbuf = device.to_device(x.reshape(-1), "points")
+    block_cycles = []
+    for leaf in tree.leaves:
+        _launch_leaf(device, lists, xbuf, leaf, DIM, K)
+        block_cycles.extend(device.last_launch_block_cycles)
+    # treat the whole leaf phase as one grid of independent blocks
+    device.last_launch_block_cycles = block_cycles
+    return device
+
+
+def test_f9_occupancy_speedup(benchmark, results_dir):
+    records = RecordSet()
+    for strategy in ("atomic", "tiled"):
+        device = _run_strategy(strategy)
+        serial = device.parallel_cycles(1)
+        speedups = []
+        for p in SMS:
+            cycles = device.parallel_cycles(p)
+            speedup = serial / max(1, cycles)
+            speedups.append(speedup)
+            records.add(
+                "F9",
+                {"strategy": strategy, "n_sms": p},
+                {
+                    "wall_mcycles": cycles / 1e6,
+                    "speedup": round(speedup, 2),
+                    "blocks": len(device.last_launch_block_cycles),
+                },
+            )
+        # speedup must grow then saturate, never exceed the SM count
+        assert all(s2 >= s1 - 1e-9 for s1, s2 in zip(speedups, speedups[1:]))
+        assert all(s <= p + 1e-9 for s, p in zip(speedups, SMS))
+    publish(results_dir, "F9_occupancy", records.to_table())
+
+    benchmark.pedantic(lambda: _run_strategy("tiled"), rounds=1, iterations=1)

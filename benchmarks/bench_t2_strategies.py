@@ -1,0 +1,58 @@
+"""T2 - strategy comparison table across dimensionality.
+
+For each dimensionality, all three maintenance strategies build the same
+graph (same forest seed, same refinement); the table reports recall (must
+be ~equal), wall-clock, modeled GPU cycles and the work counters that
+explain them.  This is the table behind the paper's guidance on when to
+use which strategy.
+"""
+
+import pytest
+
+from conftest import publish
+from repro.baselines.bruteforce import BruteForceKNN
+from repro.bench.sweep import run_wknng
+from repro.core.config import BuildConfig
+from repro.data.synthetic import gaussian_mixture
+from repro.metrics.records import RecordSet
+
+DIMS = (8, 16, 32, 64, 128, 256, 512, 960)
+N = 3000
+K = 16
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    out = {}
+    for d in DIMS:
+        x = gaussian_mixture(N, d, n_clusters=64, cluster_std=1.5,
+                             center_scale=4.0, seed=3)
+        gt, _ = BruteForceKNN(x).search(x, K, exclude_self=True)
+        out[d] = (x, gt)
+    return out
+
+
+def test_t2_strategy_table(benchmark, datasets, results_dir):
+    records = RecordSet()
+    for d in DIMS:
+        x, gt = datasets[d]
+        for strategy in ("baseline", "atomic", "tiled"):
+            cfg = BuildConfig(k=K, strategy=strategy, n_trees=4, leaf_size=64,
+                              refine_iters=2, seed=0)
+            res = run_wknng(x, gt, cfg)
+            records.add(
+                "T2",
+                {"dim": d, "strategy": strategy},
+                {
+                    "recall": res.recall,
+                    "seconds": res.seconds,
+                    "modeled_mcycles": res.modeled_cycles / 1e6,
+                    "evals_per_point": res.detail["counters"]["distance_evals"] / len(x),
+                },
+            )
+    publish(results_dir, "T2_strategies", records.to_table())
+
+    x, gt = datasets[128]
+    cfg = BuildConfig(k=K, strategy="tiled", n_trees=4, leaf_size=64,
+                      refine_iters=2, seed=0)
+    benchmark.pedantic(lambda: run_wknng(x, gt, cfg), rounds=1, iterations=1)

@@ -1,0 +1,59 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Every bench target draws datasets and exact ground truth through the
+session-scoped :func:`workbench` fixture so expensive brute-force ground
+truth is computed once per (workload, scale).
+
+Scale: set ``WKNNG_BENCH_SCALE`` (default ``0.25``) to shrink/grow every
+workload's ``n``; the canonical sizes in ``repro.bench.workloads`` are the
+paper-like targets, the default scale keeps the full suite to a few
+minutes on a laptop.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.baselines.bruteforce import BruteForceKNN
+from repro.bench.workloads import get_workload
+
+BENCH_SCALE = float(os.environ.get("WKNNG_BENCH_SCALE", "0.25"))
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+class Workbench:
+    """Caches materialised workloads and their exact KNN ground truth."""
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple[str, float], tuple[np.ndarray, np.ndarray]] = {}
+
+    def load(self, name: str, scale: float = BENCH_SCALE, k: int | None = None):
+        key = (name, scale)
+        if key not in self._cache:
+            w = get_workload(name)
+            x = w.materialize(scale)
+            gt, _ = BruteForceKNN(x).search(x, k or w.k, exclude_self=True)
+            self._cache[key] = (x, gt)
+        return self._cache[key]
+
+
+@pytest.fixture(scope="session")
+def workbench():
+    return Workbench()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def publish(results_dir: Path, experiment: str, table: str) -> None:
+    """Print an experiment table and persist it under benchmarks/results/."""
+    banner = f"\n=== {experiment} ===\n{table}\n"
+    print(banner)
+    (results_dir / f"{experiment}.txt").write_text(table + "\n")

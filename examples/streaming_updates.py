@@ -1,0 +1,58 @@
+"""Streaming ingestion: keep a K-NN graph current as points arrive.
+
+Run:  python examples/streaming_updates.py
+
+Builds a graph over an initial batch, then feeds arrival batches through
+:class:`repro.core.update.DynamicKNNG` - each batch is routed through the
+retained RP forest, inserted under the configured warp-centric strategy,
+and repaired with one targeted local-join round.  After every batch the
+script measures recall of the *whole* graph against exact ground truth,
+showing quality holding steady while the graph triples in size.
+"""
+
+import time
+
+import numpy as np
+
+from repro.baselines import BruteForceKNN
+from repro.core import BuildConfig
+from repro.core.update import DynamicKNNG
+from repro.data import gaussian_mixture
+from repro.metrics.recall import knn_recall
+
+
+def main() -> None:
+    k = 10
+    all_points = gaussian_mixture(6000, 32, n_clusters=60, cluster_std=1.2,
+                                  center_scale=4.0, seed=12)
+    initial, stream = all_points[:2000], all_points[2000:]
+
+    t0 = time.perf_counter()
+    dyn = DynamicKNNG.build(
+        initial,
+        BuildConfig(k=k, strategy="auto", n_trees=4, leaf_size=64,
+                    refine_iters=2, seed=0),
+    )
+    print(f"initial build: n={dyn.n} in {time.perf_counter() - t0:.2f}s")
+
+    print(f"\n{'batch':>6s} | {'n':>6s} | {'recall':>7s} | {'add ms':>7s} | growth")
+    print("-" * 48)
+    batch_size = 500
+    for b, start in enumerate(range(0, stream.shape[0], batch_size)):
+        batch = stream[start:start + batch_size]
+        t0 = time.perf_counter()
+        dyn.add(batch)
+        add_ms = (time.perf_counter() - t0) * 1e3
+        graph = dyn.snapshot()
+        current = all_points[: dyn.n]
+        gt, _ = BruteForceKNN(current).search(current, k, exclude_self=True)
+        recall = knn_recall(graph.ids, gt)
+        print(f"{b:6d} | {dyn.n:6d} | {recall:7.4f} | {add_ms:7.0f} "
+              f"| {dyn.growth_factor:.2f}x")
+
+    print("\n(growth_factor ~2x is the usual rebuild trigger; recall holds")
+    print(" because every batch is routed + locally repaired)")
+
+
+if __name__ == "__main__":
+    main()

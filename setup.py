@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The environment used for development has no network access and no ``wheel``
+package, so PEP 660 editable installs (which build a wheel) fail.  This shim
+lets ``pip install -e . --no-use-pep517 --no-build-isolation`` take the
+legacy egg-link path.  All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

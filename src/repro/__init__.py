@@ -1,0 +1,43 @@
+"""w-KNNG: warp-centric K-nearest-neighbor graph construction.
+
+Reproduction of *"Warp-centric K-Nearest Neighbor Graphs construction on
+GPU"* (Meyer, Pozo, Nunan Zola - ICPP 2021).  See DESIGN.md for the system
+inventory and EXPERIMENTS.md for the reproduced evaluation.
+
+Quickstart::
+
+    import numpy as np
+    from repro import BuildConfig, WKNNGBuilder
+
+    x = np.random.default_rng(0).standard_normal((10_000, 64), dtype=np.float32)
+    graph = WKNNGBuilder(BuildConfig(k=16, strategy="tiled", seed=0)).build(x)
+    graph.ids          # (10000, 16) neighbour indices, nearest first
+    graph.dists        # squared L2 distances
+
+Main entry points
+-----------------
+:class:`WKNNGBuilder` / :class:`BuildConfig`
+    The paper's algorithm (three strategies: ``baseline``, ``atomic``,
+    ``tiled``).
+:mod:`repro.baselines`
+    Exact brute force, FAISS-like IVF-Flat, CPU NN-descent.
+:mod:`repro.simt`
+    The warp-level SIMT simulator substrate.
+:mod:`repro.data`
+    Synthetic dataset generators matching the benchmark regimes.
+"""
+
+from repro._version import __version__
+from repro.core import BuildConfig, BuildReport, KNNGraph, WKNNGBuilder
+from repro.kernels import available_strategies
+from repro.errors import ReproError
+
+__all__ = [
+    "__version__",
+    "BuildConfig",
+    "BuildReport",
+    "KNNGraph",
+    "WKNNGBuilder",
+    "available_strategies",
+    "ReproError",
+]

@@ -1,0 +1,32 @@
+"""Applications built on the w-KNNG library.
+
+The paper motivates K-NN graph construction with two downstream consumers;
+both are implemented here end to end:
+
+* :mod:`repro.apps.tsne` - t-SNE dimensionality reduction whose affinity
+  stage consumes a K-NN graph (the dominant cost at scale);
+* :mod:`repro.apps.search` - a similarity-search service that routes
+  queries through the retained RP forest and refines with greedy graph
+  walks over the K-NN graph;
+* :mod:`repro.apps.labelprop` - semi-supervised label propagation along
+  the graph's edges (a third classic K-NN graph consumer).
+"""
+
+from repro.apps.tsne import TSNE, TSNEConfig
+from repro.apps.search import GraphSearchIndex, SearchConfig
+from repro.apps.labelprop import LabelPropagation, LabelPropConfig
+from repro.apps.spectral import SpectralConfig, SpectralEmbedding
+from repro.apps.dedup import DedupConfig, Deduplicator
+
+__all__ = [
+    "TSNE",
+    "TSNEConfig",
+    "GraphSearchIndex",
+    "SearchConfig",
+    "LabelPropagation",
+    "LabelPropConfig",
+    "SpectralConfig",
+    "SpectralEmbedding",
+    "DedupConfig",
+    "Deduplicator",
+]

@@ -1,0 +1,204 @@
+"""Similarity search on top of a w-KNNG graph + RP forest.
+
+The paper motivates K-NN graph construction with similarity search: once
+the graph exists, unseen queries can be answered by **graph-guided greedy
+search** (the idea behind HNSW/NSG-style engines):
+
+1. *entry points*: route the query down each retained RP tree to a leaf
+   (:meth:`repro.core.rpforest.RPTree.leaf_for`) and take a handful of
+   leaf members as seeds - cheap and already well-located;
+2. *best-first expansion*: maintain a beam of the best candidates seen;
+   repeatedly expand the nearest unexpanded candidate by scoring its graph
+   neighbours, until the beam stops improving;
+3. return the top ``k`` of everything scored.
+
+Recall is controlled by the beam width (``ef``), exactly like ``efSearch``
+in HNSW - giving the same accuracy/time dial the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.builder import WKNNGBuilder
+from repro.core.config import BuildConfig
+from repro.core.graph import KNNGraph
+from repro.core.rpforest import RPForest
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_points_matrix, check_positive_int
+
+
+@dataclass
+class SearchConfig:
+    """Query-time parameters.
+
+    Attributes
+    ----------
+    ef:
+        Beam width (candidates kept alive); recall rises with ``ef``.
+    seeds_per_tree:
+        Entry points sampled from each tree's leaf.
+    max_expansions:
+        Safety cap on node expansions per query.
+    """
+
+    ef: int = 32
+    seeds_per_tree: int = 4
+    max_expansions: int = 512
+
+    def __post_init__(self) -> None:
+        self.ef = check_positive_int(self.ef, "ef")
+        self.seeds_per_tree = check_positive_int(self.seeds_per_tree, "seeds_per_tree")
+        self.max_expansions = check_positive_int(self.max_expansions, "max_expansions")
+
+
+class GraphSearchIndex:
+    """Graph-guided approximate nearest-neighbour search index.
+
+    Usage::
+
+        index = GraphSearchIndex.build(points, k=16, seed=0)
+        ids, dists = index.search(queries, k=10)
+    """
+
+    def __init__(self, points: np.ndarray, graph: KNNGraph, forest: RPForest,
+                 config: SearchConfig | None = None) -> None:
+        self._x = check_points_matrix(points, "points")
+        if graph.n != self._x.shape[0]:
+            raise ConfigurationError(
+                f"graph has {graph.n} nodes but points has {self._x.shape[0]} rows"
+            )
+        self.graph = graph
+        self.forest = forest
+        self.config = config or SearchConfig()
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        points: np.ndarray,
+        k: int = 16,
+        build_config: BuildConfig | None = None,
+        search_config: SearchConfig | None = None,
+        seed=None,
+    ) -> "GraphSearchIndex":
+        """Build the K-NN graph (keeping the forest) and wrap it for search."""
+        cfg = build_config or BuildConfig(k=k, strategy="tiled", seed=seed)
+        builder = WKNNGBuilder(cfg)
+        graph = builder.build(points)
+        assert builder.last_forest is not None
+        return cls(points, graph, builder.last_forest, search_config)
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, directory) -> None:
+        """Persist points, graph and forest under a directory.
+
+        The search configuration is runtime state (tuneable per query
+        load) and is not persisted.
+        """
+        from pathlib import Path
+
+        d = Path(directory)
+        d.mkdir(parents=True, exist_ok=True)
+        np.save(d / "points.npy", self._x)
+        self.graph.save(d / "graph.npz")
+        self.forest.save(d / "forest.npz")
+
+    @classmethod
+    def load(cls, directory, config: SearchConfig | None = None) -> "GraphSearchIndex":
+        """Inverse of :meth:`save`."""
+        from pathlib import Path
+
+        from repro.core.graph import KNNGraph
+        from repro.core.rpforest import RPForest
+
+        d = Path(directory)
+        return cls(
+            np.load(d / "points.npy"),
+            KNNGraph.load(d / "graph.npz"),
+            RPForest.load(d / "forest.npz"),
+            config,
+        )
+
+    # -- queries -----------------------------------------------------------------
+
+    def _seed_candidates(self, query: np.ndarray) -> np.ndarray:
+        """Entry points: members of the query's leaf in every tree."""
+        seeds: list[np.ndarray] = []
+        q = query[None, :]
+        for tree in self.forest.trees:
+            leaf_idx = int(tree.leaf_for(q)[0])
+            members = tree.leaves[leaf_idx]
+            seeds.append(members[: self.config.seeds_per_tree])
+        return np.unique(np.concatenate(seeds)) if seeds else np.arange(
+            min(self.config.ef, self._x.shape[0])
+        )
+
+    def _search_one(self, query: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        x = self._x
+        cfg = self.config
+        seeds = self._seed_candidates(query)
+        d = ((x[seeds] - query) ** 2).sum(axis=1)
+        visited = set(int(s) for s in seeds)
+        # beam: max-heap of size ef over (-dist, id); frontier: min-heap
+        beam: list[tuple[float, int]] = []
+        frontier: list[tuple[float, int]] = []
+        for dist, sid in zip(d, seeds):
+            heapq.heappush(frontier, (float(dist), int(sid)))
+            heapq.heappush(beam, (-float(dist), int(sid)))
+        while len(beam) > cfg.ef:
+            heapq.heappop(beam)
+
+        expansions = 0
+        while frontier and expansions < cfg.max_expansions:
+            dist, node = heapq.heappop(frontier)
+            worst = -beam[0][0] if len(beam) >= cfg.ef else np.inf
+            if dist > worst:
+                break  # nearest frontier node cannot improve the beam
+            expansions += 1
+            neigh = self.graph.neighbors(node)
+            fresh = np.array(
+                [n for n in neigh if int(n) not in visited], dtype=np.int64
+            )
+            if fresh.size == 0:
+                continue
+            visited.update(int(n) for n in fresh)
+            nd = ((x[fresh] - query) ** 2).sum(axis=1)
+            for ndist, nid in zip(nd, fresh):
+                worst = -beam[0][0] if len(beam) >= cfg.ef else np.inf
+                if ndist < worst or len(beam) < cfg.ef:
+                    heapq.heappush(beam, (-float(ndist), int(nid)))
+                    if len(beam) > cfg.ef:
+                        heapq.heappop(beam)
+                    heapq.heappush(frontier, (float(ndist), int(nid)))
+        best = sorted((-nd, nid) for nd, nid in beam)
+        best = best[:k]
+        ids = np.full(k, -1, dtype=np.int32)
+        dists = np.full(k, np.inf, dtype=np.float32)
+        for i, (nd, nid) in enumerate(best):
+            ids[i] = nid
+            dists[i] = nd
+        return ids, dists
+
+    def search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Approximate k-NN for each query row.
+
+        Returns ``(ids, dists)`` of shape ``(m, k)``, ascending by distance;
+        ``dists`` are squared L2 like everywhere in the library.
+        """
+        q = check_points_matrix(queries, "queries")
+        if q.shape[1] != self._x.shape[1]:
+            raise ConfigurationError(
+                f"query dim {q.shape[1]} != index dim {self._x.shape[1]}"
+            )
+        k = check_positive_int(k, "k")
+        ids = np.empty((q.shape[0], k), dtype=np.int32)
+        dists = np.empty((q.shape[0], k), dtype=np.float32)
+        for i in range(q.shape[0]):
+            ids[i], dists[i] = self._search_one(q[i], k)
+        return ids, dists

@@ -1,0 +1,102 @@
+"""Spectral embedding on the K-NN graph (Laplacian eigenmaps).
+
+Belkin & Niyogi (2003): embed points as the bottom non-trivial
+eigenvectors of the normalised graph Laplacian ``L = I - D^-1/2 W D^-1/2``
+built from the K-NN graph's (symmetrised, Gaussian-weighted) affinities.
+Spectral embedding is the standard initialisation of UMAP and a common
+clustering front end - another downstream consumer whose dominant cost at
+scale is exactly the K-NN graph this library builds.
+
+Sparse end to end: the Laplacian is CSR and the eigensolve is Lanczos
+(``scipy.sparse.linalg.eigsh``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import eigsh
+
+from repro.core.graph import KNNGraph
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class SpectralConfig:
+    """Embedding parameters.
+
+    Attributes
+    ----------
+    n_components:
+        Output dimensions (eigenvectors kept, excluding the trivial one).
+    kernel_scale:
+        Gaussian affinity bandwidth as a multiple of the mean edge
+        distance (as in :mod:`repro.apps.labelprop`).
+    drop_trivial:
+        Drop the constant eigenvector (the usual choice).  With a
+        disconnected graph the first ``n_comp`` eigenvectors indicate
+        components instead; set False to keep them.
+    """
+
+    n_components: int = 2
+    kernel_scale: float = 1.0
+    drop_trivial: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_components < 1:
+            raise ConfigurationError("n_components must be >= 1")
+        if self.kernel_scale <= 0:
+            raise ConfigurationError("kernel_scale must be positive")
+
+
+class SpectralEmbedding:
+    """Laplacian-eigenmap embedding of a :class:`KNNGraph`.
+
+    Usage::
+
+        emb = SpectralEmbedding(SpectralConfig(n_components=2)).fit_transform(graph)
+    """
+
+    def __init__(self, config: SpectralConfig | None = None) -> None:
+        self.config = config or SpectralConfig()
+        self.eigenvalues_: np.ndarray | None = None
+
+    def fit_transform(self, graph: KNNGraph) -> np.ndarray:
+        """Embed the graph's nodes; returns ``(n, n_components)``."""
+        cfg = self.config
+        n = graph.n
+        want = cfg.n_components + (1 if cfg.drop_trivial else 0)
+        if want >= n:
+            raise ConfigurationError(
+                f"n_components={cfg.n_components} too large for n={n}"
+            )
+        lap = self._normalized_laplacian(graph)
+        # smallest eigenpairs; a fixed Lanczos start vector makes the
+        # result deterministic (eigsh defaults to a random v0, which
+        # rotates degenerate eigenspaces arbitrarily between runs)
+        v0 = np.full(n, 1.0 / np.sqrt(n))
+        vals, vecs = eigsh(lap, k=want, which="SA", v0=v0)
+        order = np.argsort(vals)
+        vals, vecs = vals[order], vecs[:, order]
+        if cfg.drop_trivial:
+            vals, vecs = vals[1:], vecs[:, 1:]
+        self.eigenvalues_ = vals
+        return vecs
+
+    def _normalized_laplacian(self, graph: KNNGraph) -> sparse.csr_matrix:
+        valid = graph.ids >= 0
+        rows = np.repeat(np.arange(graph.n), valid.sum(axis=1))
+        cols = graph.ids[valid].astype(np.int64)
+        d2 = graph.dists[valid].astype(np.float64)
+        mean_d2 = float(d2.mean()) if d2.size else 1.0
+        if mean_d2 <= 0:
+            mean_d2 = 1.0
+        w = np.exp(-d2 / (self.config.kernel_scale * mean_d2))
+        a = sparse.csr_matrix((w, (rows, cols)), shape=(graph.n, graph.n))
+        a = a.maximum(a.T)
+        deg = np.asarray(a.sum(axis=1)).reshape(-1)
+        deg[deg == 0] = 1.0
+        inv_sqrt = sparse.diags(1.0 / np.sqrt(deg))
+        return sparse.identity(graph.n, format="csr") - inv_sqrt @ a @ inv_sqrt

@@ -1,0 +1,223 @@
+"""K-NN-graph-accelerated t-SNE.
+
+t-SNE (van der Maaten & Hinton, 2008) embeds high-dimensional points in 2-3
+dimensions by matching pairwise affinity distributions.  Its input affinity
+matrix is sparse in practice: each point interacts with its ~``3 *
+perplexity`` nearest neighbours - which is exactly why fast approximate
+K-NN graph construction matters (the paper's motivating use case, as in
+Barnes-Hut t-SNE and LargeVis).
+
+The pipeline here:
+
+1. build the K-NN graph with :class:`~repro.core.builder.WKNNGBuilder`
+   (``k = 3 * perplexity`` by default);
+2. calibrate per-point Gaussian bandwidths to the target perplexity by
+   binary search on the entropy (vectorised over all points at once);
+3. symmetrise to joint probabilities ``P``;
+4. gradient descent on the Kullback-Leibler divergence with the standard
+   tricks: early exaggeration, momentum switching, and gains.  The
+   repulsive term is computed exactly (O(n^2) per iteration), which is fine
+   at the tutorial scales this application targets; the *attractive* term -
+   the part that needs the K-NN graph - is sparse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.builder import WKNNGBuilder
+from repro.core.config import BuildConfig
+from repro.core.graph import KNNGraph
+from repro.errors import ConfigurationError
+from repro.utils.rng import RngStream, as_generator
+from repro.utils.validation import check_points_matrix
+
+_MACHINE_EPS = np.finfo(np.float64).eps
+
+
+@dataclass
+class TSNEConfig:
+    """t-SNE hyper-parameters (defaults follow the reference implementation)."""
+
+    n_components: int = 2
+    perplexity: float = 30.0
+    n_iter: int = 500
+    early_exaggeration: float = 12.0
+    exaggeration_iters: int = 250
+    learning_rate: float = 200.0
+    momentum_early: float = 0.5
+    momentum_late: float = 0.8
+    knn_k: int | None = None  # default: 3 * perplexity
+    seed: RngStream = None
+    build: BuildConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.perplexity <= 1.0:
+            raise ConfigurationError(f"perplexity must exceed 1, got {self.perplexity}")
+        if self.n_components < 1:
+            raise ConfigurationError(
+                f"n_components must be >= 1, got {self.n_components}"
+            )
+        if self.n_iter < 1:
+            raise ConfigurationError(f"n_iter must be >= 1, got {self.n_iter}")
+
+    def effective_k(self) -> int:
+        return self.knn_k if self.knn_k is not None else int(round(3 * self.perplexity))
+
+
+class TSNE:
+    """t-SNE with a w-KNNG affinity stage.
+
+    Usage::
+
+        emb = TSNE(TSNEConfig(perplexity=20, n_iter=300, seed=0)).fit_transform(x)
+
+    After fitting, :attr:`knn_graph` holds the graph used, and
+    :attr:`kl_divergence_` the final objective value.
+    """
+
+    def __init__(self, config: TSNEConfig | None = None, **kwargs) -> None:
+        if config is not None and kwargs:
+            raise TypeError("pass either a TSNEConfig or keyword options, not both")
+        self.config = config if config is not None else TSNEConfig(**kwargs)
+        self.knn_graph: KNNGraph | None = None
+        self.embedding_: np.ndarray | None = None
+        self.kl_divergence_: float = float("nan")
+
+    # -- affinities ------------------------------------------------------------
+
+    def _conditional_p(self, graph: KNNGraph) -> np.ndarray:
+        """Perplexity-calibrated conditional probabilities on the graph edges.
+
+        For each point, binary-search the Gaussian precision ``beta`` so the
+        entropy of ``p_{j|i}`` over its k neighbours equals
+        ``log(perplexity)``.  All points iterate together (vectorised).
+        """
+        d = graph.dists.astype(np.float64)  # squared distances, (n, k)
+        n, k = d.shape
+        target_entropy = np.log(self.config.perplexity)
+        beta = np.ones(n)
+        beta_min = np.full(n, -np.inf)
+        beta_max = np.full(n, np.inf)
+        # shift distances per row for numerical stability
+        d = d - d[:, :1]
+        p = np.empty_like(d)
+        for _ in range(64):
+            np.exp(-d * beta[:, None], out=p)
+            psum = p.sum(axis=1) + _MACHINE_EPS
+            # entropy H = log(sum) + beta * <d>
+            h = np.log(psum) + beta * (d * p).sum(axis=1) / psum
+            diff = h - target_entropy
+            if np.all(np.abs(diff) < 1e-5):
+                break
+            too_high = diff > 0  # entropy too high -> increase beta
+            beta_min = np.where(too_high, beta, beta_min)
+            beta_max = np.where(too_high, beta_max, beta)
+            beta = np.where(
+                too_high,
+                np.where(np.isinf(beta_max), beta * 2.0, (beta + beta_max) / 2.0),
+                np.where(np.isinf(beta_min), beta / 2.0, (beta + beta_min) / 2.0),
+            )
+        p /= p.sum(axis=1, keepdims=True) + _MACHINE_EPS
+        return p
+
+    def _joint_p(self, graph: KNNGraph) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Symmetrised sparse joint probabilities as COO triplets."""
+        n, k = graph.ids.shape
+        cond = self._conditional_p(graph)
+        rows = np.repeat(np.arange(n, dtype=np.int64), k)
+        cols = graph.ids.reshape(-1).astype(np.int64)
+        vals = cond.reshape(-1)
+        valid = cols >= 0
+        rows, cols, vals = rows[valid], cols[valid], vals[valid]
+        # symmetrise: P = (C + C^T) / 2n, merging duplicate (i, j) entries
+        all_rows = np.concatenate([rows, cols])
+        all_cols = np.concatenate([cols, rows])
+        all_vals = np.concatenate([vals, vals])
+        key = all_rows * n + all_cols
+        order = np.argsort(key, kind="stable")
+        key, all_vals = key[order], all_vals[order]
+        uniq, starts = np.unique(key, return_index=True)
+        sums = np.add.reduceat(all_vals, starts)
+        out_rows = (uniq // n).astype(np.int64)
+        out_cols = (uniq % n).astype(np.int64)
+        # normalise to a probability distribution over all edges
+        p = sums / max(sums.sum(), _MACHINE_EPS)
+        return out_rows, out_cols, p
+
+    # -- optimisation -------------------------------------------------------------
+
+    def fit_transform(self, points: np.ndarray) -> np.ndarray:
+        """Embed ``points``; returns the ``(n, n_components)`` embedding."""
+        x = check_points_matrix(points, "points")
+        cfg = self.config
+        n = x.shape[0]
+        rng = as_generator(cfg.seed)
+
+        build = cfg.build or BuildConfig(
+            k=min(cfg.effective_k(), n - 1),
+            strategy="tiled",
+            n_trees=8,
+            leaf_size=max(2 * min(cfg.effective_k(), n - 1) + 2, 32),
+            refine_iters=1,
+            seed=rng.integers(2**31),
+        )
+        graph = WKNNGBuilder(build).build(x)
+        self.knn_graph = graph
+
+        rows, cols, p = self._joint_p(graph)
+        y = rng.standard_normal((n, cfg.n_components)) * 1e-4
+        velocity = np.zeros_like(y)
+        gains = np.ones_like(y)
+
+        exaggeration = cfg.early_exaggeration
+        for it in range(cfg.n_iter):
+            if it == cfg.exaggeration_iters:
+                exaggeration = 1.0
+            grad, kl = _kl_gradient(y, rows, cols, p * exaggeration)
+            momentum = (
+                cfg.momentum_early if it < cfg.exaggeration_iters else cfg.momentum_late
+            )
+            same_sign = np.sign(grad) == np.sign(velocity)
+            gains = np.where(same_sign, gains * 0.8, gains + 0.2)
+            np.maximum(gains, 0.01, out=gains)
+            velocity = momentum * velocity - cfg.learning_rate * gains * grad
+            y = y + velocity
+            y -= y.mean(axis=0, keepdims=True)
+        self.kl_divergence_ = float(kl)
+        self.embedding_ = y
+        return y
+
+
+def _kl_gradient(
+    y: np.ndarray, rows: np.ndarray, cols: np.ndarray, p: np.ndarray
+) -> tuple[np.ndarray, float]:
+    """Gradient of KL(P || Q) for the t-SNE objective (exact repulsion).
+
+    Attraction runs over the sparse P edges (the part the K-NN graph makes
+    cheap); repulsion uses the dense Student-t kernel, computed exactly.
+    Returns ``(gradient, kl_value)``.
+    """
+    # dense student-t kernel (exact): q_num[i, j] = 1 / (1 + |y_i - y_j|^2)
+    sq = (y * y).sum(axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (y @ y.T)
+    np.maximum(d2, 0.0, out=d2)
+    q_num = 1.0 / (1.0 + d2)
+    np.fill_diagonal(q_num, 0.0)
+    z = max(q_num.sum(), _MACHINE_EPS)
+
+    grad = np.zeros_like(y)
+    # attraction over sparse edges
+    diff = y[rows] - y[cols]
+    w_attr = (p * q_num[rows, cols])[:, None] * diff
+    np.add.at(grad, rows, w_attr)
+    np.add.at(grad, cols, -w_attr)
+    # repulsion, dense
+    w_rep = (q_num * q_num) / z
+    grad -= w_rep.sum(axis=1)[:, None] * y - w_rep @ y
+
+    q_edges = q_num[rows, cols] / z
+    kl = float((p * np.log((p + _MACHINE_EPS) / (q_edges + _MACHINE_EPS))).sum())
+    return 4.0 * grad, kl

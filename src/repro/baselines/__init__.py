@@ -1,0 +1,22 @@
+"""Comparison baselines: exact brute force, FAISS-like IVF-Flat, NN-descent.
+
+These are the systems the paper's evaluation compares against.  FAISS
+itself is closed off to this environment, so :mod:`repro.baselines.ivf`
+reimplements the relevant index (IVF-Flat: k-means coarse quantiser +
+inverted lists + ``nprobe`` search, applied to every point for KNNG
+construction) with the same accuracy/cost trade-off knobs.
+"""
+
+from repro.baselines.bruteforce import BruteForceKNN, exact_knn_graph
+from repro.baselines.ivf import IVFFlatIndex, IVFConfig, ivf_knn_graph
+from repro.baselines.nndescent import NNDescent, nn_descent_graph
+
+__all__ = [
+    "BruteForceKNN",
+    "exact_knn_graph",
+    "IVFFlatIndex",
+    "IVFConfig",
+    "ivf_knn_graph",
+    "NNDescent",
+    "nn_descent_graph",
+]

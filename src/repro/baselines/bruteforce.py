@@ -1,0 +1,129 @@
+"""Exact K-NN by blocked brute force.
+
+Serves two roles: the ground truth all recall numbers are computed against,
+and the "exact" end of the speed/accuracy benchmark curves.  The
+computation is blocked so memory stays bounded at
+``block_rows * n`` distance entries, and uses the GEMM decomposition (one
+BLAS call per block), which is also how exact GPU brute force (and FAISS's
+``IndexFlat``) schedules it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.graph import KNNGraph
+from repro.kernels.distance import pairwise_sq_l2_gemm
+from repro.utils.arrays import blockwise_ranges, row_topk
+from repro.utils.validation import check_k_fits, check_points_matrix
+
+#: default rows per block: 512 rows x 50k points x 4B = ~100 MB of distances
+DEFAULT_BLOCK_ROWS = 512
+
+
+class BruteForceKNN:
+    """Exact K-NN search over a fixed dataset.
+
+    Usage::
+
+        index = BruteForceKNN(points)
+        ids, dists = index.search(queries, k)     # exact top-k
+        graph = index.knn_graph(k)                # exact KNNG (no self-loops)
+
+    ``metric`` may be ``"sqeuclidean"`` (default), ``"cosine"`` or
+    ``"inner_product"``; the latter two reduce to L2 by input
+    transformation (:mod:`repro.core.metric`) so returned ``dists`` are in
+    the transformed space - order-faithful to the requested metric;
+    ``inner_product`` is search-only (``knn_graph`` rejects it).
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        block_rows: int = DEFAULT_BLOCK_ROWS,
+        metric: str = "sqeuclidean",
+    ) -> None:
+        from repro.core.metric import check_metric, prepare_points
+
+        x = check_points_matrix(points, "points")
+        self.metric = check_metric(metric)
+        self._x, self._metric_info = prepare_points(x, metric)
+        self._raw_dim = x.shape[1]
+        if block_rows < 1:
+            raise ValueError(f"block_rows must be >= 1, got {block_rows}")
+        self._block_rows = int(block_rows)
+
+    @property
+    def n(self) -> int:
+        return self._x.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self._x.shape[1]
+
+    def search(
+        self, queries: np.ndarray, k: int, exclude_self: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact top-``k``: returns ``(ids, dists)`` sorted ascending.
+
+        With ``exclude_self=True`` the queries are assumed to *be* the
+        dataset rows in order, and each row's own index is excluded - the
+        KNN-graph convention.
+        """
+        from repro.core.metric import prepare_points
+
+        q = check_points_matrix(queries, "queries")
+        if q.shape[1] != self._raw_dim:
+            raise ValueError(
+                f"query dim {q.shape[1]} does not match index dim {self._raw_dim}"
+            )
+        q, _ = prepare_points(
+            q, self.metric, is_query=True,
+            max_norm=self._metric_info.get("max_norm"),
+        )
+        k = check_k_fits(k, self.n) if exclude_self else min(int(k), self.n)
+        m = q.shape[0]
+        out_ids = np.empty((m, k), dtype=np.int32)
+        out_dists = np.empty((m, k), dtype=np.float32)
+        for s, e in blockwise_ranges(m, self._block_rows):
+            d = pairwise_sq_l2_gemm(q[s:e], self._x)
+            if exclude_self:
+                d[np.arange(e - s), np.arange(s, e)] = np.inf
+            ids = np.broadcast_to(np.arange(self.n, dtype=np.int32), d.shape)
+            td, ti = row_topk(d, ids, k)
+            out_dists[s:e] = td
+            out_ids[s:e] = ti
+        return out_ids, out_dists
+
+    def knn_graph(self, k: int) -> KNNGraph:
+        """The exact K-NN graph of the indexed points."""
+        if self.metric == "inner_product":
+            raise ValueError(
+                "inner_product is search-only (the L2 reduction is "
+                "query-vs-database); use sqeuclidean or cosine for graphs"
+            )
+        # self._x is already transformed; search() must not transform again,
+        # so go through the blocked scan directly
+        k = check_k_fits(k, self.n)
+        m = self._x.shape[0]
+        out_ids = np.empty((m, k), dtype=np.int32)
+        out_dists = np.empty((m, k), dtype=np.float32)
+        for s, e in blockwise_ranges(m, self._block_rows):
+            d = pairwise_sq_l2_gemm(self._x[s:e], self._x)
+            d[np.arange(e - s), np.arange(s, e)] = np.inf
+            ids = np.broadcast_to(np.arange(self.n, dtype=np.int32), d.shape)
+            td, ti = row_topk(d, ids, k)
+            out_dists[s:e] = td
+            out_ids[s:e] = ti
+        return KNNGraph(
+            ids=out_ids,
+            dists=out_dists,
+            meta={"algorithm": "bruteforce", "metric": self.metric},
+        )
+
+
+def exact_knn_graph(
+    points: np.ndarray, k: int, block_rows: int = DEFAULT_BLOCK_ROWS
+) -> KNNGraph:
+    """One-shot exact K-NN graph (see :class:`BruteForceKNN`)."""
+    return BruteForceKNN(points, block_rows=block_rows).knn_graph(k)

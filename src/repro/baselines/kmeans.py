@@ -1,0 +1,111 @@
+"""Mini-batch-free Lloyd k-means - the IVF coarse quantiser's trainer.
+
+FAISS trains its IVF coarse quantiser with plain Lloyd iterations on a
+training sample; this module does the same: k-means++ seeding, blocked
+GEMM-based assignment, mean update, and empty-cluster reseeding (an empty
+cluster steals a random point from the largest cluster, FAISS-style).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.kernels.distance import pairwise_sq_l2_gemm
+from repro.utils.arrays import blockwise_ranges
+from repro.utils.rng import RngStream, as_generator
+
+#: assignment block: rows of x per distance GEMM
+_ASSIGN_BLOCK = 2048
+
+
+def kmeans_pp_init(
+    x: np.ndarray, n_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: D^2-weighted sequential centroid sampling."""
+    n = x.shape[0]
+    centroids = np.empty((n_clusters, x.shape[1]), dtype=np.float32)
+    first = int(rng.integers(n))
+    centroids[0] = x[first]
+    closest = pairwise_sq_l2_gemm(x, centroids[:1]).reshape(-1)
+    for c in range(1, n_clusters):
+        total = float(closest.sum())
+        if total <= 0:  # all points coincide with chosen centroids
+            centroids[c:] = x[rng.integers(0, n, n_clusters - c)]
+            break
+        probs = closest / total
+        pick = int(rng.choice(n, p=probs))
+        centroids[c] = x[pick]
+        d_new = pairwise_sq_l2_gemm(x, centroids[c : c + 1]).reshape(-1)
+        np.minimum(closest, d_new, out=closest)
+    return centroids
+
+
+def assign(x: np.ndarray, centroids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Nearest-centroid assignment; returns ``(labels, sq_distances)``."""
+    n = x.shape[0]
+    labels = np.empty(n, dtype=np.int64)
+    dists = np.empty(n, dtype=np.float32)
+    for s, e in blockwise_ranges(n, _ASSIGN_BLOCK):
+        d = pairwise_sq_l2_gemm(x[s:e], centroids)
+        labels[s:e] = d.argmin(axis=1)
+        dists[s:e] = d[np.arange(e - s), labels[s:e]]
+    return labels, dists
+
+
+def kmeans(
+    x: np.ndarray,
+    n_clusters: int,
+    n_iters: int = 10,
+    seed: RngStream = None,
+    train_sample: int | None = None,
+) -> np.ndarray:
+    """Train ``n_clusters`` centroids with Lloyd iterations.
+
+    Parameters
+    ----------
+    x:
+        ``(n, d)`` float32 data.
+    n_clusters:
+        Number of centroids; must not exceed ``n``.
+    n_iters:
+        Lloyd iterations after seeding.
+    seed:
+        Random source.
+    train_sample:
+        Optional cap on training points (a uniform subsample is used), the
+        standard large-dataset practice.
+
+    Returns
+    -------
+    ``(n_clusters, d)`` float32 centroid matrix.
+    """
+    if n_clusters < 1:
+        raise ConfigurationError(f"n_clusters must be >= 1, got {n_clusters}")
+    if n_clusters > x.shape[0]:
+        raise ConfigurationError(
+            f"n_clusters={n_clusters} exceeds the number of points {x.shape[0]}"
+        )
+    rng = as_generator(seed)
+    train = x
+    if train_sample is not None and train_sample < x.shape[0]:
+        pick = rng.choice(x.shape[0], size=train_sample, replace=False)
+        train = x[pick]
+        n_clusters = min(n_clusters, train.shape[0])
+    centroids = kmeans_pp_init(train, n_clusters, rng)
+    n = train.shape[0]
+    for _ in range(max(0, n_iters)):
+        labels, _ = assign(train, centroids)
+        counts = np.bincount(labels, minlength=n_clusters)
+        sums = np.zeros_like(centroids, dtype=np.float64)
+        np.add.at(sums, labels, train)
+        nonempty = counts > 0
+        centroids[nonempty] = (
+            sums[nonempty] / counts[nonempty, None]
+        ).astype(np.float32)
+        empty = np.flatnonzero(~nonempty)
+        if empty.size:
+            # reseed empties from points of the largest clusters
+            donors = rng.choice(n, size=empty.size, replace=False)
+            centroids[empty] = train[donors]
+    return centroids

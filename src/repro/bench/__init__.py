@@ -1,0 +1,38 @@
+"""Benchmark harness: cost model, recall matching, sweeps, workloads.
+
+The harness produces every table and figure listed in DESIGN.md.  Two
+performance currencies are reported throughout:
+
+* **wall-clock seconds** of the vectorised backend - real, but reflecting
+  NumPy/BLAS constants rather than GPU constants;
+* **modeled GPU cycles** (:mod:`repro.bench.costmodel`) - the strategies'
+  operation counters priced with the SIMT device model, which is the
+  apples-to-apples currency for strategy-vs-strategy and w-KNNG-vs-IVF
+  comparisons (the quantities the paper's speedups are made of).
+"""
+
+from repro.bench.costmodel import (
+    CycleBreakdown,
+    bruteforce_cycles,
+    ivf_cycles,
+    wknng_cycles,
+)
+from repro.bench.match import match_ivf_recall, match_wknng_recall, MatchResult
+from repro.bench.sweep import run_wknng, run_ivf, SweepResult
+from repro.bench.workloads import WORKLOADS, Workload, get_workload
+
+__all__ = [
+    "CycleBreakdown",
+    "bruteforce_cycles",
+    "ivf_cycles",
+    "wknng_cycles",
+    "match_ivf_recall",
+    "match_wknng_recall",
+    "MatchResult",
+    "run_wknng",
+    "run_ivf",
+    "SweepResult",
+    "WORKLOADS",
+    "Workload",
+    "get_workload",
+]

@@ -1,0 +1,301 @@
+"""Analytic GPU cycle model for strategy and baseline comparisons.
+
+Why a model
+-----------
+The vectorised backend produces the *same graphs* as GPU kernels would and
+counts the *same operations*, but its wall-clock is set by NumPy/BLAS
+constants: a bulk ``argpartition`` merge is always the fastest thing NumPy
+can do regardless of dimensionality, so wall-clock alone cannot exhibit GPU
+phenomena such as the paper's atomic-vs-tiled crossover.  This module
+prices the recorded operation counters with the SIMT device model
+(:class:`repro.simt.config.DeviceConfig`) - the same weights the
+event-level simulator uses - plus two analytic ingredients the event
+simulator omits:
+
+**Working-set cache.**  The *direct* distance schedule (baseline/atomic)
+streams every candidate point once per pair, and every insertion visit
+scans a k-NN list; both working sets (``leaf_size*dim*4`` bytes of points,
+``leaf_size*k*16`` bytes of lists) are re-touched constantly, so their
+per-transaction cost interpolates between ``cache_hit_cycles`` and
+``global_latency_cycles`` with the standard working-set hit estimate
+``min(1, cache_bytes / working_set)``.  ``cache_bytes`` is the *effective
+per-block* share of on-chip cache (L1 divided by resident blocks), which
+is why its default (32 KiB) is far below a whole L1.
+
+**Sub-warp packing.**  At dimensionalities below the warp width, direct
+kernels pack multiple pairs per warp op (lanes split across candidates -
+the standard low-d trick, and the reason the paper finds the atomic
+variant "more successful when applied to a smaller number of dimensions").
+Direct-schedule per-pair lane work therefore scales with
+``max(dim, warp/8) / warp`` (granularity floor of a quarter-warp), while
+the tiled kernel's structure is locked to warp-wide tiles.
+
+The crossover mechanism this model exhibits, with honest counter-driven
+inputs:
+
+* low ``dim``: points and lists fit in cache, direct distance is nearly
+  free and sub-warp packed -> the atomic strategy's single cached scan +
+  rare CAS beats the tiled strategy's fixed tile/merge/barrier machinery;
+* high ``dim``: the streamed working set overflows cache and direct
+  transactions degrade to DRAM latency, while tiled staging keeps per-pair
+  traffic at ``2/reuse`` of a point read -> tiled wins;
+* ``baseline`` pays the atomic path's costs *plus* a lock acquire/release
+  pair and a second array scan per visit - always worse than atomic, as in
+  the paper.
+
+Per-strategy insertion pricing (matching the ``simt_kernels``
+implementations): ``baseline``/``atomic`` compute each unordered pair once
+and visit *both* endpoint lists (their synchronisation makes scattered
+concurrent writers safe), priced per ``candidates_seen`` visit; ``atomic``
+CAS attempts (accepts + contention retries, both counted by the vectorised
+backend) add ``atomic_cycles`` each.  ``tiled`` computes both pair
+directions but each warp updates only its own row: one shared-memory
+append per visit plus, per ``tile_size`` candidates, a warp bitonic sort,
+a merge, four list transactions and a block-synchronisation overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil, log2
+
+from repro.kernels.counters import OpCounters
+from repro.simt.config import DeviceConfig
+
+
+@dataclass
+class CycleBreakdown:
+    """Modeled cycles split by phase (``total`` sums them)."""
+
+    distance: int = 0
+    insertion: int = 0
+    selection: int = 0
+    overheads: int = 0
+    detail: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return int(self.distance + self.insertion + self.selection + self.overheads)
+
+    def as_dict(self) -> dict[str, float]:
+        out = {
+            "distance_cycles": self.distance,
+            "insertion_cycles": self.insertion,
+            "selection_cycles": self.selection,
+            "overhead_cycles": self.overheads,
+            "total_cycles": self.total,
+        }
+        out.update(self.detail)
+        return out
+
+
+def _transaction_cost(working_set_bytes: float, config: DeviceConfig) -> float:
+    """Per-transaction cycles under the working-set cache model."""
+    if working_set_bytes <= 0:
+        return float(config.cache_hit_cycles)
+    hit = min(1.0, config.cache_bytes / working_set_bytes)
+    return hit * config.cache_hit_cycles + (1.0 - hit) * config.global_latency_cycles
+
+
+def _list_scan_transactions(k: int, config: DeviceConfig) -> int:
+    """Transactions to read one k-slot list stored as 8 bytes per slot."""
+    return max(1, ceil(8 * k / config.segment_bytes))
+
+
+def wknng_cycles(
+    strategy: str,
+    counters: OpCounters,
+    *,
+    dim: int,
+    k: int,
+    leaf_size: int,
+    tile_size: int = 32,
+    config: DeviceConfig | None = None,
+) -> CycleBreakdown:
+    """Price a w-KNNG build's counters in modeled GPU cycles.
+
+    Parameters
+    ----------
+    strategy:
+        ``"baseline"`` / ``"atomic"`` / ``"tiled"``.
+    counters:
+        The strategy's accumulated :class:`OpCounters`.
+    dim, k, leaf_size, tile_size:
+        Workload/geometry parameters the per-operation costs depend on.
+    config:
+        Device model (defaults to :class:`DeviceConfig`).
+    """
+    c = config or DeviceConfig()
+    w = c.warp_size
+    log_w = int(log2(w))
+    pairs = counters.distance_evals
+    seen = counters.candidates_seen
+    scan_tx = _list_scan_transactions(k, c)
+    t_lists = _transaction_cost(leaf_size * k * 16, c)
+    bd = CycleBreakdown()
+
+    if strategy in ("baseline", "atomic"):
+        # direct schedule with sub-warp packing; streamed candidate points
+        work_frac = max(dim, w / 8) / w
+        t_pts = _transaction_cost(leaf_size * dim * 4, c)
+        per_pair = work_frac * (t_pts + 3 * c.alu_cycles) + 2 * log_w * c.alu_cycles * work_frac
+        bd.distance = int(pairs * per_pair)
+        bd.detail["direct_working_set_bytes"] = leaf_size * dim * 4
+        bd.detail["point_transaction_cost"] = t_pts
+    elif strategy == "tiled":
+        # GEMM/shared staging: each point read once per tile of `reuse` pairs
+        chunks = dim / w
+        reuse = min(leaf_size, w)
+        per_pair = (
+            (2 * chunks / reuse) * c.global_latency_cycles
+            + 2 * chunks * c.shared_cycles
+            + 3 * chunks * c.alu_cycles
+        )
+        bd.distance = int(pairs * per_pair)
+        bd.detail["staging_reuse_factor"] = reuse
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}")
+
+    scan_frac = max(k, w / 8) / w
+    if strategy == "atomic":
+        # Half the visits target the warp's *own* row, whose current maximum
+        # is cached in a register across the leaf loop - those quick-reject
+        # with one compare.  The other half are the scattered j-side visits,
+        # which must scan the packed list.  Accepted candidates (attempts)
+        # re-scan to locate the max slot and CAS it.
+        per_scan = t_lists * scan_tx + 2 * log_w * c.alu_cycles * scan_frac
+        bd.insertion = int(
+            (seen / 2) * per_scan
+            + (seen / 2) * c.alu_cycles
+            + counters.atomic_attempts * (c.atomic_cycles + per_scan)
+        )
+    elif strategy == "baseline":
+        per_visit = (
+            2 * c.atomic_cycles  # lock acquire + release
+            + 2 * t_lists * scan_tx  # ids + dists array scans
+            + 2 * log_w * c.alu_cycles * scan_frac
+        )
+        bd.insertion = int(seen * per_visit + counters.candidates_inserted * t_lists)
+    else:  # tiled
+        # The tiled kernel cannot pre-filter: a per-candidate membership scan
+        # would defeat the amortisation, so *every* candidate flows through
+        # the tile (append) and the bulk merge does the filtering.  Merge
+        # volume is therefore priced on candidates_seen, not on the
+        # post-filter survivors the vectorised implementation merges.
+        append = seen * c.shared_cycles
+        merges = seen / max(1, tile_size)
+        per_merge = (
+            3 * log_w * log_w * c.alu_cycles  # bitonic sort of the tile
+            + (log_w + 1) * c.alu_cycles  # merge network
+            + k * c.alu_cycles  # membership dedupe against the list
+            + 4 * scan_tx * t_lists  # load + store ids/dists
+            + 2 * tile_size * c.shared_cycles  # tile read-back
+            + 2 * c.global_latency_cycles  # block synchronisation
+        )
+        bd.insertion = int(append + merges * per_merge)
+        bd.detail["merges"] = merges
+    bd.detail["list_transaction_cost"] = t_lists
+    return bd
+
+
+def preferred_strategy(
+    dim: int,
+    k: int,
+    leaf_size: int,
+    tile_size: int = 32,
+    config: DeviceConfig | None = None,
+) -> str:
+    """The paper's guidance as a function: ``"atomic"`` or ``"tiled"``.
+
+    Compares the two strategies' modeled cycles on *nominal* per-pair work
+    proportions (measured on the clustered workloads: an unordered-pair
+    strategy sees each pair once and visits two lists; acceptance rate
+    ~0.3 once lists warm up) and returns the cheaper one for the given
+    geometry.  This is what ``BuildConfig(strategy="auto")`` resolves
+    through.
+    """
+    pairs = 10_000  # any common scale; only the ratio matters
+    atomic = wknng_cycles(
+        "atomic",
+        OpCounters(distance_evals=pairs, candidates_seen=2 * pairs,
+                   atomic_attempts=int(0.3 * pairs)),
+        dim=dim, k=k, leaf_size=leaf_size, tile_size=tile_size, config=config,
+    ).total
+    tiled = wknng_cycles(
+        "tiled",
+        OpCounters(distance_evals=2 * pairs, candidates_seen=2 * pairs),
+        dim=dim, k=k, leaf_size=leaf_size, tile_size=tile_size, config=config,
+    ).total
+    return "atomic" if atomic <= tiled else "tiled"
+
+
+def bruteforce_cycles(
+    n: int,
+    *,
+    dim: int,
+    k: int,
+    config: DeviceConfig | None = None,
+) -> CycleBreakdown:
+    """Price an exact GPU brute-force KNNG in the same cycle currency.
+
+    The reference point for the approximate methods: ``n * (n - 1)``
+    distance evaluations under the staged (GEMM-like) schedule plus
+    warp-select top-k, i.e. FAISS ``IndexFlat`` applied to every point.
+    """
+    c = config or DeviceConfig()
+    w = c.warp_size
+    chunks = dim / w
+    log_w = int(log2(w))
+    pairs = n * (n - 1)
+    bd = CycleBreakdown()
+    per_pair = (
+        (2 * chunks / w) * c.global_latency_cycles
+        + 2 * chunks * c.shared_cycles
+        + 3 * chunks * c.alu_cycles
+    )
+    bd.distance = int(pairs * per_pair)
+    scan_tx = _list_scan_transactions(k, c)
+    bd.selection = int(
+        pairs * 2 * c.alu_cycles
+        + (pairs / w) * (3 * log_w * log_w * c.alu_cycles
+                         + 2 * scan_tx * c.global_latency_cycles)
+    )
+    bd.detail["pairs"] = pairs
+    return bd
+
+
+def ivf_cycles(
+    search_stats: dict[str, int],
+    *,
+    dim: int,
+    k: int,
+    config: DeviceConfig | None = None,
+) -> CycleBreakdown:
+    """Price an IVF-Flat KNNG search in the same cycle currency.
+
+    GPU IVF (as in FAISS) scans inverted lists with well-coalesced,
+    shared-staged reads (the same schedule as the tiled strategy, reuse ~
+    warp width) and selects with an in-register warp top-k structure
+    costing a few ALU ops per scanned candidate plus a k-sized merge per
+    ``warp_size`` candidates.
+    """
+    c = config or DeviceConfig()
+    w = c.warp_size
+    chunks = dim / w
+    log_w = int(log2(w))
+    cand = int(search_stats.get("candidate_distance_evals", 0))
+    cent = int(search_stats.get("centroid_distance_evals", 0))
+    bd = CycleBreakdown()
+    per_pair = (
+        (2 * chunks / w) * c.global_latency_cycles
+        + 2 * chunks * c.shared_cycles
+        + 3 * chunks * c.alu_cycles
+    )
+    bd.distance = int((cand + cent) * per_pair)
+    scan_tx = _list_scan_transactions(k, c)
+    per_cand_select = 2 * c.alu_cycles
+    per_block_merge = 3 * log_w * log_w * c.alu_cycles + 2 * scan_tx * c.global_latency_cycles
+    bd.selection = int(cand * per_cand_select + (cand / w) * per_block_merge)
+    bd.detail["candidate_distance_evals"] = cand
+    bd.detail["centroid_distance_evals"] = cent
+    return bd

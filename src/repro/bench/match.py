@@ -1,0 +1,148 @@
+"""Recall matching: find configurations hitting a target accuracy.
+
+The paper's headline ("up to 639% faster ... considering an equivalent
+accuracy") requires comparing systems *at the same recall*.  This module
+searches each system's accuracy dial for the cheapest configuration whose
+recall reaches the target:
+
+* IVF-Flat: ``nprobe`` is monotone in recall -> binary-search-like doubling
+  then refinement over nprobe;
+* w-KNNG: the forest size (``n_trees``) is the dial (monotone in recall
+  for fixed leaf size) -> linear scan with early exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.ivf import IVFConfig, IVFFlatIndex
+from repro.bench.sweep import SweepResult, run_ivf, run_wknng
+from repro.core.config import BuildConfig
+from repro.errors import BenchmarkError
+
+
+@dataclass
+class MatchResult:
+    """The cheapest configuration found at (or above) the target recall."""
+
+    target_recall: float
+    achieved: SweepResult
+    attempts: list[SweepResult]
+
+    @property
+    def matched(self) -> bool:
+        return self.achieved.recall >= self.target_recall
+
+
+def match_ivf_recall(
+    x: np.ndarray,
+    exact_ids: np.ndarray,
+    k: int,
+    target_recall: float,
+    ivf_config: IVFConfig | None = None,
+    max_nprobe: int | None = None,
+) -> MatchResult:
+    """Find the smallest ``nprobe`` whose KNNG recall reaches the target.
+
+    The index is trained once; only searches repeat.  Doubles ``nprobe``
+    until the target is bracketed, then binary-searches the bracket.
+    Raises :class:`BenchmarkError` if even probing every list falls short
+    (cannot happen for target <= 1.0 minus quantiser-boundary losses; the
+    caller should then lower the target).
+    """
+    cfg = ivf_config or IVFConfig(seed=7)
+    index = IVFFlatIndex(cfg).fit(x)
+    limit = min(max_nprobe or index.n_lists, index.n_lists)
+    attempts: list[SweepResult] = []
+
+    def measure(nprobe: int) -> SweepResult:
+        res = run_ivf(x, exact_ids, k, cfg, nprobe=nprobe, index=index)
+        attempts.append(res)
+        return res
+
+    # doubling phase
+    nprobe = 1
+    res = measure(nprobe)
+    while res.recall < target_recall and nprobe < limit:
+        nprobe = min(2 * nprobe, limit)
+        res = measure(nprobe)
+    if res.recall < target_recall:
+        raise BenchmarkError(
+            f"IVF cannot reach recall {target_recall:.3f} even with "
+            f"nprobe={limit} (got {res.recall:.3f}); lower the target"
+        )
+    # binary refinement between the last failing and first passing nprobe
+    lo = max(1, nprobe // 2)
+    hi = nprobe
+    best = res
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        res = measure(mid)
+        if res.recall >= target_recall:
+            hi, best = mid, res
+        else:
+            lo = mid
+    return MatchResult(target_recall=target_recall, achieved=best, attempts=attempts)
+
+
+def match_wknng_recall(
+    x: np.ndarray,
+    exact_ids: np.ndarray,
+    base_config: BuildConfig,
+    target_recall: float,
+    max_trees: int = 32,
+    refine_budgets: tuple[int, ...] = (0, 1, 2, 4, 8),
+) -> MatchResult:
+    """Find the cheapest (forest size, refinement budget) hitting the target.
+
+    w-KNNG has two accuracy dials with different cost profiles: more trees
+    buy leaf-phase candidates, more local-join rounds buy transitive
+    closure.  The search walks tree counts upward (doubling), and at each
+    level tries refinement budgets ascending, keeping the first (cheapest)
+    budget that reaches the target; among all matching configurations the
+    one with the fewest modeled cycles wins.  Refinement stops early on
+    convergence (``refine_delta``), so large budgets are safe to probe.
+    """
+    attempts: list[SweepResult] = []
+
+    def measure(n_trees: int, refine_iters: int) -> SweepResult:
+        cfg = BuildConfig(
+            k=base_config.k,
+            strategy=base_config.strategy,
+            strategy_kwargs=dict(base_config.strategy_kwargs),
+            n_trees=n_trees,
+            leaf_size=base_config.leaf_size,
+            refine_iters=refine_iters,
+            refine_sample=base_config.refine_sample,
+            refine_fanout=base_config.refine_fanout,
+            refine_delta=base_config.refine_delta,
+            seed=base_config.seed,
+        )
+        res = run_wknng(x, exact_ids, cfg)
+        attempts.append(res)
+        return res
+
+    budgets = tuple(sorted(set(list(refine_budgets) + [base_config.refine_iters])))
+    best: SweepResult | None = None
+    ceiling = 0.0
+    trees = max(1, base_config.n_trees)
+    while trees <= max_trees:
+        for iters in budgets:
+            res = measure(trees, iters)
+            ceiling = max(ceiling, res.recall)
+            if res.recall >= target_recall:
+                if best is None or res.modeled_cycles < best.modeled_cycles:
+                    best = res
+                break  # larger budgets at this tree count only cost more
+        if best is not None and best.params["n_trees"] < trees:
+            break  # adding trees stopped helping the cost
+        trees *= 2
+    if best is None:
+        raise BenchmarkError(
+            f"w-KNNG ({base_config.strategy}) cannot reach recall "
+            f"{target_recall:.3f} with <= {max_trees} trees "
+            f"(got {ceiling:.3f}); raise leaf_size/refine_iters"
+        )
+    return MatchResult(target_recall=target_recall, achieved=best, attempts=attempts)

@@ -1,0 +1,125 @@
+"""ASCII figure rendering for benchmark series.
+
+The paper's evaluation figures are line charts (recall vs time, ratio vs
+dimensionality).  This module renders the same series as terminal-friendly
+ASCII plots so the bench targets can emit *figures*, not only tables,
+without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: plot glyphs assigned to series in order
+_GLYPHS = "ox+*#@%&"
+
+
+@dataclass
+class Series:
+    """One named line of (x, y) points."""
+
+    name: str
+    xs: list[float] = field(default_factory=list)
+    ys: list[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> "Series":
+        self.xs.append(float(x))
+        self.ys.append(float(y))
+        return self
+
+
+def _ticks(lo: float, hi: float, n: int) -> list[float]:
+    if hi <= lo:
+        hi = lo + 1.0
+    return [lo + (hi - lo) * i / (n - 1) for i in range(n)]
+
+
+def ascii_plot(
+    series: list[Series],
+    *,
+    width: int = 64,
+    height: int = 18,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    logx: bool = False,
+    logy: bool = False,
+) -> str:
+    """Render line series as an ASCII chart with axes and a legend.
+
+    Log scales require strictly positive coordinates on that axis.
+    """
+    pts = [(s, x, y) for s in series for x, y in zip(s.xs, s.ys)]
+    if not pts:
+        return "(empty plot)"
+
+    def tx(v: float) -> float:
+        return math.log10(v) if logx else v
+
+    def ty(v: float) -> float:
+        return math.log10(v) if logy else v
+
+    for _, x, y in pts:
+        if logx and x <= 0 or logy and y <= 0:
+            raise ValueError("log-scaled axes need positive coordinates")
+
+    xs = [tx(x) for _, x, _ in pts]
+    ys = [ty(y) for _, _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+    if y_hi == y_lo:
+        y_hi = y_lo + 1
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, s in enumerate(series):
+        glyph = _GLYPHS[si % len(_GLYPHS)]
+        coords = []
+        for x, y in zip(s.xs, s.ys):
+            cx = int(round((tx(x) - x_lo) / (x_hi - x_lo) * (width - 1)))
+            cy = int(round((ty(y) - y_lo) / (y_hi - y_lo) * (height - 1)))
+            coords.append((cx, height - 1 - cy))
+        # connect consecutive points with interpolated marks
+        for (x0, y0), (x1, y1) in zip(coords, coords[1:]):
+            steps = max(abs(x1 - x0), abs(y1 - y0), 1)
+            for t in range(steps + 1):
+                cx = round(x0 + (x1 - x0) * t / steps)
+                cy = round(y0 + (y1 - y0) * t / steps)
+                if grid[cy][cx] == " ":
+                    grid[cy][cx] = "."
+        for cx, cy in coords:
+            grid[cy][cx] = glyph
+
+    def fmt(v: float, is_log: bool) -> str:
+        value = 10**v if is_log else v
+        return f"{value:.3g}"
+
+    lines = []
+    if title:
+        lines.append(title.center(width + 10))
+    y_labels = [fmt(y_hi, logy), fmt((y_lo + y_hi) / 2, logy), fmt(y_lo, logy)]
+    label_w = max(len(l) for l in y_labels)
+    for r, row in enumerate(grid):
+        if r == 0:
+            lab = y_labels[0]
+        elif r == height // 2:
+            lab = y_labels[1]
+        elif r == height - 1:
+            lab = y_labels[2]
+        else:
+            lab = ""
+        lines.append(f"{lab:>{label_w}s} |" + "".join(row))
+    lines.append(" " * label_w + " +" + "-" * width)
+    x_left = fmt(x_lo, logx)
+    x_right = fmt(x_hi, logx)
+    pad = width - len(x_left) - len(x_right)
+    lines.append(" " * (label_w + 2) + x_left + " " * max(1, pad) + x_right)
+    if xlabel or ylabel:
+        lines.append(f"  x: {xlabel}   y: {ylabel}".rstrip())
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {s.name}" for i, s in enumerate(series)
+    )
+    lines.append(f"  {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Aggregate benchmark outputs into one experiment report.
+
+``pytest benchmarks/ --benchmark-only`` leaves one text artifact per
+experiment under ``benchmarks/results/``; :func:`build_report` stitches
+them into a single markdown document ordered by the DESIGN.md experiment
+index - the measured companion to EXPERIMENTS.md.
+
+Run directly::
+
+    python -m repro.bench.report [results_dir] [-o REPORT.md]
+"""
+
+from __future__ import annotations
+
+import argparse
+from datetime import date
+from pathlib import Path
+
+#: experiment id -> section heading, in DESIGN.md order
+SECTIONS = [
+    ("T1_", "T1 — w-KNNG vs FAISS-like IVF at equivalent recall"),
+    ("T2_", "T2 — strategy comparison across dimensionality"),
+    ("F1_", "F1 — recall vs cost curves"),
+    ("F2_", "F2 — atomic/tiled dimensionality crossover"),
+    ("F3_", "F3 — scaling with dataset size"),
+    ("F4_", "F4 — scaling with neighbour count K"),
+    ("F5_", "F5 — refinement rounds"),
+    ("F6_", "F6 — warp-level microarchitecture metrics"),
+    ("F7_", "F7 — forest ablation"),
+    ("F8_", "F8 — t-SNE application"),
+]
+
+
+def build_report(results_dir: Path) -> str:
+    """Render all result artifacts as one markdown report."""
+    lines = [
+        "# w-KNNG measured results",
+        "",
+        f"Generated {date.today().isoformat()} from `{results_dir}`.",
+        "Regenerate with `pytest benchmarks/ --benchmark-only`.",
+        "",
+    ]
+    found_any = False
+    for prefix, heading in SECTIONS:
+        files = sorted(results_dir.glob(f"{prefix}*.txt"))
+        if not files:
+            continue
+        found_any = True
+        lines.append(f"## {heading}")
+        lines.append("")
+        for f in files:
+            lines.append(f"### {f.stem}")
+            lines.append("")
+            lines.append("```")
+            lines.append(f.read_text().rstrip())
+            lines.append("```")
+            lines.append("")
+    if not found_any:
+        lines.append("*(no result artifacts found - run the benchmarks first)*")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "results_dir", nargs="?",
+        default=str(Path(__file__).resolve().parents[3] / "benchmarks" / "results"),
+    )
+    parser.add_argument("-o", "--output", default=None,
+                        help="write to a file instead of stdout")
+    args = parser.parse_args(argv)
+    report = build_report(Path(args.results_dir))
+    if args.output:
+        Path(args.output).write_text(report)
+        print(f"wrote {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,133 @@
+"""Single-configuration runners used by all benchmark sweeps.
+
+Each runner executes one system on one dataset and returns a
+:class:`SweepResult` bundling recall, wall-clock, the system's work
+counters and modeled cycles - one row of a benchmark table.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.baselines.ivf import IVFConfig, IVFFlatIndex
+from repro.bench.costmodel import ivf_cycles, wknng_cycles
+from repro.core.builder import WKNNGBuilder
+from repro.core.config import BuildConfig
+from repro.core.graph import KNNGraph
+from repro.kernels.counters import OpCounters
+from repro.kernels.tiled import DEFAULT_TILE_SIZE
+
+
+@dataclass
+class SweepResult:
+    """One measured (system, configuration, dataset) point."""
+
+    system: str
+    recall: float
+    seconds: float
+    modeled_cycles: int
+    graph: KNNGraph
+    params: dict[str, Any] = field(default_factory=dict)
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def row(self) -> dict[str, Any]:
+        out = {
+            "system": self.system,
+            "recall": round(self.recall, 4),
+            "seconds": self.seconds,
+            "modeled_mcycles": self.modeled_cycles / 1e6,
+        }
+        out.update(self.params)
+        return out
+
+
+def run_wknng(
+    x: np.ndarray,
+    exact_ids: np.ndarray,
+    config: BuildConfig,
+) -> SweepResult:
+    """Build a w-KNNG graph and measure recall/time/modeled cycles."""
+    builder = WKNNGBuilder(config)
+    t0 = time.perf_counter()
+    graph = builder.build(x)
+    seconds = time.perf_counter() - t0
+    assert builder.last_report is not None
+    counters = OpCounters(**{
+        key: builder.last_report.counters.get(key, 0)
+        for key in OpCounters().as_dict()
+    })
+    tile = config.strategy_kwargs.get("tile_size", DEFAULT_TILE_SIZE)
+    # graph.meta carries the *resolved* strategy (handles strategy="auto")
+    strategy = graph.meta.get("strategy", config.strategy)
+    cycles = wknng_cycles(
+        strategy,
+        counters,
+        dim=x.shape[1],
+        k=config.k,
+        leaf_size=config.leaf_size,
+        tile_size=tile,
+    )
+    from repro.metrics.recall import knn_recall
+
+    return SweepResult(
+        system=f"w-knng/{strategy}",
+        recall=knn_recall(graph.ids, exact_ids),
+        seconds=seconds,
+        modeled_cycles=cycles.total,
+        graph=graph,
+        params={
+            "strategy": strategy,
+            "n_trees": config.n_trees,
+            "leaf_size": config.leaf_size,
+            "refine_iters": config.refine_iters,
+        },
+        detail={
+            "cycles": cycles.as_dict(),
+            "counters": counters.as_dict(),
+            "report": builder.last_report.as_dict(),
+        },
+    )
+
+
+def run_ivf(
+    x: np.ndarray,
+    exact_ids: np.ndarray,
+    k: int,
+    ivf_config: IVFConfig,
+    nprobe: int | None = None,
+    index: IVFFlatIndex | None = None,
+) -> SweepResult:
+    """Build (or reuse) an IVF index, run its KNNG mode, and measure.
+
+    Passing a pre-fitted ``index`` isolates search cost for nprobe sweeps;
+    training time is then excluded (recorded in ``detail``).
+    """
+    t0 = time.perf_counter()
+    if index is None:
+        index = IVFFlatIndex(ivf_config).fit(x)
+    train_seconds = time.perf_counter() - t0
+    t1 = time.perf_counter()
+    graph = index.knn_graph(k, nprobe=nprobe)
+    search_seconds = time.perf_counter() - t1
+    cycles = ivf_cycles(index.last_search_stats, dim=x.shape[1], k=k)
+    from repro.metrics.recall import knn_recall
+
+    effective_nprobe = nprobe if nprobe is not None else ivf_config.nprobe
+    return SweepResult(
+        system="ivf-flat",
+        recall=knn_recall(graph.ids, exact_ids),
+        seconds=train_seconds + search_seconds,
+        modeled_cycles=cycles.total,
+        graph=graph,
+        params={"n_lists": index.n_lists, "nprobe": effective_nprobe},
+        detail={
+            "cycles": cycles.as_dict(),
+            "search_stats": dict(index.last_search_stats),
+            "train_seconds": train_seconds,
+            "search_seconds": search_seconds,
+        },
+    )

@@ -1,0 +1,91 @@
+"""Named benchmark workloads (dataset x size x dimensionality x k).
+
+Benchmarks refer to workloads by name so every experiment draws from the
+same, seeded data definitions.  Sizes default to laptop scale; the ``scale``
+multiplier lets CI run the same suite smaller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.data.synthetic import make_dataset
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A reproducible benchmark input.
+
+    ``dataset`` names a :data:`repro.data.synthetic.DATASETS` generator;
+    ``params`` are forwarded to it (e.g. ``dim``).
+    """
+
+    name: str
+    dataset: str
+    n: int
+    k: int
+    seed: int = 1234
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def materialize(self, scale: float = 1.0) -> np.ndarray:
+        """Generate the points (``scale`` shrinks/grows ``n``).
+
+        The pseudo-parameter ``points_per_cluster`` resolves to
+        ``n_clusters = n / points_per_cluster`` at materialisation time, so
+        a clustered workload keeps the *same local geometry* (cluster
+        population, hence the ratio of neighbour distance to cluster
+        radius) at every scale - without it, growing ``n`` over a fixed
+        cluster set makes the problem progressively easier for
+        single-partition indexes.
+        """
+        n = max(self.k + 2, int(round(self.n * scale)))
+        params = dict(self.params)
+        density = params.pop("points_per_cluster", None)
+        if density is not None:
+            params["n_clusters"] = max(4, n // int(density))
+        return make_dataset(self.dataset, n, seed=self.seed, **params)
+
+
+#: the canonical workloads the experiment suite runs on.
+#: The clustered sets use *overlapping* mixtures (cluster_std comparable to
+#: the centre spread): true neighbour sets then straddle any single space
+#: partition's cell boundaries, which is the regime real descriptor data
+#: lives in and the one where accuracy dials (nprobe / forest size) matter.
+WORKLOADS: dict[str, Workload] = {
+    w.name: w
+    for w in [
+        # T1 regimes: low / mid / high dimensionality, clustered
+        Workload("clustered-16d", "gaussian", n=20_000, k=16,
+                 params={"dim": 16, "points_per_cluster": 20,
+                         "cluster_std": 2.0, "center_scale": 3.0}),
+        Workload("clustered-128d", "gaussian", n=20_000, k=16,
+                 params={"dim": 128, "points_per_cluster": 20,
+                         "cluster_std": 2.0, "center_scale": 3.0}),
+        Workload("sift-like-128d", "sift-like", n=20_000, k=16,
+                 params={"points_per_cluster": 20, "cluster_std": 18.0,
+                         "center_scale": 35.0}),
+        Workload("gist-like-960d", "gist-like", n=10_000, k=16),
+        # the structure-free adversarial case
+        Workload("uniform-16d", "uniform", n=20_000, k=16, params={"dim": 16}),
+        # manifold case (high ambient, low intrinsic dimension)
+        Workload("manifold-256d", "manifold", n=20_000, k=16, params={"dim": 256}),
+        # small workloads for the simulator experiments
+        Workload("simt-small-8d", "gaussian", n=512, k=8, params={"dim": 8, "n_clusters": 16}),
+        Workload("simt-small-64d", "gaussian", n=512, k=8, params={"dim": 64, "n_clusters": 16}),
+        Workload("simt-small-256d", "gaussian", n=512, k=8, params={"dim": 256, "n_clusters": 16}),
+    ]
+}
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a canonical workload by name."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None

@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``build``
+    Build a K-NN graph from an ``.fvecs``/``.npy`` file (or a named
+    synthetic dataset) and save it as ``.npz``.
+``eval``
+    Compare a saved graph against exact ground truth (recall, distance
+    ratio).
+``bench``
+    Run one quick named-workload comparison (w-KNNG vs IVF at a recall
+    target) and print the table.
+``info``
+    Show the library version, available strategies, datasets, workloads.
+
+Examples
+--------
+::
+
+    python -m repro build --dataset gaussian --n 10000 --k 16 -o graph.npz
+    python -m repro build --input base.fvecs --k 10 --strategy atomic -o g.npz
+    python -m repro eval --input base.fvecs --graph g.npz
+    python -m repro bench --workload clustered-128d --target 0.99 --scale 0.1
+    python -m repro info
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+
+def _load_points(args) -> np.ndarray:
+    from repro.data.loaders import read_fvecs
+    from repro.data.synthetic import make_dataset
+
+    if args.input:
+        path = Path(args.input)
+        if path.suffix == ".fvecs":
+            return read_fvecs(path)
+        if path.suffix == ".npy":
+            return np.load(path).astype(np.float32)
+        raise SystemExit(f"unsupported input format: {path.suffix} (.fvecs/.npy)")
+    if args.dataset:
+        return make_dataset(args.dataset, args.n, seed=args.seed, dim=args.dim) \
+            if args.dim else make_dataset(args.dataset, args.n, seed=args.seed)
+    raise SystemExit("provide --input FILE or --dataset NAME")
+
+
+def _add_data_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--input", help=".fvecs or .npy points file")
+    p.add_argument("--dataset", help="synthetic dataset name (see `info`)")
+    p.add_argument("--n", type=int, default=10_000, help="synthetic point count")
+    p.add_argument("--dim", type=int, default=None, help="synthetic dimensionality")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def cmd_build(args) -> int:
+    from repro import BuildConfig, WKNNGBuilder
+
+    x = _load_points(args)
+    cfg = BuildConfig(
+        k=args.k,
+        strategy=args.strategy,
+        n_trees=args.trees,
+        leaf_size=args.leaf_size,
+        refine_iters=args.refine,
+        seed=args.seed,
+    )
+    builder = WKNNGBuilder(cfg)
+    t0 = time.perf_counter()
+    graph = builder.build(x)
+    dt = time.perf_counter() - t0
+    graph.save(args.output)
+    rep = builder.last_report
+    print(f"built {graph} from {x.shape} in {dt:.2f}s -> {args.output}")
+    for phase, secs in rep.phase_seconds.items():
+        print(f"  {phase:<12s} {secs:8.3f}s")
+    print(f"  distance evals/point: {rep.counters['distance_evals'] / graph.n:.0f}")
+    return 0
+
+
+def cmd_eval(args) -> int:
+    from repro.baselines import exact_knn_graph
+    from repro.core.graph import KNNGraph
+    from repro.metrics.quality import distance_ratio
+
+    x = _load_points(args)
+    graph = KNNGraph.load(args.graph)
+    if graph.n != x.shape[0]:
+        raise SystemExit(
+            f"graph has {graph.n} nodes but points file has {x.shape[0]} rows"
+        )
+    exact = exact_knn_graph(x, graph.k)
+    print(f"recall@{graph.k}:       {graph.recall(exact):.4f}")
+    print(f"distance ratio:  {distance_ratio(graph, exact):.4f}")
+    print(f"complete:        {graph.is_complete()}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.baselines.bruteforce import BruteForceKNN
+    from repro.baselines.ivf import IVFConfig
+    from repro.bench.match import match_ivf_recall, match_wknng_recall
+    from repro.bench.workloads import get_workload
+    from repro.core.config import BuildConfig
+
+    w = get_workload(args.workload)
+    x = w.materialize(args.scale)
+    print(f"workload {args.workload}: n={x.shape[0]}, d={x.shape[1]}, "
+          f"k={w.k}, target recall {args.target}")
+    gt, _ = BruteForceKNN(x).search(x, w.k, exclude_self=True)
+    base = BuildConfig(k=w.k, strategy=args.strategy, n_trees=1, leaf_size=64,
+                       refine_iters=8, refine_fanout=2, seed=0)
+    wk = match_wknng_recall(x, gt, base, args.target).achieved
+    ivf = match_ivf_recall(x, gt, w.k, args.target, IVFConfig(seed=7)).achieved
+    print(f"w-knng/{args.strategy}: recall={wk.recall:.4f} "
+          f"modeled={wk.modeled_cycles / 1e6:.1f} Mcycles "
+          f"(trees={wk.params['n_trees']}, refine={wk.params['refine_iters']})")
+    print(f"ivf-flat:      recall={ivf.recall:.4f} "
+          f"modeled={ivf.modeled_cycles / 1e6:.1f} Mcycles "
+          f"(nprobe={ivf.params['nprobe']})")
+    print(f"modeled speedup (ivf/wknng): "
+          f"{ivf.modeled_cycles / max(1, wk.modeled_cycles):.2f}x")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    from repro.verify import run_verification
+
+    return 0 if run_verification(n=args.n, seed=args.seed) else 1
+
+
+def cmd_info(args) -> int:
+    from repro import __version__, available_strategies
+    from repro.bench.workloads import WORKLOADS
+    from repro.data.synthetic import DATASETS
+
+    print(f"repro (w-KNNG reproduction) version {__version__}")
+    print(f"strategies: {', '.join(available_strategies())}")
+    print(f"datasets:   {', '.join(sorted(DATASETS))}")
+    print(f"workloads:  {', '.join(sorted(WORKLOADS))}")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="w-KNNG: warp-centric K-NN graph construction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("build", help="build a K-NN graph and save it")
+    _add_data_args(p)
+    p.add_argument("-k", "--k", type=int, default=16)
+    p.add_argument("--strategy", default="tiled",
+                   choices=("baseline", "atomic", "tiled"))
+    p.add_argument("--trees", type=int, default=4)
+    p.add_argument("--leaf-size", type=int, default=64, dest="leaf_size")
+    p.add_argument("--refine", type=int, default=2)
+    p.add_argument("-o", "--output", required=True, help="output .npz path")
+    p.set_defaults(func=cmd_build)
+
+    p = sub.add_parser("eval", help="evaluate a saved graph against exact KNN")
+    _add_data_args(p)
+    p.add_argument("--graph", required=True, help="graph .npz from `build`")
+    p.set_defaults(func=cmd_eval)
+
+    p = sub.add_parser("bench", help="quick matched-recall comparison vs IVF")
+    p.add_argument("--workload", default="clustered-128d")
+    p.add_argument("--target", type=float, default=0.99)
+    p.add_argument("--scale", type=float, default=0.1,
+                   help="workload size multiplier")
+    p.add_argument("--strategy", default="tiled",
+                   choices=("baseline", "atomic", "tiled"))
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("info", help="show version and registries")
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser(
+        "verify", help="run the scaled-down reproduction claim checks"
+    )
+    p.add_argument("--n", type=int, default=3000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_verify)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

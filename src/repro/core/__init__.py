@@ -1,0 +1,29 @@
+"""The paper's primary contribution: w-KNNG construction.
+
+Pipeline (one :meth:`~repro.core.builder.WKNNGBuilder.build` call):
+
+1. build a **random projection forest** over the dataset
+   (:mod:`repro.core.rpforest`);
+2. for every leaf of every tree, run the **leaf all-pairs kernel**: each
+   pair of co-located points is a candidate edge, maintained in the
+   global-memory k-NN lists by the configured warp-centric strategy
+   (:mod:`repro.kernels`);
+3. optionally run **neighbour-of-neighbour refinement** rounds
+   (:mod:`repro.core.refine`) that propose each point's neighbours'
+   neighbours as additional candidates;
+4. sort the lists and return a :class:`~repro.core.graph.KNNGraph`.
+"""
+
+from repro.core.config import BuildConfig
+from repro.core.builder import WKNNGBuilder, BuildReport
+from repro.core.graph import KNNGraph
+from repro.core.rpforest import RPForest, RPTree
+
+__all__ = [
+    "BuildConfig",
+    "WKNNGBuilder",
+    "BuildReport",
+    "KNNGraph",
+    "RPForest",
+    "RPTree",
+]

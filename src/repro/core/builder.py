@@ -1,0 +1,197 @@
+"""The w-KNNG builder: the paper's end-to-end construction pipeline."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+from repro.core.config import BuildConfig
+from repro.core.graph import KNNGraph
+from repro.core.metric import prepare_points
+from repro.core.refine import RefineState, refine_round
+from repro.core.rpforest import RPForest, batch_leaves, build_forest
+from repro.kernels.knn_state import KnnState
+from repro.kernels.strategy import Strategy, get_strategy
+from repro.utils.rng import as_generator, spawn_streams
+from repro.utils.validation import check_k_fits, check_points_matrix
+
+
+@dataclass
+class BuildReport:
+    """Phase timings and work counters of one build.
+
+    Attributes
+    ----------
+    phase_seconds:
+        Wall-clock per pipeline phase (``forest``, ``leaf_pairs``,
+        ``refine``, ``finalize``).
+    counters:
+        The strategy's :class:`~repro.kernels.counters.OpCounters` snapshot
+        as a dict.
+    refine_insertions:
+        Insertions per refinement round (length <= refine_iters; shorter if
+        a round converged and stopped early).
+    leaf_stats:
+        Forest shape diagnostics (leaf count, mean/max leaf size).
+    """
+
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+    refine_insertions: list[int] = field(default_factory=list)
+    leaf_stats: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(self.phase_seconds.values()))
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "phase_seconds": dict(self.phase_seconds),
+            "total_seconds": self.total_seconds,
+            "counters": dict(self.counters),
+            "refine_insertions": list(self.refine_insertions),
+            "leaf_stats": dict(self.leaf_stats),
+        }
+
+
+class WKNNGBuilder:
+    """Builds approximate K-NN graphs with the w-KNNG algorithm.
+
+    Usage::
+
+        from repro import BuildConfig, WKNNGBuilder
+        builder = WKNNGBuilder(BuildConfig(k=16, strategy="tiled", seed=0))
+        graph = builder.build(points)          # (n, d) float array
+        graph.ids, graph.dists                 # (n, 16) neighbour matrices
+        builder.last_report.phase_seconds      # where the time went
+
+    The builder is reusable: each :meth:`build` call derives fresh RNG
+    streams from the configured seed, so repeated builds on the same data
+    are identical.
+    """
+
+    def __init__(self, config: BuildConfig | None = None, **kwargs) -> None:
+        """``kwargs`` are a convenience for ``BuildConfig(**kwargs)``."""
+        if config is not None and kwargs:
+            raise TypeError("pass either a BuildConfig or keyword options, not both")
+        self.config = config if config is not None else BuildConfig(**kwargs)
+        self.last_report: BuildReport | None = None
+        self.last_forest: RPForest | None = None
+
+    # -- pipeline ---------------------------------------------------------------
+
+    def build(self, points: np.ndarray) -> KNNGraph:
+        """Construct the K-NN graph of ``points`` (``(n, d)``, any float).
+
+        Under ``metric="cosine"`` the points are L2-normalised first and
+        the graph's ``dists`` are squared L2 in the normalised space
+        (exactly twice the cosine distance); neighbour sets are identical
+        to true cosine ranking.
+        """
+        x = check_points_matrix(points, "points")
+        cfg = self.config
+        check_k_fits(cfg.k, x.shape[0])
+        x, metric_info = prepare_points(x, cfg.metric)
+        resolved = self._resolve_strategy(x.shape[1])
+        if resolved != cfg.strategy:
+            cfg = replace(cfg, strategy=resolved)
+        if cfg.backend == "simt":
+            graph = self._build_simt(x, cfg)
+        else:
+            graph = self._build_vectorized(x, cfg)
+        graph.meta["metric"] = cfg.metric
+        graph.meta["metric_info"] = metric_info
+        graph.meta["strategy"] = resolved
+        return graph
+
+    def _resolve_strategy(self, dim: int) -> str:
+        """Resolve ``strategy="auto"`` via the device cost model."""
+        cfg = self.config
+        if cfg.strategy != "auto":
+            return cfg.strategy
+        from repro.bench.costmodel import preferred_strategy
+        from repro.kernels.tiled import DEFAULT_TILE_SIZE
+
+        choice = preferred_strategy(
+            dim, cfg.k, cfg.leaf_size,
+            tile_size=cfg.strategy_kwargs.get("tile_size", DEFAULT_TILE_SIZE),
+        )
+        self._resolved_strategy = choice
+        return choice
+
+    def _build_vectorized(self, x: np.ndarray, cfg: BuildConfig | None = None) -> KNNGraph:
+        cfg = cfg or self.config
+        n = x.shape[0]
+        report = BuildReport()
+        forest_rng, refine_rng = spawn_streams(cfg.seed, 2)
+        strategy: Strategy = get_strategy(cfg.strategy, **cfg.strategy_kwargs)
+        state = KnnState(n, cfg.k)
+
+        t0 = time.perf_counter()
+        forest = build_forest(x, cfg.n_trees, cfg.leaf_size, forest_rng,
+                              n_jobs=cfg.n_jobs, spill=cfg.spill)
+        t1 = time.perf_counter()
+        report.phase_seconds["forest"] = t1 - t0
+        sizes = forest.leaf_sizes()
+        report.leaf_stats = {
+            "n_leaves": float(sizes.size),
+            "mean_leaf_size": float(sizes.mean()),
+            "max_leaf_size": float(sizes.max()),
+        }
+        self.last_forest = forest
+
+        # one tree at a time: leaves of a classic tree are disjoint, so a
+        # batch carries no duplicate pairs; spill trees overlap and need
+        # the dedupe pass
+        for tree in forest.trees:
+            for leaf_mat, lengths in batch_leaves(tree.leaves):
+                strategy.update_leaf_batch(
+                    state, x, leaf_mat, lengths, dedupe=cfg.spill > 0.0
+                )
+        t2 = time.perf_counter()
+        report.phase_seconds["leaf_pairs"] = t2 - t1
+
+        sample = cfg.effective_refine_sample()
+        rng = as_generator(refine_rng)
+        refine_state = RefineState()
+        threshold = cfg.refine_delta * n * cfg.k
+        for _round in range(cfg.refine_iters):
+            inserted = refine_round(state, x, strategy, rng, sample, refine_state)
+            report.refine_insertions.append(inserted)
+            if inserted <= threshold:
+                break
+        t3 = time.perf_counter()
+        report.phase_seconds["refine"] = t3 - t2
+
+        ids, dists = state.sorted_arrays()
+        t4 = time.perf_counter()
+        report.phase_seconds["finalize"] = t4 - t3
+        report.counters = strategy.counters.as_dict()
+        self.last_report = report
+        return KNNGraph(
+            ids=ids,
+            dists=dists,
+            meta={
+                "algorithm": "w-knng",
+                "strategy": cfg.strategy,
+                "backend": "vectorized",
+                "config": cfg,
+                "report": report.as_dict(),
+            },
+        )
+
+    def _build_simt(self, x: np.ndarray, cfg: BuildConfig | None = None) -> KNNGraph:
+        """Route the pipeline through the warp-level simulator backend.
+
+        Practical only for small ``n`` (the simulator interprets every warp
+        instruction in Python); produces the microarchitecture metrics used
+        by experiment F6.
+        """
+        from repro.simt_kernels.pipeline import build_knng_simt
+
+        graph, report = build_knng_simt(x, cfg or self.config)
+        self.last_report = report
+        return graph

@@ -1,0 +1,140 @@
+"""The K-NN graph result object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+@dataclass
+class KNNGraph:
+    """An (approximate) K-nearest-neighbour graph over ``n`` points.
+
+    Attributes
+    ----------
+    ids:
+        ``(n, k)`` int32 neighbour indices, each row sorted by ascending
+        distance.  Unfilled slots (possible only in pathological configs)
+        carry ``-1`` and ``+inf`` distance.
+    dists:
+        ``(n, k)`` float32 *squared* Euclidean distances.
+    meta:
+        Free-form provenance (build configuration, timings, counters).
+    """
+
+    ids: np.ndarray
+    dists: np.ndarray
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.ids.shape != self.dists.shape or self.ids.ndim != 2:
+            raise DataError(
+                f"ids/dists must be matching (n, k) matrices, got "
+                f"{self.ids.shape} and {self.dists.shape}"
+            )
+
+    # -- basic properties ------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of points."""
+        return self.ids.shape[0]
+
+    @property
+    def k(self) -> int:
+        """Neighbours per point."""
+        return self.ids.shape[1]
+
+    def neighbors(self, i: int) -> np.ndarray:
+        """Valid neighbour ids of point ``i`` (ascending distance)."""
+        row = self.ids[i]
+        return row[row >= 0]
+
+    def is_complete(self) -> bool:
+        """True when every point has a full, valid neighbour list."""
+        return bool((self.ids >= 0).all())
+
+    # -- quality ---------------------------------------------------------------
+
+    def recall(self, exact: "KNNGraph | np.ndarray") -> float:
+        """Mean per-point recall against an exact graph (or its id matrix).
+
+        recall@k = |approx_neighbours(i)  ∩  exact_neighbours(i)| / k,
+        averaged over points - the standard KNNG accuracy measure the
+        paper's "equivalent accuracy" comparisons use.
+        """
+        exact_ids = exact.ids if isinstance(exact, KNNGraph) else np.asarray(exact)
+        if exact_ids.shape[0] != self.n:
+            raise DataError(
+                f"exact graph has {exact_ids.shape[0]} points, this graph has {self.n}"
+            )
+        k = min(self.k, exact_ids.shape[1])
+        from repro.metrics.recall import knn_recall  # local import: avoid cycle
+
+        return knn_recall(self.ids[:, : self.k], exact_ids[:, :k])
+
+    def mean_distance(self) -> float:
+        """Mean valid edge distance (lower = tighter graph at fixed k)."""
+        valid = self.ids >= 0
+        if not valid.any():
+            return float("nan")
+        return float(self.dists[valid].mean())
+
+    # -- conversions -------------------------------------------------------------
+
+    def to_csr(self):
+        """Adjacency as ``scipy.sparse.csr_matrix`` with distance weights.
+
+        Edges with unfilled slots are omitted.  Distances of exactly zero
+        (duplicate points) are kept by storing ``eps`` instead, so the
+        explicit sparsity structure is preserved.
+        """
+        from scipy import sparse
+
+        valid = self.ids >= 0
+        rows = np.repeat(np.arange(self.n), valid.sum(axis=1))
+        cols = self.ids[valid]
+        vals = self.dists[valid].astype(np.float64)
+        vals[vals == 0.0] = np.finfo(np.float64).tiny
+        return sparse.csr_matrix((vals, (rows, cols)), shape=(self.n, self.n))
+
+    def to_networkx(self):
+        """Directed NetworkX graph with ``weight`` = squared distance."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(range(self.n))
+        valid = self.ids >= 0
+        rows = np.repeat(np.arange(self.n), valid.sum(axis=1))
+        cols = self.ids[valid]
+        vals = self.dists[valid]
+        g.add_weighted_edges_from(zip(rows.tolist(), cols.tolist(), vals.tolist()))
+        return g
+
+    def symmetrized_ids(self) -> list[np.ndarray]:
+        """Per-point neighbour sets of the undirected closure (i~j if either
+        direction is present).  Used by t-SNE, which symmetrises affinities."""
+        out: list[list[int]] = [[] for _ in range(self.n)]
+        for i in range(self.n):
+            for j in self.neighbors(i):
+                out[i].append(int(j))
+                out[int(j)].append(i)
+        return [np.unique(np.array(lst, dtype=np.int64)) for lst in out]
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Save to an ``.npz`` file (ids, dists; meta is not persisted)."""
+        np.savez_compressed(path, ids=self.ids, dists=self.dists)
+
+    @classmethod
+    def load(cls, path) -> "KNNGraph":
+        with np.load(path) as data:
+            return cls(ids=data["ids"], dists=data["dists"])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"KNNGraph(n={self.n}, k={self.k}, complete={self.is_complete()})"

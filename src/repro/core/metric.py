@@ -1,0 +1,116 @@
+"""Metric spaces for graph construction and search.
+
+The kernels compute *squared Euclidean* distances - the right primitive,
+because the other metrics in practical ANN use reduce to it by input
+transformation:
+
+* ``"sqeuclidean"`` - identity (the default; what the paper evaluates);
+* ``"cosine"`` - cosine distance ``1 - cos(a, b)``: L2-normalise the
+  inputs, then ``|a - b|^2 = 2 (1 - cos(a, b))``, so squared Euclidean on
+  the normalised vectors is monotone in (exactly twice) cosine distance -
+  neighbour sets are identical;
+* ``"inner_product"`` - maximum inner product *search* via the standard
+  augmentation (Bachrach et al., RecSys'14): append the coordinate
+  ``sqrt(M^2 - |a|^2)`` to every database vector (``M`` = max norm) and
+  ``0`` to queries; L2 order on the augmented vectors equals descending
+  inner-product order.  **Query-vs-database only**: for database-database
+  pairs both augmented coordinates are non-zero and the equivalence breaks,
+  so inner product is supported by the search paths but not by graph
+  construction (``BuildConfig`` rejects it).
+
+This is also how FAISS handles cosine/IP on L2 index structures, so the
+baseline comparisons stay apples-to-apples.  :func:`prepare_points`
+applies the transformation; :func:`edge_distances` converts the kernel's
+squared-L2 edge values back to the user's metric for reporting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError
+
+#: metrics accepted by BuildConfig / baselines
+METRICS = ("sqeuclidean", "cosine", "inner_product")
+
+
+def check_metric(metric: str) -> str:
+    if metric not in METRICS:
+        raise ConfigurationError(
+            f"unknown metric {metric!r}; available: {METRICS}"
+        )
+    return metric
+
+
+def prepare_points(
+    x: np.ndarray, metric: str, *, is_query: bool = False, max_norm: float | None = None
+) -> tuple[np.ndarray, dict]:
+    """Transform points so squared-L2 order realises ``metric`` order.
+
+    Returns ``(transformed, info)``; ``info`` carries whatever
+    :func:`edge_distances` and query-side preparation need (the cosine
+    norms, the IP augmentation constant).
+
+    For ``inner_product``, database preparation computes ``max_norm`` and
+    query preparation must receive it (pass the database's ``info``
+    value).
+    """
+    check_metric(metric)
+    x = np.asarray(x, dtype=np.float32)
+    if metric == "sqeuclidean":
+        return x, {}
+    if metric == "cosine":
+        norms = np.linalg.norm(x, axis=1, keepdims=True)
+        if (norms == 0).any():
+            raise DataError(
+                "cosine metric is undefined for zero vectors; remove them "
+                "or use sqeuclidean"
+            )
+        return (x / norms).astype(np.float32), {"normalized": True}
+    # inner product: norm augmentation
+    norms_sq = np.einsum("ij,ij->i", x, x).astype(np.float64)
+    if is_query:
+        if max_norm is None:
+            raise ConfigurationError(
+                "inner_product query preparation needs the database max_norm"
+            )
+        extra = np.zeros((x.shape[0], 1), dtype=np.float32)
+    else:
+        max_norm = float(np.sqrt(norms_sq.max()))
+        extra = np.sqrt(np.maximum(max_norm**2 - norms_sq, 0.0))[:, None].astype(
+            np.float32
+        )
+    return np.concatenate([x, extra], axis=1), {"max_norm": max_norm}
+
+
+def edge_distances(
+    sq_l2: np.ndarray,
+    metric: str,
+    info: dict,
+    query_sq_norms: np.ndarray | None = None,
+) -> np.ndarray:
+    """Convert kernel squared-L2 values back to the user's metric.
+
+    * sqeuclidean: identity;
+    * cosine: ``1 - cos = sq_l2 / 2`` (unit vectors);
+    * inner_product (query-vs-database results only): with augmented
+      database vectors of norm ``M`` and un-augmented queries,
+      ``sq_l2 = |q|^2 + M^2 - 2 <a, q>``, so
+      ``<a, q> = (|q|^2 + M^2 - sq_l2) / 2``.  Pass the *original* query
+      squared norms (``(m,)``, broadcast against ``(m, k)`` results);
+      the return value is a similarity (higher = closer).
+    """
+    check_metric(metric)
+    if metric == "sqeuclidean":
+        return sq_l2
+    if metric == "cosine":
+        return sq_l2 / 2.0
+    if query_sq_norms is None:
+        raise ConfigurationError(
+            "inner_product conversion needs the original query squared norms"
+        )
+    m = float(info.get("max_norm", 0.0))
+    q = np.asarray(query_sq_norms, dtype=np.float64)
+    if sq_l2.ndim == 2:
+        q = q[:, None]
+    return ((q + m * m) - sq_l2) / 2.0

@@ -1,0 +1,195 @@
+"""Neighbour-of-neighbour refinement: the NN-descent local join.
+
+After the forest phase each point's list is good but imperfect: true
+neighbour pairs that never co-located in any leaf are missing.  Refinement
+exploits the transitivity of proximity with the **local join** of
+NN-descent (Dong et al., WWW'11): for every point ``i``, the members of its
+*general neighbourhood* ``B[i]`` (forward neighbours plus reverse
+neighbours - points listing ``i``) are proposed **to each other** as
+candidates.  Two points that share any common neighbour therefore meet,
+which is a much stronger generator than forward-only two-hop walks.
+
+Two standard optimisations keep rounds cheap:
+
+* **new/old flags** - a pair is only joined if at least one endpoint
+  entered its list since the previous round (``new x new`` and
+  ``new x old`` pairs); converged regions stop generating work, which is
+  what makes the iteration terminate;
+* **sampling** - at most ``sample`` new and ``sample`` old entries per
+  list (forward and reverse separately) participate per round, bounding
+  the join to O(sample^2) pairs per point.
+
+Everything is vectorised: neighbourhoods are padded ``(n, s)`` matrices,
+the join is one broadcast, and duplicate proposals are removed with a
+single sort over encoded ``(row, col)`` keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kernels.knn_state import EMPTY_ID, KnnState
+from repro.kernels.strategy import Strategy
+
+
+@dataclass
+class RefineState:
+    """Cross-round bookkeeping for the local join.
+
+    ``prev_ids`` snapshots the lists at the end of the previous round so the
+    next round can derive the *new* flags (entries not present before).
+    ``None`` means "everything is new" (the first round after the forest
+    phase joins every entry).
+    """
+
+    prev_ids: np.ndarray | None = None
+    rounds_run: int = 0
+    insertions: list[int] = field(default_factory=list)
+
+
+def _new_flags(state: KnnState, prev_ids: np.ndarray | None) -> np.ndarray:
+    """Boolean (n, k): True where the entry was not in the row last round."""
+    ids = state.ids
+    valid = ids != EMPTY_ID
+    if prev_ids is None:
+        return valid
+    # row-wise membership of ids in prev_ids via offset-encoded searchsorted
+    n, k = ids.shape
+    span = np.int64(2) ** 34
+    offs = (np.arange(n, dtype=np.int64) * span)[:, None]
+    prev_sorted = np.sort(prev_ids.astype(np.int64) + offs, axis=1).reshape(-1)
+    flat = (ids.astype(np.int64) + offs).reshape(-1)
+    pos = np.clip(np.searchsorted(prev_sorted, flat), 0, prev_sorted.size - 1)
+    present = prev_sorted[pos] == flat
+    return valid & ~present.reshape(n, k)
+
+
+def _sample_columns(
+    ids: np.ndarray,
+    eligible: np.ndarray,
+    sample: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row sample of up to ``sample`` eligible entries (vectorised).
+
+    Returns a padded ``(n, sample)`` id matrix and its validity mask.
+    Sampling is by random keys: ineligible entries get pushed past the
+    horizon, then the ``sample`` smallest keys per row are kept.
+    """
+    n, k = ids.shape
+    s = min(sample, k)
+    keys = rng.random((n, k))
+    keys[~eligible] = 2.0  # beyond any real key
+    take = np.argsort(keys, axis=1)[:, :s]
+    out = np.take_along_axis(ids, take, axis=1).astype(np.int64)
+    ok = np.take_along_axis(eligible, take, axis=1)
+    out[~ok] = EMPTY_ID
+    return out, ok
+
+
+def _reverse_lists(
+    state: KnnState,
+    flags_new: np.ndarray,
+    sample: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sampled reverse neighbourhoods, split by the forward entry's flag.
+
+    Returns two padded ``(n, sample)`` matrices: reverse-new and
+    reverse-old (``EMPTY_ID`` padding).  An edge ``i -> j`` contributes
+    ``i`` to ``j``'s reverse list, carrying the *forward* entry's new/old
+    flag, as in the reference NN-descent.
+    """
+    n, k = state.ids.shape
+    valid = state.ids != EMPTY_ID
+    src = np.repeat(np.arange(n, dtype=np.int64), k)
+    dst = state.ids.reshape(-1).astype(np.int64)
+    is_new = flags_new.reshape(-1)
+    keep = valid.reshape(-1)
+    src, dst, is_new = src[keep], dst[keep], is_new[keep]
+
+    out = []
+    for select in (is_new, ~is_new):
+        s_src, s_dst = src[select], dst[select]
+        # random order within each destination group, then take first `sample`
+        order = np.lexsort((rng.random(s_dst.shape[0]), s_dst))
+        s_src, s_dst = s_src[order], s_dst[order]
+        first = np.searchsorted(s_dst, np.arange(n))
+        last = np.searchsorted(s_dst, np.arange(n), side="right")
+        counts = np.minimum(last - first, sample)
+        mat = np.full((n, sample), EMPTY_ID, dtype=np.int64)
+        rows_with = np.flatnonzero(counts > 0)
+        if rows_with.size:
+            pos = first[rows_with, None] + np.arange(sample)[None, :]
+            ok = np.arange(sample)[None, :] < counts[rows_with, None]
+            pos = np.where(ok, pos, 0)
+            mat[rows_with] = np.where(ok, s_src[pos], EMPTY_ID)
+        out.append(mat)
+    return out[0], out[1]
+
+
+def local_join_candidates(
+    state: KnnState,
+    refine_state: RefineState,
+    rng: np.random.Generator,
+    sample: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One round's candidate pairs from the sampled local join.
+
+    Returns deduplicated ``(rows, cols)`` pair arrays: for every point, each
+    sampled *new* neighbourhood member is paired with every sampled member
+    (new or old), in both directions.
+    """
+    flags = _new_flags(state, refine_state.prev_ids)
+    valid = state.ids != EMPTY_ID
+    fwd_new, _ = _sample_columns(state.ids, flags, sample, rng)
+    fwd_old, _ = _sample_columns(state.ids, valid & ~flags, sample, rng)
+    rev_new, rev_old = _reverse_lists(state, flags, sample, rng)
+
+    b_new = np.concatenate([fwd_new, rev_new], axis=1)
+    b_all = np.concatenate([fwd_new, rev_new, fwd_old, rev_old], axis=1)
+
+    # join: every new member meets every member (both directions).  Pairs
+    # are canonicalised to (lo, hi) *before* the dedupe sort - halving the
+    # sort volume - and expanded back to both directions afterwards.
+    a = np.broadcast_to(b_new[:, :, None], (state.n, b_new.shape[1], b_all.shape[1]))
+    b = np.broadcast_to(b_all[:, None, :], a.shape)
+    a = a.reshape(-1)
+    b = b.reshape(-1)
+    ok = (a != EMPTY_ID) & (b != EMPTY_ID) & (a != b)
+    a, b = a[ok], b[ok]
+    if a.size == 0:
+        return a, b
+    lo = np.minimum(a, b)
+    hi = np.maximum(a, b)
+    uniq = np.unique(lo * np.int64(state.n) + hi)
+    lo = (uniq // state.n).astype(np.int64)
+    hi = (uniq % state.n).astype(np.int64)
+    return np.concatenate([lo, hi]), np.concatenate([hi, lo])
+
+
+def refine_round(
+    state: KnnState,
+    x: np.ndarray,
+    strategy: Strategy,
+    rng: np.random.Generator,
+    sample: int,
+    refine_state: RefineState | None = None,
+) -> int:
+    """Run one local-join round; returns the number of list insertions.
+
+    Passing the same :class:`RefineState` across rounds enables the
+    new/old-flag optimisation; without it every round joins everything
+    (correct, just more work).  A return of 0 means the round converged.
+    """
+    rs = refine_state if refine_state is not None else RefineState()
+    rows, cols = local_join_candidates(state, rs, rng, sample)
+    rs.prev_ids = state.ids.copy()
+    inserted = 0
+    if rows.size:
+        inserted = strategy.update_pairs(state, x, rows, cols)
+    rs.rounds_run += 1
+    rs.insertions.append(inserted)
+    return inserted

@@ -1,0 +1,381 @@
+"""Random projection trees and forests.
+
+An RP tree recursively splits the point set with random hyperplanes: a node
+draws a random unit normal ``r``, projects its points onto ``r`` and sends
+those below the (jittered) median to the left child, the rest right, until
+nodes shrink to ``leaf_size`` points.  Nearby points in Euclidean space end
+up in the same leaf with high probability, so leaf all-pairs comparisons
+are good K-NN candidates; a *forest* of independently-drawn trees boosts
+the probability that every true neighbour pair co-locates at least once.
+
+The split threshold is drawn uniformly between the 25th and 75th percentile
+of the projections rather than exactly at the median: perturbed splits
+decorrelate the trees of a forest (two trees that draw similar normals
+would otherwise produce near-identical leaves, wasting work), while the
+percentile bounds keep the tree depth O(log n).
+
+Trees remember their internal hyperplanes, so they can also *route* unseen
+query points to a leaf (:meth:`RPTree.leaf_for`) - used by the similarity
+search application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError
+from repro.utils.rng import RngStream, as_generator, spawn_streams
+from repro.utils.validation import check_points_matrix, check_positive_int
+
+#: children entries >= 0 index internal nodes; negative entries encode
+#: leaf slot ``l`` as ``-(l + 1)``
+_LEAF_TAG = -1
+
+
+def _encode_leaf(leaf_index: int) -> int:
+    return -(leaf_index + 1)
+
+
+def _decode_leaf(code: int) -> int:
+    return -code - 1
+
+
+@dataclass
+class RPTree:
+    """One random projection tree over a fixed dataset.
+
+    Attributes
+    ----------
+    normals:
+        ``(n_internal, d)`` hyperplane normals (unit vectors).
+    thresholds:
+        ``(n_internal,)`` split thresholds on the projections.
+    children:
+        ``(n_internal, 2)`` child links; negative values encode leaf ids
+        (see :func:`_encode_leaf`).
+    leaves:
+        List of int64 arrays of point indices, covering all points.
+        Disjoint for classic trees (``spill=0``); overlapping for spill
+        trees.
+    """
+
+    normals: np.ndarray
+    thresholds: np.ndarray
+    children: np.ndarray
+    leaves: list[np.ndarray] = field(default_factory=list)
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self.leaves)
+
+    @property
+    def depth_estimate(self) -> int:
+        """Upper bound on depth from the internal-node count."""
+        return int(np.ceil(np.log2(max(2, self.normals.shape[0] + 1)))) + 1
+
+    def leaf_sizes(self) -> np.ndarray:
+        return np.array([leaf.shape[0] for leaf in self.leaves], dtype=np.int64)
+
+    def leaf_for(self, queries: np.ndarray) -> np.ndarray:
+        """Route query points to their leaf index (vectorised).
+
+        Parameters
+        ----------
+        queries:
+            ``(m, d)`` query matrix.
+
+        Returns
+        -------
+        ``(m,)`` leaf indices into :attr:`leaves`.
+        """
+        q = check_points_matrix(queries, "queries")
+        if self.normals.size and q.shape[1] != self.normals.shape[1]:
+            raise DataError(
+                f"query dimensionality {q.shape[1]} does not match tree "
+                f"dimensionality {self.normals.shape[1]}"
+            )
+        m = q.shape[0]
+        out = np.empty(m, dtype=np.int64)
+        if self.normals.shape[0] == 0:  # single-leaf tree
+            out[:] = 0
+            return out
+        # iterative routing, grouping queries by current node
+        stack: list[tuple[int, np.ndarray]] = [(0, np.arange(m))]
+        while stack:
+            node, idx = stack.pop()
+            proj = q[idx] @ self.normals[node]
+            go_right = proj >= self.thresholds[node]
+            for side, sel in ((0, idx[~go_right]), (1, idx[go_right])):
+                if sel.size == 0:
+                    continue
+                child = int(self.children[node, side])
+                if child < 0:
+                    out[sel] = _decode_leaf(child)
+                else:
+                    stack.append((child, sel))
+        return out
+
+
+def build_tree(
+    x: np.ndarray,
+    leaf_size: int,
+    rng: RngStream = None,
+    *,
+    balance_range: tuple[float, float] = (0.25, 0.75),
+    spill: float = 0.0,
+) -> RPTree:
+    """Build one RP tree over all rows of ``x``.
+
+    Parameters
+    ----------
+    x:
+        ``(n, d)`` float32 points.
+    leaf_size:
+        Maximum points per leaf (``>= 2``).
+    rng:
+        Random source.
+    balance_range:
+        Fractile bounds the split threshold is drawn between (see module
+        docstring).
+    spill:
+        Spill-tree fraction in ``[0, 0.45)`` (Liu et al., NIPS'04): points
+        whose projection falls within the ``spill``-quantile band around
+        the threshold descend into *both* children.  Overlapping leaves
+        catch neighbour pairs that a hard split separates, buying recall
+        per tree at the cost of larger total leaf volume - and of leaves
+        no longer being disjoint (duplicate candidate pairs are handled by
+        the builder).  ``0`` gives classic disjoint RP trees.
+
+    Notes
+    -----
+    Degenerate nodes (all projections equal, e.g. duplicated points) are
+    split by random halving so construction always terminates.
+    """
+    x = check_points_matrix(x, "points")
+    leaf_size = check_positive_int(leaf_size, "leaf_size", minimum=2)
+    lo, hi = balance_range
+    if not 0.0 < lo <= hi < 1.0:
+        raise ConfigurationError(
+            f"balance_range must satisfy 0 < lo <= hi < 1, got {balance_range}"
+        )
+    if not 0.0 <= spill < 0.45:
+        raise ConfigurationError(f"spill must lie in [0, 0.45), got {spill}")
+    gen = as_generator(rng)
+    n, d = x.shape
+
+    normals: list[np.ndarray] = []
+    thresholds: list[float] = []
+    children: list[list[int]] = []
+    leaves: list[np.ndarray] = []
+
+    if n <= leaf_size:
+        leaves.append(np.arange(n, dtype=np.int64))
+        return RPTree(
+            normals=np.empty((0, d), dtype=np.float32),
+            thresholds=np.empty(0, dtype=np.float32),
+            children=np.empty((0, 2), dtype=np.int64),
+            leaves=leaves,
+        )
+
+    # stack entries: (point indices, parent node, side) ; parent -1 == root
+    stack: list[tuple[np.ndarray, int, int]] = [(np.arange(n, dtype=np.int64), -1, 0)]
+    while stack:
+        idx, parent, side = stack.pop()
+        if idx.shape[0] <= leaf_size:
+            code = _encode_leaf(len(leaves))
+            leaves.append(idx)
+            children[parent][side] = code
+            continue
+        node_id = len(normals)
+        normal = gen.standard_normal(d).astype(np.float32)
+        norm = float(np.linalg.norm(normal))
+        normal /= norm if norm > 0 else 1.0
+        proj = x[idx] @ normal
+        frac = float(gen.uniform(lo, hi))
+        thr = float(np.quantile(proj, frac))
+        go_right = proj >= thr
+        n_right = int(go_right.sum())
+        degenerate = n_right == 0 or n_right == idx.shape[0]
+        if degenerate:
+            # degenerate projection: force a random balanced split
+            perm = gen.permutation(idx.shape[0])
+            half = idx.shape[0] // 2
+            go_right = np.zeros(idx.shape[0], dtype=bool)
+            go_right[perm[:half]] = True
+            thr = float(np.inf)  # routing sends queries left; harmless
+        go_left = ~go_right
+        if spill > 0.0 and not degenerate:
+            lo_band = float(np.quantile(proj, max(0.0, frac - spill / 2)))
+            hi_band = float(np.quantile(proj, min(1.0, frac + spill / 2)))
+            in_band = (proj >= lo_band) & (proj <= hi_band)
+            # boundary points descend both ways, unless that would stall
+            # the recursion (a child must stay strictly smaller)
+            if (go_left | in_band).sum() < idx.shape[0] and (
+                go_right | in_band
+            ).sum() < idx.shape[0]:
+                go_left = go_left | in_band
+                go_right = go_right | in_band
+        normals.append(normal)
+        thresholds.append(thr)
+        children.append([0, 0])
+        if parent >= 0:
+            children[parent][side] = node_id
+        stack.append((idx[go_left], node_id, 0))
+        stack.append((idx[go_right], node_id, 1))
+
+    return RPTree(
+        normals=np.asarray(normals, dtype=np.float32),
+        thresholds=np.asarray(thresholds, dtype=np.float32),
+        children=np.asarray(children, dtype=np.int64),
+        leaves=leaves,
+    )
+
+
+@dataclass
+class RPForest:
+    """A collection of independent RP trees over one dataset."""
+
+    trees: list[RPTree]
+
+    @property
+    def n_trees(self) -> int:
+        return len(self.trees)
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Save the forest to an ``.npz`` file (all trees, flat arrays)."""
+        payload: dict[str, np.ndarray] = {
+            "n_trees": np.array([self.n_trees], dtype=np.int64)
+        }
+        for ti, tree in enumerate(self.trees):
+            payload[f"t{ti}_normals"] = tree.normals
+            payload[f"t{ti}_thresholds"] = tree.thresholds
+            payload[f"t{ti}_children"] = tree.children
+            payload[f"t{ti}_leaf_lens"] = tree.leaf_sizes()
+            payload[f"t{ti}_leaf_ids"] = (
+                np.concatenate(tree.leaves)
+                if tree.leaves
+                else np.empty(0, dtype=np.int64)
+            )
+        np.savez_compressed(path, **payload)
+
+    @classmethod
+    def load(cls, path) -> "RPForest":
+        """Inverse of :meth:`save`."""
+        trees: list[RPTree] = []
+        with np.load(path) as data:
+            n_trees = int(data["n_trees"][0])
+            for ti in range(n_trees):
+                lens = data[f"t{ti}_leaf_lens"]
+                flat = data[f"t{ti}_leaf_ids"]
+                bounds = np.concatenate(([0], np.cumsum(lens)))
+                leaves = [
+                    flat[bounds[i]: bounds[i + 1]].astype(np.int64)
+                    for i in range(lens.shape[0])
+                ]
+                trees.append(
+                    RPTree(
+                        normals=data[f"t{ti}_normals"],
+                        thresholds=data[f"t{ti}_thresholds"],
+                        children=data[f"t{ti}_children"],
+                        leaves=leaves,
+                    )
+                )
+        return cls(trees=trees)
+
+    def leaf_sizes(self) -> np.ndarray:
+        """Concatenated leaf sizes across trees (for diagnostics/ablation)."""
+        if not self.trees:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate([t.leaf_sizes() for t in self.trees])
+
+    def iter_leaves(self):
+        """Yield ``(tree_index, leaf_indices)`` over all trees."""
+        for ti, tree in enumerate(self.trees):
+            for leaf in tree.leaves:
+                yield ti, leaf
+
+
+def batch_leaves(
+    leaves: list[np.ndarray],
+    max_batch_cells: int = 1 << 23,
+) -> "list[tuple[np.ndarray, np.ndarray]]":
+    """Group disjoint leaves into padded batches for the batched kernel.
+
+    Leaves are sorted by size and chunked so that each batch's all-pairs
+    distance tensor (``b * m * m`` float32 cells, with ``m`` the batch's
+    widest leaf) stays under ``max_batch_cells``; sorting first keeps the
+    padding waste small because co-batched leaves have similar sizes.
+
+    Returns a list of ``(ids_matrix, lengths)`` pairs: ``ids_matrix`` is
+    ``(b, m)`` int64 padded with id 0 (masked via ``lengths``).
+    """
+    nonempty = [leaf for leaf in leaves if leaf.shape[0] >= 2]
+    if not nonempty:
+        return []
+    order = np.argsort([leaf.shape[0] for leaf in nonempty], kind="stable")
+    batches: list[tuple[np.ndarray, np.ndarray]] = []
+    group: list[np.ndarray] = []
+    group_width = 0
+    for li in order:
+        leaf = nonempty[li]
+        width = max(group_width, leaf.shape[0])
+        if group and (len(group) + 1) * width * width > max_batch_cells:
+            batches.append(_pack_leaf_group(group))
+            group, group_width = [], 0
+            width = leaf.shape[0]
+        group.append(leaf)
+        group_width = width
+    if group:
+        batches.append(_pack_leaf_group(group))
+    return batches
+
+
+def _pack_leaf_group(group: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    lengths = np.array([leaf.shape[0] for leaf in group], dtype=np.int64)
+    width = int(lengths.max())
+    mat = np.zeros((len(group), width), dtype=np.int64)
+    for i, leaf in enumerate(group):
+        mat[i, : leaf.shape[0]] = leaf
+    return mat, lengths
+
+
+def _build_tree_task(x: np.ndarray, leaf_size: int, seed_seq, spill: float) -> RPTree:
+    """Module-level worker for the process pool (fork-inheritable)."""
+    return build_tree(x, leaf_size, np.random.default_rng(seed_seq), spill=spill)
+
+
+def build_forest(
+    x: np.ndarray, n_trees: int, leaf_size: int, seed: RngStream = None,
+    n_jobs: int = 1, spill: float = 0.0,
+) -> RPForest:
+    """Build ``n_trees`` independent RP trees.
+
+    Each tree gets its own spawned RNG stream, so the forest is
+    reproducible for a given seed and independent of build order *and*
+    of ``n_jobs``: trees are independent, so with ``n_jobs > 1`` they
+    build in forked worker processes (the points matrix is inherited
+    copy-on-write, never pickled) with bitwise-identical results.
+    """
+    n_trees = check_positive_int(n_trees, "n_trees")
+    if n_jobs > 1:
+        from repro.utils.parallel import map_forked
+
+        # spawn SeedSequences (picklable and tiny) rather than generators
+        if isinstance(seed, np.random.Generator):
+            child_seqs = [g.bit_generator.seed_seq for g in seed.spawn(n_trees)]
+        elif isinstance(seed, np.random.SeedSequence):
+            child_seqs = seed.spawn(n_trees)
+        else:
+            child_seqs = np.random.SeedSequence(seed).spawn(n_trees)
+        trees = map_forked(
+            _build_tree_task, x, [(leaf_size, s, spill) for s in child_seqs], n_jobs
+        )
+        return RPForest(trees=trees)
+    streams = spawn_streams(seed, n_trees)
+    return RPForest(
+        trees=[build_tree(x, leaf_size, s, spill=spill) for s in streams]
+    )

@@ -1,0 +1,35 @@
+"""Datasets: synthetic generators and on-disk loaders.
+
+The paper evaluates on standard ANN benchmark datasets (SIFT/GIST-style
+feature vectors).  Those exact files are not redistributable here, so
+:mod:`repro.data.synthetic` provides generators with matched *statistics*
+(dimensionality, clusteredness, intrinsic dimension, value range) - the
+properties that drive RP-forest and IVF accuracy/cost behaviour.  Real
+``.fvecs``/``.ivecs`` files drop in via :mod:`repro.data.loaders` when
+available.
+"""
+
+from repro.data.synthetic import (
+    DATASETS,
+    gaussian_mixture,
+    gist_like,
+    low_dim_manifold,
+    make_dataset,
+    sift_like,
+    uniform_hypercube,
+)
+from repro.data.loaders import read_fvecs, read_ivecs, write_fvecs, write_ivecs
+
+__all__ = [
+    "DATASETS",
+    "gaussian_mixture",
+    "gist_like",
+    "low_dim_manifold",
+    "make_dataset",
+    "sift_like",
+    "uniform_hypercube",
+    "read_fvecs",
+    "read_ivecs",
+    "write_fvecs",
+    "write_ivecs",
+]

@@ -1,0 +1,68 @@
+"""Exact ground-truth computation with on-disk caching.
+
+Brute-force ground truth is the most expensive part of repeated
+experiments (O(n^2 d) per workload); this module memoises it under a cache
+directory keyed by a content fingerprint of the points and ``k``, so a
+bench suite re-run touches each workload's ground truth once ever.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines.bruteforce import BruteForceKNN
+
+#: cache location override
+ENV_CACHE_DIR = "WKNNG_GT_CACHE"
+_DEFAULT_CACHE = Path.home() / ".cache" / "wknng-groundtruth"
+
+
+def fingerprint(points: np.ndarray, k: int) -> str:
+    """Content hash of (points, k) - stable across runs and machines."""
+    h = hashlib.sha256()
+    arr = np.ascontiguousarray(points, dtype=np.float32)
+    h.update(str(arr.shape).encode())
+    h.update(str(k).encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()[:24]
+
+
+def cache_dir() -> Path:
+    return Path(os.environ.get(ENV_CACHE_DIR, _DEFAULT_CACHE))
+
+
+def exact_neighbors(
+    points: np.ndarray, k: int, use_cache: bool = True
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact self-excluding K-NN ``(ids, dists)`` with disk memoisation."""
+    if not use_cache:
+        return BruteForceKNN(points).search(points, k, exclude_self=True)
+    path = cache_dir() / f"{fingerprint(points, k)}.npz"
+    if path.exists():
+        try:
+            with np.load(path) as data:
+                return data["ids"], data["dists"]
+        except Exception:
+            path.unlink(missing_ok=True)  # corrupt cache entry: recompute
+    ids, dists = BruteForceKNN(points).search(points, k, exclude_self=True)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".tmp.npz")
+    np.savez_compressed(tmp, ids=ids, dists=dists)
+    os.replace(tmp, path)
+    return ids, dists
+
+
+def clear_cache() -> int:
+    """Delete all cached entries; returns how many files were removed."""
+    directory = cache_dir()
+    if not directory.exists():
+        return 0
+    removed = 0
+    for f in directory.glob("*.npz"):
+        f.unlink()
+        removed += 1
+    return removed

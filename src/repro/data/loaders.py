@@ -1,0 +1,72 @@
+"""TEXMEX ``.fvecs``/``.ivecs`` readers and writers.
+
+The standard ANN-benchmark container (SIFT1M, GIST1M, ...): each vector is
+stored as a little-endian int32 dimension count followed by ``dim``
+float32 (fvecs) or int32 (ivecs) values.  Provided so real benchmark files
+drop straight into the harness when present; the repository itself ships
+no data.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+def _read_vecs(path: str | os.PathLike, value_dtype) -> np.ndarray:
+    raw = np.fromfile(path, dtype=np.int32)
+    if raw.size == 0:
+        raise DataError(f"{path}: empty vecs file")
+    dim = int(raw[0])
+    if dim <= 0:
+        raise DataError(f"{path}: invalid leading dimension {dim}")
+    record = dim + 1
+    if raw.size % record != 0:
+        raise DataError(
+            f"{path}: size {raw.size} int32 words is not a multiple of the "
+            f"record length {record} (dim={dim})"
+        )
+    mat = raw.reshape(-1, record)
+    if not (mat[:, 0] == dim).all():
+        raise DataError(f"{path}: inconsistent per-record dimensions")
+    body = mat[:, 1:]
+    if value_dtype == np.float32:
+        return body.copy().view(np.float32)
+    return body.astype(value_dtype)
+
+
+def read_fvecs(path: str | os.PathLike) -> np.ndarray:
+    """Read an ``.fvecs`` file into an ``(n, dim)`` float32 matrix."""
+    return _read_vecs(path, np.float32)
+
+
+def read_ivecs(path: str | os.PathLike) -> np.ndarray:
+    """Read an ``.ivecs`` file (e.g. ground-truth ids) into int32."""
+    return _read_vecs(path, np.int32)
+
+
+def write_fvecs(path: str | os.PathLike, x: np.ndarray) -> None:
+    """Write a float32 matrix in ``.fvecs`` format."""
+    x = np.ascontiguousarray(x, dtype=np.float32)
+    if x.ndim != 2:
+        raise DataError(f"fvecs expects a 2-D matrix, got shape {x.shape}")
+    n, dim = x.shape
+    out = np.empty((n, dim + 1), dtype=np.int32)
+    out[:, 0] = dim
+    out[:, 1:] = x.view(np.int32)
+    out.tofile(path)
+
+
+def write_ivecs(path: str | os.PathLike, x: np.ndarray) -> None:
+    """Write an int32 matrix in ``.ivecs`` format."""
+    x = np.ascontiguousarray(x, dtype=np.int32)
+    if x.ndim != 2:
+        raise DataError(f"ivecs expects a 2-D matrix, got shape {x.shape}")
+    n, dim = x.shape
+    out = np.empty((n, dim + 1), dtype=np.int32)
+    out[:, 0] = dim
+    out[:, 1:] = x
+    out.tofile(path)

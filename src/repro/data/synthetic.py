@@ -1,0 +1,152 @@
+"""Synthetic dataset generators matching the benchmark regimes.
+
+Each generator controls the data property that matters to the systems under
+test:
+
+* **clusteredness** (``gaussian_mixture``) - RP-forest leaves and IVF cells
+  both exploit cluster structure; cluster separation controls how easy the
+  problem is;
+* **no structure at all** (``uniform_hypercube``) - the adversarial regime
+  where every method degrades toward brute force;
+* **low intrinsic dimension in a high ambient dimension**
+  (``low_dim_manifold``, ``gist_like``) - the regime of real image
+  descriptors, where random projections shine;
+* **integer-histogram statistics** (``sift_like``) - non-negative, skewed,
+  bounded coordinates like SIFT's 128-d gradient histograms.
+
+All generators return float32 ``(n, dim)`` arrays and take explicit seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import RngStream, as_generator
+from repro.utils.validation import check_positive_int
+
+
+def gaussian_mixture(
+    n: int,
+    dim: int,
+    n_clusters: int = 64,
+    cluster_std: float = 1.0,
+    center_scale: float = 5.0,
+    seed: RngStream = None,
+) -> np.ndarray:
+    """Isotropic Gaussian blobs around uniformly random centres.
+
+    ``center_scale / cluster_std`` sets separation: the default (5:1) gives
+    visibly clustered but overlapping blobs, the typical ANN-benchmark
+    difficulty.
+    """
+    n = check_positive_int(n, "n")
+    dim = check_positive_int(dim, "dim")
+    n_clusters = check_positive_int(n_clusters, "n_clusters")
+    rng = as_generator(seed)
+    centers = rng.standard_normal((n_clusters, dim)) * center_scale
+    labels = rng.integers(0, n_clusters, n)
+    pts = centers[labels] + rng.standard_normal((n, dim)) * cluster_std
+    return pts.astype(np.float32)
+
+
+def uniform_hypercube(n: int, dim: int, seed: RngStream = None) -> np.ndarray:
+    """i.i.d. uniform points in ``[0, 1)^dim`` - the structure-free regime."""
+    n = check_positive_int(n, "n")
+    dim = check_positive_int(dim, "dim")
+    rng = as_generator(seed)
+    return rng.random((n, dim), dtype=np.float32)
+
+
+def low_dim_manifold(
+    n: int,
+    dim: int,
+    intrinsic_dim: int = 8,
+    noise: float = 0.01,
+    seed: RngStream = None,
+) -> np.ndarray:
+    """Points on a random ``intrinsic_dim``-dimensional affine patch,
+    smoothly curved by a quadratic map, embedded in ``dim`` dimensions.
+
+    Models real feature spaces whose intrinsic dimension is far below the
+    ambient one - the case where tree methods stay effective at high
+    nominal ``dim``.
+    """
+    n = check_positive_int(n, "n")
+    dim = check_positive_int(dim, "dim")
+    intrinsic_dim = check_positive_int(intrinsic_dim, "intrinsic_dim")
+    if intrinsic_dim > dim:
+        raise ConfigurationError(
+            f"intrinsic_dim ({intrinsic_dim}) cannot exceed ambient dim ({dim})"
+        )
+    rng = as_generator(seed)
+    latent = rng.standard_normal((n, intrinsic_dim))
+    # linear embedding plus a quadratic bend so the manifold is not flat
+    a = rng.standard_normal((intrinsic_dim, dim)) / np.sqrt(intrinsic_dim)
+    b = rng.standard_normal((intrinsic_dim, dim)) / intrinsic_dim
+    pts = latent @ a + (latent**2) @ b
+    pts += rng.standard_normal((n, dim)) * noise
+    return pts.astype(np.float32)
+
+
+def sift_like(
+    n: int,
+    dim: int = 128,
+    n_clusters: int = 128,
+    cluster_std: float = 12.0,
+    center_scale: float = 40.0,
+    seed: RngStream = None,
+) -> np.ndarray:
+    """SIFT-statistics vectors: non-negative, skewed, bounded histograms.
+
+    Cluster structure (descriptors of similar patches repeat) with
+    half-normal coordinate magnitudes clipped to SIFT's [0, 255] range and
+    rounded to integers, then stored as float32 like the fvecs files.
+    ``cluster_std``/``center_scale`` control how much the descriptor
+    clusters overlap (higher std relative to scale = harder workload).
+    """
+    rng = as_generator(seed)
+    base = gaussian_mixture(
+        n, dim, n_clusters=n_clusters, cluster_std=cluster_std,
+        center_scale=center_scale, seed=rng
+    )
+    pts = np.abs(base)
+    np.clip(pts, 0.0, 255.0, out=pts)
+    return np.rint(pts).astype(np.float32)
+
+
+def gist_like(
+    n: int, dim: int = 960, intrinsic_dim: int = 32, seed: RngStream = None
+) -> np.ndarray:
+    """GIST-statistics vectors: very high ambient dimension, strongly
+    correlated coordinates (low intrinsic dimension), small positive values."""
+    rng = as_generator(seed)
+    pts = low_dim_manifold(n, dim, intrinsic_dim=intrinsic_dim, noise=0.02, seed=rng)
+    # GIST energies are non-negative and small; squash accordingly
+    pts = np.abs(pts).astype(np.float32)
+    pts /= max(1.0, float(np.percentile(pts, 99)))
+    np.clip(pts, 0.0, 1.5, out=pts)
+    return pts.astype(np.float32)
+
+
+#: name -> generator taking (n, seed, **overrides)
+DATASETS: dict[str, Callable[..., np.ndarray]] = {
+    "gaussian": lambda n, seed=None, **kw: gaussian_mixture(n, seed=seed, **{"dim": 64, **kw}),
+    "uniform": lambda n, seed=None, **kw: uniform_hypercube(n, seed=seed, **{"dim": 16, **kw}),
+    "manifold": lambda n, seed=None, **kw: low_dim_manifold(n, seed=seed, **{"dim": 256, **kw}),
+    "sift-like": lambda n, seed=None, **kw: sift_like(n, seed=seed, **kw),
+    "gist-like": lambda n, seed=None, **kw: gist_like(n, seed=seed, **kw),
+}
+
+
+def make_dataset(name: str, n: int, seed: RngStream = None, **overrides) -> np.ndarray:
+    """Instantiate a named benchmark dataset (see :data:`DATASETS`)."""
+    try:
+        gen = DATASETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        ) from None
+    return gen(n, seed=seed, **overrides)

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch one type to handle any library
+failure.  Subsystems raise the most specific subclass that applies:
+
+* configuration / argument problems -> :class:`ConfigurationError`
+* malformed or unsupported input data -> :class:`DataError`
+* misuse of the SIMT simulator (out-of-bounds access, barrier misuse,
+  launching with inconsistent geometry, ...) -> :class:`SimtError` and its
+  subclasses
+* benchmark-harness problems (e.g. the recall-matching search failed to
+  bracket the target) -> :class:`BenchmarkError`
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter or combination of parameters was supplied."""
+
+
+class DataError(ReproError, ValueError):
+    """Input data is malformed (wrong shape, dtype, NaNs, empty, ...)."""
+
+
+class SimtError(ReproError):
+    """Base class for errors in the SIMT GPU simulator substrate."""
+
+
+class MemoryAccessError(SimtError, IndexError):
+    """A simulated memory access was out of bounds or misaligned."""
+
+
+class LaunchError(SimtError, ValueError):
+    """A kernel launch was configured inconsistently."""
+
+
+class BarrierError(SimtError, RuntimeError):
+    """Block barrier misuse: not all warps reached the same barrier."""
+
+
+class AtomicError(SimtError, TypeError):
+    """An atomic operation was applied to an unsupported buffer/dtype."""
+
+
+class BenchmarkError(ReproError, RuntimeError):
+    """The benchmark harness could not complete a requested measurement."""

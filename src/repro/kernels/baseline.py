@@ -1,0 +1,61 @@
+"""w-KNNG **baseline** strategy: per-point lock + warp scan-and-replace.
+
+The straightforward warp-centric discipline (the paper's unnamed third
+variant, which the named ones improve on): to insert a candidate into point
+``i``'s global-memory list, the warp
+
+1. acquires a per-point spinlock,
+2. scans the ``k`` slots to find the current maximum (a warp-parallel scan
+   plus reduction),
+3. replaces the maximum if the candidate beats it,
+4. releases the lock.
+
+The lock serialises all updates that touch the same point, so the cost is
+proportional to the *total number of candidates per point*, with no overlap.
+The vectorised analogue processes each row's candidate group one at a time
+(a Python-level loop over rows - deliberately serial per point) and counts
+one ``lock_acquisition`` per row-group.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.knn_state import KnnState
+from repro.kernels.strategy import Strategy, register_strategy
+from repro.utils.arrays import segment_lengths
+
+
+@register_strategy
+class BaselineStrategy(Strategy):
+    """Lock-based linear-scan maintenance (see module docstring)."""
+
+    name = "baseline"
+    distance_method = "direct"
+    pair_mode = "unordered"
+
+    def _insert(
+        self, state: KnnState, rows: np.ndarray, cols: np.ndarray, dists: np.ndarray
+    ) -> int:
+        order = np.argsort(rows, kind="stable")
+        srows = rows[order]
+        scols = cols[order].astype(np.int32)
+        sdists = dists[order]
+        urows, starts, counts = segment_lengths(srows)
+        self.counters.lock_acquisitions += int(urows.size)
+        k = state.k
+        inserted = 0
+        ids, dmat = state.ids, state.dists
+        for row, start, count in zip(urows, starts, counts):
+            # -- lock held: serial scan-and-replace for this point ----------
+            cur_d = dmat[row]
+            cur_i = ids[row]
+            cand_d = sdists[start : start + count]
+            cand_i = scols[start : start + count]
+            merged_d = np.concatenate([cur_d, cand_d])
+            merged_i = np.concatenate([cur_i, cand_i])
+            sel = np.argpartition(merged_d, k - 1)[:k]
+            inserted += int(((sel >= k) & np.isfinite(merged_d[sel])).sum())
+            dmat[row] = merged_d[sel]
+            ids[row] = merged_i[sel]
+        return inserted

@@ -1,0 +1,56 @@
+"""Operation counters for the vectorised kernel backend.
+
+Wall-clock time of the vectorised backend depends on NumPy/BLAS details;
+the counters record the *algorithmic* quantities (distance evaluations,
+insertion attempts, contention retries, lock acquisitions, merge rounds)
+that transfer to any implementation, including the paper's CUDA kernels.
+Benchmarks report both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class OpCounters:
+    """Algorithmic work counters accumulated by a strategy."""
+
+    #: point-pair distance evaluations (each costs O(d) FLOPs).  Strategies
+    #: that update both endpoints of a pair (baseline, atomic) count each
+    #: unordered pair once; the tiled strategy computes both directions.
+    distance_evals: int = 0
+    #: insertion visits: candidates entering the maintenance structure
+    #: before any filtering (every visit pays the strategy's scan)
+    candidates_seen: int = 0
+    #: candidates surviving the membership/max filters (post filter)
+    candidates_offered: int = 0
+    #: candidates that actually entered a k-NN list
+    candidates_inserted: int = 0
+    #: atomic strategy: CAS/atomicMax attempts (>= inserted; excess = retries)
+    atomic_attempts: int = 0
+    #: atomic strategy: attempts that had to be replayed due to contention
+    atomic_retries: int = 0
+    #: baseline strategy: per-point lock acquisitions
+    lock_acquisitions: int = 0
+    #: tiled strategy: bulk merge rounds executed
+    merge_rounds: int = 0
+    #: tiled strategy: padded candidate slots processed by merges
+    merge_slots: int = 0
+
+    def add(self, other: "OpCounters") -> "OpCounters":
+        """Accumulate ``other`` into ``self`` (in place); returns ``self``."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"{k}={v}" for k, v in self.as_dict().items() if v]
+        return "OpCounters(" + ", ".join(parts) + ")"

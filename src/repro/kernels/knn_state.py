@@ -1,0 +1,112 @@
+"""The global-memory k-NN list structure shared by all strategies.
+
+One :class:`KnnState` holds, for every point, its current best-``k``
+neighbour candidates as two ``(n, k)`` arrays (ids and squared distances),
+exactly the layout the paper keeps in GPU global memory.  Empty slots carry
+id ``-1`` and distance ``+inf``, so "replace the maximum" insertion needs no
+special-casing for partially-filled lists.
+
+The lists are *unordered* during construction (hardware replaces arbitrary
+slots); :meth:`KnnState.sorted_arrays` produces the final ascending order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: sentinel id for an empty slot
+EMPTY_ID = -1
+
+
+class KnnState:
+    """Mutable k-NN lists for ``n`` points, ``k`` slots per point."""
+
+    __slots__ = ("n", "k", "ids", "dists")
+
+    def __init__(self, n: int, k: int) -> None:
+        if n <= 0 or k <= 0:
+            raise ConfigurationError(f"KnnState needs positive n and k, got {n}, {k}")
+        self.n = int(n)
+        self.k = int(k)
+        self.ids = np.full((n, k), EMPTY_ID, dtype=np.int32)
+        self.dists = np.full((n, k), np.inf, dtype=np.float32)
+
+    # -- queries ---------------------------------------------------------------
+
+    def row_max(self, rows: np.ndarray) -> np.ndarray:
+        """Current worst (largest) stored distance for each listed row."""
+        return self.dists[rows].max(axis=1)
+
+    def contains(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Vectorised membership test: is ``cols[i]`` already in row ``rows[i]``?
+
+        Cost is O(len(rows) * k) - the same linear scan a warp performs.
+        """
+        return (self.ids[rows] == cols[:, None]).any(axis=1)
+
+    def filled_counts(self) -> np.ndarray:
+        """Number of occupied slots per row."""
+        return (self.ids != EMPTY_ID).sum(axis=1)
+
+    def sorted_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(ids, dists)`` with every row sorted by ascending distance."""
+        order = np.argsort(self.dists, axis=1, kind="stable")
+        return (
+            np.take_along_axis(self.ids, order, axis=1),
+            np.take_along_axis(self.dists, order, axis=1),
+        )
+
+    # -- bulk mutation (used by strategies) -------------------------------------
+
+    def merge_rows(
+        self,
+        rows: np.ndarray,
+        cand_ids: np.ndarray,
+        cand_dists: np.ndarray,
+    ) -> int:
+        """Merge per-row candidate matrices into the listed rows.
+
+        Parameters
+        ----------
+        rows:
+            ``(r,)`` unique row indices.
+        cand_ids, cand_dists:
+            ``(r, m)`` candidate matrices; invalid slots must carry
+            ``EMPTY_ID`` / ``+inf``.  Candidates must not duplicate ids
+            already present in the row, and must not duplicate each other
+            (the strategies guarantee this before calling).
+
+        Returns
+        -------
+        Number of candidates that survived into the lists.
+
+        Notes
+        -----
+        Implemented as a select-k over the concatenation of the current
+        ``k`` slots and the ``m`` candidates - the vectorised equivalent of
+        the warp bitonic bulk merge.
+        """
+        if rows.size == 0:
+            return 0
+        all_d = np.concatenate([self.dists[rows], cand_dists], axis=1)
+        all_i = np.concatenate([self.ids[rows], cand_ids], axis=1)
+        k = self.k
+        part = np.argpartition(all_d, k - 1, axis=1)[:, :k]
+        take = np.take_along_axis
+        new_d = take(all_d, part, axis=1)
+        new_i = take(all_i, part, axis=1)
+        inserted = int(((part >= k) & np.isfinite(new_d)).sum())
+        self.dists[rows] = new_d
+        self.ids[rows] = new_i
+        return inserted
+
+    def copy(self) -> "KnnState":
+        out = KnnState(self.n, self.k)
+        out.ids[...] = self.ids
+        out.dists[...] = self.dists
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"KnnState(n={self.n}, k={self.k}, filled={int(self.filled_counts().sum())})"

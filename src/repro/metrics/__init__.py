@@ -1,0 +1,25 @@
+"""Quality and timing metrics for graphs and experiments."""
+
+from repro.metrics.recall import knn_recall, per_point_recall
+from repro.metrics.quality import distance_ratio, edge_overlap
+from repro.metrics.connectivity import (
+    connected_components,
+    giant_component_fraction,
+    min_out_degree,
+)
+from repro.metrics.timer import Timer, time_call
+from repro.metrics.records import ExperimentRecord, RecordSet
+
+__all__ = [
+    "knn_recall",
+    "per_point_recall",
+    "distance_ratio",
+    "edge_overlap",
+    "connected_components",
+    "giant_component_fraction",
+    "min_out_degree",
+    "Timer",
+    "time_call",
+    "ExperimentRecord",
+    "RecordSet",
+]

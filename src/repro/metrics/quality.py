@@ -1,0 +1,50 @@
+"""Graph-quality measures beyond recall.
+
+Recall treats all misses equally; :func:`distance_ratio` measures *how
+close* the found neighbours are to optimal, which distinguishes "missed the
+5th neighbour, found the 6th" (harmless for t-SNE-style consumers) from
+genuinely bad edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.graph import KNNGraph
+from repro.errors import DataError
+
+
+def distance_ratio(approx: KNNGraph, exact: KNNGraph) -> float:
+    """Mean ratio of approximate to exact mean-neighbour distance (>= 1).
+
+    Computed on true (non-squared) distances per point; 1.0 means the
+    approximate neighbours are exactly as tight as the true ones even if
+    the id sets differ.  Points with zero exact distance sum (duplicates)
+    are skipped.
+    """
+    if approx.n != exact.n:
+        raise DataError(f"graph sizes differ: {approx.n} vs {exact.n}")
+    k = min(approx.k, exact.k)
+    a = np.sqrt(np.maximum(approx.dists[:, :k], 0.0))
+    e = np.sqrt(np.maximum(exact.dists[:, :k], 0.0))
+    a_sum = a.sum(axis=1)
+    e_sum = e.sum(axis=1)
+    valid = e_sum > 0
+    if not valid.any():
+        return 1.0
+    return float((a_sum[valid] / e_sum[valid]).mean())
+
+
+def edge_overlap(g1: KNNGraph, g2: KNNGraph) -> float:
+    """Fraction of directed edges of ``g1`` also present in ``g2``.
+
+    Unlike recall this is defined between two *approximate* graphs - used
+    to verify that different strategies produce (near-)identical graphs for
+    the same candidate stream.
+    """
+    if g1.n != g2.n:
+        raise DataError(f"graph sizes differ: {g1.n} vs {g2.n}")
+    from repro.metrics.recall import per_point_recall
+
+    k = min(g1.k, g2.k)
+    return float(per_point_recall(g2.ids[:, :k], g1.ids[:, :k]).mean())

@@ -1,0 +1,73 @@
+"""Recall of approximate K-NN graphs against exact ground truth.
+
+Recall@k is the paper's accuracy measure ("equivalent accuracy of
+approximate K-NNG"): the fraction of each point's true k nearest
+neighbours that the approximate graph found, averaged over points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+def per_point_recall(approx_ids: np.ndarray, exact_ids: np.ndarray) -> np.ndarray:
+    """Per-point recall vector.
+
+    Parameters
+    ----------
+    approx_ids:
+        ``(n, k_a)`` approximate neighbour ids (``-1`` = unfilled slot).
+    exact_ids:
+        ``(n, k_e)`` exact neighbour ids; recall is measured against the
+        first ``min(k_a, k_e)`` exact columns.
+
+    Returns
+    -------
+    ``(n,)`` float64 vector of ``|approx ∩ exact| / k`` values.
+
+    Notes
+    -----
+    Fully vectorised: both matrices are row-sorted once and intersected
+    with a merge-free membership test via :func:`numpy.searchsorted` -
+    O(n * k log k) total.
+    """
+    approx_ids = np.asarray(approx_ids)
+    exact_ids = np.asarray(exact_ids)
+    if approx_ids.ndim != 2 or exact_ids.ndim != 2:
+        raise DataError("recall expects 2-D (n, k) id matrices")
+    if approx_ids.shape[0] != exact_ids.shape[0]:
+        raise DataError(
+            f"row counts differ: approx {approx_ids.shape[0]} vs exact "
+            f"{exact_ids.shape[0]}"
+        )
+    k = min(approx_ids.shape[1], exact_ids.shape[1])
+    if k == 0:
+        raise DataError("recall needs at least one neighbour column")
+    a = np.sort(approx_ids, axis=1)
+    e = np.sort(exact_ids[:, :k], axis=1)
+    # for each exact id, binary-search the sorted approx row
+    pos = np.clip(_rowwise_searchsorted(a, e), 0, a.shape[1] - 1)
+    found = np.take_along_axis(a, pos, axis=1) == e
+    return found.sum(axis=1) / float(k)
+
+
+def _rowwise_searchsorted(a: np.ndarray, e: np.ndarray) -> np.ndarray:
+    """Row-wise searchsorted: positions of ``e``'s entries in sorted rows of ``a``.
+
+    Implemented by offsetting each row into a disjoint value range so one
+    flat searchsorted handles all rows at once.
+    """
+    n, ka = a.shape
+    span = np.int64(2) ** 40  # far beyond any point index
+    offsets = (np.arange(n, dtype=np.int64) * span)[:, None]
+    flat_a = (a.astype(np.int64) + offsets).reshape(-1)
+    flat_e = (e.astype(np.int64) + offsets).reshape(-1)
+    pos = np.searchsorted(flat_a, flat_e)
+    return (pos.reshape(e.shape) - np.arange(n)[:, None] * ka).astype(np.int64)
+
+
+def knn_recall(approx_ids: np.ndarray, exact_ids: np.ndarray) -> float:
+    """Mean recall@k over all points (see :func:`per_point_recall`)."""
+    return float(per_point_recall(approx_ids, exact_ids).mean())

@@ -1,0 +1,78 @@
+"""Structured experiment records: what benchmarks emit and EXPERIMENTS.md cites.
+
+A :class:`RecordSet` is a tiny append-only table of
+:class:`ExperimentRecord` rows that can render itself as an aligned text
+table (what the bench targets print) or dump to JSON for later analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+
+@dataclass
+class ExperimentRecord:
+    """One measured configuration of one experiment."""
+
+    experiment: str
+    params: dict[str, Any] = field(default_factory=dict)
+    results: dict[str, Any] = field(default_factory=dict)
+
+    def flat(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"experiment": self.experiment}
+        out.update(self.params)
+        out.update(self.results)
+        return out
+
+
+class RecordSet:
+    """An ordered collection of experiment records."""
+
+    def __init__(self, records: Iterable[ExperimentRecord] = ()) -> None:
+        self.records: list[ExperimentRecord] = list(records)
+
+    def add(self, experiment: str, params: dict[str, Any], results: dict[str, Any]) -> ExperimentRecord:
+        rec = ExperimentRecord(experiment, dict(params), dict(results))
+        self.records.append(rec)
+        return rec
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def columns(self) -> list[str]:
+        cols: list[str] = []
+        for rec in self.records:
+            for key in rec.flat():
+                if key not in cols:
+                    cols.append(key)
+        return cols
+
+    def to_json(self) -> str:
+        return json.dumps([rec.flat() for rec in self.records], indent=2, default=str)
+
+    def to_table(self, float_fmt: str = "{:.4g}") -> str:
+        """Render an aligned, pipe-separated text table."""
+        cols = self.columns()
+        if not cols:
+            return "(no records)"
+
+        def fmt(v: Any) -> str:
+            if isinstance(v, float):
+                return float_fmt.format(v)
+            return str(v)
+
+        rows = [[fmt(rec.flat().get(c, "")) for c in cols] for rec in self.records]
+        widths = [
+            max(len(c), *(len(r[i]) for r in rows)) if rows else len(c)
+            for i, c in enumerate(cols)
+        ]
+        def line(cells: list[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+        sep = "-+-".join("-" * w for w in widths)
+        return "\n".join([line(cols), sep] + [line(r) for r in rows])

@@ -1,0 +1,59 @@
+"""Lightweight wall-clock timing helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class Timer:
+    """Context-manager stopwatch accumulating named phases.
+
+    Usage::
+
+        t = Timer()
+        with t.phase("build"):
+            ...
+        with t.phase("search"):
+            ...
+        t.seconds["build"], t.total
+    """
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+
+    def phase(self, name: str):
+        return _Phase(self, name)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.seconds.values()))
+
+
+@dataclass
+class _Phase:
+    timer: Timer
+    name: str
+    _t0: float = field(default=0.0, init=False)
+
+    def __enter__(self) -> "_Phase":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        elapsed = time.perf_counter() - self._t0
+        self.timer.seconds[self.name] = self.timer.seconds.get(self.name, 0.0) + elapsed
+
+
+def time_call(fn: Callable[..., Any], *args, repeat: int = 1, **kwargs) -> tuple[float, Any]:
+    """Run ``fn`` ``repeat`` times; return (best wall-clock seconds, last result)."""
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - t0)
+    return best, result

@@ -1,0 +1,40 @@
+"""Warp-level SIMT GPU simulator.
+
+This package is the substrate that replaces the CUDA GPU of the paper.  It
+executes *warp-centric* kernels - Python generator functions written in the
+lockstep, mask-predicated style of CUDA warp programming - and accounts for
+the microarchitectural quantities that determine real GPU performance:
+
+* **global-memory transactions** under the coalescing rules of a 128-byte
+  segment memory system (:mod:`repro.simt.memory`),
+* **shared-memory bank conflicts** (:mod:`repro.simt.shared`),
+* **atomic-operation contention** (:mod:`repro.simt.atomics`),
+* **branch divergence** via explicit predication masks
+  (:mod:`repro.simt.warp`), and
+* a simple **cycle cost model** combining them (:mod:`repro.simt.metrics`).
+
+A kernel sees a :class:`~repro.simt.warp.WarpContext` whose register values
+are NumPy vectors of ``warp_size`` lanes.  Blocks are collections of warps
+that share a :class:`~repro.simt.shared.SharedMemory` and synchronise with
+``yield ctx.barrier()``; the :mod:`repro.simt.scheduler` interleaves warp
+coroutines exactly like a (single-SM, round-robin) hardware scheduler.
+
+The simulator trades speed for fidelity - it is used for correctness tests
+of the warp-centric algorithms and for the microarchitecture-metric
+experiments (DESIGN.md experiment F6), while the :mod:`repro.kernels`
+package provides vectorised equivalents for large runs.
+"""
+
+from repro.simt.config import DeviceConfig
+from repro.simt.device import Device
+from repro.simt.metrics import KernelMetrics
+from repro.simt.memory import GlobalBuffer
+from repro.simt.warp import WarpContext
+
+__all__ = [
+    "Device",
+    "DeviceConfig",
+    "GlobalBuffer",
+    "KernelMetrics",
+    "WarpContext",
+]

@@ -1,0 +1,137 @@
+"""Atomic read-modify-write operations on global buffers.
+
+The w-KNNG *atomic* strategy relies on lock-free updates of k-NN lists held
+in global memory, using 64-bit packed (distance, id) words so a single
+``atomicMax``/``atomicMin`` both compares by distance and swaps in the id.
+This module provides those primitives with faithful semantics:
+
+* every active lane performs its operation and observes the value the target
+  word held immediately before *its own* operation (hardware leaves the
+  order unspecified; we serialise in ascending lane order, which is a legal
+  ordering and deterministic for tests);
+* lanes of one warp hitting the same address serialise - counted as
+  ``atomic_conflicts`` in the metrics, the contention signal the paper's
+  atomic strategy is sensitive to at large K.
+
+Also here: the float packing helpers.  IEEE-754 non-negative floats compare
+identically to their bit patterns interpreted as unsigned integers, so a
+packed word ``(float_bits << 32) | id`` preserves distance order under
+unsigned comparison - the classic CUDA trick the atomic strategy uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AtomicError
+from repro.simt.memory import GlobalBuffer
+from repro.simt.metrics import KernelMetrics
+
+_INT_KINDS = ("i", "u")
+
+
+def pack_dist_id(dist: np.ndarray, ids: np.ndarray) -> np.ndarray:
+    """Pack non-negative float32 distances and int32 ids into uint64 words.
+
+    The distance occupies the high 32 bits, so unsigned comparison of packed
+    words orders by distance first (ids break ties).  Distances must be
+    non-negative (squared L2 distances always are); negative inputs raise.
+    """
+    d = np.asarray(dist, dtype=np.float32)
+    if d.size and float(np.min(d)) < 0.0:
+        raise AtomicError("pack_dist_id requires non-negative distances")
+    hi = d.view(np.uint32).astype(np.uint64) << np.uint64(32)
+    lo = np.asarray(ids).astype(np.int64).astype(np.uint64) & np.uint64(0xFFFFFFFF)
+    return hi | lo
+
+
+def unpack_dist_id(packed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`pack_dist_id` -> ``(float32 dist, int32 id)``."""
+    p = np.asarray(packed, dtype=np.uint64)
+    hi = (p >> np.uint64(32)).astype(np.uint32)
+    dist = hi.view(np.float32)
+    ids = (p & np.uint64(0xFFFFFFFF)).astype(np.uint32).astype(np.int64)
+    # ids were int32; restore sign for sentinel values such as -1
+    ids = np.where(ids >= 2**31, ids - 2**32, ids).astype(np.int32)
+    return dist, ids
+
+
+#: packed word representing "empty slot": +inf distance, id -1 (sorts last)
+EMPTY_PACKED = int(pack_dist_id(np.float32(np.inf), np.int32(-1)))
+
+
+class AtomicUnit:
+    """Executes warp-wide atomics against :class:`GlobalBuffer` objects."""
+
+    def __init__(self, metrics: KernelMetrics) -> None:
+        self._metrics = metrics
+
+    def _prepare(
+        self, buf: GlobalBuffer, idx: np.ndarray, mask: np.ndarray, op: str
+    ) -> np.ndarray:
+        if buf.dtype.kind not in _INT_KINDS and op not in ("add", "exch", "cas"):
+            raise AtomicError(
+                f"atomic_{op} supports integer buffers only, got {buf.dtype} "
+                f"for {buf.name!r}; pack floats with pack_dist_id()"
+            )
+        buf._check_bounds(idx, mask)
+        lanes = np.flatnonzero(mask)
+        active = idx[lanes]
+        self._metrics.atomic_ops += int(lanes.size)
+        if active.size:
+            _, counts = np.unique(active, return_counts=True)
+            self._metrics.atomic_conflicts += int((counts - 1).sum())
+        if not mask.all():
+            self._metrics.predicated_ops += 1
+        return lanes
+
+    def _rmw(self, buf, idx, values, mask, op, combine) -> np.ndarray:
+        lanes = self._prepare(buf, idx, mask, op)
+        raw = buf.raw
+        vals = np.asarray(values, dtype=raw.dtype)
+        if vals.ndim == 0:
+            vals = np.full(idx.shape, vals, dtype=raw.dtype)
+        old = np.zeros(idx.shape, dtype=raw.dtype)
+        for lane in lanes:
+            addr = idx[lane]
+            old[lane] = raw[addr]
+            raw[addr] = combine(raw[addr], vals[lane])
+        return old
+
+    def add(self, buf: GlobalBuffer, idx, values, mask) -> np.ndarray:
+        """``atomicAdd``: returns the pre-op value per lane."""
+        return self._rmw(buf, idx, values, mask, "add", lambda a, b: a + b)
+
+    def max(self, buf: GlobalBuffer, idx, values, mask) -> np.ndarray:
+        """``atomicMax`` (integer/unsigned buffers)."""
+        return self._rmw(buf, idx, values, mask, "max", max)
+
+    def min(self, buf: GlobalBuffer, idx, values, mask) -> np.ndarray:
+        """``atomicMin`` (integer/unsigned buffers)."""
+        return self._rmw(buf, idx, values, mask, "min", min)
+
+    def exch(self, buf: GlobalBuffer, idx, values, mask) -> np.ndarray:
+        """``atomicExch``: unconditional swap, returns the pre-op value."""
+        return self._rmw(buf, idx, values, mask, "exch", lambda _a, b: b)
+
+    def cas(self, buf: GlobalBuffer, idx, compare, values, mask) -> np.ndarray:
+        """``atomicCAS``: write ``values`` where the word equals ``compare``.
+
+        Returns the pre-op value per lane; the op succeeded for a lane iff
+        the returned value equals that lane's ``compare``.
+        """
+        lanes = self._prepare(buf, idx, mask, "cas")
+        raw = buf.raw
+        cmp = np.asarray(compare, dtype=raw.dtype)
+        vals = np.asarray(values, dtype=raw.dtype)
+        if cmp.ndim == 0:
+            cmp = np.full(idx.shape, cmp, dtype=raw.dtype)
+        if vals.ndim == 0:
+            vals = np.full(idx.shape, vals, dtype=raw.dtype)
+        old = np.zeros(idx.shape, dtype=raw.dtype)
+        for lane in lanes:
+            addr = idx[lane]
+            old[lane] = raw[addr]
+            if raw[addr] == cmp[lane]:
+                raw[addr] = vals[lane]
+        return old

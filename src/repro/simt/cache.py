@@ -1,0 +1,104 @@
+"""Set-associative cache model for simulated global-memory traffic.
+
+The event-level simulator counts *transactions* (distinct 128-byte
+segments per warp access); this module adds the question "did that
+transaction hit on-chip cache?".  A single device-level cache stands in
+for the L1/L2 hierarchy: segment-granular lines, set-associative with LRU
+replacement, shared by all accesses of a launch (so a leaf's points,
+re-streamed by the direct distance schedule, hit once the leaf is
+resident - the effect the analytic cost model approximates with a
+working-set formula, here measured exactly).
+
+Stores are write-through/write-allocate: they touch the cache like loads
+(the line becomes resident) and always cost a transaction downstream, the
+usual GPU behaviour for global stores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.simt.config import DeviceConfig
+
+
+class SegmentCache:
+    """Set-associative, LRU, segment-granular cache.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total capacity; lines are ``segment_bytes`` wide.
+    segment_bytes:
+        Line size (the global-memory transaction granularity).
+    ways:
+        Associativity.  ``capacity / segment_bytes`` must be divisible by
+        ``ways``.
+
+    Notes
+    -----
+    Addresses are *segment indices* (already divided by line size).
+    Timestamps implement LRU via a monotone access counter.
+    """
+
+    def __init__(self, capacity_bytes: int, segment_bytes: int, ways: int = 8) -> None:
+        if capacity_bytes <= 0 or segment_bytes <= 0 or ways <= 0:
+            raise ConfigurationError("cache geometry must be positive")
+        lines = capacity_bytes // segment_bytes
+        if lines == 0 or lines % ways != 0:
+            raise ConfigurationError(
+                f"capacity {capacity_bytes}B / line {segment_bytes}B must be a "
+                f"positive multiple of ways={ways}"
+            )
+        self.n_sets = lines // ways
+        self.ways = ways
+        #: resident segment id per (set, way); -1 = invalid
+        self._tags = np.full((self.n_sets, ways), -1, dtype=np.int64)
+        #: LRU timestamps per (set, way)
+        self._stamps = np.zeros((self.n_sets, ways), dtype=np.int64)
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, segments: np.ndarray) -> int:
+        """Touch the given segment ids; returns how many *missed*.
+
+        Duplicate segments within one call are deduplicated first (a warp
+        only issues one transaction per distinct segment).
+        """
+        segs = np.unique(np.asarray(segments, dtype=np.int64))
+        misses = 0
+        for seg in segs:
+            self._clock += 1
+            s = int(seg) % self.n_sets
+            row = self._tags[s]
+            hit = np.flatnonzero(row == seg)
+            if hit.size:
+                self._stamps[s, hit[0]] = self._clock
+                self.hits += 1
+            else:
+                victim = int(np.argmin(self._stamps[s]))
+                self._tags[s, victim] = seg
+                self._stamps[s, victim] = self._clock
+                self.misses += 1
+                misses += 1
+        return misses
+
+    def reset(self) -> None:
+        self._tags.fill(-1)
+        self._stamps.fill(0)
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+
+
+def make_device_cache(config: DeviceConfig) -> SegmentCache | None:
+    """Build the device cache from the config (None if disabled)."""
+    if config.cache_bytes <= 0:
+        return None
+    ways = 8
+    lines = config.cache_bytes // config.segment_bytes
+    # shrink associativity for tiny test caches
+    while ways > 1 and (lines == 0 or lines % ways != 0 or lines // ways == 0):
+        ways //= 2
+    return SegmentCache(config.cache_bytes, config.segment_bytes, ways=ways)

@@ -1,0 +1,92 @@
+"""Device model configuration for the SIMT simulator.
+
+The defaults describe a generic NVIDIA-like device (32-lane warps, 32
+shared-memory banks, 128-byte global-memory transaction segments).  The
+latency/throughput weights feed the cycle cost model in
+:class:`repro.simt.metrics.KernelMetrics`; they are deliberately round
+numbers - the simulator is used for *relative* comparisons between kernel
+strategies, not absolute time prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+def _check_pow2(value: int, name: str) -> None:
+    if value <= 0 or (value & (value - 1)) != 0:
+        raise ConfigurationError(f"{name} must be a positive power of two, got {value}")
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Parameters of the simulated device.
+
+    Attributes
+    ----------
+    warp_size:
+        Lanes per warp (power of two).  CUDA devices use 32.
+    shared_banks:
+        Number of shared-memory banks; simultaneous accesses by lanes of a
+        warp to distinct addresses in the same bank serialise.
+    bank_width_bytes:
+        Width of one shared-memory bank word (4 bytes on all CUDA devices).
+    segment_bytes:
+        Global-memory transaction granularity.  A warp load touching ``s``
+        distinct segments issues ``s`` transactions; a fully coalesced
+        32-lane float32 load touches exactly one 128-byte segment.
+    alu_cycles:
+        Cost of one warp-wide ALU operation.
+    shared_cycles:
+        Cost of one conflict-free shared-memory access.
+    global_latency_cycles:
+        Cost charged per global-memory *transaction* (models latency that
+        cannot be hidden, amortised; keeping it per-transaction makes
+        coalescing matter, which is the effect the paper's tiled strategy
+        exploits).
+    atomic_cycles:
+        Base cost of one atomic operation; each same-address conflict within
+        the warp adds another ``atomic_cycles`` (hardware serialises them).
+    cache_bytes:
+        *Effective per-block* on-chip cache capacity assumed by the
+        analytic cost model (:mod:`repro.bench.costmodel`) when estimating
+        how much of a repeatedly-streamed working set (e.g. a leaf's points
+        under the direct distance schedule) hits cache instead of DRAM.
+        This is a whole L1 divided by the resident blocks sharing it, hence
+        smaller than a datasheet L1.  The event-level simulator itself does
+        not model a cache; see the cost model's docstring.
+    cache_hit_cycles:
+        Cost charged per cache-hit transaction by the analytic model.
+    """
+
+    warp_size: int = 32
+    shared_banks: int = 32
+    bank_width_bytes: int = 4
+    segment_bytes: int = 128
+    alu_cycles: int = 1
+    shared_cycles: int = 2
+    global_latency_cycles: int = 32
+    atomic_cycles: int = 16
+    cache_bytes: int = 32 * 1024
+    cache_hit_cycles: int = 4
+
+    def __post_init__(self) -> None:
+        _check_pow2(self.warp_size, "warp_size")
+        _check_pow2(self.shared_banks, "shared_banks")
+        _check_pow2(self.segment_bytes, "segment_bytes")
+        if self.bank_width_bytes <= 0:
+            raise ConfigurationError(
+                f"bank_width_bytes must be positive, got {self.bank_width_bytes}"
+            )
+        for name in (
+            "alu_cycles",
+            "shared_cycles",
+            "global_latency_cycles",
+            "atomic_cycles",
+            "cache_bytes",
+            "cache_hit_cycles",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")

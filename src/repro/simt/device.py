@@ -1,0 +1,112 @@
+"""The simulated device facade: memory management + kernel launches."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.simt.config import DeviceConfig
+from repro.simt.memory import GlobalBuffer
+from repro.simt.metrics import KernelMetrics
+from repro.simt import scheduler
+
+
+class Device:
+    """A simulated SIMT device.
+
+    Owns the global-memory buffers, the metric counters and the launch
+    machinery.  Typical usage::
+
+        dev = Device()
+        pts = dev.to_device(points, "points")
+        out = dev.empty((n, k), np.float32, "out")
+        dev.launch(my_kernel, grid_blocks=n_warps_needed, block_warps=1,
+                   args=(pts, out))
+        result = out.to_host()
+        cycles = dev.metrics.estimated_cycles(dev.config)
+
+    The device is deterministic: identical launches produce identical
+    buffers and identical metrics.
+    """
+
+    def __init__(self, config: DeviceConfig | None = None) -> None:
+        self.config = config or DeviceConfig()
+        self.metrics = KernelMetrics()
+        self._buffers: list[GlobalBuffer] = []
+        self._next_base = 0
+        from repro.simt.cache import make_device_cache
+
+        #: device-level cache model (None when config.cache_bytes == 0)
+        self.cache = make_device_cache(self.config)
+        #: per-block cycle estimates of the most recent launch (set by the
+        #: scheduler; input to the multi-SM occupancy estimate)
+        self.last_launch_block_cycles: list[int] = []
+
+    # -- memory management ---------------------------------------------------
+
+    def to_device(self, array: np.ndarray, name: str = "buffer") -> GlobalBuffer:
+        """Copy a host array into a new device buffer.
+
+        Buffers receive disjoint, segment-aligned base addresses so the
+        cache model sees a realistic unified address space.
+        """
+        buf = GlobalBuffer(array, name=name, base_addr=self._next_base)
+        seg = self.config.segment_bytes
+        self._next_base += ((buf.nbytes + seg - 1) // seg) * seg
+        self._buffers.append(buf)
+        return buf
+
+    def empty(self, shape, dtype, name: str = "buffer", fill=None) -> GlobalBuffer:
+        """Allocate a device buffer, zero-filled (or ``fill``-filled)."""
+        arr = np.zeros(shape, dtype=dtype)
+        if fill is not None:
+            arr[...] = fill
+        return self.to_device(arr, name=name)
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Total bytes across live allocations (simple accounting)."""
+        return sum(b.nbytes for b in self._buffers)
+
+    # -- execution -------------------------------------------------------------
+
+    def launch(
+        self,
+        kernel: Callable,
+        grid_blocks: int,
+        block_warps: int = 1,
+        args: tuple = (),
+    ) -> None:
+        """Run ``kernel`` over a ``grid_blocks`` x ``block_warps`` geometry.
+
+        See :mod:`repro.simt.scheduler` for the execution model.
+        """
+        scheduler.launch(self, kernel, grid_blocks, block_warps, args)
+
+    def parallel_cycles(self, n_sms: int) -> int:
+        """Occupancy estimate: wall-cycles of the last launch on ``n_sms``
+        streaming multiprocessors.
+
+        Blocks are independent, so hardware distributes them across SMs;
+        the launch finishes when the busiest SM drains.  Uses the greedy
+        longest-processing-time assignment (a 4/3-approximation of the
+        optimal makespan, and close to how hardware work distribution
+        behaves for uniform blocks).
+        """
+        if n_sms < 1:
+            raise ValueError(f"n_sms must be >= 1, got {n_sms}")
+        blocks = sorted(self.last_launch_block_cycles, reverse=True)
+        if not blocks:
+            return 0
+        loads = [0] * min(n_sms, len(blocks))
+        for cycles in blocks:
+            idx = loads.index(min(loads))
+            loads[idx] += cycles
+        return max(loads)
+
+    def reset_metrics(self) -> KernelMetrics:
+        """Zero the counters, returning a copy of the pre-reset values."""
+        snapshot = self.metrics.copy()
+        self.metrics.reset()
+        return snapshot

@@ -1,0 +1,92 @@
+"""Warp-level collective algorithms built from shuffle intrinsics.
+
+These mirror the device functions a CUDA implementation would build from
+``__shfl_xor_sync``: an in-register bitonic sorter (used by the tiled
+strategy to sort candidate tiles before merging) and a key-value warp merge.
+
+Costs are charged through the :class:`~repro.simt.warp.WarpContext` shuffle
+intrinsics themselves, so a bitonic sort of a 32-lane warp is billed its
+real ``O(log^2 W)`` compare-exchange stages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt.warp import WarpContext
+
+
+def warp_bitonic_sort(
+    ctx: WarpContext, keys: np.ndarray, values: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sort one register pair across the warp by ascending key.
+
+    Implements the standard in-register bitonic network: ``log2(W)`` merge
+    phases, phase ``p`` consisting of ``p+1`` butterfly compare-exchange
+    steps done with ``shfl_xor``.  Lanes that are "upper" in a butterfly
+    keep the max, "lower" lanes keep the min; the direction alternates to
+    build bitonic sequences, exactly as the CUDA device function does.
+
+    Parameters
+    ----------
+    ctx:
+        The warp context (provides ``shfl_xor`` and lane ids).
+    keys, values:
+        Per-lane registers.  Sorting is by ``keys``; ``values`` ride along.
+
+    Returns
+    -------
+    (keys, values) sorted ascending by key across lanes.
+    """
+    w = ctx.warp_size
+    lane = ctx.lane_id
+    keys = np.asarray(keys).copy()
+    values = np.asarray(values).copy()
+    n_phases = int(np.log2(w))
+    for phase in range(1, n_phases + 1):
+        block = 1 << phase
+        # ascending within even blocks, descending within odd -> bitonic
+        for step in range(phase - 1, -1, -1):
+            stride = 1 << step
+            partner_keys = ctx.shfl_xor(keys, stride)
+            partner_vals = ctx.shfl_xor(values, stride)
+            lane_is_upper = (lane & stride) != 0
+            descending = (lane & block) != 0
+            ctx.alu(3)  # compare + two selects
+            keep_max = lane_is_upper ^ descending
+            take_partner = np.where(
+                keep_max, partner_keys > keys, partner_keys < keys
+            )
+            # NaN-free inputs assumed (validated at API boundary)
+            keys = np.where(take_partner, partner_keys, keys)
+            values = np.where(take_partner, partner_vals, values)
+    return keys, values
+
+
+def warp_sorted_merge_max(
+    ctx: WarpContext,
+    keys_a: np.ndarray,
+    vals_a: np.ndarray,
+    keys_b: np.ndarray,
+    vals_b: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge two ascending-sorted warp registers, keeping the W smallest.
+
+    This is the bulk-merge device function of the tiled strategy: the global
+    k-NN list (sorted, register A) is merged with a sorted candidate tile
+    (register B); the smallest ``W`` of the ``2W`` keys survive.
+
+    The classic trick: if A and B are each ascending-sorted, then
+    ``min(A[i], B[W-1-i])`` for each lane ``i`` yields the W smallest
+    elements overall (as a bitonic sequence), which one final
+    :func:`warp_bitonic_sort` cleans up.
+    """
+    w = ctx.warp_size
+    rev = w - 1 - ctx.lane_id
+    keys_b_rev = ctx.shfl(keys_b, rev)
+    vals_b_rev = ctx.shfl(vals_b, rev)
+    ctx.alu(2)
+    take_b = keys_b_rev < keys_a
+    merged_keys = np.where(take_b, keys_b_rev, keys_a)
+    merged_vals = np.where(take_b, vals_b_rev, vals_a)
+    return warp_bitonic_sort(ctx, merged_keys, merged_vals)

@@ -1,0 +1,189 @@
+"""Simulated global (device) memory with transaction-level coalescing.
+
+Global memory is modelled as a set of :class:`GlobalBuffer` objects, each a
+flat NumPy array with a fixed element type.  Warp-wide gathers and scatters
+go through :meth:`GlobalBuffer.gather` / :meth:`GlobalBuffer.scatter`, which
+compute how many ``segment_bytes``-sized transactions the access touches -
+the quantity a real memory system serialises on and the reason coalesced
+layouts matter on GPUs.
+
+Multidimensional data is stored flattened; kernels address it with explicit
+``row * stride + col`` arithmetic exactly as CUDA kernels do.  The
+:meth:`GlobalBuffer.view2d` helper exposes the row stride for that purpose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MemoryAccessError
+from repro.simt.config import DeviceConfig
+from repro.simt.metrics import KernelMetrics
+
+_SUPPORTED_DTYPES = (
+    np.dtype(np.float32),
+    np.dtype(np.float64),
+    np.dtype(np.int32),
+    np.dtype(np.int64),
+    np.dtype(np.uint32),
+    np.dtype(np.uint64),
+)
+
+
+class GlobalBuffer:
+    """A device-memory allocation.
+
+    Parameters
+    ----------
+    data:
+        The backing NumPy array.  It is stored flattened (C order); the
+        original shape is remembered so :meth:`to_host` can restore it.
+    name:
+        Optional label used in error messages.
+
+    Notes
+    -----
+    Buffers are created through :meth:`repro.simt.device.Device.to_device`
+    or :meth:`repro.simt.device.Device.empty`; constructing one directly is
+    fine for tests.
+    """
+
+    __slots__ = ("_flat", "_shape", "name", "base_addr")
+
+    def __init__(self, data: np.ndarray, name: str = "buffer", base_addr: int = 0) -> None:
+        arr = np.asarray(data)
+        if arr.dtype not in _SUPPORTED_DTYPES:
+            raise MemoryAccessError(
+                f"unsupported device dtype {arr.dtype} for {name!r}; "
+                f"supported: {[str(d) for d in _SUPPORTED_DTYPES]}"
+            )
+        self._shape = arr.shape
+        self._flat = np.ascontiguousarray(arr).reshape(-1).copy()
+        self.name = name
+        #: device-address-space byte offset (set by Device; keeps distinct
+        #: buffers in distinct cache segments)
+        self.base_addr = int(base_addr)
+
+    # -- host interface ----------------------------------------------------
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._flat.dtype
+
+    @property
+    def size(self) -> int:
+        """Number of elements."""
+        return self._flat.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        return self._flat.nbytes
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Logical (host-side) shape this buffer was created with."""
+        return self._shape
+
+    def to_host(self) -> np.ndarray:
+        """Copy the buffer back to the host in its logical shape."""
+        return self._flat.copy().reshape(self._shape)
+
+    def view2d(self) -> tuple[int, int]:
+        """Return ``(rows, row_stride)`` for a buffer created from a matrix."""
+        if len(self._shape) != 2:
+            raise MemoryAccessError(
+                f"{self.name!r} was created with shape {self._shape}, not 2-D"
+            )
+        return self._shape[0], self._shape[1]
+
+    # -- raw access used by the warp context & atomics ---------------------
+
+    @property
+    def raw(self) -> np.ndarray:
+        """The flat backing array (used by atomics; not a copy)."""
+        return self._flat
+
+    def _check_bounds(self, idx: np.ndarray, mask: np.ndarray) -> None:
+        active = idx[mask]
+        if active.size and (active.min() < 0 or active.max() >= self.size):
+            bad = active[(active < 0) | (active >= self.size)]
+            raise MemoryAccessError(
+                f"out-of-bounds access to {self.name!r} (size {self.size}): "
+                f"indices {bad[:8].tolist()}"
+            )
+
+    def segments(self, idx: np.ndarray, mask: np.ndarray, config: DeviceConfig) -> np.ndarray:
+        """Distinct device-address-space segment ids touched by active lanes."""
+        active = idx[mask]
+        if active.size == 0:
+            return np.empty(0, dtype=np.int64)
+        itemsize = self._flat.itemsize
+        addrs = self.base_addr + active.astype(np.int64) * itemsize
+        return np.unique(addrs // config.segment_bytes)
+
+    def transactions(self, idx: np.ndarray, mask: np.ndarray, config: DeviceConfig) -> int:
+        """Number of ``segment_bytes`` segments touched by the active lanes."""
+        return int(self.segments(idx, mask, config).size)
+
+    def gather(
+        self,
+        idx: np.ndarray,
+        mask: np.ndarray,
+        config: DeviceConfig,
+        metrics: KernelMetrics,
+        cache=None,
+    ) -> np.ndarray:
+        """Warp-wide load: ``out[l] = buf[idx[l]]`` for active lanes.
+
+        Inactive lanes read as zero.  Counts one load plus one transaction
+        per distinct segment; when a device cache is supplied, transactions
+        are classified into hits and misses.
+        """
+        self._check_bounds(idx, mask)
+        out = np.zeros(idx.shape, dtype=self._flat.dtype)
+        out[mask] = self._flat[idx[mask]]
+        segs = self.segments(idx, mask, config)
+        metrics.global_loads += 1
+        metrics.global_load_transactions += int(segs.size)
+        if cache is not None and segs.size:
+            misses = cache.access(segs)
+            metrics.global_cache_misses += misses
+            metrics.global_cache_hits += int(segs.size) - misses
+        metrics.global_bytes_read += int(np.count_nonzero(mask)) * self._flat.itemsize
+        if not mask.all():
+            metrics.predicated_ops += 1
+        return out
+
+    def scatter(
+        self,
+        idx: np.ndarray,
+        values: np.ndarray,
+        mask: np.ndarray,
+        config: DeviceConfig,
+        metrics: KernelMetrics,
+        cache=None,
+    ) -> None:
+        """Warp-wide store: ``buf[idx[l]] = values[l]`` for active lanes.
+
+        When several active lanes target the same address the *highest* lane
+        wins, matching CUDA's unspecified-but-single-winner semantics in a
+        deterministic way.  Stores are write-through: they allocate in the
+        cache but always count a downstream transaction.
+        """
+        self._check_bounds(idx, mask)
+        np_idx = idx[mask]
+        np_val = np.asarray(values, dtype=self._flat.dtype)
+        if np_val.ndim == 0:
+            np_val = np.full(idx.shape, np_val, dtype=self._flat.dtype)
+        self._flat[np_idx] = np_val[mask]
+        segs = self.segments(idx, mask, config)
+        metrics.global_stores += 1
+        metrics.global_store_transactions += int(segs.size)
+        if cache is not None and segs.size:
+            cache.access(segs)  # write-allocate; cost counted as transaction
+        metrics.global_bytes_written += int(np.count_nonzero(mask)) * self._flat.itemsize
+        if not mask.all():
+            metrics.predicated_ops += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GlobalBuffer({self.name!r}, shape={self._shape}, dtype={self.dtype})"

@@ -1,0 +1,102 @@
+"""Microarchitecture event counters and the cycle cost model.
+
+A :class:`KernelMetrics` instance is owned by the :class:`repro.simt.device.Device`
+and incremented by every simulated memory access, atomic, intrinsic and ALU
+hint.  The counters are the simulator's *output*: experiment F6 (DESIGN.md)
+reports them directly to explain why the atomic strategy wins at low
+dimensionality and the tiled strategy at high dimensionality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.simt.config import DeviceConfig
+
+
+@dataclass
+class KernelMetrics:
+    """Counters accumulated over one or more kernel launches.
+
+    All counts are warp-granularity events (one warp-wide load that touches
+    three 128-byte segments counts as 1 ``global_loads`` and 3
+    ``global_load_transactions``).
+    """
+
+    #: warp-wide ALU operations (explicit hints plus intrinsic costs)
+    alu_ops: int = 0
+    #: warp-wide global loads / stores issued
+    global_loads: int = 0
+    global_stores: int = 0
+    #: 128-byte segments touched (the coalescing-sensitive quantity)
+    global_load_transactions: int = 0
+    global_store_transactions: int = 0
+    #: load-transaction cache classification (hits + misses == load
+    #: transactions when the device cache is enabled; both zero otherwise)
+    global_cache_hits: int = 0
+    global_cache_misses: int = 0
+    #: bytes moved to/from global memory (active lanes only)
+    global_bytes_read: int = 0
+    global_bytes_written: int = 0
+    #: shared-memory accesses and extra serialised passes from bank conflicts
+    shared_accesses: int = 0
+    shared_bank_conflicts: int = 0
+    #: atomic operations (per active lane) and same-address serialisations
+    atomic_ops: int = 0
+    atomic_conflicts: int = 0
+    #: warp-wide ops executed with a partially-active mask (predication /
+    #: divergence proxy) and branches where the warp disagreed
+    predicated_ops: int = 0
+    divergent_branches: int = 0
+    #: scheduler-level events
+    barriers: int = 0
+    warps_launched: int = 0
+    blocks_launched: int = 0
+
+    def add(self, other: "KernelMetrics") -> "KernelMetrics":
+        """Accumulate ``other`` into ``self`` (in place) and return ``self``."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def copy(self) -> "KernelMetrics":
+        return KernelMetrics(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def estimated_cycles(self, config: DeviceConfig) -> int:
+        """Combine the counters into a single cycle estimate.
+
+        The model is intentionally simple and linear:
+
+        * each ALU op costs ``alu_cycles``;
+        * each global transaction costs ``global_latency_cycles`` (so poorly
+          coalesced access patterns are charged per extra segment);
+        * each shared access costs ``shared_cycles`` plus one extra
+          ``shared_cycles`` per serialised bank-conflict pass;
+        * each atomic costs ``atomic_cycles`` plus ``atomic_cycles`` per
+          same-address conflict (hardware replays conflicting lanes).
+
+        Barriers and launches are free: the simulator is single-SM and
+        round-robin, so there is no occupancy model to charge them against.
+        """
+        c = config
+        cycles = self.alu_ops * c.alu_cycles
+        # loads: cache hits cost cache_hit_cycles, everything else DRAM
+        load_misses = self.global_load_transactions - self.global_cache_hits
+        cycles += self.global_cache_hits * c.cache_hit_cycles
+        cycles += max(0, load_misses) * c.global_latency_cycles
+        cycles += self.global_store_transactions * c.global_latency_cycles
+        cycles += (self.shared_accesses + self.shared_bank_conflicts) * c.shared_cycles
+        cycles += (self.atomic_ops + self.atomic_conflicts) * c.atomic_cycles
+        return cycles
+
+    def as_dict(self) -> dict[str, int]:
+        """Return the counters as a plain dict (for tables and JSON records)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"{k}={v}" for k, v in self.as_dict().items() if v]
+        return "KernelMetrics(" + ", ".join(parts) + ")"

@@ -1,0 +1,119 @@
+"""Block/warp scheduling for kernel launches.
+
+Execution model
+---------------
+* A launch is a 1-D grid of blocks; each block contains ``block_warps``
+  warps; each warp has ``warp_size`` lanes handled lockstep by NumPy.
+* Blocks are independent (as on hardware) and run to completion one at a
+  time; warps *within* a block are interleaved cooperatively: a kernel
+  written as a generator runs until it yields a
+  :class:`~repro.simt.warp.Barrier`, at which point the scheduler switches
+  to the block's next warp.  All warps must reach the barrier before any
+  proceeds - reaching the end of the kernel while siblings wait at a
+  barrier raises :class:`~repro.errors.BarrierError`, which is exactly the
+  deadlock the equivalent CUDA code would exhibit.
+* Plain (non-generator) kernels are allowed for barrier-free code.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, TYPE_CHECKING
+
+from repro.errors import BarrierError, LaunchError
+from repro.simt.shared import SharedMemory
+from repro.simt.warp import Barrier, WarpContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simt.device import Device
+
+#: sentinel states for warp coroutines
+_RUNNING, _AT_BARRIER, _DONE = 0, 1, 2
+
+
+def launch(
+    device: "Device",
+    kernel: Callable,
+    grid_blocks: int,
+    block_warps: int,
+    args: tuple = (),
+) -> None:
+    """Execute ``kernel`` over a grid (see module docstring for the model).
+
+    Parameters
+    ----------
+    device:
+        The simulated device (supplies config and metrics).
+    kernel:
+        ``kernel(ctx, *args)``; a generator function if it needs barriers.
+    grid_blocks, block_warps:
+        Launch geometry.
+    args:
+        Extra positional arguments forwarded to every warp's invocation.
+    """
+    if grid_blocks <= 0 or block_warps <= 0:
+        raise LaunchError(
+            f"launch geometry must be positive, got grid_blocks={grid_blocks}, "
+            f"block_warps={block_warps}"
+        )
+    is_gen = inspect.isgeneratorfunction(kernel)
+    metrics = device.metrics
+    metrics.blocks_launched += grid_blocks
+    metrics.warps_launched += grid_blocks * block_warps
+
+    block_cycles: list[int] = []
+    for block_id in range(grid_blocks):
+        cycles_before = metrics.estimated_cycles(device.config)
+        shared = SharedMemory(device.config, metrics)
+        contexts = [
+            WarpContext(device, shared, block_id, w, block_warps, grid_blocks)
+            for w in range(block_warps)
+        ]
+        if is_gen:
+            coroutines = [kernel(ctx, *args) for ctx in contexts]
+            _run_block(coroutines, block_id, metrics)
+        else:
+            for ctx in contexts:
+                result = kernel(ctx, *args)
+                if inspect.isgenerator(result):  # defensive: lambda returning gen
+                    _run_block([result], block_id, metrics)
+        block_cycles.append(metrics.estimated_cycles(device.config) - cycles_before)
+    device.last_launch_block_cycles = block_cycles
+
+
+def _run_block(coroutines: list, block_id: int, metrics) -> None:
+    """Round-robin the block's warp coroutines with barrier rendezvous."""
+    states = [_RUNNING] * len(coroutines)
+    while True:
+        progressed = False
+        for i, coro in enumerate(coroutines):
+            if states[i] != _RUNNING:
+                continue
+            progressed = True
+            try:
+                yielded = next(coro)
+            except StopIteration:
+                states[i] = _DONE
+                continue
+            if not isinstance(yielded, Barrier):
+                raise BarrierError(
+                    f"kernel yielded {yielded!r}; kernels may only yield "
+                    f"ctx.barrier() tokens"
+                )
+            states[i] = _AT_BARRIER
+        if all(s == _DONE for s in states):
+            return
+        if all(s != _RUNNING for s in states):
+            # every live warp is at the barrier: release them together
+            waiting = [i for i, s in enumerate(states) if s == _AT_BARRIER]
+            done = [i for i, s in enumerate(states) if s == _DONE]
+            if done and waiting:
+                raise BarrierError(
+                    f"block {block_id}: warps {waiting} wait at a barrier that "
+                    f"warps {done} exited the kernel without reaching"
+                )
+            metrics.barriers += 1
+            for i in waiting:
+                states[i] = _RUNNING
+        elif not progressed:  # pragma: no cover - defensive
+            raise BarrierError(f"block {block_id}: scheduler made no progress")

@@ -1,0 +1,91 @@
+"""Simulated per-block shared memory with a bank-conflict model.
+
+Each thread block owns one :class:`SharedMemory` arena.  Kernels allocate
+named regions lazily (the first warp to ask creates the region; all warps of
+the block see the same storage), mirroring CUDA's ``__shared__`` arrays.
+
+Bank conflicts follow the standard rule: shared memory is divided into
+``shared_banks`` word-wide banks; when active lanes of a warp access more
+than one *distinct address* that maps to the same bank, the access replays
+once per extra address.  Lanes reading the *same* address broadcast and do
+not conflict.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MemoryAccessError
+from repro.simt.config import DeviceConfig
+from repro.simt.metrics import KernelMetrics
+
+
+class SharedMemory:
+    """Shared-memory arena for one thread block."""
+
+    def __init__(self, config: DeviceConfig, metrics: KernelMetrics) -> None:
+        self._config = config
+        self._metrics = metrics
+        self._regions: dict[str, np.ndarray] = {}
+
+    def allocate(self, name: str, shape: tuple[int, ...] | int, dtype) -> np.ndarray:
+        """Return the named region, creating it (zero-filled) on first use.
+
+        Re-requesting an existing name with a different shape/dtype is a
+        programming error and raises :class:`MemoryAccessError`.
+        """
+        if isinstance(shape, int):
+            shape = (shape,)
+        dtype = np.dtype(dtype)
+        region = self._regions.get(name)
+        if region is None:
+            region = np.zeros(shape, dtype=dtype)
+            self._regions[name] = region
+            return region
+        if region.shape != tuple(shape) or region.dtype != dtype:
+            raise MemoryAccessError(
+                f"shared region {name!r} re-declared with shape {shape}/{dtype}, "
+                f"but it exists with {region.shape}/{region.dtype}"
+            )
+        return region
+
+    # -- accounted access ---------------------------------------------------
+
+    def _conflict_passes(self, region: np.ndarray, idx: np.ndarray, mask: np.ndarray) -> int:
+        """Serialised passes beyond the first for a warp access at ``idx``."""
+        active = idx[mask]
+        if active.size == 0:
+            return 0
+        unique_addrs = np.unique(active.astype(np.int64))
+        words_per_elem = max(1, region.itemsize // self._config.bank_width_bytes)
+        banks = (unique_addrs * words_per_elem) % self._config.shared_banks
+        _, counts = np.unique(banks, return_counts=True)
+        return int(counts.max()) - 1
+
+    def _check(self, region: np.ndarray, idx: np.ndarray, mask: np.ndarray) -> None:
+        active = idx[mask]
+        if active.size and (active.min() < 0 or active.max() >= region.shape[0]):
+            raise MemoryAccessError(
+                f"shared-memory access out of bounds (size {region.shape[0]})"
+            )
+
+    def load(self, region: np.ndarray, idx: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Warp-wide load from a 1-D shared region with conflict accounting."""
+        self._check(region, idx, mask)
+        out = np.zeros(idx.shape, dtype=region.dtype)
+        out[mask] = region[idx[mask]]
+        self._metrics.shared_accesses += 1
+        self._metrics.shared_bank_conflicts += self._conflict_passes(region, idx, mask)
+        return out
+
+    def store(
+        self, region: np.ndarray, idx: np.ndarray, values: np.ndarray, mask: np.ndarray
+    ) -> None:
+        """Warp-wide store to a 1-D shared region with conflict accounting."""
+        self._check(region, idx, mask)
+        vals = np.asarray(values, dtype=region.dtype)
+        if vals.ndim == 0:
+            vals = np.full(idx.shape, vals, dtype=region.dtype)
+        region[idx[mask]] = vals[mask]
+        self._metrics.shared_accesses += 1
+        self._metrics.shared_bank_conflicts += self._conflict_passes(region, idx, mask)

@@ -1,0 +1,311 @@
+"""The warp execution context - what a warp-centric kernel programs against.
+
+A kernel is a Python function (usually a generator, so it can ``yield``
+barriers) receiving a :class:`WarpContext` ``ctx``.  "Registers" are NumPy
+vectors with one element per lane; control flow is expressed with boolean
+*masks* (predication), exactly like divergence-free CUDA warp code:
+
+.. code-block:: python
+
+    def kernel(ctx, points, out):
+        lane = ctx.lane_id                      # vector 0..31
+        row = ctx.warp_id_global                # scalar: one warp per row
+        mask = lane < n_cols                    # predicate off excess lanes
+        vals = ctx.load(points, row * stride + lane, mask)
+        total = ctx.reduce_sum(vals, mask)      # warp reduction
+        ctx.store(out, np.full(ctx.warp_size, row), total, ctx.lane_id == 0)
+
+All intrinsics charge ALU cycles to the device metrics; memory operations
+charge transactions (see :mod:`repro.simt.memory`).  Divergence is made
+explicit: :meth:`WarpContext.branch` records when the warp disagrees on a
+predicate.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import SimtError
+from repro.simt.atomics import AtomicUnit
+from repro.simt.memory import GlobalBuffer
+from repro.simt.shared import SharedMemory
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simt.device import Device
+
+
+class Barrier:
+    """Token yielded by kernels at a block-wide synchronisation point."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Barrier()"
+
+
+BARRIER = Barrier()
+
+
+class WarpContext:
+    """Execution context of one warp within one block of a kernel launch."""
+
+    def __init__(
+        self,
+        device: "Device",
+        shared: SharedMemory,
+        block_id: int,
+        warp_id: int,
+        block_warps: int,
+        grid_blocks: int,
+    ) -> None:
+        self._device = device
+        self._config = device.config
+        self._metrics = device.metrics
+        self._shared = shared
+        self._atomics = AtomicUnit(device.metrics)
+        self.block_id = block_id
+        #: index of this warp within its block
+        self.warp_id = warp_id
+        self.block_warps = block_warps
+        self.grid_blocks = grid_blocks
+        self.warp_size = device.config.warp_size
+        #: lane index vector ``[0, 1, ..., warp_size-1]``
+        self.lane_id = np.arange(self.warp_size, dtype=np.int64)
+        self.full_mask = np.ones(self.warp_size, dtype=bool)
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def warp_id_global(self) -> int:
+        """Flat warp index across the whole grid."""
+        return self.block_id * self.block_warps + self.warp_id
+
+    @property
+    def grid_warps(self) -> int:
+        """Total warps in the launch."""
+        return self.grid_blocks * self.block_warps
+
+    # -- bookkeeping helpers ---------------------------------------------------
+
+    def alu(self, n: int = 1) -> None:
+        """Charge ``n`` warp-wide ALU operations to the cost model.
+
+        Kernels call this to account for arithmetic done in NumPy
+        expressions on register vectors (the simulator cannot see through
+        NumPy, so arithmetic is charged by explicit hint).
+        """
+        self._metrics.alu_ops += int(n)
+
+    def branch(self, predicate: np.ndarray | bool, mask: np.ndarray | None = None) -> bool:
+        """Evaluate a warp-level branch condition.
+
+        Returns ``True`` if *any* active lane takes the branch, and records a
+        divergent branch when active lanes disagree - the quantity reported
+        in experiment F6.
+        """
+        mask = self.full_mask if mask is None else mask
+        pred = np.broadcast_to(np.asarray(predicate, dtype=bool), (self.warp_size,))
+        active = pred[mask]
+        self._metrics.alu_ops += 1
+        if active.size == 0:
+            return False
+        taken = bool(active.any())
+        if taken and not bool(active.all()):
+            self._metrics.divergent_branches += 1
+        return taken
+
+    def barrier(self) -> Barrier:
+        """Block-wide barrier token: use as ``yield ctx.barrier()``."""
+        return BARRIER
+
+    # -- global memory --------------------------------------------------------
+
+    def load(
+        self, buf: GlobalBuffer, idx: np.ndarray, mask: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Warp-wide gather from global memory (coalescing-accounted)."""
+        mask = self.full_mask if mask is None else np.asarray(mask, dtype=bool)
+        idx = self._as_lanes(idx)
+        return buf.gather(idx, mask, self._config, self._metrics,
+                          cache=self._device.cache)
+
+    def store(
+        self,
+        buf: GlobalBuffer,
+        idx: np.ndarray,
+        values: np.ndarray,
+        mask: np.ndarray | None = None,
+    ) -> None:
+        """Warp-wide scatter to global memory (coalescing-accounted)."""
+        mask = self.full_mask if mask is None else np.asarray(mask, dtype=bool)
+        idx = self._as_lanes(idx)
+        buf.scatter(idx, values, mask, self._config, self._metrics,
+                    cache=self._device.cache)
+
+    # -- atomics ---------------------------------------------------------------
+
+    def atomic_add(self, buf, idx, values, mask=None) -> np.ndarray:
+        mask = self.full_mask if mask is None else np.asarray(mask, dtype=bool)
+        return self._atomics.add(buf, self._as_lanes(idx), values, mask)
+
+    def atomic_max(self, buf, idx, values, mask=None) -> np.ndarray:
+        mask = self.full_mask if mask is None else np.asarray(mask, dtype=bool)
+        return self._atomics.max(buf, self._as_lanes(idx), values, mask)
+
+    def atomic_min(self, buf, idx, values, mask=None) -> np.ndarray:
+        mask = self.full_mask if mask is None else np.asarray(mask, dtype=bool)
+        return self._atomics.min(buf, self._as_lanes(idx), values, mask)
+
+    def atomic_exch(self, buf, idx, values, mask=None) -> np.ndarray:
+        mask = self.full_mask if mask is None else np.asarray(mask, dtype=bool)
+        return self._atomics.exch(buf, self._as_lanes(idx), values, mask)
+
+    def atomic_cas(self, buf, idx, compare, values, mask=None) -> np.ndarray:
+        mask = self.full_mask if mask is None else np.asarray(mask, dtype=bool)
+        return self._atomics.cas(buf, self._as_lanes(idx), compare, values, mask)
+
+    # -- shared memory ----------------------------------------------------------
+
+    def shared(self, name: str, shape, dtype) -> np.ndarray:
+        """Declare / retrieve a named block-shared region (CUDA ``__shared__``)."""
+        return self._shared.allocate(name, shape, dtype)
+
+    def shared_load(self, region: np.ndarray, idx, mask=None) -> np.ndarray:
+        mask = self.full_mask if mask is None else np.asarray(mask, dtype=bool)
+        return self._shared.load(region, self._as_lanes(idx), mask)
+
+    def shared_store(self, region: np.ndarray, idx, values, mask=None) -> None:
+        mask = self.full_mask if mask is None else np.asarray(mask, dtype=bool)
+        self._shared.store(region, self._as_lanes(idx), values, mask)
+
+    # -- warp shuffle / vote intrinsics -------------------------------------------
+
+    def shfl(self, values: np.ndarray, src_lane) -> np.ndarray:
+        """``__shfl_sync``: every lane reads ``values`` from ``src_lane``.
+
+        ``src_lane`` may be a scalar (broadcast) or a per-lane vector.
+        """
+        self._metrics.alu_ops += 1
+        src = np.broadcast_to(np.asarray(src_lane, dtype=np.int64), (self.warp_size,))
+        src = np.clip(src, 0, self.warp_size - 1)
+        return np.asarray(values)[src]
+
+    def shfl_down(self, values: np.ndarray, delta: int) -> np.ndarray:
+        """``__shfl_down_sync``: lane ``i`` reads lane ``i + delta``.
+
+        Lanes whose source exceeds the warp keep their own value, matching
+        hardware behaviour.
+        """
+        self._metrics.alu_ops += 1
+        src = self.lane_id + int(delta)
+        vals = np.asarray(values)
+        out = vals.copy()
+        ok = src < self.warp_size
+        out[ok] = vals[src[ok]]
+        return out
+
+    def shfl_xor(self, values: np.ndarray, lane_mask: int) -> np.ndarray:
+        """``__shfl_xor_sync``: butterfly exchange pattern."""
+        self._metrics.alu_ops += 1
+        src = self.lane_id ^ int(lane_mask)
+        return np.asarray(values)[src]
+
+    def ballot(self, predicate: np.ndarray, mask: np.ndarray | None = None) -> int:
+        """``__ballot_sync``: bitmask of lanes whose predicate holds."""
+        mask = self.full_mask if mask is None else np.asarray(mask, dtype=bool)
+        self._metrics.alu_ops += 1
+        pred = np.broadcast_to(np.asarray(predicate, dtype=bool), (self.warp_size,))
+        bits = np.flatnonzero(pred & mask)
+        return int(sum(1 << int(b) for b in bits))
+
+    def any(self, predicate, mask=None) -> bool:
+        """``__any_sync``."""
+        return self.ballot(predicate, mask) != 0
+
+    def all(self, predicate, mask=None) -> bool:
+        """``__all_sync`` over the active lanes."""
+        mask = self.full_mask if mask is None else np.asarray(mask, dtype=bool)
+        self._metrics.alu_ops += 1
+        pred = np.broadcast_to(np.asarray(predicate, dtype=bool), (self.warp_size,))
+        return bool(pred[mask].all()) if mask.any() else True
+
+    # -- warp-level collectives (log2(W) shuffle steps, costed accordingly) ----
+
+    def reduce_sum(self, values: np.ndarray, mask: np.ndarray | None = None) -> float:
+        """Warp tree-reduction sum over active lanes (identity 0)."""
+        return self._reduce(values, mask, "sum")
+
+    def reduce_min(self, values: np.ndarray, mask: np.ndarray | None = None) -> float:
+        """Warp tree-reduction min over active lanes (identity +inf)."""
+        return self._reduce(values, mask, "min")
+
+    def reduce_max(self, values: np.ndarray, mask: np.ndarray | None = None) -> float:
+        """Warp tree-reduction max over active lanes (identity -inf)."""
+        return self._reduce(values, mask, "max")
+
+    def _reduce(self, values, mask, op: str):
+        mask = self.full_mask if mask is None else np.asarray(mask, dtype=bool)
+        vals = np.asarray(values)
+        # a hardware warp reduction is log2(warp_size) shuffle+op steps
+        self._metrics.alu_ops += 2 * int(np.log2(self.warp_size))
+        active = vals[mask]
+        if active.size == 0:
+            if op == "sum":
+                return vals.dtype.type(0)
+            return vals.dtype.type(np.inf if op == "min" else -np.inf)
+        if op == "sum":
+            return active.sum(dtype=np.float64).astype(vals.dtype) if vals.dtype.kind == "f" else active.sum()
+        return active.min() if op == "min" else active.max()
+
+    def argmax_lane(
+        self, values: np.ndarray, mask: np.ndarray | None = None
+    ) -> tuple[float, int]:
+        """Warp arg-max: returns ``(max_value, winning_lane)``.
+
+        Ties resolve to the lowest lane.  Costed like a reduction.  Inactive
+        warps (empty mask) return ``(-inf, -1)``.
+        """
+        mask = self.full_mask if mask is None else np.asarray(mask, dtype=bool)
+        self._metrics.alu_ops += 2 * int(np.log2(self.warp_size))
+        vals = np.asarray(values, dtype=np.float64).copy()
+        vals[~mask] = -np.inf
+        if not mask.any():
+            return float("-inf"), -1
+        lane = int(np.argmax(vals))
+        return float(vals[lane]), lane
+
+    def argmin_lane(
+        self, values: np.ndarray, mask: np.ndarray | None = None
+    ) -> tuple[float, int]:
+        """Warp arg-min: returns ``(min_value, winning_lane)``."""
+        mask = self.full_mask if mask is None else np.asarray(mask, dtype=bool)
+        self._metrics.alu_ops += 2 * int(np.log2(self.warp_size))
+        vals = np.asarray(values, dtype=np.float64).copy()
+        vals[~mask] = np.inf
+        if not mask.any():
+            return float("inf"), -1
+        lane = int(np.argmin(vals))
+        return float(vals[lane]), lane
+
+    def exclusive_scan_sum(self, values: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
+        """Warp exclusive prefix sum over active lanes (inactive lanes -> 0)."""
+        mask = self.full_mask if mask is None else np.asarray(mask, dtype=bool)
+        self._metrics.alu_ops += 2 * int(np.log2(self.warp_size))
+        vals = np.where(mask, np.asarray(values), 0)
+        out = np.cumsum(vals) - vals
+        return out
+
+    # -- internals -----------------------------------------------------------
+
+    def _as_lanes(self, idx) -> np.ndarray:
+        arr = np.asarray(idx, dtype=np.int64)
+        if arr.ndim == 0:
+            arr = np.full(self.warp_size, arr, dtype=np.int64)
+        if arr.shape != (self.warp_size,):
+            raise SimtError(
+                f"per-lane index vector must have shape ({self.warp_size},), "
+                f"got {arr.shape}"
+            )
+        return arr

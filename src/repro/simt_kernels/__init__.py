@@ -1,0 +1,30 @@
+"""Warp-centric w-KNNG kernels executed on the SIMT simulator.
+
+These are instruction-level implementations of the paper's three
+strategies, written against :class:`repro.simt.warp.WarpContext` exactly as
+the CUDA kernels would be written against warp intrinsics:
+
+* one warp owns one *query* point of a leaf and iterates over the leaf's
+  other members (``leaf_kernels``);
+* distances are accumulated lane-parallel over dimension chunks of
+  ``warp_size`` coordinates;
+* insertion into the global-memory k-NN list follows the strategy's
+  discipline (per-point lock / packed-word CAS / shared tile + warp
+  bitonic bulk merge).
+
+The simulator interprets every warp operation in Python, so this layer is
+used at small scale: for correctness cross-checks against the vectorised
+backend (both must produce the same graphs) and for the microarchitecture
+metrics of experiment F6 (global transactions, shared traffic, atomics,
+divergence per strategy and dimensionality).
+
+Limitations (documented, deliberate): warps execute cooperatively, so
+*cross-warp* lock/CAS contention never materialises inside the simulator -
+contention is accounted analytically from the vectorised backend's
+attempt/retry counters instead (see ``repro.bench.costmodel``).
+"""
+
+from repro.simt_kernels.pipeline import build_knng_simt, simt_leaf_metrics
+from repro.simt_kernels.bruteforce_kernel import bruteforce_knng_simt
+
+__all__ = ["build_knng_simt", "simt_leaf_metrics", "bruteforce_knng_simt"]

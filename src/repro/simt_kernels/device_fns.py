@@ -1,0 +1,250 @@
+"""Device functions shared by the warp-centric kernels.
+
+Each function takes the warp context plus device buffers and mirrors one
+``__device__`` function of the CUDA implementation.  All memory traffic
+flows through the context so the simulator's counters see it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt.atomics import pack_dist_id
+from repro.simt.intrinsics import warp_bitonic_sort, warp_sorted_merge_max
+from repro.simt.memory import GlobalBuffer
+from repro.simt.warp import WarpContext
+
+
+def load_scalar(ctx: WarpContext, buf: GlobalBuffer, index: int) -> float:
+    """Single-lane load + warp broadcast (a scalar read done CUDA-style)."""
+    vec = ctx.load(buf, np.full(ctx.warp_size, index), ctx.lane_id == 0)
+    return ctx.shfl(vec, 0)[0]
+
+
+def distance_direct(
+    ctx: WarpContext,
+    xbuf: GlobalBuffer,
+    i: int,
+    j: int,
+    dim: int,
+    xi_chunks: list[np.ndarray] | None = None,
+) -> float:
+    """Squared L2 between points ``i`` and ``j`` (direct schedule).
+
+    Lanes accumulate over dimension chunks of ``warp_size`` coordinates;
+    the query point's chunks can be passed in (``xi_chunks``) so the warp
+    loads them once per leaf instead of once per pair - registers cache the
+    query, global memory streams the candidate (the baseline/atomic traffic
+    pattern).
+    """
+    w = ctx.warp_size
+    lane = ctx.lane_id
+    acc = np.zeros(w, dtype=np.float64)
+    n_chunks = (dim + w - 1) // w
+    for c in range(n_chunks):
+        base = c * w
+        mask = (base + lane) < dim
+        if xi_chunks is not None:
+            xi = xi_chunks[c]
+        else:
+            xi = ctx.load(xbuf, i * dim + base + lane, mask)
+        xj = ctx.load(xbuf, j * dim + base + lane, mask)
+        diff = np.where(mask, xi.astype(np.float64) - xj, 0.0)
+        acc += diff * diff
+        ctx.alu(2)
+    return float(ctx.reduce_sum(acc))
+
+
+def load_point_chunks(
+    ctx: WarpContext, xbuf: GlobalBuffer, i: int, dim: int
+) -> list[np.ndarray]:
+    """Load a point's coordinates into per-chunk warp registers."""
+    w = ctx.warp_size
+    lane = ctx.lane_id
+    chunks = []
+    for c in range((dim + w - 1) // w):
+        base = c * w
+        mask = (base + lane) < dim
+        chunks.append(ctx.load(xbuf, i * dim + base + lane, mask))
+    return chunks
+
+
+# --------------------------------------------------------------------------
+# insertion disciplines
+# --------------------------------------------------------------------------
+
+
+def insert_baseline(
+    ctx: WarpContext,
+    dist_buf: GlobalBuffer,
+    id_buf: GlobalBuffer,
+    lock_buf: GlobalBuffer,
+    row: int,
+    k: int,
+    cand_dist: float,
+    cand_id: int,
+) -> bool:
+    """Lock-protected scan-and-replace (the baseline discipline).
+
+    Returns True if the candidate entered the list.  The lock is an
+    ``atomicExch`` on a per-point word; within the cooperative simulator it
+    always succeeds on the first try (see package docstring), but the
+    operation is still issued so its cost is counted.
+    """
+    lane = ctx.lane_id
+    slot_mask = lane < k
+    # acquire
+    old = ctx.atomic_exch(lock_buf, np.full(ctx.warp_size, row), 1, lane == 0)
+    if int(ctx.shfl(old, 0)[0]) != 0:  # pragma: no cover - no real contention
+        raise RuntimeError("simulated lock unexpectedly contended")
+    # scan (membership + maximum in one pass over the k slots)
+    dists = ctx.load(dist_buf, row * k + lane, slot_mask)
+    ids = ctx.load(id_buf, row * k + lane, slot_mask)
+    if ctx.any(ids == cand_id, slot_mask):
+        ctx.store(lock_buf, np.full(ctx.warp_size, row), np.int32(0), lane == 0)
+        return False
+    max_val, max_lane = ctx.argmax_lane(dists, slot_mask)
+    accepted = ctx.branch(np.full(ctx.warp_size, cand_dist < max_val), slot_mask)
+    if accepted:
+        at = np.full(ctx.warp_size, row * k + max_lane)
+        ctx.store(dist_buf, at, np.float32(cand_dist), lane == 0)
+        ctx.store(id_buf, at, np.int32(cand_id), lane == 0)
+    # release
+    ctx.store(lock_buf, np.full(ctx.warp_size, row), np.int32(0), lane == 0)
+    return accepted
+
+
+def insert_atomic(
+    ctx: WarpContext,
+    packed_buf: GlobalBuffer,
+    row: int,
+    k: int,
+    cand_dist: float,
+    cand_id: int,
+) -> bool:
+    """Lock-free packed-word CAS insertion (the atomic discipline).
+
+    The warp scans the ``k`` packed (distance, id) words, finds the
+    maximum, quick-rejects, then CASes the max slot.  Within the
+    cooperative simulator the CAS always succeeds first try; retry traffic
+    is accounted analytically elsewhere.
+    """
+    lane = ctx.lane_id
+    slot_mask = lane < k
+    cand_packed = int(pack_dist_id(np.float32(cand_dist), np.int32(cand_id)))
+    while True:
+        words = ctx.load(packed_buf, row * k + lane, slot_mask)
+        # membership scan on the low 32 bits (the id field)
+        slot_ids = (words & np.uint64(0xFFFFFFFF)).astype(np.int64)
+        slot_ids = np.where(slot_ids >= 2**31, slot_ids - 2**32, slot_ids)
+        ctx.alu(1)
+        if ctx.any(slot_ids == cand_id, slot_mask):
+            return False
+        # uint64 argmax: packed words order by distance (see atomics module)
+        masked = np.where(slot_mask, words, 0)
+        ctx.alu(2 * int(np.log2(ctx.warp_size)))  # warp max-reduction
+        max_lane = int(np.argmax(masked))
+        max_word = int(masked[max_lane])
+        if cand_packed >= max_word:
+            ctx.alu(1)
+            return False
+        old = ctx.atomic_cas(
+            packed_buf,
+            np.full(ctx.warp_size, row * k + max_lane),
+            np.uint64(max_word),
+            np.uint64(cand_packed),
+            lane == 0,
+        )
+        if int(ctx.shfl(old, 0)[0]) == max_word:
+            return True
+        # pragma: no cover - unreachable in the cooperative simulator
+
+
+class TiledInserter:
+    """Shared-memory candidate tile + warp bitonic bulk merge.
+
+    One inserter serves one warp processing one query row: candidates
+    accumulate into a shared-memory tile of ``warp_size`` entries; a full
+    tile (or an explicit flush) sorts the tile in-register and merges it
+    into the row's *sorted* global list with
+    :func:`~repro.simt.intrinsics.warp_sorted_merge_max`, touching global
+    memory once per tile instead of once per candidate.
+    """
+
+    def __init__(
+        self,
+        ctx: WarpContext,
+        dist_buf: GlobalBuffer,
+        id_buf: GlobalBuffer,
+        row: int,
+        k: int,
+        tile_name: str,
+    ) -> None:
+        self.ctx = ctx
+        self.dist_buf = dist_buf
+        self.id_buf = id_buf
+        self.row = row
+        self.k = k
+        w = ctx.warp_size
+        self._tile_d = ctx.shared(f"{tile_name}_d", (w,), np.float32)
+        self._tile_i = ctx.shared(f"{tile_name}_i", (w,), np.int32)
+        self._fill = 0
+
+    def offer(self, cand_dist: float, cand_id: int) -> None:
+        """Append one candidate to the tile, flushing when full."""
+        ctx = self.ctx
+        at = np.full(ctx.warp_size, self._fill)
+        ctx.shared_store(self._tile_d, at, np.float32(cand_dist), ctx.lane_id == 0)
+        ctx.shared_store(self._tile_i, at, np.int32(cand_id), ctx.lane_id == 0)
+        self._fill += 1
+        if self._fill == ctx.warp_size:
+            self.flush()
+
+    def offer_vector(self, cand_dists: np.ndarray, cand_ids: np.ndarray, mask: np.ndarray) -> None:
+        """Append a whole warp-vector of candidates (one per active lane).
+
+        Inactive lanes contribute padding (+inf) so the tile stays dense.
+        This is the fast path used by the tiled leaf kernel, where lanes
+        hold distances to ``warp_size`` different candidates at once.
+        """
+        ctx = self.ctx
+        if self._fill != 0:
+            self.flush()
+        lane = ctx.lane_id
+        d = np.where(mask, cand_dists.astype(np.float32), np.float32(np.inf))
+        i = np.where(mask, cand_ids.astype(np.int32), np.int32(-1))
+        ctx.shared_store(self._tile_d, lane, d)
+        ctx.shared_store(self._tile_i, lane, i)
+        self._fill = ctx.warp_size
+        self.flush()
+
+    def flush(self) -> None:
+        """Sort the tile and bulk-merge it into the row's global list."""
+        if self._fill == 0:
+            return
+        ctx = self.ctx
+        lane = ctx.lane_id
+        w = ctx.warp_size
+        valid = lane < self._fill
+        tile_d = ctx.shared_load(self._tile_d, lane)
+        tile_i = ctx.shared_load(self._tile_i, lane)
+        tile_d = np.where(valid, tile_d, np.float32(np.inf))
+        tile_i = np.where(valid, tile_i, np.int32(-1))
+        tile_d, tile_i = warp_bitonic_sort(ctx, tile_d, tile_i)
+        slot_mask = lane < self.k
+        base = self.row * self.k
+        cur_d = ctx.load(self.dist_buf, base + lane, slot_mask)
+        cur_i = ctx.load(self.id_buf, base + lane, slot_mask)
+        # pad the register image beyond k with +inf so the merge is a clean
+        # "keep the w smallest of 2w" (list rows are stored sorted)
+        cur_d = np.where(slot_mask, cur_d, np.float32(np.inf))
+        cur_i = np.where(slot_mask, cur_i, np.int32(-1))
+        # drop tile entries already present in the list (the membership scan
+        # every discipline performs; one O(k) compare per tile entry)
+        ctx.alu(self.k)
+        present = np.isin(tile_i, cur_i[slot_mask & (cur_i >= 0)])
+        tile_d = np.where(present, np.float32(np.inf), tile_d)
+        merged_d, merged_i = warp_sorted_merge_max(ctx, cur_d, cur_i, tile_d, tile_i)
+        ctx.store(self.dist_buf, base + lane, merged_d, slot_mask)
+        ctx.store(self.id_buf, base + lane, merged_i, slot_mask)
+        self._fill = 0

@@ -1,0 +1,104 @@
+"""Refinement (explicit candidate-pair) kernels.
+
+The host groups the neighbour-of-neighbour candidate pairs by query row
+(the same grouping the GPU implementation gets for free by assigning one
+warp per point); each warp then walks its row's candidate group: direct
+distance, then the strategy's insertion discipline.
+"""
+
+from __future__ import annotations
+
+from repro.simt.memory import GlobalBuffer
+from repro.simt.warp import WarpContext
+from repro.simt_kernels.device_fns import (
+    TiledInserter,
+    distance_direct,
+    insert_atomic,
+    insert_baseline,
+    load_point_chunks,
+    load_scalar,
+)
+
+
+def _walk_group(ctx, xbuf, rows_buf, cols_buf, starts_buf, counts_buf, dim):
+    """Common prologue: resolve this warp's row and candidate range."""
+    g = ctx.warp_id_global
+    row = int(load_scalar(ctx, rows_buf, g))
+    start = int(load_scalar(ctx, starts_buf, g))
+    count = int(load_scalar(ctx, counts_buf, g))
+    xi = load_point_chunks(ctx, xbuf, row, dim)
+    return row, start, count, xi
+
+
+def pairs_kernel_baseline(
+    ctx: WarpContext,
+    xbuf: GlobalBuffer,
+    dist_buf: GlobalBuffer,
+    id_buf: GlobalBuffer,
+    lock_buf: GlobalBuffer,
+    rows_buf: GlobalBuffer,
+    cols_buf: GlobalBuffer,
+    starts_buf: GlobalBuffer,
+    counts_buf: GlobalBuffer,
+    n_groups: int,
+    dim: int,
+    k: int,
+) -> None:
+    if ctx.warp_id_global >= n_groups:
+        return
+    row, start, count, xi = _walk_group(
+        ctx, xbuf, rows_buf, cols_buf, starts_buf, counts_buf, dim
+    )
+    for p in range(start, start + count):
+        j = int(load_scalar(ctx, cols_buf, p))
+        dist = distance_direct(ctx, xbuf, row, j, dim, xi)
+        insert_baseline(ctx, dist_buf, id_buf, lock_buf, row, k, dist, j)
+
+
+def pairs_kernel_atomic(
+    ctx: WarpContext,
+    xbuf: GlobalBuffer,
+    packed_buf: GlobalBuffer,
+    rows_buf: GlobalBuffer,
+    cols_buf: GlobalBuffer,
+    starts_buf: GlobalBuffer,
+    counts_buf: GlobalBuffer,
+    n_groups: int,
+    dim: int,
+    k: int,
+) -> None:
+    if ctx.warp_id_global >= n_groups:
+        return
+    row, start, count, xi = _walk_group(
+        ctx, xbuf, rows_buf, cols_buf, starts_buf, counts_buf, dim
+    )
+    for p in range(start, start + count):
+        j = int(load_scalar(ctx, cols_buf, p))
+        dist = distance_direct(ctx, xbuf, row, j, dim, xi)
+        insert_atomic(ctx, packed_buf, row, k, dist, j)
+
+
+def pairs_kernel_tiled(
+    ctx: WarpContext,
+    xbuf: GlobalBuffer,
+    dist_buf: GlobalBuffer,
+    id_buf: GlobalBuffer,
+    rows_buf: GlobalBuffer,
+    cols_buf: GlobalBuffer,
+    starts_buf: GlobalBuffer,
+    counts_buf: GlobalBuffer,
+    n_groups: int,
+    dim: int,
+    k: int,
+) -> None:
+    if ctx.warp_id_global >= n_groups:
+        return
+    row, start, count, xi = _walk_group(
+        ctx, xbuf, rows_buf, cols_buf, starts_buf, counts_buf, dim
+    )
+    inserter = TiledInserter(ctx, dist_buf, id_buf, row, k, tile_name="pairs_tile")
+    for p in range(start, start + count):
+        j = int(load_scalar(ctx, cols_buf, p))
+        dist = distance_direct(ctx, xbuf, row, j, dim, xi)
+        inserter.offer(dist, j)
+    inserter.flush()

@@ -1,0 +1,29 @@
+"""Shared utilities: RNG streams, validation, array helpers, logging."""
+
+from repro.utils.rng import RngStream, as_generator, spawn_streams
+from repro.utils.validation import (
+    check_points_matrix,
+    check_positive_int,
+    check_probability,
+    ensure_float32,
+)
+from repro.utils.arrays import (
+    blockwise_ranges,
+    pad_to_length,
+    row_topk,
+    segment_lengths,
+)
+
+__all__ = [
+    "RngStream",
+    "as_generator",
+    "spawn_streams",
+    "check_points_matrix",
+    "check_positive_int",
+    "check_probability",
+    "ensure_float32",
+    "blockwise_ranges",
+    "pad_to_length",
+    "row_topk",
+    "segment_lengths",
+]

@@ -1,0 +1,88 @@
+"""Reproducible random-number streams.
+
+Every stochastic component of the library (RP-tree hyperplanes, k-means
+initialisation, synthetic data generators, refinement sampling) draws from an
+explicitly passed :class:`numpy.random.Generator`.  Nothing in the library
+touches NumPy's global RNG, so two runs with the same seeds are bitwise
+reproducible regardless of import order or other libraries.
+
+:func:`spawn_streams` derives independent child generators from one parent
+seed, which is how the forest builder gives each tree its own stream (trees
+can then be built in any order - or in parallel - without changing results).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+#: Things acceptable wherever the library wants a random source.
+RngStream = int | np.random.Generator | np.random.SeedSequence | None
+
+
+def as_generator(seed: RngStream) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh OS entropy), an integer seed, a
+    :class:`~numpy.random.SeedSequence`, or an existing generator (returned
+    unchanged, *not* copied, so state advances for the caller too).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_streams(seed: RngStream, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent generators from ``seed``.
+
+    When ``seed`` is an existing generator, children are derived via
+    :meth:`numpy.random.Generator.spawn`, which advances the parent; for
+    int/None/SeedSequence seeds, a fresh :class:`~numpy.random.SeedSequence`
+    is spawned so the parent seed remains usable elsewhere.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of streams: {n}")
+    if isinstance(seed, np.random.Generator):
+        return list(seed.spawn(n))
+    if isinstance(seed, np.random.SeedSequence):
+        ss = seed
+    else:
+        ss = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]
+
+
+def random_unit_vectors(
+    rng: np.random.Generator, n: int, dim: int, dtype=np.float32
+) -> np.ndarray:
+    """Sample ``n`` unit vectors uniformly on the ``dim``-sphere.
+
+    Used for RP-tree hyperplane normals.  Gaussian sampling followed by
+    normalisation yields the rotation-invariant (uniform) distribution on
+    the sphere.
+    """
+    if n <= 0 or dim <= 0:
+        raise ValueError(f"need positive n and dim, got n={n}, dim={dim}")
+    vecs = rng.standard_normal((n, dim)).astype(dtype, copy=False)
+    norms = np.linalg.norm(vecs, axis=1, keepdims=True)
+    # Degenerate all-zero draws are astronomically unlikely but cheap to fix.
+    norms[norms == 0] = 1.0
+    vecs /= norms
+    return vecs
+
+
+def sample_without_replacement(
+    rng: np.random.Generator, population: int | Sequence[int] | np.ndarray, k: int
+) -> np.ndarray:
+    """Sample ``k`` distinct items, clamping ``k`` to the population size."""
+    if isinstance(population, (int, np.integer)):
+        size = int(population)
+        pool: np.ndarray | None = None
+    else:
+        pool = np.asarray(population)
+        size = pool.shape[0]
+    k = min(int(k), size)
+    idx = rng.choice(size, size=k, replace=False)
+    return idx if pool is None else pool[idx]

@@ -1,0 +1,47 @@
+"""Shared fixtures: small, seeded datasets and their exact ground truth."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.bruteforce import BruteForceKNN
+from repro.data.synthetic import gaussian_mixture, uniform_hypercube
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(20210809)  # the conference date
+
+
+@pytest.fixture(scope="session")
+def small_clustered():
+    """600 points, 16-d, clustered - the RP-forest-friendly regime."""
+    return gaussian_mixture(600, 16, n_clusters=12, cluster_std=0.8, seed=42)
+
+
+@pytest.fixture(scope="session")
+def small_uniform():
+    """400 points, 8-d, uniform - the structure-free regime."""
+    return uniform_hypercube(400, 8, seed=43)
+
+
+@pytest.fixture(scope="session")
+def tiny_points():
+    """60 points, 6-d - small enough for the SIMT simulator."""
+    return gaussian_mixture(60, 6, n_clusters=4, cluster_std=0.7, seed=44)
+
+
+@pytest.fixture(scope="session")
+def clustered_gt(small_clustered):
+    """Exact 10-NN ids of the clustered fixture."""
+    ids, dists = BruteForceKNN(small_clustered).search(
+        small_clustered, 10, exclude_self=True
+    )
+    return ids, dists
+
+
+@pytest.fixture(scope="session")
+def tiny_gt(tiny_points):
+    ids, dists = BruteForceKNN(tiny_points).search(tiny_points, 5, exclude_self=True)
+    return ids, dists

@@ -1,0 +1,151 @@
+"""Tests for the applications: t-SNE and graph-guided similarity search."""
+
+import numpy as np
+import pytest
+
+from repro.apps.search import GraphSearchIndex, SearchConfig
+from repro.apps.tsne import TSNE, TSNEConfig
+from repro.baselines.bruteforce import BruteForceKNN
+from repro.data.synthetic import gaussian_mixture
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def labeled_blobs():
+    rng = np.random.default_rng(0)
+    centers = rng.standard_normal((4, 12)) * 8
+    labels = np.repeat(np.arange(4), 75)
+    x = (centers[labels] + rng.standard_normal((300, 12)) * 0.5).astype(np.float32)
+    return x, labels
+
+
+class TestTSNEConfig:
+    def test_defaults(self):
+        cfg = TSNEConfig()
+        assert cfg.effective_k() == 90
+
+    def test_knn_k_override(self):
+        assert TSNEConfig(knn_k=25).effective_k() == 25
+
+    def test_bad_perplexity(self):
+        with pytest.raises(ConfigurationError):
+            TSNEConfig(perplexity=1.0)
+
+    def test_bad_components(self):
+        with pytest.raises(ConfigurationError):
+            TSNEConfig(n_components=0)
+
+    def test_bad_n_iter(self):
+        with pytest.raises(ConfigurationError):
+            TSNEConfig(n_iter=0)
+
+
+class TestTSNE:
+    @pytest.fixture(scope="class")
+    def embedding(self, labeled_blobs):
+        x, labels = labeled_blobs
+        model = TSNE(TSNEConfig(perplexity=12, n_iter=220,
+                                exaggeration_iters=80, seed=0))
+        return model, model.fit_transform(x), labels
+
+    def test_shape(self, embedding):
+        _, emb, _ = embedding
+        assert emb.shape == (300, 2)
+        assert np.isfinite(emb).all()
+
+    def test_clusters_separate(self, embedding):
+        """Intra-cluster embedding distances must be far below inter-cluster."""
+        _, emb, labels = embedding
+        d = ((emb[:, None, :] - emb[None, :, :]) ** 2).sum(-1)
+        same = labels[:, None] == labels[None, :]
+        np.fill_diagonal(same, False)
+        intra = np.sqrt(d[same]).mean()
+        inter = np.sqrt(d[~same & np.isfinite(d)]).mean()
+        assert inter > 2 * intra
+
+    def test_kl_recorded(self, embedding):
+        model, _, _ = embedding
+        assert np.isfinite(model.kl_divergence_)
+        assert model.kl_divergence_ >= 0
+
+    def test_graph_attached(self, embedding):
+        model, _, _ = embedding
+        assert model.knn_graph is not None
+        assert model.knn_graph.n == 300
+
+    def test_conditional_p_matches_perplexity(self, embedding, labeled_blobs):
+        model, _, _ = embedding
+        p = model._conditional_p(model.knn_graph)
+        # row entropies should sit near log(perplexity)
+        h = -(p * np.log(p + 1e-12)).sum(axis=1)
+        target = np.log(model.config.perplexity)
+        assert np.abs(h - target).mean() < 0.1
+
+    def test_reproducible(self, labeled_blobs):
+        x, _ = labeled_blobs
+        cfg = dict(perplexity=10, n_iter=30, exaggeration_iters=10, seed=5)
+        e1 = TSNE(TSNEConfig(**cfg)).fit_transform(x[:100])
+        e2 = TSNE(TSNEConfig(**cfg)).fit_transform(x[:100])
+        assert np.allclose(e1, e2)
+
+
+class TestSearchConfig:
+    def test_defaults_valid(self):
+        assert SearchConfig().ef == 32
+
+    def test_bad_ef(self):
+        with pytest.raises(ConfigurationError):
+            SearchConfig(ef=0)
+
+
+class TestGraphSearch:
+    @pytest.fixture(scope="class")
+    def index(self, labeled_blobs):
+        x, _ = labeled_blobs
+        return x, GraphSearchIndex.build(x, k=10, seed=1)
+
+    def test_high_recall(self, index):
+        x, idx = index
+        rng = np.random.default_rng(2)
+        q = x[rng.choice(300, 40, replace=False)] + rng.standard_normal((40, 12)).astype(np.float32) * 0.1
+        ids, _ = idx.search(q, 5)
+        gt, _ = BruteForceKNN(x).search(q, 5)
+        recall = np.mean([len(set(a) & set(b)) / 5 for a, b in zip(ids, gt)])
+        assert recall > 0.85
+
+    def test_results_sorted(self, index):
+        x, idx = index
+        _, dists = idx.search(x[:3], 5)
+        assert (np.diff(dists, axis=1) >= 0).all()
+
+    def test_known_point_found(self, index):
+        x, idx = index
+        ids, dists = idx.search(x[7:8], 1)
+        assert ids[0, 0] == 7
+        assert dists[0, 0] == pytest.approx(0.0, abs=1e-5)
+
+    def test_ef_improves_recall(self, labeled_blobs):
+        x, _ = labeled_blobs
+        rng = np.random.default_rng(3)
+        q = rng.standard_normal((30, 12)).astype(np.float32) * 4
+        gt, _ = BruteForceKNN(x).search(q, 8)
+
+        def recall_at(ef):
+            idx = GraphSearchIndex.build(
+                x, k=8, seed=1, search_config=SearchConfig(ef=ef, seeds_per_tree=1)
+            )
+            ids, _ = idx.search(q, 8)
+            return np.mean([len(set(a) & set(b)) / 8 for a, b in zip(ids, gt)])
+
+        assert recall_at(64) >= recall_at(2) - 0.02
+
+    def test_dim_mismatch(self, index):
+        _, idx = index
+        with pytest.raises(ConfigurationError):
+            idx.search(np.zeros((1, 5), dtype=np.float32), 3)
+
+    def test_graph_points_mismatch_rejected(self, labeled_blobs):
+        x, _ = labeled_blobs
+        idx = GraphSearchIndex.build(x, k=5, seed=0)
+        with pytest.raises(ConfigurationError):
+            GraphSearchIndex(x[:10], idx.graph, idx.forest)

@@ -1,0 +1,83 @@
+"""Tests for near-duplicate detection."""
+
+import numpy as np
+import pytest
+
+from repro import BuildConfig, WKNNGBuilder
+from repro.apps.dedup import DedupConfig, Deduplicator
+from repro.data.synthetic import uniform_hypercube
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def duplicated_graph():
+    """200 base points; points 0-19 each get two near-copies appended."""
+    rng = np.random.default_rng(17)
+    base = uniform_hypercube(200, 8, seed=17)
+    copies = []
+    for i in range(20):
+        for _ in range(2):
+            copies.append(base[i] + rng.normal(0, 1e-5, 8).astype(np.float32))
+    x = np.vstack([base, np.array(copies, dtype=np.float32)])
+    graph = WKNNGBuilder(BuildConfig(k=6, n_trees=4, leaf_size=32,
+                                     refine_iters=2, seed=0)).build(x)
+    return x, graph
+
+
+class TestConfig:
+    def test_bad_threshold(self):
+        with pytest.raises(ConfigurationError):
+            DedupConfig(threshold=-1)
+
+    def test_bad_quantile(self):
+        with pytest.raises(ConfigurationError):
+            DedupConfig(quantile=0.0)
+
+    def test_bad_floor(self):
+        with pytest.raises(ConfigurationError):
+            DedupConfig(floor=-1)
+
+
+class TestDeduplicator:
+    def test_finds_planted_groups(self, duplicated_graph):
+        _, graph = duplicated_graph
+        groups = Deduplicator(DedupConfig(threshold=1e-6)).find_groups(graph)
+        assert len(groups) == 20
+        for g in groups:
+            assert len(g) == 3  # original + two copies
+            assert g[0] < 200 and g[1] >= 200  # one base, copies appended
+
+    def test_auto_threshold_finds_groups(self, duplicated_graph):
+        _, graph = duplicated_graph
+        dedup = Deduplicator(DedupConfig(quantile=0.05))
+        groups = dedup.find_groups(graph)
+        assert np.isfinite(dedup.threshold_)
+        planted = [g for g in groups if len(g) >= 3]
+        assert len(planted) >= 18  # allow a couple of near-threshold misses
+
+    def test_groups_sorted_by_size(self, duplicated_graph):
+        _, graph = duplicated_graph
+        groups = Deduplicator(DedupConfig(threshold=1e-6)).find_groups(graph)
+        sizes = [len(g) for g in groups]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_no_duplicates_dataset(self):
+        x = uniform_hypercube(150, 8, seed=18)
+        graph = WKNNGBuilder(BuildConfig(k=5, n_trees=3, leaf_size=24,
+                                         refine_iters=1, seed=0)).build(x)
+        groups = Deduplicator(DedupConfig(threshold=1e-9)).find_groups(graph)
+        assert groups == []
+
+    def test_duplicate_mask(self, duplicated_graph):
+        _, graph = duplicated_graph
+        mask = Deduplicator(DedupConfig(threshold=1e-6)).duplicate_mask(graph)
+        assert mask.sum() == 60  # 20 groups x 3 members
+        assert mask[200:].all()  # every appended copy is flagged
+
+    def test_representatives_drop_copies(self, duplicated_graph):
+        _, graph = duplicated_graph
+        reps = Deduplicator(DedupConfig(threshold=1e-6)).representatives(graph)
+        # 200 base + 40 copies; two copies dropped per each of 20 groups
+        assert graph.n == 240
+        assert len(reps) == 240 - 40
+        assert set(range(200)) <= set(reps.tolist())  # base points all kept

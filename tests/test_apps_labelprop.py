@@ -1,0 +1,103 @@
+"""Tests for label propagation over K-NN graphs."""
+
+import numpy as np
+import pytest
+
+from repro import BuildConfig, WKNNGBuilder
+from repro.apps.labelprop import LabelPropConfig, LabelPropagation
+from repro.core.graph import KNNGraph
+from repro.data.synthetic import gaussian_mixture
+from repro.errors import ConfigurationError, DataError
+
+
+@pytest.fixture(scope="module")
+def blob_graph():
+    rng = np.random.default_rng(31)
+    centers = rng.standard_normal((3, 10)) * 10
+    labels = np.repeat(np.arange(3), 150)
+    x = (centers[labels] + rng.standard_normal((450, 10))).astype(np.float32)
+    graph = WKNNGBuilder(BuildConfig(k=8, n_trees=4, leaf_size=40,
+                                     refine_iters=2, seed=0)).build(x)
+    return graph, labels
+
+
+class TestConfig:
+    @pytest.mark.parametrize("alpha", [0.0, 1.0, -0.5])
+    def test_bad_alpha(self, alpha):
+        with pytest.raises(ConfigurationError):
+            LabelPropConfig(alpha=alpha)
+
+    def test_bad_iters(self):
+        with pytest.raises(ConfigurationError):
+            LabelPropConfig(max_iters=0)
+
+    def test_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            LabelPropConfig(kernel_scale=0)
+
+
+class TestLabelPropagation:
+    def test_recovers_blob_labels_from_sparse_seeds(self, blob_graph):
+        graph, labels = blob_graph
+        rng = np.random.default_rng(0)
+        seeds = np.full(450, -1)
+        for c in range(3):
+            members = np.flatnonzero(labels == c)
+            seeds[rng.choice(members, 5, replace=False)] = c
+        pred = LabelPropagation(graph).fit_predict(seeds)
+        accuracy = (pred == labels).mean()
+        assert accuracy > 0.95
+
+    def test_seed_labels_preserved(self, blob_graph):
+        graph, labels = blob_graph
+        seeds = np.full(450, -1)
+        seeds[0] = labels[0]
+        seeds[200] = labels[200]
+        seeds[400] = labels[400]
+        pred = LabelPropagation(graph).fit_predict(seeds)
+        assert pred[0] == labels[0]
+        assert pred[200] == labels[200]
+
+    def test_scores_shape(self, blob_graph):
+        graph, labels = blob_graph
+        seeds = np.full(450, -1)
+        seeds[:3] = [0, 1, 2][: 3]
+        seeds[:3] = labels[:3]
+        seeds[150] = labels[150]
+        seeds[300] = labels[300]
+        lp = LabelPropagation(graph)
+        lp.fit_predict(seeds)
+        assert lp.scores_.shape[0] == 450
+        assert lp.n_iter_ >= 1
+
+    def test_no_seeds_rejected(self, blob_graph):
+        graph, _ = blob_graph
+        with pytest.raises(DataError):
+            LabelPropagation(graph).fit_predict(np.full(450, -1))
+
+    def test_wrong_shape_rejected(self, blob_graph):
+        graph, _ = blob_graph
+        with pytest.raises(DataError):
+            LabelPropagation(graph).fit_predict(np.zeros(10))
+
+    def test_disconnected_island_stays_unlabelled(self):
+        # two 2-cliques, seed only in the first
+        ids = np.array([[1], [0], [3], [2]], dtype=np.int32)
+        dists = np.ones((4, 1), dtype=np.float32)
+        graph = KNNGraph(ids=ids, dists=dists)
+        seeds = np.array([0, -1, -1, -1])
+        pred = LabelPropagation(graph).fit_predict(seeds)
+        assert pred[1] == 0
+        assert pred[2] == -1 and pred[3] == -1
+
+    def test_nonconsecutive_class_ids(self, blob_graph):
+        graph, labels = blob_graph
+        seeds = np.full(450, -1)
+        mapped = np.array([10, 42, 99])[labels]
+        rng = np.random.default_rng(1)
+        for c in (10, 42, 99):
+            members = np.flatnonzero(mapped == c)
+            seeds[rng.choice(members, 4, replace=False)] = c
+        pred = LabelPropagation(graph).fit_predict(seeds)
+        assert set(np.unique(pred)) <= {10, 42, 99}
+        assert (pred == mapped).mean() > 0.9

@@ -1,0 +1,80 @@
+"""Tests for the spectral embedding application."""
+
+import numpy as np
+import pytest
+
+from repro import BuildConfig, WKNNGBuilder
+from repro.apps.spectral import SpectralConfig, SpectralEmbedding
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def blob_graph():
+    """Three *touching* blobs: the graph is connected with bottleneck
+    edges, so the Laplacian spectrum is non-degenerate and the Fiedler
+    vectors are well-defined (fully separated blobs would put the test at
+    the mercy of an arbitrary rotation of a degenerate null space)."""
+    rng = np.random.default_rng(8)
+    centers = rng.standard_normal((3, 12)) * 4.0
+    labels = np.repeat(np.arange(3), 120)
+    x = (centers[labels] + rng.standard_normal((360, 12))).astype(np.float32)
+    graph = WKNNGBuilder(BuildConfig(k=8, n_trees=4, leaf_size=40,
+                                     refine_iters=2, seed=0)).build(x)
+    return graph, labels
+
+
+class TestConfig:
+    def test_bad_components(self):
+        with pytest.raises(ConfigurationError):
+            SpectralConfig(n_components=0)
+
+    def test_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            SpectralConfig(kernel_scale=-1)
+
+
+class TestSpectralEmbedding:
+    def test_shape(self, blob_graph):
+        graph, _ = blob_graph
+        emb = SpectralEmbedding(SpectralConfig(n_components=2)).fit_transform(graph)
+        assert emb.shape == (360, 2)
+        assert np.isfinite(emb).all()
+
+    def test_separates_clusters(self, blob_graph):
+        """The Fiedler vectors of a bottlenecked graph separate the
+        clusters: inter-cluster embedding distances dominate intra."""
+        graph, labels = blob_graph
+        model = SpectralEmbedding(SpectralConfig(n_components=2))
+        emb = model.fit_transform(graph)
+        d = ((emb[:, None, :] - emb[None, :, :]) ** 2).sum(-1)
+        same = labels[:, None] == labels[None, :]
+        np.fill_diagonal(same, False)
+        intra = d[same].mean()
+        inter = d[~same].mean()
+        assert inter > 2 * max(intra, 1e-12)
+
+    def test_deterministic(self, blob_graph):
+        graph, _ = blob_graph
+        e1 = SpectralEmbedding(SpectralConfig(n_components=2)).fit_transform(graph)
+        e2 = SpectralEmbedding(SpectralConfig(n_components=2)).fit_transform(graph)
+        assert np.allclose(e1, e2, atol=1e-8)
+
+    def test_eigenvalues_sorted_nonnegative(self, blob_graph):
+        graph, _ = blob_graph
+        model = SpectralEmbedding(SpectralConfig(n_components=3))
+        model.fit_transform(graph)
+        vals = model.eigenvalues_
+        assert (np.diff(vals) >= -1e-9).all()
+        assert (vals > -1e-8).all()
+
+    def test_too_many_components(self, blob_graph):
+        graph, _ = blob_graph
+        with pytest.raises(ConfigurationError):
+            SpectralEmbedding(SpectralConfig(n_components=360)).fit_transform(graph)
+
+    def test_keep_trivial_option(self, blob_graph):
+        graph, _ = blob_graph
+        emb = SpectralEmbedding(
+            SpectralConfig(n_components=1, drop_trivial=False)
+        ).fit_transform(graph)
+        assert emb.shape == (360, 1)

@@ -1,0 +1,75 @@
+"""Tests for exact brute-force KNN (the ground-truth provider)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bruteforce import BruteForceKNN, exact_knn_graph
+
+
+@pytest.fixture(scope="module")
+def points():
+    return np.random.default_rng(0).standard_normal((80, 6)).astype(np.float32)
+
+
+def slow_reference(x, q, k, exclude_self=False):
+    d = ((q[:, None, :].astype(np.float64) - x[None, :, :]) ** 2).sum(-1)
+    if exclude_self:
+        for i in range(q.shape[0]):
+            d[i, i] = np.inf
+    ids = np.argsort(d, axis=1)[:, :k]
+    return ids, np.take_along_axis(d, ids, axis=1)
+
+
+class TestSearch:
+    def test_matches_reference(self, points):
+        q = points[:10]
+        ids, dists = BruteForceKNN(points).search(q, 5)
+        ref_ids, ref_d = slow_reference(points, q, 5)
+        assert np.allclose(dists, ref_d, rtol=1e-4, atol=1e-4)
+        # id sets may differ on exact ties only
+        for a, b in zip(ids, ref_ids):
+            assert set(a) == set(b)
+
+    def test_self_is_nearest_without_exclusion(self, points):
+        ids, dists = BruteForceKNN(points).search(points, 1)
+        assert np.array_equal(ids[:, 0], np.arange(80))
+        assert np.allclose(dists[:, 0], 0.0, atol=1e-5)
+
+    def test_exclude_self(self, points):
+        ids, _ = BruteForceKNN(points).search(points, 3, exclude_self=True)
+        assert not (ids == np.arange(80)[:, None]).any()
+
+    def test_blocking_invariant(self, points):
+        big = BruteForceKNN(points, block_rows=1000).search(points, 4)
+        small = BruteForceKNN(points, block_rows=7).search(points, 4)
+        assert np.allclose(big[1], small[1])
+
+    def test_sorted_ascending(self, points):
+        _, dists = BruteForceKNN(points).search(points[:5], 10)
+        assert (np.diff(dists, axis=1) >= 0).all()
+
+    def test_dim_mismatch(self, points):
+        with pytest.raises(ValueError):
+            BruteForceKNN(points).search(np.zeros((2, 99), dtype=np.float32), 3)
+
+    def test_k_clamped_without_exclusion(self, points):
+        ids, _ = BruteForceKNN(points).search(points[:2], 80)
+        assert ids.shape == (2, 80)
+
+    def test_bad_block_rows(self, points):
+        with pytest.raises(ValueError):
+            BruteForceKNN(points, block_rows=0)
+
+
+class TestGraph:
+    def test_graph_is_exact(self, points):
+        g = exact_knn_graph(points, 5)
+        ref_ids, _ = slow_reference(points, points, 5, exclude_self=True)
+        for a, b in zip(g.ids, ref_ids):
+            assert set(a) == set(b)
+
+    def test_graph_complete(self, points):
+        assert exact_knn_graph(points, 5).is_complete()
+
+    def test_graph_meta(self, points):
+        assert exact_knn_graph(points, 3).meta["algorithm"] == "bruteforce"

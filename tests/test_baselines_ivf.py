@@ -1,0 +1,116 @@
+"""Tests for the FAISS-like IVF-Flat index."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bruteforce import BruteForceKNN
+from repro.baselines.ivf import IVFConfig, IVFFlatIndex, ivf_knn_graph
+from repro.data.synthetic import gaussian_mixture
+from repro.errors import ConfigurationError
+from repro.metrics.recall import knn_recall
+
+
+@pytest.fixture(scope="module")
+def data():
+    x = gaussian_mixture(800, 12, n_clusters=16, cluster_std=0.6, seed=3)
+    gt, _ = BruteForceKNN(x).search(x, 8, exclude_self=True)
+    return x, gt
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = IVFConfig()
+        assert cfg.nprobe == 8
+
+    def test_resolve_heuristic(self):
+        assert IVFConfig().resolve_n_lists(10000) == 100
+
+    def test_explicit_n_lists(self):
+        assert IVFConfig(n_lists=17).resolve_n_lists(1000) == 17
+
+    def test_n_lists_exceeds_points(self):
+        with pytest.raises(ConfigurationError):
+            IVFConfig(n_lists=100).resolve_n_lists(50)
+
+    def test_bad_nprobe(self):
+        with pytest.raises(ConfigurationError):
+            IVFConfig(nprobe=0)
+
+
+class TestFit:
+    def test_lists_partition_points(self, data):
+        x, _ = data
+        index = IVFFlatIndex(IVFConfig(seed=0)).fit(x)
+        members = np.concatenate(index.lists)
+        assert sorted(members.tolist()) == list(range(800))
+
+    def test_members_nearest_centroid(self, data):
+        x, _ = data
+        index = IVFFlatIndex(IVFConfig(seed=0)).fit(x)
+        d = ((x[:, None, :] - index.centroids[None, :, :]) ** 2).sum(-1)
+        nearest = d.argmin(axis=1)
+        for c, members in enumerate(index.lists):
+            assert (nearest[members] == c).all()
+
+    def test_search_before_fit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IVFFlatIndex(IVFConfig()).search(np.zeros((1, 2), dtype=np.float32), 1)
+
+
+class TestSearch:
+    def test_full_probe_is_exact(self, data):
+        x, gt = data
+        index = IVFFlatIndex(IVFConfig(seed=0)).fit(x)
+        g = index.knn_graph(8, nprobe=index.n_lists)
+        assert knn_recall(g.ids, gt) > 0.999
+
+    def test_recall_monotone_in_nprobe(self, data):
+        x, gt = data
+        index = IVFFlatIndex(IVFConfig(seed=0)).fit(x)
+        recalls = [
+            knn_recall(index.knn_graph(8, nprobe=p).ids, gt) for p in (1, 4, 16)
+        ]
+        assert recalls[0] <= recalls[1] + 0.02
+        assert recalls[1] <= recalls[2] + 0.02
+
+    def test_exclude_self(self, data):
+        x, _ = data
+        g = IVFFlatIndex(IVFConfig(seed=0)).fit(x).knn_graph(4)
+        assert not (g.ids == np.arange(800)[:, None]).any()
+
+    def test_search_stats_populated(self, data):
+        x, _ = data
+        index = IVFFlatIndex(IVFConfig(nprobe=4, seed=0)).fit(x)
+        index.search(x[:50], 4)
+        stats = index.last_search_stats
+        assert stats["centroid_distance_evals"] == 50 * index.n_lists
+        assert stats["candidate_distance_evals"] > 0
+
+    def test_more_probes_more_work(self, data):
+        x, _ = data
+        index = IVFFlatIndex(IVFConfig(seed=0)).fit(x)
+        index.search(x[:50], 4, nprobe=1)
+        work1 = index.last_search_stats["candidate_distance_evals"]
+        index.search(x[:50], 4, nprobe=8)
+        work8 = index.last_search_stats["candidate_distance_evals"]
+        assert work8 > work1
+
+    def test_unfilled_slots_marked(self):
+        # k larger than the candidates available at nprobe=1
+        x = gaussian_mixture(60, 4, n_clusters=6, seed=1)
+        index = IVFFlatIndex(IVFConfig(n_lists=20, nprobe=1, seed=0)).fit(x)
+        ids, dists = index.search(x[:5], 30, nprobe=1)
+        assert (ids == -1).any()
+        assert np.isinf(dists[ids == -1]).all()
+
+    def test_query_shapes(self, data):
+        x, _ = data
+        index = IVFFlatIndex(IVFConfig(seed=0)).fit(x)
+        ids, dists = index.search(x[:7], 3)
+        assert ids.shape == (7, 3) and dists.shape == (7, 3)
+
+    def test_one_shot_helper(self, data):
+        x, gt = data
+        g = ivf_knn_graph(x, 8, IVFConfig(nprobe=16, seed=0))
+        assert knn_recall(g.ids, gt) > 0.8
+        assert g.meta["algorithm"] == "ivf-flat"

@@ -1,0 +1,89 @@
+"""Tests for the k-means trainer behind the IVF coarse quantiser."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.kmeans import assign, kmeans, kmeans_pp_init
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(1)
+    centers = np.array([[0, 0], [10, 0], [0, 10], [10, 10]], dtype=np.float32)
+    labels = rng.integers(0, 4, 400)
+    return (centers[labels] + rng.standard_normal((400, 2)) * 0.3).astype(np.float32), centers
+
+
+class TestInit:
+    def test_shape(self, blobs):
+        x, _ = blobs
+        c = kmeans_pp_init(x, 4, np.random.default_rng(0))
+        assert c.shape == (4, 2)
+
+    def test_centroids_are_data_points(self, blobs):
+        x, _ = blobs
+        c = kmeans_pp_init(x, 4, np.random.default_rng(0))
+        for row in c:
+            assert (np.abs(x - row).sum(axis=1) < 1e-6).any()
+
+    def test_spread_across_clusters(self, blobs):
+        x, centers = blobs
+        c = kmeans_pp_init(x, 4, np.random.default_rng(0))
+        # ++ init almost always picks one seed per well-separated blob
+        d = ((c[:, None, :] - centers[None, :, :]) ** 2).sum(-1)
+        assert len(set(d.argmin(axis=1).tolist())) >= 3
+
+    def test_degenerate_all_identical(self):
+        x = np.ones((20, 3), dtype=np.float32)
+        c = kmeans_pp_init(x, 5, np.random.default_rng(0))
+        assert c.shape == (5, 3)
+        assert np.allclose(c, 1.0)
+
+
+class TestAssign:
+    def test_nearest(self, blobs):
+        x, centers = blobs
+        labels, dists = assign(x, centers)
+        ref = ((x[:, None, :] - centers[None, :, :]) ** 2).sum(-1)
+        assert np.array_equal(labels, ref.argmin(axis=1))
+        assert np.allclose(dists, ref.min(axis=1), rtol=1e-3, atol=1e-3)
+
+
+class TestKmeans:
+    def test_recovers_blob_centers(self, blobs):
+        x, centers = blobs
+        c = kmeans(x, 4, n_iters=15, seed=0)
+        d = ((c[:, None, :] - centers[None, :, :]) ** 2).sum(-1)
+        assert (d.min(axis=1) < 0.5).all()  # each centroid near a true center
+        assert len(set(d.argmin(axis=1).tolist())) == 4  # all centers covered
+
+    def test_reproducible(self, blobs):
+        x, _ = blobs
+        assert np.array_equal(kmeans(x, 4, seed=3), kmeans(x, 4, seed=3))
+
+    def test_too_many_clusters_rejected(self):
+        x = np.zeros((3, 2), dtype=np.float32)
+        with pytest.raises(ConfigurationError):
+            kmeans(x, 4)
+
+    def test_zero_clusters_rejected(self, blobs):
+        with pytest.raises(ConfigurationError):
+            kmeans(blobs[0], 0)
+
+    def test_train_sample(self, blobs):
+        x, _ = blobs
+        c = kmeans(x, 4, seed=0, train_sample=100)
+        assert c.shape == (4, 2)
+
+    def test_no_empty_cluster_collapse(self):
+        # pathological: all points identical except one
+        x = np.zeros((50, 2), dtype=np.float32)
+        x[0] = [100, 100]
+        c = kmeans(x, 3, n_iters=5, seed=0)
+        assert np.isfinite(c).all()
+
+    def test_zero_iters_is_init_only(self, blobs):
+        x, _ = blobs
+        c = kmeans(x, 4, n_iters=0, seed=1)
+        assert c.shape == (4, 2)

@@ -1,0 +1,67 @@
+"""Tests for the NN-descent CPU baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bruteforce import BruteForceKNN
+from repro.baselines.nndescent import NNDescent, nn_descent_graph
+from repro.data.synthetic import gaussian_mixture
+from repro.metrics.recall import knn_recall
+
+
+@pytest.fixture(scope="module")
+def data():
+    x = gaussian_mixture(500, 10, n_clusters=10, cluster_std=0.7, seed=6)
+    gt, _ = BruteForceKNN(x).search(x, 8, exclude_self=True)
+    return x, gt
+
+
+class TestNNDescent:
+    def test_converges_to_high_recall(self, data):
+        x, gt = data
+        g = NNDescent(k=8, seed=0).build(x)
+        assert knn_recall(g.ids, gt) > 0.9
+
+    def test_improves_over_random_init(self, data):
+        x, gt = data
+        g0 = NNDescent(k=8, max_iters=0 + 1, seed=0).build(x)  # ~one round
+        g = NNDescent(k=8, seed=0).build(x)
+        assert knn_recall(g.ids, gt) > knn_recall(g0.ids, gt)
+
+    def test_meta_records_iterations(self, data):
+        x, _ = data
+        g = NNDescent(k=8, seed=0).build(x)
+        assert 1 <= g.meta["iters_run"] <= 12
+        assert len(g.meta["insertions"]) == g.meta["iters_run"]
+
+    def test_no_self_neighbours(self, data):
+        x, _ = data
+        g = NNDescent(k=8, seed=0).build(x)
+        assert not (g.ids == np.arange(500)[:, None]).any()
+
+    def test_no_duplicate_neighbours(self, data):
+        x, _ = data
+        g = NNDescent(k=6, seed=0).build(x)
+        for i in range(0, 500, 41):
+            valid = g.ids[i][g.ids[i] >= 0]
+            assert len(valid) == len(np.unique(valid))
+
+    def test_reproducible(self, data):
+        x, _ = data
+        g1 = NNDescent(k=6, seed=4).build(x)
+        g2 = NNDescent(k=6, seed=4).build(x)
+        assert np.array_equal(g1.ids, g2.ids)
+
+    def test_random_init_fills_lists(self):
+        x = np.random.default_rng(0).standard_normal((40, 4)).astype(np.float32)
+        nd = NNDescent(k=5, seed=0)
+        state = nd._random_init(x, np.random.default_rng(0))
+        assert state.filled_counts().tolist() == [5] * 40
+        for i in range(40):
+            assert i not in state.ids[i]
+            assert len(np.unique(state.ids[i])) == 5
+
+    def test_one_shot_helper(self, data):
+        x, gt = data
+        g = nn_descent_graph(x, 8, seed=0)
+        assert g.meta["algorithm"] == "nn-descent"

@@ -1,0 +1,191 @@
+"""Tests for the benchmark harness: cost model, sweeps, recall matching."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bruteforce import BruteForceKNN
+from repro.baselines.ivf import IVFConfig
+from repro.bench.costmodel import CycleBreakdown, ivf_cycles, wknng_cycles
+from repro.bench.match import match_ivf_recall, match_wknng_recall
+from repro.bench.sweep import run_ivf, run_wknng
+from repro.bench.workloads import WORKLOADS, Workload, get_workload
+from repro.core.config import BuildConfig
+from repro.errors import BenchmarkError, ConfigurationError
+from repro.kernels.counters import OpCounters
+
+
+def counters(**kw):
+    c = OpCounters()
+    for key, val in kw.items():
+        setattr(c, key, val)
+    return c
+
+
+class TestCostModel:
+    def test_breakdown_total(self):
+        bd = CycleBreakdown(distance=10, insertion=5, selection=2, overheads=1)
+        assert bd.total == 18
+        assert bd.as_dict()["total_cycles"] == 18
+
+    def test_zero_counters_zero_cycles(self):
+        bd = wknng_cycles("tiled", OpCounters(), dim=32, k=8, leaf_size=32)
+        assert bd.total == 0
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            wknng_cycles("magic", OpCounters(), dim=8, k=8, leaf_size=32)
+
+    def test_distance_cycles_scale_with_dim(self):
+        c = counters(distance_evals=1000, candidates_seen=2000)
+        low = wknng_cycles("tiled", c, dim=8, k=8, leaf_size=64)
+        high = wknng_cycles("tiled", c, dim=512, k=8, leaf_size=64)
+        assert high.distance > 10 * low.distance
+
+    def test_direct_schedule_cache_cliff(self):
+        """Same eval count costs far more once the leaf overflows cache."""
+        c = counters(distance_evals=1000, candidates_seen=2000)
+        small = wknng_cycles("atomic", c, dim=16, k=8, leaf_size=64)
+        big = wknng_cycles("atomic", c, dim=1024, k=8, leaf_size=64)
+        per_eval_small = small.distance / 16
+        per_eval_big = big.distance / 1024
+        assert per_eval_big > 2 * per_eval_small
+
+    def test_baseline_insertion_costlier_than_atomic(self):
+        c = counters(distance_evals=1000, candidates_seen=2000,
+                     atomic_attempts=100, candidates_inserted=100)
+        b = wknng_cycles("baseline", c, dim=32, k=16, leaf_size=64)
+        a = wknng_cycles("atomic", c, dim=32, k=16, leaf_size=64)
+        assert b.insertion > a.insertion
+
+    def test_crossover_shape(self):
+        """The paper's claim 3: atomic cheaper at low d, tiled at high d
+        (for comparable work volumes)."""
+        def totals(dim):
+            # realistic proportions (measured on the clustered workloads):
+            # acceptance ~0.3 per unordered pair once lists warm up
+            cu = counters(distance_evals=500, candidates_seen=1000,
+                          atomic_attempts=150)
+            cd = counters(distance_evals=1000, candidates_seen=1000)
+            a = wknng_cycles("atomic", cu, dim=dim, k=16, leaf_size=64).total
+            t = wknng_cycles("tiled", cd, dim=dim, k=16, leaf_size=64).total
+            return a / t
+
+        assert totals(8) < 1.0
+        assert totals(960) > 1.5
+
+    def test_ivf_cycles_scale_with_candidates(self):
+        lo = ivf_cycles({"candidate_distance_evals": 100,
+                         "centroid_distance_evals": 10}, dim=64, k=8)
+        hi = ivf_cycles({"candidate_distance_evals": 10_000,
+                         "centroid_distance_evals": 10}, dim=64, k=8)
+        assert hi.total > 50 * lo.total
+
+    def test_ivf_empty_stats(self):
+        assert ivf_cycles({}, dim=64, k=8).total == 0
+
+
+class TestWorkloads:
+    def test_registry_lookup(self):
+        w = get_workload("clustered-128d")
+        assert w.k == 16
+
+    def test_unknown_workload(self):
+        with pytest.raises(ConfigurationError):
+            get_workload("nope")
+
+    def test_materialize_scale(self):
+        w = Workload("t", "gaussian", n=1000, k=8, params={"dim": 4})
+        x = w.materialize(scale=0.1)
+        assert x.shape == (100, 4)
+
+    def test_materialize_reproducible(self):
+        w = WORKLOADS["uniform-16d"]
+        assert np.array_equal(w.materialize(0.01), w.materialize(0.01))
+
+    def test_scale_floor_respects_k(self):
+        w = Workload("t", "gaussian", n=1000, k=8, params={"dim": 4})
+        x = w.materialize(scale=0.0001)
+        assert x.shape[0] >= 10
+
+
+class TestSweepRunners:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        from repro.data.synthetic import gaussian_mixture
+
+        x = gaussian_mixture(400, 16, n_clusters=8, cluster_std=0.5, seed=2)
+        gt, _ = BruteForceKNN(x).search(x, 8, exclude_self=True)
+        return x, gt
+
+    def test_run_wknng_result_fields(self, setup):
+        x, gt = setup
+        res = run_wknng(x, gt, BuildConfig(k=8, n_trees=3, leaf_size=32,
+                                           refine_iters=1, seed=0))
+        assert 0 <= res.recall <= 1
+        assert res.seconds > 0
+        assert res.modeled_cycles > 0
+        assert res.system == "w-knng/tiled"
+        assert "cycles" in res.detail
+
+    def test_run_ivf_result_fields(self, setup):
+        x, gt = setup
+        res = run_ivf(x, gt, 8, IVFConfig(nprobe=4, seed=0))
+        assert res.system == "ivf-flat"
+        assert res.params["nprobe"] == 4
+        assert res.modeled_cycles > 0
+
+    def test_run_ivf_reuses_index(self, setup):
+        from repro.baselines.ivf import IVFFlatIndex
+
+        x, gt = setup
+        index = IVFFlatIndex(IVFConfig(seed=0)).fit(x)
+        res = run_ivf(x, gt, 8, IVFConfig(seed=0), nprobe=2, index=index)
+        assert res.detail["train_seconds"] < res.seconds + 1
+
+    def test_row_is_flat_dict(self, setup):
+        x, gt = setup
+        res = run_wknng(x, gt, BuildConfig(k=8, n_trees=2, leaf_size=32, seed=0))
+        row = res.row()
+        assert isinstance(row["recall"], float)
+        assert "modeled_mcycles" in row
+
+
+class TestMatching:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        from repro.data.synthetic import gaussian_mixture
+
+        x = gaussian_mixture(500, 24, n_clusters=32, cluster_std=1.5,
+                             center_scale=3.0, seed=4)
+        gt, _ = BruteForceKNN(x).search(x, 8, exclude_self=True)
+        return x, gt
+
+    def test_ivf_match_reaches_target(self, setup):
+        x, gt = setup
+        m = match_ivf_recall(x, gt, 8, 0.9, IVFConfig(seed=0))
+        assert m.matched
+        assert m.achieved.recall >= 0.9
+
+    def test_ivf_match_minimal_nprobe(self, setup):
+        x, gt = setup
+        m = match_ivf_recall(x, gt, 8, 0.9, IVFConfig(seed=0))
+        best = m.achieved.params["nprobe"]
+        worse = [a for a in m.attempts if a.params["nprobe"] < best]
+        assert all(a.recall < 0.9 for a in worse)
+
+    def test_ivf_unreachable_target_raises(self, setup):
+        x, gt = setup
+        with pytest.raises(BenchmarkError):
+            match_ivf_recall(x, gt, 8, 0.999999, IVFConfig(seed=0), max_nprobe=1)
+
+    def test_wknng_match_reaches_target(self, setup):
+        x, gt = setup
+        base = BuildConfig(k=8, n_trees=2, leaf_size=32, refine_iters=2, seed=0)
+        m = match_wknng_recall(x, gt, base, 0.9)
+        assert m.matched and m.achieved.recall >= 0.9
+
+    def test_wknng_unreachable_raises(self, setup):
+        x, gt = setup
+        base = BuildConfig(k=8, n_trees=1, leaf_size=9, refine_iters=0, seed=0)
+        with pytest.raises(BenchmarkError):
+            match_wknng_recall(x, gt, base, 0.999, max_trees=1)

@@ -1,0 +1,59 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.bench.plots import Series, ascii_plot
+
+
+class TestSeries:
+    def test_add_chains(self):
+        s = Series("a").add(1, 2).add(3, 4)
+        assert s.xs == [1.0, 3.0] and s.ys == [2.0, 4.0]
+
+
+class TestAsciiPlot:
+    def test_empty(self):
+        assert ascii_plot([]) == "(empty plot)"
+
+    def test_contains_glyphs_and_legend(self):
+        s1 = Series("alpha").add(0, 0).add(1, 1)
+        s2 = Series("beta").add(0, 1).add(1, 0)
+        out = ascii_plot([s1, s2])
+        assert "o" in out and "x" in out
+        assert "alpha" in out and "beta" in out
+
+    def test_title_and_labels(self):
+        s = Series("a").add(0, 0).add(1, 1)
+        out = ascii_plot([s], title="T", xlabel="dim", ylabel="cycles")
+        assert "T" in out and "x: dim" in out and "y: cycles" in out
+
+    def test_dimensions(self):
+        s = Series("a").add(0, 0).add(10, 5)
+        out = ascii_plot([s], width=40, height=10)
+        body = [l for l in out.splitlines() if "|" in l]
+        assert len(body) == 10
+
+    def test_single_point(self):
+        out = ascii_plot([Series("p").add(5, 5)])
+        assert "o" in out
+
+    def test_log_axes(self):
+        s = Series("a").add(1, 1).add(10, 100).add(100, 10000)
+        out = ascii_plot([s], logx=True, logy=True)
+        assert "o" in out
+
+    def test_log_rejects_nonpositive(self):
+        s = Series("a").add(0, 1)
+        with pytest.raises(ValueError):
+            ascii_plot([s], logx=True)
+
+    def test_interpolation_marks(self):
+        s = Series("a").add(0, 0).add(20, 10)
+        out = ascii_plot([s], width=40, height=12)
+        assert "." in out  # connecting dots between markers
+
+    def test_axis_extents_shown(self):
+        s = Series("a").add(2, 3).add(8, 9)
+        out = ascii_plot([s])
+        assert "2" in out and "8" in out
+        assert "3" in out and "9" in out

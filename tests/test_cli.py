@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main, make_parser
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([])
+
+    def test_build_defaults(self):
+        args = make_parser().parse_args(["build", "--dataset", "gaussian",
+                                         "-o", "x.npz"])
+        assert args.k == 16 and args.strategy == "tiled"
+
+    def test_bad_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["build", "--strategy", "magic",
+                                      "-o", "x.npz"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "atomic" in out and "tiled" in out
+
+    def test_build_eval_round_trip(self, tmp_path, capsys):
+        graph_path = tmp_path / "g.npz"
+        rc = main([
+            "build", "--dataset", "gaussian", "--n", "500", "--dim", "8",
+            "-k", "5", "--trees", "3", "-o", str(graph_path),
+        ])
+        assert rc == 0 and graph_path.exists()
+        rc = main([
+            "eval", "--dataset", "gaussian", "--n", "500", "--dim", "8",
+            "--graph", str(graph_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recall@5" in out
+
+    def test_build_from_npy(self, tmp_path, capsys):
+        pts = tmp_path / "pts.npy"
+        np.save(pts, np.random.default_rng(0).standard_normal((300, 6)).astype(np.float32))
+        rc = main(["build", "--input", str(pts), "-k", "4",
+                   "-o", str(tmp_path / "g.npz")])
+        assert rc == 0
+
+    def test_build_from_fvecs(self, tmp_path):
+        from repro.data.loaders import write_fvecs
+
+        pts = tmp_path / "pts.fvecs"
+        write_fvecs(pts, np.random.default_rng(0).standard_normal((200, 5)).astype(np.float32))
+        rc = main(["build", "--input", str(pts), "-k", "4",
+                   "-o", str(tmp_path / "g.npz")])
+        assert rc == 0
+
+    def test_missing_data_source(self, tmp_path):
+        with pytest.raises(SystemExit, match="provide"):
+            main(["build", "-o", str(tmp_path / "g.npz"), "--dataset", ""])
+
+    def test_unsupported_input_format(self, tmp_path):
+        bad = tmp_path / "pts.csv"
+        bad.write_text("1,2\n")
+        with pytest.raises(SystemExit, match="unsupported"):
+            main(["build", "--input", str(bad), "-o", str(tmp_path / "g.npz")])
+
+    def test_eval_size_mismatch(self, tmp_path):
+        graph_path = tmp_path / "g.npz"
+        main(["build", "--dataset", "gaussian", "--n", "300", "--dim", "6",
+              "-k", "4", "-o", str(graph_path)])
+        with pytest.raises(SystemExit, match="nodes"):
+            main(["eval", "--dataset", "gaussian", "--n", "200", "--dim", "6",
+                  "--graph", str(graph_path)])
+
+    def test_bench_small(self, capsys):
+        rc = main(["bench", "--workload", "clustered-16d", "--target", "0.8",
+                   "--scale", "0.02", "--strategy", "atomic"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "modeled speedup" in out

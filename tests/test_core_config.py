@@ -1,0 +1,61 @@
+"""Tests for BuildConfig validation."""
+
+import pytest
+
+from repro.core.config import BuildConfig
+from repro.errors import ConfigurationError
+
+
+class TestDefaults:
+    def test_defaults_valid(self):
+        cfg = BuildConfig()
+        assert cfg.k == 16
+        assert cfg.strategy == "tiled"
+        assert cfg.backend == "vectorized"
+
+    def test_effective_refine_sample_default(self):
+        assert BuildConfig(k=16).effective_refine_sample() == 8
+        assert BuildConfig(k=4, leaf_size=16).effective_refine_sample() == 4
+
+    def test_effective_refine_sample_override(self):
+        assert BuildConfig(refine_sample=20).effective_refine_sample() == 20
+
+    def test_fanout_multiplies(self):
+        assert BuildConfig(k=16, refine_fanout=3).effective_refine_sample() == 24
+
+
+class TestValidation:
+    def test_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            BuildConfig(k=0)
+
+    def test_bad_strategy(self):
+        with pytest.raises(ConfigurationError, match="unknown strategy"):
+            BuildConfig(strategy="quantum")
+
+    def test_bad_backend(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            BuildConfig(backend="cuda")
+
+    def test_leaf_size_must_exceed_k(self):
+        with pytest.raises(ConfigurationError, match="leaf_size"):
+            BuildConfig(k=16, leaf_size=16)
+
+    def test_negative_refine_iters(self):
+        with pytest.raises(ConfigurationError):
+            BuildConfig(refine_iters=-1)
+
+    def test_zero_refine_iters_ok(self):
+        assert BuildConfig(refine_iters=0).refine_iters == 0
+
+    def test_bad_refine_sample(self):
+        with pytest.raises(ConfigurationError):
+            BuildConfig(refine_sample=0)
+
+    def test_bad_n_trees(self):
+        with pytest.raises(ConfigurationError):
+            BuildConfig(n_trees=0)
+
+    def test_strategy_kwargs_stored(self):
+        cfg = BuildConfig(strategy="tiled", strategy_kwargs={"tile_size": 16})
+        assert cfg.strategy_kwargs == {"tile_size": 16}

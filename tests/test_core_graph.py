@@ -1,0 +1,96 @@
+"""Tests for the KNNGraph result object."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import KNNGraph
+from repro.errors import DataError
+
+
+@pytest.fixture()
+def graph():
+    ids = np.array([[1, 2], [0, 2], [0, 1]], dtype=np.int32)
+    dists = np.array([[1.0, 4.0], [1.0, 2.0], [4.0, 2.0]], dtype=np.float32)
+    return KNNGraph(ids=ids, dists=dists)
+
+
+class TestBasics:
+    def test_shape_properties(self, graph):
+        assert graph.n == 3 and graph.k == 2
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(DataError):
+            KNNGraph(ids=np.zeros((2, 2), dtype=np.int32),
+                     dists=np.zeros((2, 3), dtype=np.float32))
+
+    def test_neighbors_excludes_unfilled(self):
+        g = KNNGraph(ids=np.array([[1, -1]], dtype=np.int32),
+                     dists=np.array([[1.0, np.inf]], dtype=np.float32))
+        assert g.neighbors(0).tolist() == [1]
+
+    def test_is_complete(self, graph):
+        assert graph.is_complete()
+        g = KNNGraph(ids=np.array([[-1, 1]], dtype=np.int32),
+                     dists=np.array([[np.inf, 1.0]], dtype=np.float32))
+        assert not g.is_complete()
+
+    def test_mean_distance(self, graph):
+        assert graph.mean_distance() == pytest.approx((1 + 4 + 1 + 2 + 4 + 2) / 6)
+
+    def test_mean_distance_empty(self):
+        g = KNNGraph(ids=np.full((2, 2), -1, dtype=np.int32),
+                     dists=np.full((2, 2), np.inf, dtype=np.float32))
+        assert np.isnan(g.mean_distance())
+
+
+class TestRecall:
+    def test_perfect_recall(self, graph):
+        assert graph.recall(graph) == 1.0
+
+    def test_recall_against_id_matrix(self, graph):
+        assert graph.recall(graph.ids) == 1.0
+
+    def test_partial_recall(self, graph):
+        other = KNNGraph(ids=np.array([[1, 9], [0, 9], [0, 9]], dtype=np.int32),
+                         dists=graph.dists)
+        assert other.recall(graph) == pytest.approx(0.5)
+
+    def test_size_mismatch(self, graph):
+        with pytest.raises(DataError):
+            graph.recall(np.zeros((5, 2), dtype=np.int32))
+
+
+class TestConversions:
+    def test_to_csr(self, graph):
+        m = graph.to_csr()
+        assert m.shape == (3, 3)
+        assert m.nnz == 6
+        assert m[0, 1] == pytest.approx(1.0)
+
+    def test_to_csr_zero_distance_edge_kept(self):
+        g = KNNGraph(ids=np.array([[1], [0]], dtype=np.int32),
+                     dists=np.array([[0.0], [0.0]], dtype=np.float32))
+        m = g.to_csr()
+        assert m.nnz == 2
+
+    def test_to_networkx(self, graph):
+        g = graph.to_networkx()
+        assert g.number_of_nodes() == 3
+        assert g.number_of_edges() == 6
+        assert g[0][1]["weight"] == pytest.approx(1.0)
+
+    def test_symmetrized_ids(self):
+        g = KNNGraph(ids=np.array([[1], [2], [-1]], dtype=np.int32),
+                     dists=np.array([[1.0], [1.0], [np.inf]], dtype=np.float32))
+        sym = g.symmetrized_ids()
+        assert sym[2].tolist() == [1]  # reverse edge from 1 -> 2
+        assert sym[1].tolist() == [0, 2]
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, graph, tmp_path):
+        path = tmp_path / "g.npz"
+        graph.save(path)
+        loaded = KNNGraph.load(path)
+        assert np.array_equal(loaded.ids, graph.ids)
+        assert np.array_equal(loaded.dists, graph.dists)

@@ -1,0 +1,110 @@
+"""Tests for metric-space reductions (cosine, inner product)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BuildConfig
+from repro.core.metric import check_metric, edge_distances, prepare_points
+from repro.errors import ConfigurationError, DataError
+
+
+class TestCheckMetric:
+    @pytest.mark.parametrize("m", ["sqeuclidean", "cosine", "inner_product"])
+    def test_valid(self, m):
+        assert check_metric(m) == m
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            check_metric("manhattan")
+
+
+class TestPreparePoints:
+    def test_sqeuclidean_identity(self):
+        x = np.random.default_rng(0).standard_normal((5, 3)).astype(np.float32)
+        out, info = prepare_points(x, "sqeuclidean")
+        assert np.array_equal(out, x)
+        assert info == {}
+
+    def test_cosine_normalises(self):
+        x = np.random.default_rng(0).standard_normal((10, 4)).astype(np.float32) * 7
+        out, _ = prepare_points(x, "cosine")
+        assert np.allclose(np.linalg.norm(out, axis=1), 1.0, atol=1e-5)
+
+    def test_cosine_zero_vector_rejected(self):
+        x = np.zeros((2, 3), dtype=np.float32)
+        with pytest.raises(DataError):
+            prepare_points(x, "cosine")
+
+    def test_cosine_order_equivalence(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((50, 6)).astype(np.float32)
+        out, _ = prepare_points(x, "cosine")
+        # squared L2 on normalised vectors == 2 * cosine distance
+        xn = x / np.linalg.norm(x, axis=1, keepdims=True)
+        cos = 1.0 - xn @ xn.T
+        l2 = ((out[:, None, :] - out[None, :, :]) ** 2).sum(-1)
+        assert np.allclose(l2, 2 * cos, atol=1e-4)
+
+    def test_ip_database_augmentation(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((20, 5)).astype(np.float32)
+        out, info = prepare_points(x, "inner_product")
+        assert out.shape == (20, 6)
+        norms = np.linalg.norm(out, axis=1)
+        assert np.allclose(norms, info["max_norm"], atol=1e-4)
+
+    def test_ip_query_needs_max_norm(self):
+        x = np.ones((2, 3), dtype=np.float32)
+        with pytest.raises(ConfigurationError):
+            prepare_points(x, "inner_product", is_query=True)
+
+    def test_ip_order_equivalence(self):
+        rng = np.random.default_rng(3)
+        db = rng.standard_normal((40, 4)).astype(np.float32)
+        q = rng.standard_normal((6, 4)).astype(np.float32)
+        db_t, info = prepare_points(db, "inner_product")
+        q_t, _ = prepare_points(q, "inner_product", is_query=True,
+                                max_norm=info["max_norm"])
+        l2 = ((q_t[:, None, :] - db_t[None, :, :]) ** 2).sum(-1)
+        ip = q @ db.T
+        # ascending L2 order must equal descending IP order
+        assert np.array_equal(np.argsort(l2, axis=1), np.argsort(-ip, axis=1))
+
+
+class TestEdgeDistances:
+    def test_sqeuclidean_identity(self):
+        d = np.array([1.0, 2.0])
+        assert np.array_equal(edge_distances(d, "sqeuclidean", {}), d)
+
+    def test_cosine_halves(self):
+        d = np.array([2.0])
+        assert edge_distances(d, "cosine", {})[0] == 1.0
+
+    def test_ip_round_trip(self):
+        rng = np.random.default_rng(4)
+        db = rng.standard_normal((30, 5)).astype(np.float32)
+        q = rng.standard_normal((4, 5)).astype(np.float32)
+        db_t, info = prepare_points(db, "inner_product")
+        q_t, _ = prepare_points(q, "inner_product", is_query=True,
+                                max_norm=info["max_norm"])
+        l2 = ((q_t[:, None, :].astype(np.float64) - db_t[None, :, :]) ** 2).sum(-1)
+        q_sq = (q.astype(np.float64) ** 2).sum(1)
+        ips = edge_distances(l2, "inner_product", info, query_sq_norms=q_sq)
+        assert np.allclose(ips, q @ db.T, atol=1e-2)
+
+    def test_ip_requires_query_norms(self):
+        with pytest.raises(ConfigurationError):
+            edge_distances(np.ones(2), "inner_product", {"max_norm": 1.0})
+
+
+class TestBuildConfigMetric:
+    def test_cosine_accepted(self):
+        assert BuildConfig(metric="cosine").metric == "cosine"
+
+    def test_inner_product_rejected(self):
+        with pytest.raises(ConfigurationError, match="search-only"):
+            BuildConfig(metric="inner_product")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BuildConfig(metric="hamming")

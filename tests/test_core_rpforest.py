@@ -1,0 +1,164 @@
+"""Tests for random projection trees and forests."""
+
+import numpy as np
+import pytest
+
+from repro.core.rpforest import (
+    RPForest,
+    batch_leaves,
+    build_forest,
+    build_tree,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(5)
+    return rng.standard_normal((300, 10)).astype(np.float32)
+
+
+class TestBuildTree:
+    def test_leaves_partition_points(self, points):
+        tree = build_tree(points, leaf_size=32, rng=0)
+        all_ids = np.concatenate(tree.leaves)
+        assert sorted(all_ids.tolist()) == list(range(300))
+
+    def test_leaf_size_respected(self, points):
+        tree = build_tree(points, leaf_size=25, rng=0)
+        assert (tree.leaf_sizes() <= 25).all()
+
+    def test_tiny_dataset_single_leaf(self):
+        x = np.random.default_rng(0).standard_normal((5, 3)).astype(np.float32)
+        tree = build_tree(x, leaf_size=10, rng=0)
+        assert tree.n_leaves == 1
+        assert tree.normals.shape == (0, 3)
+
+    def test_reproducible(self, points):
+        t1 = build_tree(points, leaf_size=20, rng=7)
+        t2 = build_tree(points, leaf_size=20, rng=7)
+        assert len(t1.leaves) == len(t2.leaves)
+        for a, b in zip(t1.leaves, t2.leaves):
+            assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self, points):
+        t1 = build_tree(points, leaf_size=20, rng=1)
+        t2 = build_tree(points, leaf_size=20, rng=2)
+        same = all(
+            np.array_equal(a, b) for a, b in zip(t1.leaves, t2.leaves)
+        ) and len(t1.leaves) == len(t2.leaves)
+        assert not same
+
+    def test_duplicate_points_terminate(self):
+        x = np.ones((100, 4), dtype=np.float32)
+        tree = build_tree(x, leaf_size=10, rng=0)
+        assert (tree.leaf_sizes() <= 10).all()
+        assert np.concatenate(tree.leaves).shape[0] == 100
+
+    def test_normals_are_unit(self, points):
+        tree = build_tree(points, leaf_size=32, rng=0)
+        if tree.normals.shape[0]:
+            norms = np.linalg.norm(tree.normals, axis=1)
+            assert np.allclose(norms, 1.0, atol=1e-5)
+
+    def test_bad_balance_range(self, points):
+        with pytest.raises(ConfigurationError):
+            build_tree(points, leaf_size=32, rng=0, balance_range=(0.8, 0.2))
+
+    def test_leaf_size_minimum(self, points):
+        with pytest.raises(ConfigurationError):
+            build_tree(points, leaf_size=1, rng=0)
+
+
+class TestLeafRouting:
+    def test_training_points_route_to_their_leaf(self, points):
+        tree = build_tree(points, leaf_size=40, rng=3)
+        leaf_of = np.empty(300, dtype=np.int64)
+        for li, leaf in enumerate(tree.leaves):
+            leaf_of[leaf] = li
+        routed = tree.leaf_for(points)
+        # degenerate splits may misroute a handful; the bulk must match
+        assert (routed == leaf_of).mean() > 0.95
+
+    def test_single_leaf_tree_routes_everything_to_zero(self):
+        x = np.random.default_rng(1).standard_normal((4, 3)).astype(np.float32)
+        tree = build_tree(x, leaf_size=10, rng=0)
+        assert (tree.leaf_for(x) == 0).all()
+
+    def test_dimension_mismatch(self, points):
+        tree = build_tree(points, leaf_size=40, rng=0)
+        with pytest.raises(Exception):
+            tree.leaf_for(np.zeros((2, 99), dtype=np.float32))
+
+    def test_routing_deterministic(self, points):
+        tree = build_tree(points, leaf_size=40, rng=0)
+        q = np.random.default_rng(9).standard_normal((20, 10)).astype(np.float32)
+        assert np.array_equal(tree.leaf_for(q), tree.leaf_for(q))
+
+
+class TestForest:
+    def test_tree_count(self, points):
+        forest = build_forest(points, n_trees=5, leaf_size=30, seed=0)
+        assert forest.n_trees == 5
+
+    def test_trees_differ(self, points):
+        forest = build_forest(points, n_trees=2, leaf_size=30, seed=0)
+        t1, t2 = forest.trees
+        same = len(t1.leaves) == len(t2.leaves) and all(
+            np.array_equal(a, b) for a, b in zip(t1.leaves, t2.leaves)
+        )
+        assert not same
+
+    def test_reproducible(self, points):
+        f1 = build_forest(points, 3, 30, seed=9)
+        f2 = build_forest(points, 3, 30, seed=9)
+        for t1, t2 in zip(f1.trees, f2.trees):
+            for a, b in zip(t1.leaves, t2.leaves):
+                assert np.array_equal(a, b)
+
+    def test_iter_leaves(self, points):
+        forest = build_forest(points, 2, 50, seed=0)
+        pairs = list(forest.iter_leaves())
+        assert {ti for ti, _ in pairs} == {0, 1}
+        total = sum(leaf.shape[0] for _, leaf in pairs)
+        assert total == 600  # 2 trees x 300 points
+
+    def test_leaf_sizes_concatenated(self, points):
+        forest = build_forest(points, 2, 50, seed=0)
+        assert forest.leaf_sizes().sum() == 600
+
+    def test_empty_forest_leaf_sizes(self):
+        assert RPForest(trees=[]).leaf_sizes().size == 0
+
+
+class TestBatchLeaves:
+    def test_all_points_covered_once(self, points):
+        tree = build_tree(points, leaf_size=30, rng=0)
+        batches = batch_leaves(tree.leaves)
+        seen = []
+        for mat, lengths in batches:
+            for row, ln in zip(mat, lengths):
+                seen.extend(row[:ln].tolist())
+        assert sorted(seen) == sorted(np.concatenate(tree.leaves).tolist())
+
+    def test_budget_respected(self, points):
+        tree = build_tree(points, leaf_size=30, rng=0)
+        budget = 5000
+        for mat, _ in batch_leaves(tree.leaves, max_batch_cells=budget):
+            b, m = mat.shape
+            assert b * m * m <= budget or b == 1
+
+    def test_tiny_leaves_skipped(self):
+        leaves = [np.array([3]), np.array([1, 2])]
+        batches = batch_leaves(leaves)
+        total = sum(l.sum() for mat, lengths in batches for l in [lengths])
+        assert total == 2  # only the 2-element leaf
+
+    def test_empty_input(self):
+        assert batch_leaves([]) == []
+
+    def test_padding_masked_by_lengths(self, points):
+        tree = build_tree(points, leaf_size=30, rng=0)
+        for mat, lengths in batch_leaves(tree.leaves):
+            assert (lengths <= mat.shape[1]).all()
+            assert (lengths >= 2).all()

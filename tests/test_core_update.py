@@ -1,0 +1,132 @@
+"""Tests for dynamic graph maintenance (incremental insertion)."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import WKNNGBuilder
+from repro.core.config import BuildConfig
+from repro.core.update import DynamicKNNG, extend_graph
+from repro.baselines.bruteforce import BruteForceKNN
+from repro.data.synthetic import gaussian_mixture
+from repro.errors import ConfigurationError, DataError
+from repro.metrics.recall import knn_recall
+
+
+@pytest.fixture(scope="module")
+def base_and_more():
+    x_all = gaussian_mixture(900, 16, n_clusters=15, cluster_std=0.8, seed=21)
+    return x_all[:600], x_all[600:]
+
+
+def config(**kw):
+    base = dict(k=8, n_trees=4, leaf_size=48, refine_iters=2, seed=0)
+    base.update(kw)
+    return BuildConfig(**base)
+
+
+class TestDynamicKNNG:
+    def test_add_assigns_sequential_ids(self, base_and_more):
+        base, more = base_and_more
+        dyn = DynamicKNNG.build(base, config())
+        ids = dyn.add(more[:50])
+        assert ids.tolist() == list(range(600, 650))
+        assert dyn.n == 650
+
+    def test_new_points_get_accurate_lists(self, base_and_more):
+        base, more = base_and_more
+        dyn = DynamicKNNG.build(base, config())
+        dyn.add(more)
+        g = dyn.snapshot()
+        full = np.concatenate([base, more])
+        gt, _ = BruteForceKNN(full).search(full, 8, exclude_self=True)
+        new_recall = knn_recall(g.ids[600:], gt[600:])
+        assert new_recall > 0.85
+
+    def test_old_points_gain_new_neighbours(self, base_and_more):
+        base, more = base_and_more
+        dyn = DynamicKNNG.build(base, config())
+        before = dyn.snapshot()
+        dyn.add(more)
+        after = dyn.snapshot()
+        # some old points must now list new ids (proximity is symmetric)
+        old_rows = after.ids[:600]
+        assert (old_rows >= 600).any()
+        # and overall recall of old points against the *full* ground truth
+        full = np.concatenate([base, more])
+        gt, _ = BruteForceKNN(full).search(full, 8, exclude_self=True)
+        assert knn_recall(after.ids[:600], gt[:600]) > knn_recall(
+            before.ids, gt[:600]
+        ) - 0.02
+
+    def test_incremental_matches_batch_quality(self, base_and_more):
+        base, more = base_and_more
+        dyn = DynamicKNNG.build(base, config())
+        for s in range(0, 300, 100):
+            dyn.add(more[s: s + 100])
+        g = dyn.snapshot()
+        full = np.concatenate([base, more])
+        gt, _ = BruteForceKNN(full).search(full, 8, exclude_self=True)
+        incremental = knn_recall(g.ids, gt)
+        batch = knn_recall(
+            WKNNGBuilder(config()).build(full).ids, gt
+        )
+        assert incremental > batch - 0.1
+
+    def test_growth_factor(self, base_and_more):
+        base, more = base_and_more
+        dyn = DynamicKNNG.build(base, config())
+        assert dyn.growth_factor == 1.0
+        dyn.add(more)
+        assert dyn.growth_factor == pytest.approx(900 / 600)
+
+    def test_empty_add(self, base_and_more):
+        base, _ = base_and_more
+        dyn = DynamicKNNG.build(base, config())
+        assert dyn.add(np.empty((0, 16), dtype=np.float32)).size == 0
+        assert dyn.n == 600
+
+    def test_dim_mismatch_rejected(self, base_and_more):
+        base, _ = base_and_more
+        dyn = DynamicKNNG.build(base, config())
+        with pytest.raises(DataError):
+            dyn.add(np.zeros((3, 99), dtype=np.float32))
+
+    def test_no_self_loops_after_add(self, base_and_more):
+        base, more = base_and_more
+        dyn = DynamicKNNG.build(base, config())
+        dyn.add(more[:100])
+        g = dyn.snapshot()
+        assert not (g.ids == np.arange(g.n)[:, None]).any()
+
+    def test_cosine_metric_supported(self, base_and_more):
+        base, more = base_and_more
+        dyn = DynamicKNNG.build(base, config(metric="cosine"))
+        dyn.add(more[:50])
+        g = dyn.snapshot()
+        assert g.meta["metric"] == "cosine"
+        assert g.n == 650
+
+    def test_repair_rounds_zero_allowed(self, base_and_more):
+        base, more = base_and_more
+        dyn = DynamicKNNG.build(base, config())
+        dyn.add(more[:20], repair_rounds=0)
+        assert dyn.n == 620
+
+
+class TestExtendGraph:
+    def test_round_trip(self, base_and_more):
+        base, more = base_and_more
+        builder = WKNNGBuilder(config())
+        graph = builder.build(base)
+        extended = extend_graph(base, graph, builder.last_forest, more[:100],
+                                config())
+        assert extended.n == 700
+        assert extended.meta["algorithm"] == "w-knng/dynamic"
+
+    def test_k_mismatch_rejected(self, base_and_more):
+        base, more = base_and_more
+        builder = WKNNGBuilder(config())
+        graph = builder.build(base)
+        with pytest.raises(ConfigurationError):
+            extend_graph(base, graph, builder.last_forest, more[:10],
+                         config(k=5, leaf_size=48))

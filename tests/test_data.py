@@ -1,0 +1,121 @@
+"""Tests for synthetic dataset generators and fvecs/ivecs I/O."""
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import read_fvecs, read_ivecs, write_fvecs, write_ivecs
+from repro.data.synthetic import (
+    DATASETS,
+    gaussian_mixture,
+    gist_like,
+    low_dim_manifold,
+    make_dataset,
+    sift_like,
+    uniform_hypercube,
+)
+from repro.errors import ConfigurationError, DataError
+
+
+class TestGenerators:
+    def test_shapes_and_dtype(self):
+        for gen, kw in [
+            (gaussian_mixture, {"dim": 9}),
+            (uniform_hypercube, {"dim": 9}),
+            (low_dim_manifold, {"dim": 9, "intrinsic_dim": 3}),
+        ]:
+            x = gen(50, seed=0, **kw)
+            assert x.shape == (50, 9) and x.dtype == np.float32
+
+    def test_reproducible(self):
+        assert np.array_equal(
+            gaussian_mixture(30, 5, seed=7), gaussian_mixture(30, 5, seed=7)
+        )
+
+    def test_seeds_differ(self):
+        assert not np.array_equal(
+            gaussian_mixture(30, 5, seed=1), gaussian_mixture(30, 5, seed=2)
+        )
+
+    def test_gaussian_is_clustered(self):
+        x = gaussian_mixture(500, 8, n_clusters=4, cluster_std=0.2,
+                             center_scale=10.0, seed=0)
+        # nearest-neighbour distance far below random-pair distance
+        d_nn = ((x[:100, None, :] - x[None, :, :]) ** 2).sum(-1)
+        np.fill_diagonal(d_nn[:, :100], np.inf)
+        near = d_nn.min(axis=1).mean()
+        far = d_nn[np.isfinite(d_nn)].mean()
+        assert near * 10 < far
+
+    def test_uniform_in_unit_cube(self):
+        x = uniform_hypercube(100, 4, seed=0)
+        assert (x >= 0).all() and (x < 1).all()
+
+    def test_sift_like_statistics(self):
+        x = sift_like(200, seed=0)
+        assert x.shape == (200, 128)
+        assert (x >= 0).all() and (x <= 255).all()
+        assert np.array_equal(x, np.rint(x))  # integer-valued
+
+    def test_gist_like_statistics(self):
+        x = gist_like(100, seed=0)
+        assert x.shape == (100, 960)
+        assert (x >= 0).all()
+
+    def test_manifold_low_intrinsic_dim(self):
+        x = low_dim_manifold(300, 64, intrinsic_dim=4, noise=0.0, seed=0)
+        # singular values collapse after ~2*intrinsic_dim (linear+quadratic)
+        s = np.linalg.svd(x - x.mean(0), compute_uv=False)
+        assert s[10] < s[0] * 1e-3
+
+    def test_manifold_intrinsic_exceeds_ambient(self):
+        with pytest.raises(ConfigurationError):
+            low_dim_manifold(10, 4, intrinsic_dim=8)
+
+    def test_registry_all_work(self):
+        for name in DATASETS:
+            x = make_dataset(name, 30, seed=0)
+            assert x.shape[0] == 30 and x.dtype == np.float32
+
+    def test_registry_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_dataset("no-such-set", 10)
+
+    def test_registry_overrides(self):
+        x = make_dataset("gaussian", 20, seed=0, dim=5)
+        assert x.shape == (20, 5)
+
+
+class TestVecsIO:
+    def test_fvecs_round_trip(self, tmp_path):
+        x = np.random.default_rng(0).standard_normal((10, 7)).astype(np.float32)
+        path = tmp_path / "x.fvecs"
+        write_fvecs(path, x)
+        assert np.array_equal(read_fvecs(path), x)
+
+    def test_ivecs_round_trip(self, tmp_path):
+        x = np.random.default_rng(0).integers(0, 1000, (6, 4)).astype(np.int32)
+        path = tmp_path / "x.ivecs"
+        write_ivecs(path, x)
+        assert np.array_equal(read_ivecs(path), x)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.fvecs"
+        path.write_bytes(b"")
+        with pytest.raises(DataError):
+            read_fvecs(path)
+
+    def test_corrupt_length_rejected(self, tmp_path):
+        path = tmp_path / "bad.fvecs"
+        np.array([3, 1, 2], dtype=np.int32).tofile(path)  # dim=3 but 2 values
+        with pytest.raises(DataError):
+            read_fvecs(path)
+
+    def test_inconsistent_dims_rejected(self, tmp_path):
+        path = tmp_path / "bad2.fvecs"
+        np.array([2, 1, 2, 3, 1, 2], dtype=np.int32).tofile(path)
+        with pytest.raises(DataError):
+            read_fvecs(path)
+
+    def test_write_1d_rejected(self, tmp_path):
+        with pytest.raises(DataError):
+            write_fvecs(tmp_path / "x.fvecs", np.zeros(5, dtype=np.float32))

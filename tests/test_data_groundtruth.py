@@ -1,0 +1,93 @@
+"""Tests for ground-truth caching and the report aggregator."""
+
+import numpy as np
+import pytest
+
+from repro.bench.report import build_report
+from repro.data.groundtruth import clear_cache, exact_neighbors, fingerprint
+
+
+@pytest.fixture()
+def gt_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("WKNNG_GT_CACHE", str(tmp_path / "gtcache"))
+    return tmp_path / "gtcache"
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        x = np.ones((4, 3), dtype=np.float32)
+        assert fingerprint(x, 2) == fingerprint(x.copy(), 2)
+
+    def test_sensitive_to_data(self):
+        x = np.ones((4, 3), dtype=np.float32)
+        y = x.copy()
+        y[0, 0] = 2.0
+        assert fingerprint(x, 2) != fingerprint(y, 2)
+
+    def test_sensitive_to_k(self):
+        x = np.ones((4, 3), dtype=np.float32)
+        assert fingerprint(x, 2) != fingerprint(x, 3)
+
+    def test_sensitive_to_shape(self):
+        flat = np.arange(12, dtype=np.float32)
+        assert fingerprint(flat.reshape(3, 4), 2) != fingerprint(
+            flat.reshape(4, 3), 2
+        )
+
+
+class TestExactNeighborsCache:
+    def test_cache_round_trip(self, gt_cache):
+        x = np.random.default_rng(0).standard_normal((60, 5)).astype(np.float32)
+        ids1, d1 = exact_neighbors(x, 4)
+        assert len(list(gt_cache.glob("*.npz"))) == 1
+        ids2, d2 = exact_neighbors(x, 4)
+        assert np.array_equal(ids1, ids2)
+        assert np.array_equal(d1, d2)
+
+    def test_cache_correctness(self, gt_cache):
+        x = np.random.default_rng(1).standard_normal((50, 4)).astype(np.float32)
+        ids, _ = exact_neighbors(x, 3)
+        uncached_ids, _ = exact_neighbors(x, 3, use_cache=False)
+        assert np.array_equal(ids, uncached_ids)
+
+    def test_corrupt_entry_recomputed(self, gt_cache):
+        x = np.random.default_rng(2).standard_normal((40, 4)).astype(np.float32)
+        exact_neighbors(x, 3)
+        entry = next(gt_cache.glob("*.npz"))
+        entry.write_bytes(b"garbage")
+        ids, _ = exact_neighbors(x, 3)
+        assert ids.shape == (40, 3)
+
+    def test_clear_cache(self, gt_cache):
+        x = np.random.default_rng(3).standard_normal((30, 4)).astype(np.float32)
+        exact_neighbors(x, 3)
+        assert clear_cache() == 1
+        assert clear_cache() == 0
+
+
+class TestReport:
+    def test_empty_results(self, tmp_path):
+        out = build_report(tmp_path)
+        assert "no result artifacts" in out
+
+    def test_sections_ordered(self, tmp_path):
+        (tmp_path / "F2_crossover.txt").write_text("ratio table")
+        (tmp_path / "T1_case.txt").write_text("headline table")
+        out = build_report(tmp_path)
+        assert out.index("T1") < out.index("F2 ")
+        assert "ratio table" in out and "headline table" in out
+
+    def test_report_cli(self, tmp_path, capsys):
+        from repro.bench.report import main
+
+        (tmp_path / "T2_strategies.txt").write_text("table body")
+        assert main([str(tmp_path)]) == 0
+        assert "table body" in capsys.readouterr().out
+
+    def test_report_cli_to_file(self, tmp_path):
+        from repro.bench.report import main
+
+        (tmp_path / "F5_refinement.txt").write_text("rounds")
+        out_file = tmp_path / "report.md"
+        assert main([str(tmp_path), "-o", str(out_file)]) == 0
+        assert "rounds" in out_file.read_text()

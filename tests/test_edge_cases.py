@@ -1,0 +1,133 @@
+"""Edge-case and failure-injection tests across the library.
+
+Each test targets a boundary the main suites don't hit: minimum sizes,
+pathological data, misuse sequences, exhausted structures.
+"""
+
+import numpy as np
+import pytest
+
+from repro import BuildConfig, WKNNGBuilder
+from repro.baselines import BruteForceKNN, IVFConfig, IVFFlatIndex
+from repro.core.graph import KNNGraph
+from repro.data.synthetic import gaussian_mixture, uniform_hypercube
+from repro.errors import ConfigurationError, DataError
+from repro.kernels import KnnState, get_strategy
+from repro.metrics.recall import knn_recall
+
+
+class TestMinimumSizes:
+    def test_smallest_possible_graph(self):
+        """n = k + 1: every point's list is everyone else."""
+        x = uniform_hypercube(4, 3, seed=0)
+        g = WKNNGBuilder(BuildConfig(k=3, n_trees=1, leaf_size=5,
+                                     refine_iters=0, seed=0)).build(x)
+        for i in range(4):
+            assert set(g.ids[i].tolist()) == set(range(4)) - {i}
+
+    def test_single_dimension(self):
+        x = np.sort(uniform_hypercube(100, 1, seed=1), axis=0)
+        g = WKNNGBuilder(BuildConfig(k=4, n_trees=2, leaf_size=16,
+                                     refine_iters=2, seed=0)).build(x)
+        gt, _ = BruteForceKNN(x).search(x, 4, exclude_self=True)
+        assert knn_recall(g.ids, gt) > 0.95
+
+    def test_k_equals_one(self):
+        x = gaussian_mixture(120, 6, n_clusters=6, seed=2)
+        g = WKNNGBuilder(BuildConfig(k=1, n_trees=3, leaf_size=16,
+                                     refine_iters=2, seed=0)).build(x)
+        gt, _ = BruteForceKNN(x).search(x, 1, exclude_self=True)
+        assert knn_recall(g.ids, gt) > 0.9
+
+
+class TestPathologicalData:
+    def test_all_points_identical(self):
+        x = np.ones((80, 5), dtype=np.float32)
+        g = WKNNGBuilder(BuildConfig(k=4, n_trees=2, leaf_size=16,
+                                     refine_iters=1, seed=0)).build(x)
+        assert g.is_complete()
+        assert np.allclose(g.dists, 0.0)
+
+    def test_many_duplicate_pairs(self):
+        base = uniform_hypercube(50, 4, seed=3)
+        x = np.repeat(base, 2, axis=0)  # every point duplicated
+        g = WKNNGBuilder(BuildConfig(k=3, n_trees=3, leaf_size=16,
+                                     refine_iters=2, seed=0)).build(x)
+        # each point's nearest neighbour is its duplicate (distance 0)
+        first_dists = g.dists[:, 0]
+        assert (first_dists < 1e-6).mean() > 0.95
+
+    def test_extreme_scale_values(self):
+        x = uniform_hypercube(100, 4, seed=4) * 1e6
+        g = WKNNGBuilder(BuildConfig(k=4, n_trees=2, leaf_size=16,
+                                     refine_iters=1, seed=0)).build(x)
+        gt, _ = BruteForceKNN(x).search(x, 4, exclude_self=True)
+        assert knn_recall(g.ids, gt) > 0.8
+
+    def test_one_outlier_far_away(self):
+        x = uniform_hypercube(99, 4, seed=5)
+        x = np.vstack([x, np.full((1, 4), 1e4, dtype=np.float32)])
+        g = WKNNGBuilder(BuildConfig(k=4, n_trees=3, leaf_size=16,
+                                     refine_iters=2, seed=0)).build(x)
+        assert g.is_complete()  # the outlier still gets a full list
+
+    def test_integer_input_accepted(self):
+        x = np.random.default_rng(0).integers(0, 100, (60, 5))
+        g = WKNNGBuilder(BuildConfig(k=3, n_trees=2, leaf_size=10,
+                                     seed=0)).build(x)
+        assert g.n == 60
+
+
+class TestMisuseSequences:
+    def test_builder_reuse_is_independent(self):
+        builder = WKNNGBuilder(BuildConfig(k=4, n_trees=2, leaf_size=16,
+                                           refine_iters=1, seed=0))
+        x1 = uniform_hypercube(60, 4, seed=6)
+        x2 = uniform_hypercube(80, 4, seed=7)
+        g1a = builder.build(x1)
+        builder.build(x2)
+        g1b = builder.build(x1)
+        assert np.array_equal(g1a.ids, g1b.ids)
+
+    def test_strategy_reuse_across_states(self):
+        strat = get_strategy("tiled")
+        x = uniform_hypercube(40, 4, seed=8)
+        s1 = KnnState(40, 3)
+        s2 = KnnState(40, 3)
+        strat.update_leaf(s1, x, np.arange(20))
+        strat.update_leaf(s2, x, np.arange(20, 40))
+        assert s1.filled_counts()[:20].min() == 3
+        assert s2.filled_counts()[20:].min() == 3
+        assert s1.filled_counts()[20:].max() == 0  # no cross-talk
+
+    def test_graph_load_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            KNNGraph.load(tmp_path / "nope.npz")
+
+    def test_ivf_refit_replaces_lists(self):
+        x1 = uniform_hypercube(100, 4, seed=9)
+        x2 = uniform_hypercube(60, 4, seed=10)
+        index = IVFFlatIndex(IVFConfig(seed=0))
+        index.fit(x1)
+        index.fit(x2)
+        assert sum(len(l) for l in index.lists) == 60
+
+
+class TestConfigurationMatrix:
+    """Every (strategy, metric, spill) combination must produce a valid
+    graph - a broad but cheap compatibility sweep."""
+
+    @pytest.mark.parametrize("strategy", ["baseline", "atomic", "tiled", "auto"])
+    @pytest.mark.parametrize("metric", ["sqeuclidean", "cosine"])
+    @pytest.mark.parametrize("spill", [0.0, 0.15])
+    def test_combination_builds(self, strategy, metric, spill):
+        x = gaussian_mixture(150, 10, n_clusters=6, seed=11)
+        g = WKNNGBuilder(BuildConfig(
+            k=4, strategy=strategy, metric=metric, spill=spill,
+            n_trees=2, leaf_size=16, refine_iters=1, seed=0,
+        )).build(x)
+        assert g.is_complete()
+        assert not (g.ids == np.arange(150)[:, None]).any()
+        for i in range(0, 150, 29):
+            row = g.ids[i]
+            assert len(np.unique(row)) == len(row)

@@ -1,0 +1,115 @@
+"""End-to-end integration tests across subsystems.
+
+These exercise the claims the benchmarks quantify, at test-sized scale:
+equal-recall behaviour of the strategies, recall ordering across systems,
+backend agreement, and the full application pipelines.
+"""
+
+import numpy as np
+import pytest
+
+from repro import BuildConfig, WKNNGBuilder
+from repro.apps.search import GraphSearchIndex
+from repro.baselines import (
+    BruteForceKNN,
+    IVFConfig,
+    IVFFlatIndex,
+    NNDescent,
+    exact_knn_graph,
+)
+from repro.bench.costmodel import wknng_cycles
+from repro.data.synthetic import gaussian_mixture
+from repro.kernels.counters import OpCounters
+from repro.metrics.quality import distance_ratio, edge_overlap
+from repro.metrics.recall import knn_recall
+
+
+@pytest.fixture(scope="module")
+def workload():
+    x = gaussian_mixture(700, 24, n_clusters=20, cluster_std=0.8, seed=17)
+    gt = exact_knn_graph(x, 10)
+    return x, gt
+
+
+class TestCrossSystem:
+    def test_all_systems_beat_chance(self, workload):
+        x, gt = workload
+        wk = WKNNGBuilder(BuildConfig(k=10, n_trees=4, leaf_size=48,
+                                      refine_iters=2, seed=0)).build(x)
+        ivf = IVFFlatIndex(IVFConfig(nprobe=6, seed=0)).fit(x).knn_graph(10)
+        nd = NNDescent(k=10, seed=0).build(x)
+        for name, g in [("wknng", wk), ("ivf", ivf), ("nnd", nd)]:
+            assert knn_recall(g.ids, gt.ids) > 0.8, name
+
+    def test_strategies_produce_equivalent_graphs(self, workload):
+        x, _ = workload
+        graphs = {}
+        for s in ("tiled", "atomic", "baseline"):
+            graphs[s] = WKNNGBuilder(BuildConfig(
+                k=10, strategy=s, n_trees=4, leaf_size=48,
+                refine_iters=1, seed=0)).build(x)
+        # same forest, same candidate structure -> heavily overlapping graphs
+        assert edge_overlap(graphs["tiled"], graphs["atomic"]) > 0.9
+        assert edge_overlap(graphs["tiled"], graphs["baseline"]) > 0.9
+
+    def test_distance_ratio_near_one(self, workload):
+        x, gt = workload
+        wk = WKNNGBuilder(BuildConfig(k=10, n_trees=4, leaf_size=48,
+                                      refine_iters=2, seed=0)).build(x)
+        assert distance_ratio(wk, gt) < 1.05
+
+    def test_counters_price_into_cycles(self, workload):
+        x, _ = workload
+        builder = WKNNGBuilder(BuildConfig(k=10, strategy="atomic", n_trees=3,
+                                           leaf_size=48, seed=0))
+        builder.build(x)
+        counters = OpCounters(**builder.last_report.counters)
+        bd = wknng_cycles("atomic", counters, dim=24, k=10, leaf_size=48)
+        assert bd.total > 0
+        assert bd.distance > 0 and bd.insertion > 0
+
+    def test_search_app_on_built_graph(self, workload):
+        x, _ = workload
+        idx = GraphSearchIndex.build(x, k=10, seed=0)
+        q = x[:20] * 1.001
+        ids, dists = idx.search(q, 5)
+        gt_ids, _ = BruteForceKNN(x).search(q, 5)
+        recall = np.mean([len(set(a) & set(b)) / 5 for a, b in zip(ids, gt_ids)])
+        assert recall > 0.85
+
+
+class TestScalingShape:
+    def test_forest_work_scales_near_linearly(self):
+        """Distance evals per point should stay ~flat as n grows (fixed
+        leaf size), unlike brute force's linear growth."""
+        evals_per_point = []
+        for n in (400, 800):
+            x = gaussian_mixture(n, 12, n_clusters=16, seed=3)
+            builder = WKNNGBuilder(BuildConfig(k=8, n_trees=3, leaf_size=40,
+                                               refine_iters=0, seed=0))
+            builder.build(x)
+            evals_per_point.append(
+                builder.last_report.counters["distance_evals"] / n
+            )
+        assert evals_per_point[1] < evals_per_point[0] * 1.5
+
+    def test_recall_improves_with_budget(self):
+        x = gaussian_mixture(600, 16, n_clusters=30, cluster_std=1.2,
+                             center_scale=3.0, seed=9)
+        gt = exact_knn_graph(x, 8)
+        recalls = []
+        for trees, iters in [(1, 0), (2, 1), (4, 3)]:
+            g = WKNNGBuilder(BuildConfig(k=8, n_trees=trees, leaf_size=40,
+                                         refine_iters=iters, seed=0)).build(x)
+            recalls.append(knn_recall(g.ids, gt.ids))
+        assert recalls[0] < recalls[1] < recalls[2] or recalls[2] > 0.98
+
+
+class TestBackendAgreement:
+    def test_simt_and_vectorized_converge_same_sets(self, tiny_points, tiny_gt):
+        for strategy in ("atomic", "tiled"):
+            cfg = dict(k=5, strategy=strategy, n_trees=2, leaf_size=12,
+                       refine_iters=1, seed=2)
+            gs = WKNNGBuilder(BuildConfig(backend="simt", **cfg)).build(tiny_points)
+            gv = WKNNGBuilder(BuildConfig(backend="vectorized", **cfg)).build(tiny_points)
+            assert knn_recall(gs.ids, gv.ids) > 0.95

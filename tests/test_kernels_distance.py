@@ -1,0 +1,106 @@
+"""Tests for the distance kernels: both schedules agree and are correct."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.distance import (
+    batched_self_sq_l2,
+    pairwise_sq_l2,
+    pairwise_sq_l2_direct,
+    pairwise_sq_l2_gemm,
+    sq_l2_pairs,
+)
+
+
+def ref_sq_l2(a, b):
+    return ((a[:, None, :].astype(np.float64) - b[None, :, :]) ** 2).sum(-1)
+
+
+class TestPairwise:
+    @pytest.mark.parametrize("method", ["gemm", "direct"])
+    @pytest.mark.parametrize("dim", [1, 3, 16, 17, 40])
+    def test_matches_reference(self, method, dim):
+        rng = np.random.default_rng(dim)
+        a = rng.standard_normal((12, dim)).astype(np.float32)
+        b = rng.standard_normal((9, dim)).astype(np.float32)
+        out = pairwise_sq_l2(a, b, method)
+        assert out.shape == (12, 9)
+        assert np.allclose(out, ref_sq_l2(a, b), rtol=1e-4, atol=1e-4)
+
+    def test_schedules_agree(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((30, 25)).astype(np.float32)
+        g = pairwise_sq_l2_gemm(a, a)
+        d = pairwise_sq_l2_direct(a, a)
+        assert np.allclose(g, d, rtol=1e-4, atol=1e-4)
+
+    def test_gemm_non_negative(self):
+        # catastrophic cancellation in the GEMM trick must be clamped
+        a = np.full((5, 8), 1000.0, dtype=np.float32)
+        out = pairwise_sq_l2_gemm(a, a)
+        assert (out >= 0).all()
+
+    def test_self_distance_zero(self):
+        a = np.random.default_rng(2).standard_normal((6, 4)).astype(np.float32)
+        out = pairwise_sq_l2_direct(a, a)
+        assert np.allclose(np.diag(out), 0.0, atol=1e-5)
+
+    def test_unknown_method(self):
+        a = np.zeros((2, 2), dtype=np.float32)
+        with pytest.raises(ValueError, match="unknown distance method"):
+            pairwise_sq_l2(a, a, "fancy")
+
+    def test_float32_output(self):
+        a = np.zeros((2, 3), dtype=np.float32)
+        assert pairwise_sq_l2_gemm(a, a).dtype == np.float32
+        assert pairwise_sq_l2_direct(a, a).dtype == np.float32
+
+
+class TestBatched:
+    @pytest.mark.parametrize("method", ["gemm", "direct"])
+    def test_matches_per_batch(self, method):
+        rng = np.random.default_rng(3)
+        pts = rng.standard_normal((4, 10, 19)).astype(np.float32)
+        out = batched_self_sq_l2(pts, method)
+        assert out.shape == (4, 10, 10)
+        for b in range(4):
+            assert np.allclose(out[b], ref_sq_l2(pts[b], pts[b]), rtol=1e-4, atol=1e-4)
+
+    def test_methods_agree(self):
+        rng = np.random.default_rng(4)
+        pts = rng.standard_normal((3, 7, 33)).astype(np.float32)
+        assert np.allclose(
+            batched_self_sq_l2(pts, "gemm"),
+            batched_self_sq_l2(pts, "direct"),
+            rtol=1e-4,
+            atol=1e-4,
+        )
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            batched_self_sq_l2(np.zeros((1, 2, 2), dtype=np.float32), "nope")
+
+
+class TestPairList:
+    def test_matches_reference(self):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((50, 12)).astype(np.float32)
+        rows = rng.integers(0, 50, 200)
+        cols = rng.integers(0, 50, 200)
+        out = sq_l2_pairs(x, rows, cols)
+        ref = ((x[rows].astype(np.float64) - x[cols]) ** 2).sum(1)
+        assert np.allclose(out, ref, rtol=1e-4, atol=1e-4)
+
+    def test_chunked_equals_unchunked(self):
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal((30, 5)).astype(np.float32)
+        rows = rng.integers(0, 30, 100)
+        cols = rng.integers(0, 30, 100)
+        assert np.allclose(
+            sq_l2_pairs(x, rows, cols, chunk=7), sq_l2_pairs(x, rows, cols)
+        )
+
+    def test_empty_pairs(self):
+        x = np.zeros((3, 2), dtype=np.float32)
+        out = sq_l2_pairs(x, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert out.shape == (0,)

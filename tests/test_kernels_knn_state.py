@@ -1,0 +1,104 @@
+"""Tests for the global-memory k-NN list structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels.knn_state import EMPTY_ID, KnnState
+
+
+class TestConstruction:
+    def test_initial_state(self):
+        s = KnnState(4, 3)
+        assert (s.ids == EMPTY_ID).all()
+        assert np.isinf(s.dists).all()
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            KnnState(0, 3)
+        with pytest.raises(ConfigurationError):
+            KnnState(3, 0)
+
+    def test_dtypes(self):
+        s = KnnState(2, 2)
+        assert s.ids.dtype == np.int32 and s.dists.dtype == np.float32
+
+
+class TestQueries:
+    def test_row_max_empty_is_inf(self):
+        s = KnnState(3, 2)
+        assert np.isinf(s.row_max(np.array([0, 1]))).all()
+
+    def test_row_max_after_fill(self):
+        s = KnnState(2, 2)
+        s.dists[0] = [1.0, 5.0]
+        assert s.row_max(np.array([0]))[0] == 5.0
+
+    def test_contains(self):
+        s = KnnState(2, 3)
+        s.ids[0] = [7, 8, EMPTY_ID]
+        rows = np.array([0, 0, 1])
+        cols = np.array([8, 9, 7])
+        assert s.contains(rows, cols).tolist() == [True, False, False]
+
+    def test_filled_counts(self):
+        s = KnnState(2, 3)
+        s.ids[0, 0] = 4
+        assert s.filled_counts().tolist() == [1, 0]
+
+    def test_sorted_arrays(self):
+        s = KnnState(1, 3)
+        s.ids[0] = [5, 6, 7]
+        s.dists[0] = [3.0, 1.0, 2.0]
+        ids, dists = s.sorted_arrays()
+        assert ids[0].tolist() == [6, 7, 5]
+        assert dists[0].tolist() == [1.0, 2.0, 3.0]
+
+
+class TestMergeRows:
+    def test_insert_into_empty(self):
+        s = KnnState(2, 2)
+        rows = np.array([0])
+        n = s.merge_rows(rows, np.array([[3, 4]], dtype=np.int32),
+                         np.array([[2.0, 1.0]], dtype=np.float32))
+        assert n == 2
+        ids, dists = s.sorted_arrays()
+        assert ids[0].tolist() == [4, 3]
+
+    def test_keeps_k_smallest(self):
+        s = KnnState(1, 2)
+        s.ids[0] = [1, 2]
+        s.dists[0] = [1.0, 2.0]
+        n = s.merge_rows(np.array([0]), np.array([[3, 4]], dtype=np.int32),
+                         np.array([[0.5, 9.0]], dtype=np.float32))
+        assert n == 1
+        ids, dists = s.sorted_arrays()
+        assert ids[0].tolist() == [3, 1]
+        assert dists[0].tolist() == [0.5, 1.0]
+
+    def test_inf_candidates_not_counted(self):
+        s = KnnState(1, 2)
+        n = s.merge_rows(np.array([0]),
+                         np.array([[5, EMPTY_ID]], dtype=np.int32),
+                         np.array([[1.0, np.inf]], dtype=np.float32))
+        assert n == 1
+
+    def test_empty_rows_noop(self):
+        s = KnnState(2, 2)
+        assert s.merge_rows(np.empty(0, dtype=np.int64),
+                            np.empty((0, 1), dtype=np.int32),
+                            np.empty((0, 1), dtype=np.float32)) == 0
+
+    def test_multiple_rows(self):
+        s = KnnState(3, 2)
+        rows = np.array([0, 2])
+        cand_i = np.array([[1, 2], [0, 1]], dtype=np.int32)
+        cand_d = np.array([[1.0, 2.0], [3.0, 4.0]], dtype=np.float32)
+        s.merge_rows(rows, cand_i, cand_d)
+        assert s.filled_counts().tolist() == [2, 0, 2]
+
+    def test_copy_independent(self):
+        s = KnnState(1, 1)
+        c = s.copy()
+        s.ids[0, 0] = 9
+        assert c.ids[0, 0] == EMPTY_ID

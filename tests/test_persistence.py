@@ -1,0 +1,66 @@
+"""Tests for forest and search-index persistence."""
+
+import numpy as np
+import pytest
+
+from repro.apps.search import GraphSearchIndex
+from repro.core.rpforest import RPForest, build_forest
+from repro.data.synthetic import gaussian_mixture
+
+
+@pytest.fixture(scope="module")
+def points():
+    return gaussian_mixture(400, 10, n_clusters=8, seed=13)
+
+
+class TestForestPersistence:
+    def test_round_trip_structure(self, points, tmp_path):
+        forest = build_forest(points, 3, 40, seed=5)
+        path = tmp_path / "forest.npz"
+        forest.save(path)
+        loaded = RPForest.load(path)
+        assert loaded.n_trees == 3
+        for t1, t2 in zip(forest.trees, loaded.trees):
+            assert np.allclose(t1.normals, t2.normals)
+            assert np.allclose(t1.thresholds, t2.thresholds)
+            assert np.array_equal(t1.children, t2.children)
+            assert len(t1.leaves) == len(t2.leaves)
+            for a, b in zip(t1.leaves, t2.leaves):
+                assert np.array_equal(a, b)
+
+    def test_loaded_forest_routes_identically(self, points, tmp_path):
+        forest = build_forest(points, 2, 40, seed=5)
+        path = tmp_path / "forest.npz"
+        forest.save(path)
+        loaded = RPForest.load(path)
+        q = gaussian_mixture(30, 10, n_clusters=8, seed=14)
+        for t1, t2 in zip(forest.trees, loaded.trees):
+            assert np.array_equal(t1.leaf_for(q), t2.leaf_for(q))
+
+    def test_single_leaf_tree_round_trip(self, tmp_path):
+        x = gaussian_mixture(10, 4, n_clusters=2, seed=0)
+        forest = build_forest(x, 1, 20, seed=0)
+        forest.save(tmp_path / "f.npz")
+        loaded = RPForest.load(tmp_path / "f.npz")
+        assert loaded.trees[0].n_leaves == 1
+        assert np.array_equal(loaded.trees[0].leaves[0], np.arange(10))
+
+
+class TestSearchIndexPersistence:
+    def test_round_trip_search_results(self, points, tmp_path):
+        index = GraphSearchIndex.build(points, k=8, seed=0)
+        q = points[:10] * 1.001
+        before_ids, before_d = index.search(q, 5)
+        index.save(tmp_path / "idx")
+        loaded = GraphSearchIndex.load(tmp_path / "idx")
+        after_ids, after_d = loaded.search(q, 5)
+        assert np.array_equal(before_ids, after_ids)
+        assert np.allclose(before_d, after_d)
+
+    def test_load_with_custom_config(self, points, tmp_path):
+        from repro.apps.search import SearchConfig
+
+        GraphSearchIndex.build(points, k=8, seed=0).save(tmp_path / "idx")
+        loaded = GraphSearchIndex.load(tmp_path / "idx",
+                                       SearchConfig(ef=64))
+        assert loaded.config.ef == 64

@@ -1,0 +1,154 @@
+"""Tests for simulated atomics and the packed (distance, id) encoding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AtomicError
+from repro.simt.atomics import (
+    EMPTY_PACKED,
+    AtomicUnit,
+    pack_dist_id,
+    unpack_dist_id,
+)
+from repro.simt.memory import GlobalBuffer
+from repro.simt.metrics import KernelMetrics
+
+W = 32
+ALL = np.ones(W, dtype=bool)
+
+
+def unit():
+    return AtomicUnit(KernelMetrics()), KernelMetrics()
+
+
+class TestPacking:
+    def test_round_trip(self):
+        rng = np.random.default_rng(0)
+        d = (rng.random(500) * 1e6).astype(np.float32)
+        i = rng.integers(-1, 2**31 - 1, 500).astype(np.int32)
+        d2, i2 = unpack_dist_id(pack_dist_id(d, i))
+        assert np.array_equal(d, d2)
+        assert np.array_equal(i, i2)
+
+    def test_order_preserved(self):
+        d = np.sort(np.random.default_rng(1).random(200).astype(np.float32))
+        p = pack_dist_id(d, np.arange(200, dtype=np.int32))
+        assert (p[:-1] <= p[1:]).all()
+
+    def test_distance_dominates_id(self):
+        small = pack_dist_id(np.float32(1.0), np.int32(2**31 - 1))
+        large = pack_dist_id(np.float32(2.0), np.int32(0))
+        assert small < large
+
+    def test_inf_distance_sorts_last(self):
+        p_inf = pack_dist_id(np.float32(np.inf), np.int32(-1))
+        p_big = pack_dist_id(np.float32(3.4e38), np.int32(0))
+        assert p_big < p_inf
+
+    def test_empty_packed_is_inf_minus_one(self):
+        d, i = unpack_dist_id(np.array([EMPTY_PACKED], dtype=np.uint64))
+        assert np.isinf(d[0]) and i[0] == -1
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(AtomicError):
+            pack_dist_id(np.float32(-1.0), np.int32(0))
+
+    def test_zero_distance_ok(self):
+        d, i = unpack_dist_id(pack_dist_id(np.float32(0.0), np.int32(5)))
+        assert d == 0.0 and i == 5
+
+
+class TestAtomicOps:
+    def test_add_returns_old_values(self):
+        metrics = KernelMetrics()
+        au = AtomicUnit(metrics)
+        buf = GlobalBuffer(np.zeros(4, dtype=np.int64))
+        idx = np.zeros(W, dtype=np.int64)
+        old = au.add(buf, idx, np.ones(W, dtype=np.int64), ALL)
+        # serialised in lane order: lane l sees sum of previous lanes
+        assert np.array_equal(old, np.arange(W))
+        assert buf.to_host()[0] == W
+
+    def test_max_semantics(self):
+        au, _ = unit()
+        buf = GlobalBuffer(np.array([5], dtype=np.int64))
+        vals = np.arange(W, dtype=np.int64)
+        au.max(buf, np.zeros(W, dtype=np.int64), vals, ALL)
+        assert buf.to_host()[0] == W - 1
+
+    def test_min_semantics(self):
+        au, _ = unit()
+        buf = GlobalBuffer(np.array([100], dtype=np.int64))
+        au.min(buf, np.zeros(W, dtype=np.int64), np.arange(W, dtype=np.int64) + 3, ALL)
+        assert buf.to_host()[0] == 3
+
+    def test_exch(self):
+        au, _ = unit()
+        buf = GlobalBuffer(np.array([42], dtype=np.int64))
+        mask = np.zeros(W, dtype=bool)
+        mask[0] = True
+        old = au.exch(buf, np.zeros(W, dtype=np.int64), np.full(W, 7, dtype=np.int64), mask)
+        assert old[0] == 42 and buf.to_host()[0] == 7
+
+    def test_cas_success_and_failure(self):
+        au, _ = unit()
+        buf = GlobalBuffer(np.array([10], dtype=np.int64))
+        mask = np.zeros(W, dtype=bool)
+        mask[0] = True
+        old = au.cas(buf, np.zeros(W, dtype=np.int64), 10, 20, mask)
+        assert old[0] == 10 and buf.to_host()[0] == 20
+        old = au.cas(buf, np.zeros(W, dtype=np.int64), 10, 30, mask)
+        assert old[0] == 20 and buf.to_host()[0] == 20  # failed, unchanged
+
+    def test_cas_serialises_in_lane_order(self):
+        au, _ = unit()
+        buf = GlobalBuffer(np.array([0], dtype=np.int64))
+        # all lanes CAS 0 -> lane_id + 1; only lane 0 must win
+        old = au.cas(
+            buf,
+            np.zeros(W, dtype=np.int64),
+            np.zeros(W, dtype=np.int64),
+            np.arange(W, dtype=np.int64) + 1,
+            ALL,
+        )
+        assert buf.to_host()[0] == 1
+        assert old[0] == 0 and (old[1:] == 1).all()
+
+    def test_max_on_float_rejected(self):
+        au, _ = unit()
+        buf = GlobalBuffer(np.zeros(4, dtype=np.float32))
+        with pytest.raises(AtomicError):
+            au.max(buf, np.zeros(W, dtype=np.int64), np.zeros(W, dtype=np.float32), ALL)
+
+    def test_add_on_float_allowed(self):
+        au, _ = unit()
+        buf = GlobalBuffer(np.zeros(1, dtype=np.float32))
+        au.add(buf, np.zeros(W, dtype=np.int64), np.ones(W, dtype=np.float32), ALL)
+        assert buf.to_host()[0] == W
+
+    def test_conflict_accounting(self):
+        metrics = KernelMetrics()
+        au = AtomicUnit(metrics)
+        buf = GlobalBuffer(np.zeros(4, dtype=np.int64))
+        idx = np.zeros(W, dtype=np.int64)
+        idx[: W // 2] = 1  # two addresses, 16 lanes each
+        au.add(buf, idx, np.ones(W, dtype=np.int64), ALL)
+        assert metrics.atomic_ops == W
+        assert metrics.atomic_conflicts == W - 2
+
+    def test_no_conflict_distinct_addresses(self):
+        metrics = KernelMetrics()
+        au = AtomicUnit(metrics)
+        buf = GlobalBuffer(np.zeros(W, dtype=np.int64))
+        au.add(buf, np.arange(W, dtype=np.int64), np.ones(W, dtype=np.int64), ALL)
+        assert metrics.atomic_conflicts == 0
+
+    def test_packed_max_orders_by_distance(self):
+        au, _ = unit()
+        buf = GlobalBuffer(np.array([pack_dist_id(np.float32(5.0), np.int32(1))], dtype=np.uint64))
+        cand = pack_dist_id(np.full(W, 2.0, dtype=np.float32), np.arange(W, dtype=np.int32))
+        mask = np.zeros(W, dtype=bool)
+        mask[0] = True
+        au.min(buf, np.zeros(W, dtype=np.int64), cand, mask)
+        d, i = unpack_dist_id(buf.to_host())
+        assert d[0] == 2.0 and i[0] == 0

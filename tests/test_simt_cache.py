@@ -1,0 +1,118 @@
+"""Tests for the simulator's segment cache - including the validation that
+the *measured* cache behaviour exhibits the working-set effect the analytic
+cost model assumes (the F2 crossover mechanism)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simt.cache import SegmentCache, make_device_cache
+from repro.simt.config import DeviceConfig
+from repro.simt.device import Device
+
+
+class TestSegmentCache:
+    def test_geometry_validation(self):
+        with pytest.raises(ConfigurationError):
+            SegmentCache(0, 128)
+        with pytest.raises(ConfigurationError):
+            SegmentCache(128, 128, ways=3)  # 1 line not divisible by 3
+
+    def test_cold_miss_then_hit(self):
+        c = SegmentCache(1024, 128, ways=2)
+        assert c.access(np.array([5])) == 1
+        assert c.access(np.array([5])) == 0
+        assert c.hits == 1 and c.misses == 1
+
+    def test_duplicates_in_one_access_count_once(self):
+        c = SegmentCache(1024, 128, ways=2)
+        assert c.access(np.array([7, 7, 7])) == 1
+
+    def test_lru_eviction(self):
+        # 2 sets x 2 ways; segments 0,2,4 map to set 0
+        c = SegmentCache(4 * 128, 128, ways=2)
+        c.access(np.array([0]))
+        c.access(np.array([2]))
+        c.access(np.array([0]))  # refresh 0 -> 2 is now LRU
+        c.access(np.array([4]))  # evicts 2
+        assert c.access(np.array([0])) == 0  # still resident
+        assert c.access(np.array([2])) == 1  # was evicted
+
+    def test_working_set_fits_all_hits(self):
+        c = SegmentCache(64 * 128, 128, ways=8)
+        segs = np.arange(32)
+        c.access(segs)
+        for _ in range(5):
+            assert c.access(segs) == 0
+
+    def test_working_set_overflow_thrashes(self):
+        c = SegmentCache(8 * 128, 128, ways=8)  # 8 lines
+        segs = np.arange(64)  # 8x the capacity, cycled in order
+        c.access(segs)
+        misses = c.access(segs)
+        assert misses > 32  # mostly misses once the set thrashes
+
+    def test_reset(self):
+        c = SegmentCache(1024, 128, ways=2)
+        c.access(np.array([1]))
+        c.reset()
+        assert c.hits == 0 and c.misses == 0
+        assert c.access(np.array([1])) == 1  # cold again
+
+
+class TestMakeDeviceCache:
+    def test_disabled_when_zero(self):
+        cfg = DeviceConfig(cache_bytes=0)
+        assert make_device_cache(cfg) is None
+
+    def test_default_enabled(self):
+        assert make_device_cache(DeviceConfig()) is not None
+
+    def test_tiny_cache_shrinks_ways(self):
+        cfg = DeviceConfig(cache_bytes=256)  # 2 lines
+        cache = make_device_cache(cfg)
+        assert cache is not None and cache.ways <= 2
+
+
+class TestDeviceCacheIntegration:
+    def _stream_kernel(self, n_rows, dim, repeats):
+        """Kernel that re-streams a (n_rows, dim) buffer `repeats` times."""
+        def kernel(ctx, buf):
+            for _ in range(repeats):
+                for r in range(n_rows):
+                    for c0 in range(0, dim, ctx.warp_size):
+                        mask = (c0 + ctx.lane_id) < dim
+                        ctx.load(buf, r * dim + c0 + ctx.lane_id, mask)
+        return kernel
+
+    def test_resident_working_set_hits(self):
+        dev = Device(DeviceConfig(cache_bytes=32 * 1024))
+        x = np.zeros((16, 32), dtype=np.float32)  # 2 KB - fits easily
+        buf = dev.to_device(x)
+        dev.launch(self._stream_kernel(16, 32, repeats=4), 1, 1, args=(buf,))
+        m = dev.metrics
+        # 3 of 4 sweeps must hit
+        assert m.global_cache_hits >= 3 * m.global_cache_misses
+
+    def test_overflowing_working_set_misses(self):
+        dev = Device(DeviceConfig(cache_bytes=4 * 1024))
+        x = np.zeros((64, 128), dtype=np.float32)  # 32 KB >> 4 KB
+        buf = dev.to_device(x)
+        dev.launch(self._stream_kernel(64, 128, repeats=2), 1, 1, args=(buf,))
+        m = dev.metrics
+        assert m.global_cache_misses > m.global_cache_hits
+
+    def test_hits_reduce_estimated_cycles(self):
+        def run(cache_bytes):
+            dev = Device(DeviceConfig(cache_bytes=cache_bytes))
+            buf = dev.to_device(np.zeros((16, 32), dtype=np.float32))
+            dev.launch(self._stream_kernel(16, 32, repeats=4), 1, 1, args=(buf,))
+            return dev.metrics.estimated_cycles(dev.config)
+
+        assert run(32 * 1024) < run(0)
+
+    def test_distinct_buffers_distinct_segments(self):
+        dev = Device(DeviceConfig())
+        a = dev.to_device(np.zeros(32, dtype=np.float32))
+        b = dev.to_device(np.zeros(32, dtype=np.float32))
+        assert b.base_addr >= a.base_addr + a.nbytes

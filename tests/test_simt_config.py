@@ -1,0 +1,43 @@
+"""Tests for the SIMT device model configuration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simt.config import DeviceConfig
+
+
+class TestDeviceConfig:
+    def test_defaults_valid(self):
+        cfg = DeviceConfig()
+        assert cfg.warp_size == 32
+        assert cfg.segment_bytes == 128
+
+    def test_frozen(self):
+        cfg = DeviceConfig()
+        with pytest.raises(Exception):
+            cfg.warp_size = 16  # type: ignore[misc]
+
+    @pytest.mark.parametrize("warp", [1, 2, 8, 64])
+    def test_pow2_warp_sizes_ok(self, warp):
+        assert DeviceConfig(warp_size=warp).warp_size == warp
+
+    @pytest.mark.parametrize("warp", [0, -4, 3, 24])
+    def test_non_pow2_warp_rejected(self, warp):
+        with pytest.raises(ConfigurationError):
+            DeviceConfig(warp_size=warp)
+
+    def test_non_pow2_segment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeviceConfig(segment_bytes=100)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeviceConfig(global_latency_cycles=-1)
+
+    def test_zero_bank_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeviceConfig(bank_width_bytes=0)
+
+    def test_negative_cache_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeviceConfig(cache_bytes=-5)

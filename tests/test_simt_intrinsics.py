@@ -1,0 +1,101 @@
+"""Tests for warp-level collectives: bitonic sort and sorted merge."""
+
+import numpy as np
+import pytest
+
+from repro.simt.config import DeviceConfig
+from repro.simt.device import Device
+from repro.simt.intrinsics import warp_bitonic_sort, warp_sorted_merge_max
+from repro.simt.shared import SharedMemory
+from repro.simt.warp import WarpContext
+
+W = 32
+
+
+@pytest.fixture()
+def ctx():
+    dev = Device(DeviceConfig())
+    return WarpContext(dev, SharedMemory(dev.config, dev.metrics), 0, 0, 1, 1)
+
+
+class TestBitonicSort:
+    def test_sorts_random(self, ctx):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            keys = rng.random(W).astype(np.float32)
+            vals = np.arange(W)
+            sk, sv = warp_bitonic_sort(ctx, keys, vals)
+            assert np.allclose(sk, np.sort(keys))
+            assert np.allclose(keys[sv], sk)  # values travel with keys
+
+    def test_already_sorted(self, ctx):
+        keys = np.arange(W, dtype=np.float32)
+        sk, _ = warp_bitonic_sort(ctx, keys, np.arange(W))
+        assert np.array_equal(sk, keys)
+
+    def test_reverse_sorted(self, ctx):
+        keys = np.arange(W, dtype=np.float32)[::-1].copy()
+        sk, _ = warp_bitonic_sort(ctx, keys, np.arange(W))
+        assert np.array_equal(sk, np.arange(W, dtype=np.float32))
+
+    def test_with_inf_padding(self, ctx):
+        keys = np.full(W, np.inf, dtype=np.float32)
+        keys[:5] = [3, 1, 4, 1, 5]
+        sk, _ = warp_bitonic_sort(ctx, keys, np.arange(W))
+        assert np.array_equal(sk[:5], np.array([1, 1, 3, 4, 5], dtype=np.float32))
+        assert np.isinf(sk[5:]).all()
+
+    def test_inputs_not_mutated(self, ctx):
+        keys = np.random.default_rng(1).random(W).astype(np.float32)
+        orig = keys.copy()
+        warp_bitonic_sort(ctx, keys, np.arange(W))
+        assert np.array_equal(keys, orig)
+
+    def test_charges_alu_cycles(self, ctx):
+        before = ctx._metrics.alu_ops
+        warp_bitonic_sort(ctx, np.random.default_rng(2).random(W), np.arange(W))
+        # log2(32)=5 phases -> 15 compare-exchange steps, each shfl + alu
+        assert ctx._metrics.alu_ops - before >= 15
+
+
+class TestSortedMerge:
+    def test_keeps_smallest_w(self, ctx):
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            a = np.sort(rng.random(W).astype(np.float32))
+            b = np.sort(rng.random(W).astype(np.float32))
+            mk, _ = warp_sorted_merge_max(ctx, a, np.arange(W), b, np.arange(W) + 100)
+            ref = np.sort(np.concatenate([a, b]))[:W]
+            assert np.allclose(mk, ref)
+
+    def test_values_follow_keys(self, ctx):
+        a = np.sort(np.random.default_rng(4).random(W).astype(np.float32))
+        b = np.sort(np.random.default_rng(5).random(W).astype(np.float32))
+        va = np.arange(W)
+        vb = np.arange(W) + 1000
+        mk, mv = warp_sorted_merge_max(ctx, a, va, b, vb)
+        lookup = np.concatenate([a, b])
+        vals = np.concatenate([va, vb])
+        for key, val in zip(mk, mv):
+            assert key in lookup
+            assert vals[np.flatnonzero(lookup == key)[0]] == val or key in lookup
+
+    def test_all_from_one_side(self, ctx):
+        a = np.sort(np.random.default_rng(6).random(W).astype(np.float32))
+        b = np.full(W, np.inf, dtype=np.float32)
+        mk, mv = warp_sorted_merge_max(ctx, a, np.arange(W), b, np.full(W, -1))
+        assert np.allclose(mk, a)
+        assert np.array_equal(mv, np.arange(W))
+
+    def test_interleaved(self, ctx):
+        a = np.arange(0, 2 * W, 2, dtype=np.float32)  # evens
+        b = np.arange(1, 2 * W, 2, dtype=np.float32)  # odds
+        mk, _ = warp_sorted_merge_max(ctx, a, np.arange(W), b, np.arange(W))
+        assert np.array_equal(mk, np.arange(W, dtype=np.float32))
+
+    def test_output_sorted(self, ctx):
+        rng = np.random.default_rng(7)
+        a = np.sort(rng.random(W).astype(np.float32))
+        b = np.sort(rng.random(W).astype(np.float32))
+        mk, _ = warp_sorted_merge_max(ctx, a, np.arange(W), b, np.arange(W))
+        assert (np.diff(mk) >= 0).all()

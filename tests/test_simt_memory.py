@@ -1,0 +1,163 @@
+"""Tests for simulated global memory: semantics and coalescing accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryAccessError
+from repro.simt.config import DeviceConfig
+from repro.simt.memory import GlobalBuffer
+from repro.simt.metrics import KernelMetrics
+
+CFG = DeviceConfig()
+W = CFG.warp_size
+ALL = np.ones(W, dtype=bool)
+
+
+def lanes(*vals):
+    arr = np.zeros(W, dtype=np.int64)
+    arr[: len(vals)] = vals
+    return arr
+
+
+class TestBufferBasics:
+    def test_round_trip_shape(self):
+        buf = GlobalBuffer(np.arange(12, dtype=np.float32).reshape(3, 4))
+        assert buf.shape == (3, 4)
+        assert np.array_equal(buf.to_host(), np.arange(12, dtype=np.float32).reshape(3, 4))
+
+    def test_to_host_is_copy(self):
+        src = np.ones(4, dtype=np.float32)
+        buf = GlobalBuffer(src)
+        host = buf.to_host()
+        host[0] = 99
+        assert buf.to_host()[0] == 1.0
+
+    def test_source_not_aliased(self):
+        src = np.ones(4, dtype=np.float32)
+        buf = GlobalBuffer(src)
+        src[0] = 77
+        assert buf.to_host()[0] == 1.0
+
+    def test_view2d(self):
+        buf = GlobalBuffer(np.zeros((5, 7), dtype=np.float32))
+        assert buf.view2d() == (5, 7)
+
+    def test_view2d_rejects_1d(self):
+        with pytest.raises(MemoryAccessError):
+            GlobalBuffer(np.zeros(5, dtype=np.float32)).view2d()
+
+    def test_unsupported_dtype(self):
+        with pytest.raises(MemoryAccessError):
+            GlobalBuffer(np.zeros(4, dtype=np.float16))
+
+    def test_nbytes_and_size(self):
+        buf = GlobalBuffer(np.zeros(10, dtype=np.int64))
+        assert buf.size == 10 and buf.nbytes == 80
+
+
+class TestGatherScatter:
+    def test_gather_values(self):
+        buf = GlobalBuffer(np.arange(100, dtype=np.float32))
+        m = KernelMetrics()
+        idx = np.arange(W, dtype=np.int64) * 2
+        out = buf.gather(idx, ALL, CFG, m)
+        assert np.array_equal(out, (np.arange(W) * 2).astype(np.float32))
+
+    def test_gather_inactive_lanes_zero(self):
+        buf = GlobalBuffer(np.full(40, 7.0, dtype=np.float32))
+        m = KernelMetrics()
+        mask = np.zeros(W, dtype=bool)
+        mask[0] = True
+        out = buf.gather(lanes(3), mask, CFG, m)
+        assert out[0] == 7.0 and (out[1:] == 0).all()
+
+    def test_gather_out_of_bounds(self):
+        buf = GlobalBuffer(np.zeros(4, dtype=np.float32))
+        with pytest.raises(MemoryAccessError, match="out-of-bounds"):
+            buf.gather(lanes(4), ALL, CFG, KernelMetrics())
+
+    def test_gather_negative_index(self):
+        buf = GlobalBuffer(np.zeros(4, dtype=np.float32))
+        with pytest.raises(MemoryAccessError):
+            buf.gather(lanes(-1), ALL, CFG, KernelMetrics())
+
+    def test_inactive_out_of_bounds_ignored(self):
+        buf = GlobalBuffer(np.zeros(4, dtype=np.float32))
+        mask = np.zeros(W, dtype=bool)
+        mask[0] = True
+        idx = np.full(W, 999, dtype=np.int64)
+        idx[0] = 1
+        buf.gather(idx, mask, CFG, KernelMetrics())  # must not raise
+
+    def test_scatter_values(self):
+        buf = GlobalBuffer(np.zeros(W, dtype=np.float32))
+        m = KernelMetrics()
+        buf.scatter(np.arange(W), np.arange(W, dtype=np.float32), ALL, CFG, m)
+        assert np.array_equal(buf.to_host(), np.arange(W, dtype=np.float32))
+
+    def test_scatter_scalar_broadcast(self):
+        buf = GlobalBuffer(np.zeros(W, dtype=np.float32))
+        buf.scatter(np.arange(W), np.float32(5.0), ALL, CFG, KernelMetrics())
+        assert (buf.to_host() == 5.0).all()
+
+    def test_scatter_same_address_highest_lane_wins(self):
+        buf = GlobalBuffer(np.zeros(4, dtype=np.float32))
+        vals = np.arange(W, dtype=np.float32)
+        buf.scatter(np.zeros(W, dtype=np.int64), vals, ALL, CFG, KernelMetrics())
+        assert buf.to_host()[0] == W - 1
+
+    def test_scatter_respects_mask(self):
+        buf = GlobalBuffer(np.zeros(W, dtype=np.float32))
+        mask = np.zeros(W, dtype=bool)
+        mask[3] = True
+        buf.scatter(np.arange(W), np.full(W, 9.0, dtype=np.float32), mask, CFG, KernelMetrics())
+        host = buf.to_host()
+        assert host[3] == 9.0 and host.sum() == 9.0
+
+
+class TestCoalescing:
+    def test_fully_coalesced_float32_is_one_transaction(self):
+        buf = GlobalBuffer(np.zeros(W, dtype=np.float32))
+        m = KernelMetrics()
+        buf.gather(np.arange(W, dtype=np.int64), ALL, CFG, m)
+        assert m.global_load_transactions == 1
+
+    def test_strided_access_is_many_transactions(self):
+        buf = GlobalBuffer(np.zeros(W * 32, dtype=np.float32))
+        m = KernelMetrics()
+        buf.gather(np.arange(W, dtype=np.int64) * 32, ALL, CFG, m)
+        assert m.global_load_transactions == W
+
+    def test_same_address_broadcast_one_transaction(self):
+        buf = GlobalBuffer(np.zeros(16, dtype=np.float32))
+        m = KernelMetrics()
+        buf.gather(np.zeros(W, dtype=np.int64), ALL, CFG, m)
+        assert m.global_load_transactions == 1
+
+    def test_float64_coalesced_two_transactions(self):
+        buf = GlobalBuffer(np.zeros(W, dtype=np.float64))
+        m = KernelMetrics()
+        buf.gather(np.arange(W, dtype=np.int64), ALL, CFG, m)
+        assert m.global_load_transactions == 2  # 32 lanes * 8B = 256B
+
+    def test_bytes_counted_active_lanes_only(self):
+        buf = GlobalBuffer(np.zeros(W, dtype=np.float32))
+        m = KernelMetrics()
+        mask = np.zeros(W, dtype=bool)
+        mask[:4] = True
+        buf.gather(np.arange(W, dtype=np.int64), mask, CFG, m)
+        assert m.global_bytes_read == 16
+
+    def test_predicated_op_recorded(self):
+        buf = GlobalBuffer(np.zeros(W, dtype=np.float32))
+        m = KernelMetrics()
+        mask = np.ones(W, dtype=bool)
+        mask[0] = False
+        buf.gather(np.arange(W, dtype=np.int64), mask, CFG, m)
+        assert m.predicated_ops == 1
+
+    def test_empty_mask_zero_transactions(self):
+        buf = GlobalBuffer(np.zeros(W, dtype=np.float32))
+        m = KernelMetrics()
+        buf.gather(np.arange(W, dtype=np.int64), np.zeros(W, dtype=bool), CFG, m)
+        assert m.global_load_transactions == 0

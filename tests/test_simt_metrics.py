@@ -1,0 +1,85 @@
+"""Tests for the KernelMetrics counters and cycle arithmetic."""
+
+import pytest
+
+from repro.simt.config import DeviceConfig
+from repro.simt.metrics import KernelMetrics
+
+
+class TestCounterArithmetic:
+    def test_add_accumulates(self):
+        a = KernelMetrics(alu_ops=3, global_loads=1)
+        b = KernelMetrics(alu_ops=2, atomic_ops=5)
+        a.add(b)
+        assert a.alu_ops == 5
+        assert a.global_loads == 1
+        assert a.atomic_ops == 5
+
+    def test_add_returns_self(self):
+        a = KernelMetrics()
+        assert a.add(KernelMetrics()) is a
+
+    def test_copy_independent(self):
+        a = KernelMetrics(alu_ops=1)
+        c = a.copy()
+        a.alu_ops = 99
+        assert c.alu_ops == 1
+
+    def test_reset(self):
+        a = KernelMetrics(alu_ops=7, barriers=2)
+        a.reset()
+        assert a.alu_ops == 0 and a.barriers == 0
+
+    def test_as_dict_covers_all_fields(self):
+        d = KernelMetrics().as_dict()
+        assert "global_load_transactions" in d
+        assert "global_cache_hits" in d
+        assert all(v == 0 for v in d.values())
+
+
+class TestCycleModel:
+    def test_alu_only(self):
+        cfg = DeviceConfig()
+        m = KernelMetrics(alu_ops=10)
+        assert m.estimated_cycles(cfg) == 10 * cfg.alu_cycles
+
+    def test_uncached_loads_at_dram_latency(self):
+        cfg = DeviceConfig()
+        m = KernelMetrics(global_load_transactions=4)
+        assert m.estimated_cycles(cfg) == 4 * cfg.global_latency_cycles
+
+    def test_cache_hits_cheaper(self):
+        cfg = DeviceConfig()
+        hit = KernelMetrics(global_load_transactions=4, global_cache_hits=4)
+        miss = KernelMetrics(global_load_transactions=4, global_cache_misses=4)
+        assert hit.estimated_cycles(cfg) == 4 * cfg.cache_hit_cycles
+        assert miss.estimated_cycles(cfg) == 4 * cfg.global_latency_cycles
+
+    def test_stores_always_dram(self):
+        cfg = DeviceConfig()
+        m = KernelMetrics(global_store_transactions=3)
+        assert m.estimated_cycles(cfg) == 3 * cfg.global_latency_cycles
+
+    def test_bank_conflicts_add_shared_passes(self):
+        cfg = DeviceConfig()
+        clean = KernelMetrics(shared_accesses=5)
+        conflicted = KernelMetrics(shared_accesses=5, shared_bank_conflicts=5)
+        assert conflicted.estimated_cycles(cfg) == 2 * clean.estimated_cycles(cfg)
+
+    def test_atomic_conflicts_double(self):
+        cfg = DeviceConfig()
+        clean = KernelMetrics(atomic_ops=2)
+        contended = KernelMetrics(atomic_ops=2, atomic_conflicts=2)
+        assert contended.estimated_cycles(cfg) == 2 * clean.estimated_cycles(cfg)
+
+    def test_zero_cost_config(self):
+        cfg = DeviceConfig(alu_cycles=0, shared_cycles=0,
+                           global_latency_cycles=0, atomic_cycles=0,
+                           cache_hit_cycles=0)
+        m = KernelMetrics(alu_ops=10, global_load_transactions=5, atomic_ops=2)
+        assert m.estimated_cycles(cfg) == 0
+
+    def test_str_omits_zero_fields(self):
+        s = str(KernelMetrics(alu_ops=1))
+        assert "alu_ops=1" in s
+        assert "barriers" not in s

@@ -1,0 +1,90 @@
+"""Tests for the refinement (pairs) kernels on the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.simt.atomics import EMPTY_PACKED, unpack_dist_id
+from repro.simt.device import Device
+from repro.simt_kernels import pairs_kernels
+from repro.simt_kernels.pipeline import _DeviceLists, _launch_pairs
+from repro.utils.arrays import segment_lengths
+
+
+@pytest.fixture()
+def setting():
+    rng = np.random.default_rng(5)
+    x = rng.standard_normal((30, 10)).astype(np.float32)
+    dev = Device()
+    xbuf = dev.to_device(x.reshape(-1), "points")
+    return rng, x, dev, xbuf
+
+
+def expected_lists(x, rows, cols, k):
+    """Reference: k smallest offered candidates per row."""
+    n = x.shape[0]
+    best = {i: {} for i in range(n)}
+    for r, c in zip(rows, cols):
+        d = float(((x[r].astype(np.float64) - x[c]) ** 2).sum())
+        best[int(r)][int(c)] = d
+    out = {}
+    for i in range(n):
+        items = sorted(best[i].items(), key=lambda kv: kv[1])[:k]
+        out[i] = {c for c, _ in items}
+    return out
+
+
+@pytest.mark.parametrize("strategy", ["baseline", "atomic", "tiled"])
+def test_pairs_kernels_insert_k_smallest(setting, strategy):
+    rng, x, dev, xbuf = setting
+    k = 4
+    lists = _DeviceLists(dev, x.shape[0], k, strategy)
+    rows = rng.integers(0, 30, 120)
+    cols = rng.integers(0, 30, 120)
+    keep = rows != cols
+    rows, cols = rows[keep], cols[keep]
+    # dedupe (row, col): the kernels assume unique pairs per batch
+    key = rows * 30 + cols
+    uniq = np.unique(key)
+    rows, cols = uniq // 30, uniq % 30
+
+    _launch_pairs(dev, lists, xbuf, rows, cols, x.shape[1], k)
+    state = lists.to_state()
+    ref = expected_lists(x, rows, cols, k)
+    for i in range(30):
+        got = {int(c) for c in state.ids[i] if c >= 0}
+        assert got == ref[i], f"{strategy}: row {i}"
+
+
+def test_pairs_grouping_matches_segments(setting):
+    """The host-side row grouping used by _launch_pairs is consistent."""
+    rng, x, dev, xbuf = setting
+    rows = np.array([5, 2, 5, 2, 9])
+    order = np.argsort(rows, kind="stable")
+    urows, starts, counts = segment_lengths(rows[order])
+    assert urows.tolist() == [2, 5, 9]
+    assert counts.tolist() == [2, 2, 1]
+
+
+def test_empty_pairs_launch_is_noop(setting):
+    _, x, dev, xbuf = setting
+    lists = _DeviceLists(dev, x.shape[0], 3, "tiled")
+    _launch_pairs(dev, lists, xbuf,
+                  np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+                  x.shape[1], 3)
+    assert lists.to_state().filled_counts().sum() == 0
+
+
+def test_atomic_lists_stay_packed_consistent(setting):
+    rng, x, dev, xbuf = setting
+    k = 3
+    lists = _DeviceLists(dev, x.shape[0], k, "atomic")
+    rows = np.arange(30).repeat(3)
+    cols = (rows + rng.integers(1, 29, rows.shape[0])) % 30
+    key = rows * 30 + cols
+    uniq = np.unique(key)
+    _launch_pairs(dev, lists, xbuf, uniq // 30, uniq % 30, x.shape[1], k)
+    packed = lists.packed.to_host()
+    d, i = unpack_dist_id(packed)
+    filled = packed != np.uint64(EMPTY_PACKED)
+    assert (d[filled] >= 0).all()
+    assert (i[filled] >= 0).all()

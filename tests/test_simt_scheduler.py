@@ -1,0 +1,139 @@
+"""Tests for kernel launch, warp interleaving and barrier semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BarrierError, LaunchError
+from repro.simt.device import Device
+
+
+class TestLaunchGeometry:
+    def test_plain_kernel_runs_per_warp(self):
+        dev = Device()
+        out = dev.empty((6,), np.int32, "out")
+
+        def kernel(ctx, out):
+            ctx.store(out, np.full(ctx.warp_size, ctx.warp_id_global),
+                      np.int32(ctx.warp_id_global + 1), ctx.lane_id == 0)
+
+        dev.launch(kernel, grid_blocks=3, block_warps=2, args=(out,))
+        assert out.to_host().tolist() == [1, 2, 3, 4, 5, 6]
+
+    def test_bad_geometry_rejected(self):
+        dev = Device()
+        with pytest.raises(LaunchError):
+            dev.launch(lambda ctx: None, grid_blocks=0, block_warps=1)
+        with pytest.raises(LaunchError):
+            dev.launch(lambda ctx: None, grid_blocks=1, block_warps=-1)
+
+    def test_warp_and_block_counters(self):
+        dev = Device()
+        dev.launch(lambda ctx: None, grid_blocks=4, block_warps=3)
+        assert dev.metrics.blocks_launched == 4
+        assert dev.metrics.warps_launched == 12
+
+
+class TestBarriers:
+    def test_barrier_orders_phases(self):
+        """Warp 1 reads what warp 0 wrote before the barrier."""
+        dev = Device()
+        out = dev.empty((2,), np.float32, "out")
+
+        def kernel(ctx, out):
+            s = ctx.shared("buf", (1,), np.float32)
+            if ctx.warp_id == 0:
+                ctx.shared_store(s, np.zeros(ctx.warp_size, dtype=np.int64),
+                                 np.float32(ctx.block_id + 10), ctx.lane_id == 0)
+            yield ctx.barrier()
+            if ctx.warp_id == 1:
+                v = ctx.shared_load(s, np.zeros(ctx.warp_size, dtype=np.int64),
+                                    ctx.lane_id == 0)
+                ctx.store(out, np.full(ctx.warp_size, ctx.block_id), v,
+                          ctx.lane_id == 0)
+
+        dev.launch(kernel, grid_blocks=2, block_warps=2, args=(out,))
+        assert out.to_host().tolist() == [10.0, 11.0]
+
+    def test_multiple_barriers(self):
+        dev = Device()
+        trace = []
+
+        def kernel(ctx):
+            trace.append(("a", ctx.warp_id))
+            yield ctx.barrier()
+            trace.append(("b", ctx.warp_id))
+            yield ctx.barrier()
+            trace.append(("c", ctx.warp_id))
+
+        dev.launch(kernel, grid_blocks=1, block_warps=3)
+        phases = [p for p, _ in trace]
+        # all 'a' entries strictly precede all 'b', which precede all 'c'
+        assert phases == ["a"] * 3 + ["b"] * 3 + ["c"] * 3
+        assert dev.metrics.barriers == 2
+
+    def test_mismatched_barriers_deadlock_detected(self):
+        dev = Device()
+
+        def kernel(ctx):
+            if ctx.warp_id == 0:
+                yield ctx.barrier()  # warp 1 never reaches it
+
+        with pytest.raises(BarrierError, match="barrier"):
+            dev.launch(kernel, grid_blocks=1, block_warps=2)
+
+    def test_yield_non_barrier_rejected(self):
+        dev = Device()
+
+        def kernel(ctx):
+            yield "not a barrier"
+
+        with pytest.raises(BarrierError, match="yield"):
+            dev.launch(kernel, grid_blocks=1, block_warps=1)
+
+    def test_blocks_have_isolated_shared_memory(self):
+        dev = Device()
+        out = dev.empty((2,), np.float32, "out")
+
+        def kernel(ctx, out):
+            s = ctx.shared("iso", (1,), np.float32)
+            v = ctx.shared_load(s, np.zeros(ctx.warp_size, dtype=np.int64),
+                                ctx.lane_id == 0)
+            ctx.store(out, np.full(ctx.warp_size, ctx.block_id),
+                      v + np.float32(1.0), ctx.lane_id == 0)
+            ctx.shared_store(s, np.zeros(ctx.warp_size, dtype=np.int64),
+                             np.float32(99.0), ctx.lane_id == 0)
+
+        dev.launch(kernel, grid_blocks=2, block_warps=1, args=(out,))
+        # each block saw a fresh zeroed region, not block 0's 99
+        assert out.to_host().tolist() == [1.0, 1.0]
+
+
+class TestDeviceFacade:
+    def test_reset_metrics_returns_snapshot(self):
+        dev = Device()
+        dev.launch(lambda ctx: None, grid_blocks=2, block_warps=1)
+        snap = dev.reset_metrics()
+        assert snap.warps_launched == 2
+        assert dev.metrics.warps_launched == 0
+
+    def test_allocated_bytes(self):
+        dev = Device()
+        dev.empty((10,), np.float32)
+        dev.empty((10,), np.int64)
+        assert dev.allocated_bytes == 40 + 80
+
+    def test_empty_with_fill(self):
+        dev = Device()
+        buf = dev.empty((4,), np.float32, fill=np.inf)
+        assert np.isinf(buf.to_host()).all()
+
+    def test_deterministic_metrics(self):
+        def run():
+            dev = Device()
+            buf = dev.to_device(np.arange(64, dtype=np.float32))
+            def kernel(ctx, b):
+                ctx.load(b, ctx.lane_id * 2)
+            dev.launch(kernel, grid_blocks=2, block_warps=1, args=(buf,))
+            return dev.metrics.as_dict()
+
+        assert run() == run()

@@ -1,0 +1,116 @@
+"""Tests for shared memory: region management and bank conflicts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryAccessError
+from repro.simt.config import DeviceConfig
+from repro.simt.metrics import KernelMetrics
+from repro.simt.shared import SharedMemory
+
+W = 32
+ALL = np.ones(W, dtype=bool)
+
+
+@pytest.fixture()
+def shared():
+    metrics = KernelMetrics()
+    return SharedMemory(DeviceConfig(), metrics), metrics
+
+
+class TestRegions:
+    def test_allocate_zeroed(self, shared):
+        sm, _ = shared
+        region = sm.allocate("a", 16, np.float32)
+        assert region.shape == (16,) and (region == 0).all()
+
+    def test_same_name_same_region(self, shared):
+        sm, _ = shared
+        a = sm.allocate("x", 8, np.float32)
+        b = sm.allocate("x", 8, np.float32)
+        assert a is b
+
+    def test_redeclare_different_shape_rejected(self, shared):
+        sm, _ = shared
+        sm.allocate("y", 8, np.float32)
+        with pytest.raises(MemoryAccessError, match="re-declared"):
+            sm.allocate("y", 16, np.float32)
+
+    def test_redeclare_different_dtype_rejected(self, shared):
+        sm, _ = shared
+        sm.allocate("z", 8, np.float32)
+        with pytest.raises(MemoryAccessError):
+            sm.allocate("z", 8, np.int32)
+
+    def test_tuple_shape(self, shared):
+        sm, _ = shared
+        region = sm.allocate("t", (4,), np.int64)
+        assert region.shape == (4,)
+
+
+class TestAccess:
+    def test_store_load_round_trip(self, shared):
+        sm, _ = shared
+        region = sm.allocate("r", W, np.float32)
+        sm.store(region, np.arange(W), np.arange(W, dtype=np.float32), ALL)
+        out = sm.load(region, np.arange(W), ALL)
+        assert np.array_equal(out, np.arange(W, dtype=np.float32))
+
+    def test_masked_store(self, shared):
+        sm, _ = shared
+        region = sm.allocate("r", W, np.float32)
+        mask = np.zeros(W, dtype=bool)
+        mask[2] = True
+        sm.store(region, np.arange(W), np.full(W, 3.0, dtype=np.float32), mask)
+        assert region[2] == 3.0 and region.sum() == 3.0
+
+    def test_out_of_bounds(self, shared):
+        sm, _ = shared
+        region = sm.allocate("r", 4, np.float32)
+        with pytest.raises(MemoryAccessError):
+            sm.load(region, np.full(W, 4, dtype=np.int64), ALL)
+
+    def test_scalar_store_broadcast(self, shared):
+        sm, _ = shared
+        region = sm.allocate("r", W, np.float32)
+        sm.store(region, np.arange(W), np.float32(1.5), ALL)
+        assert (region == 1.5).all()
+
+
+class TestBankConflicts:
+    def test_sequential_access_no_conflict(self, shared):
+        sm, m = shared
+        region = sm.allocate("r", W, np.float32)
+        sm.load(region, np.arange(W), ALL)
+        assert m.shared_bank_conflicts == 0
+
+    def test_broadcast_no_conflict(self, shared):
+        sm, m = shared
+        region = sm.allocate("r", W, np.float32)
+        sm.load(region, np.zeros(W, dtype=np.int64), ALL)
+        assert m.shared_bank_conflicts == 0
+
+    def test_stride_32_full_conflict(self, shared):
+        sm, m = shared
+        region = sm.allocate("r", W * 32, np.float32)
+        sm.load(region, np.arange(W, dtype=np.int64) * 32, ALL)
+        assert m.shared_bank_conflicts == W - 1
+
+    def test_stride_2_half_conflict(self, shared):
+        sm, m = shared
+        region = sm.allocate("r", W * 2, np.float32)
+        sm.load(region, np.arange(W, dtype=np.int64) * 2, ALL)
+        assert m.shared_bank_conflicts == 1  # two addresses per bank
+
+    def test_padded_stride_no_conflict(self, shared):
+        sm, m = shared
+        region = sm.allocate("r", W * 33, np.float32)
+        sm.load(region, np.arange(W, dtype=np.int64) * 33, ALL)
+        assert m.shared_bank_conflicts == 0
+
+    def test_access_count(self, shared):
+        sm, m = shared
+        region = sm.allocate("r", W, np.float32)
+        sm.load(region, np.arange(W), ALL)
+        sm.store(region, np.arange(W), np.ones(W, dtype=np.float32), ALL)
+        assert m.shared_accesses == 2

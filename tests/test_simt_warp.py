@@ -1,0 +1,161 @@
+"""Tests for the warp context: intrinsics, predication, divergence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimtError
+from repro.simt.config import DeviceConfig
+from repro.simt.device import Device
+from repro.simt.shared import SharedMemory
+from repro.simt.warp import WarpContext
+
+W = 32
+
+
+@pytest.fixture()
+def ctx():
+    dev = Device(DeviceConfig())
+    return WarpContext(dev, SharedMemory(dev.config, dev.metrics), 0, 0, 1, 1)
+
+
+class TestIdentity:
+    def test_lane_id(self, ctx):
+        assert np.array_equal(ctx.lane_id, np.arange(W))
+
+    def test_warp_id_global(self):
+        dev = Device()
+        shared = SharedMemory(dev.config, dev.metrics)
+        c = WarpContext(dev, shared, block_id=3, warp_id=2, block_warps=4, grid_blocks=5)
+        assert c.warp_id_global == 14
+        assert c.grid_warps == 20
+
+
+class TestShuffles:
+    def test_shfl_broadcast(self, ctx):
+        vals = np.arange(W) * 10
+        out = ctx.shfl(vals, 5)
+        assert (out == 50).all()
+
+    def test_shfl_vector_sources(self, ctx):
+        vals = np.arange(W)
+        src = (np.arange(W) + 1) % W
+        assert np.array_equal(ctx.shfl(vals, src), src)
+
+    def test_shfl_down(self, ctx):
+        vals = np.arange(W)
+        out = ctx.shfl_down(vals, 1)
+        assert np.array_equal(out[:-1], np.arange(1, W))
+        assert out[-1] == W - 1  # edge lane keeps its value
+
+    def test_shfl_xor_is_involution(self, ctx):
+        vals = np.arange(W) * 3
+        once = ctx.shfl_xor(vals, 4)
+        twice = ctx.shfl_xor(once, 4)
+        assert np.array_equal(twice, vals)
+
+
+class TestVotes:
+    def test_ballot_bits(self, ctx):
+        pred = ctx.lane_id < 3
+        assert ctx.ballot(pred) == 0b111
+
+    def test_ballot_respects_mask(self, ctx):
+        mask = np.zeros(W, dtype=bool)
+        mask[1] = True
+        assert ctx.ballot(np.ones(W, dtype=bool), mask) == 0b10
+
+    def test_any_all(self, ctx):
+        assert ctx.any(ctx.lane_id == 7)
+        assert not ctx.any(ctx.lane_id == W + 1)
+        assert ctx.all(ctx.lane_id >= 0)
+        assert not ctx.all(ctx.lane_id > 0)
+
+    def test_all_on_empty_mask_true(self, ctx):
+        assert ctx.all(np.zeros(W, dtype=bool), np.zeros(W, dtype=bool))
+
+
+class TestReductions:
+    def test_reduce_sum(self, ctx):
+        assert ctx.reduce_sum(np.ones(W)) == W
+
+    def test_reduce_min_max(self, ctx):
+        vals = np.arange(W, dtype=np.float64) - 5
+        assert ctx.reduce_min(vals) == -5
+        assert ctx.reduce_max(vals) == W - 6
+
+    def test_reduce_with_mask(self, ctx):
+        vals = np.arange(W, dtype=np.float64)
+        mask = vals < 4
+        assert ctx.reduce_sum(vals, mask) == 0 + 1 + 2 + 3
+
+    def test_reduce_empty_mask_identities(self, ctx):
+        empty = np.zeros(W, dtype=bool)
+        vals = np.ones(W)
+        assert ctx.reduce_sum(vals, empty) == 0
+        assert np.isinf(ctx.reduce_min(vals, empty))
+        assert np.isneginf(ctx.reduce_max(vals, empty))
+
+    def test_argmax_lane(self, ctx):
+        vals = np.zeros(W)
+        vals[13] = 9.0
+        v, lane = ctx.argmax_lane(vals)
+        assert v == 9.0 and lane == 13
+
+    def test_argmax_tie_lowest_lane(self, ctx):
+        vals = np.ones(W)
+        _, lane = ctx.argmax_lane(vals)
+        assert lane == 0
+
+    def test_argmin_lane_with_mask(self, ctx):
+        vals = np.arange(W, dtype=np.float64)
+        mask = vals >= 10
+        v, lane = ctx.argmin_lane(vals, mask)
+        assert v == 10 and lane == 10
+
+    def test_argmin_empty_mask(self, ctx):
+        v, lane = ctx.argmin_lane(np.ones(W), np.zeros(W, dtype=bool))
+        assert lane == -1 and np.isinf(v)
+
+    def test_exclusive_scan(self, ctx):
+        out = ctx.exclusive_scan_sum(np.ones(W, dtype=np.int64))
+        assert np.array_equal(out, np.arange(W))
+
+    def test_exclusive_scan_masked(self, ctx):
+        vals = np.ones(W, dtype=np.int64)
+        mask = np.zeros(W, dtype=bool)
+        mask[::2] = True
+        out = ctx.exclusive_scan_sum(vals, mask)
+        assert out[2] == 1 and out[4] == 2
+
+
+class TestBranchDivergence:
+    def test_uniform_branch_not_divergent(self, ctx):
+        before = ctx._metrics.divergent_branches
+        taken = ctx.branch(np.ones(W, dtype=bool))
+        assert taken and ctx._metrics.divergent_branches == before
+
+    def test_mixed_branch_divergent(self, ctx):
+        before = ctx._metrics.divergent_branches
+        taken = ctx.branch(ctx.lane_id < 5)
+        assert taken and ctx._metrics.divergent_branches == before + 1
+
+    def test_untaken_branch(self, ctx):
+        assert not ctx.branch(np.zeros(W, dtype=bool))
+
+    def test_scalar_predicate_broadcast(self, ctx):
+        assert ctx.branch(True)
+        assert not ctx.branch(False)
+
+
+class TestIndexValidation:
+    def test_scalar_index_broadcast(self, ctx):
+        dev = ctx._device
+        buf = dev.to_device(np.arange(4, dtype=np.float32))
+        out = ctx.load(buf, 2, ctx.lane_id == 0)
+        assert out[0] == 2.0
+
+    def test_wrong_shape_rejected(self, ctx):
+        dev = ctx._device
+        buf = dev.to_device(np.arange(4, dtype=np.float32))
+        with pytest.raises(SimtError, match="per-lane index"):
+            ctx.load(buf, np.zeros(5, dtype=np.int64))

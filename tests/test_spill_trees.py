@@ -1,0 +1,85 @@
+"""Tests for the spill-tree extension (overlapping leaf splits)."""
+
+import numpy as np
+import pytest
+
+from repro import BuildConfig, WKNNGBuilder
+from repro.baselines import exact_knn_graph
+from repro.core.rpforest import build_tree
+from repro.data.synthetic import gaussian_mixture
+from repro.errors import ConfigurationError
+from repro.metrics.recall import knn_recall
+
+
+@pytest.fixture(scope="module")
+def points():
+    return gaussian_mixture(600, 12, n_clusters=30, cluster_std=1.5,
+                            center_scale=3.0, seed=9)
+
+
+class TestSpillTree:
+    def test_zero_spill_is_partition(self, points):
+        tree = build_tree(points, 40, rng=0, spill=0.0)
+        all_ids = np.concatenate(tree.leaves)
+        assert len(all_ids) == 600
+        assert len(np.unique(all_ids)) == 600
+
+    def test_spill_duplicates_boundary_points(self, points):
+        tree = build_tree(points, 40, rng=0, spill=0.2)
+        all_ids = np.concatenate(tree.leaves)
+        assert len(all_ids) > 600  # overlap duplicates points
+        assert set(np.unique(all_ids)) == set(range(600))  # still covers all
+
+    def test_leaf_size_still_respected(self, points):
+        tree = build_tree(points, 40, rng=0, spill=0.2)
+        assert (tree.leaf_sizes() <= 40).all()
+
+    def test_invalid_spill_rejected(self, points):
+        with pytest.raises(ConfigurationError):
+            build_tree(points, 40, rng=0, spill=0.5)
+        with pytest.raises(ConfigurationError):
+            build_tree(points, 40, rng=0, spill=-0.1)
+
+    def test_duplicate_points_terminate_with_spill(self):
+        x = np.ones((150, 4), dtype=np.float32)
+        tree = build_tree(x, 20, rng=0, spill=0.3)
+        assert (tree.leaf_sizes() <= 20).all()
+
+    def test_spill_reproducible(self, points):
+        t1 = build_tree(points, 40, rng=3, spill=0.15)
+        t2 = build_tree(points, 40, rng=3, spill=0.15)
+        for a, b in zip(t1.leaves, t2.leaves):
+            assert np.array_equal(a, b)
+
+
+class TestSpillBuild:
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            BuildConfig(spill=0.5)
+        assert BuildConfig(spill=0.2).spill == 0.2
+
+    def test_spill_improves_per_tree_recall(self, points):
+        gt = exact_knn_graph(points, 8)
+
+        def recall_at(spill):
+            g = WKNNGBuilder(BuildConfig(k=8, n_trees=2, leaf_size=40,
+                                         refine_iters=0, spill=spill,
+                                         seed=0)).build(points)
+            return knn_recall(g.ids, gt.ids)
+
+        assert recall_at(0.25) > recall_at(0.0)
+
+    @pytest.mark.parametrize("strategy", ["atomic", "baseline", "tiled"])
+    def test_no_duplicate_neighbours_with_spill(self, points, strategy):
+        g = WKNNGBuilder(BuildConfig(k=8, strategy=strategy, n_trees=3,
+                                     leaf_size=40, refine_iters=1,
+                                     spill=0.2, seed=0)).build(points)
+        for i in range(0, 600, 23):
+            row = g.ids[i][g.ids[i] >= 0]
+            assert len(row) == len(np.unique(row)), f"row {i}"
+
+    def test_spill_graph_valid(self, points):
+        g = WKNNGBuilder(BuildConfig(k=8, n_trees=3, leaf_size=40,
+                                     spill=0.15, seed=0)).build(points)
+        assert g.is_complete()
+        assert not (g.ids == np.arange(600)[:, None]).any()

@@ -1,0 +1,85 @@
+"""Tests for process-parallel helpers and the parallel forest build."""
+
+import numpy as np
+import pytest
+
+from repro import BuildConfig, WKNNGBuilder
+from repro.core.rpforest import build_forest
+from repro.data.synthetic import gaussian_mixture
+from repro.utils.parallel import fork_available, map_forked
+
+
+def _square(shared, i):
+    return shared[i] ** 2
+
+
+def _with_extra(shared, i, offset):
+    return shared[i] + offset
+
+
+class TestMapForked:
+    def test_serial_fallback(self):
+        out = map_forked(_square, np.array([1, 2, 3]), [(0,), (1,), (2,)], n_jobs=1)
+        assert out == [1, 4, 9]
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    def test_parallel_matches_serial(self):
+        shared = np.arange(10)
+        tasks = [(i,) for i in range(10)]
+        assert map_forked(_square, shared, tasks, 4) == \
+            map_forked(_square, shared, tasks, 1)
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    def test_order_preserved(self):
+        shared = np.arange(20)
+        out = map_forked(_square, shared, [(i,) for i in range(20)], 3)
+        assert out == [i * i for i in range(20)]
+
+    def test_multiple_args(self):
+        out = map_forked(_with_extra, np.array([5]), [(0, 10)], 1)
+        assert out == [15]
+
+    def test_single_task_runs_inline(self):
+        out = map_forked(_square, np.array([3]), [(0,)], n_jobs=8)
+        assert out == [9]
+
+
+class TestParallelForest:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return gaussian_mixture(800, 12, n_clusters=10, seed=3)
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    def test_forest_identical_across_n_jobs(self, points):
+        f1 = build_forest(points, 4, 40, seed=7, n_jobs=1)
+        f2 = build_forest(points, 4, 40, seed=7, n_jobs=3)
+        assert f1.n_trees == f2.n_trees
+        for t1, t2 in zip(f1.trees, f2.trees):
+            assert len(t1.leaves) == len(t2.leaves)
+            for a, b in zip(t1.leaves, t2.leaves):
+                assert np.array_equal(a, b)
+            assert np.allclose(t1.normals, t2.normals)
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    def test_generator_seed_identical(self, points):
+        f1 = build_forest(points, 3, 40, seed=np.random.default_rng(5), n_jobs=1)
+        f2 = build_forest(points, 3, 40, seed=np.random.default_rng(5), n_jobs=2)
+        for t1, t2 in zip(f1.trees, f2.trees):
+            for a, b in zip(t1.leaves, t2.leaves):
+                assert np.array_equal(a, b)
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    def test_builder_graph_identical_across_n_jobs(self, points):
+        cfg1 = BuildConfig(k=8, n_trees=4, leaf_size=40, refine_iters=1,
+                           seed=0, n_jobs=1)
+        cfg2 = BuildConfig(k=8, n_trees=4, leaf_size=40, refine_iters=1,
+                           seed=0, n_jobs=2)
+        g1 = WKNNGBuilder(cfg1).build(points)
+        g2 = WKNNGBuilder(cfg2).build(points)
+        assert np.array_equal(g1.ids, g2.ids)
+
+    def test_bad_n_jobs_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            BuildConfig(n_jobs=0)

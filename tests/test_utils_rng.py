@@ -1,0 +1,98 @@
+"""Tests for repro.utils.rng: reproducibility and stream independence."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    as_generator,
+    random_unit_vectors,
+    sample_without_replacement,
+    spawn_streams,
+)
+
+
+class TestAsGenerator:
+    def test_int_seed_reproducible(self):
+        a = as_generator(7).random(5)
+        b = as_generator(7).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(as_generator(1).random(5), as_generator(2).random(5))
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_generator_passthrough_identity(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(5)
+        a = as_generator(ss).random(3)
+        b = as_generator(np.random.SeedSequence(5)).random(3)
+        assert np.array_equal(a, b)
+
+
+class TestSpawnStreams:
+    def test_count(self):
+        assert len(spawn_streams(0, 5)) == 5
+
+    def test_zero_streams(self):
+        assert spawn_streams(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_streams(0, -1)
+
+    def test_streams_independent(self):
+        s1, s2 = spawn_streams(9, 2)
+        assert not np.array_equal(s1.random(10), s2.random(10))
+
+    def test_reproducible_from_int_seed(self):
+        a = [g.random(4) for g in spawn_streams(3, 3)]
+        b = [g.random(4) for g in spawn_streams(3, 3)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_int_seed_not_consumed(self):
+        spawn_streams(3, 2)
+        a = [g.random(2) for g in spawn_streams(3, 2)]
+        b = [g.random(2) for g in spawn_streams(3, 2)]
+        assert np.array_equal(a[0], b[0])
+
+
+class TestRandomUnitVectors:
+    def test_unit_norm(self):
+        v = random_unit_vectors(np.random.default_rng(0), 50, 12)
+        assert np.allclose(np.linalg.norm(v, axis=1), 1.0, atol=1e-5)
+
+    def test_shape_and_dtype(self):
+        v = random_unit_vectors(np.random.default_rng(0), 3, 7)
+        assert v.shape == (3, 7) and v.dtype == np.float32
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(ValueError):
+            random_unit_vectors(np.random.default_rng(0), 0, 5)
+        with pytest.raises(ValueError):
+            random_unit_vectors(np.random.default_rng(0), 5, 0)
+
+    def test_directions_cover_both_signs(self):
+        v = random_unit_vectors(np.random.default_rng(1), 100, 3)
+        assert (v[:, 0] > 0).any() and (v[:, 0] < 0).any()
+
+
+class TestSampleWithoutReplacement:
+    def test_distinct(self):
+        s = sample_without_replacement(np.random.default_rng(0), 100, 30)
+        assert len(np.unique(s)) == 30
+
+    def test_clamps_to_population(self):
+        s = sample_without_replacement(np.random.default_rng(0), 5, 10)
+        assert sorted(s.tolist()) == [0, 1, 2, 3, 4]
+
+    def test_array_population(self):
+        pool = np.array([10, 20, 30, 40])
+        s = sample_without_replacement(np.random.default_rng(0), pool, 2)
+        assert set(s.tolist()) <= {10, 20, 30, 40}
+        assert len(s) == 2

@@ -1,0 +1,108 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DataError
+from repro.utils.validation import (
+    check_k_fits,
+    check_points_matrix,
+    check_positive_int,
+    check_probability,
+    ensure_float32,
+)
+
+
+class TestEnsureFloat32:
+    def test_converts_dtype(self):
+        out = ensure_float32(np.ones((3, 2), dtype=np.float64))
+        assert out.dtype == np.float32
+
+    def test_no_copy_when_already_ok(self):
+        arr = np.ones((3, 2), dtype=np.float32)
+        assert ensure_float32(arr) is arr or np.shares_memory(ensure_float32(arr), arr)
+
+    def test_nan_rejected(self):
+        arr = np.array([[1.0, np.nan]])
+        with pytest.raises(DataError, match="NaN"):
+            ensure_float32(arr)
+
+    def test_inf_rejected(self):
+        with pytest.raises(DataError):
+            ensure_float32(np.array([[np.inf]]))
+
+
+class TestCheckPointsMatrix:
+    def test_valid_passes(self):
+        out = check_points_matrix(np.zeros((4, 3)))
+        assert out.shape == (4, 3) and out.dtype == np.float32
+
+    def test_1d_rejected(self):
+        with pytest.raises(DataError, match="2-D"):
+            check_points_matrix(np.zeros(5))
+
+    def test_3d_rejected(self):
+        with pytest.raises(DataError):
+            check_points_matrix(np.zeros((2, 2, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError, match="non-empty"):
+            check_points_matrix(np.zeros((0, 3)))
+        with pytest.raises(DataError):
+            check_points_matrix(np.zeros((3, 0)))
+
+    def test_name_in_message(self):
+        with pytest.raises(DataError, match="queries"):
+            check_points_matrix(np.zeros(3), name="queries")
+
+
+class TestCheckPositiveInt:
+    def test_valid(self):
+        assert check_positive_int(5, "x") == 5
+
+    def test_numpy_int_ok(self):
+        assert check_positive_int(np.int64(3), "x") == 3
+
+    def test_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(0, "x")
+
+    def test_minimum_respected(self):
+        assert check_positive_int(0, "x", minimum=0) == 0
+        with pytest.raises(ConfigurationError):
+            check_positive_int(1, "x", minimum=2)
+
+    def test_float_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(2.5, "x")
+
+    def test_bool_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(True, "x")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("v", [0.0, 0.5, 1.0])
+    def test_valid(self, v):
+        assert check_probability(v, "p") == v
+
+    @pytest.mark.parametrize("v", [-0.1, 1.1, 2])
+    def test_out_of_range(self, v):
+        with pytest.raises(ConfigurationError):
+            check_probability(v, "p")
+
+    def test_non_numeric(self):
+        with pytest.raises(ConfigurationError):
+            check_probability("0.5", "p")
+
+
+class TestCheckKFits:
+    def test_fits(self):
+        assert check_k_fits(5, 10) == 5
+
+    def test_max_allowed(self):
+        assert check_k_fits(9, 10) == 9
+
+    def test_too_large(self):
+        with pytest.raises(ConfigurationError, match="too large"):
+            check_k_fits(10, 10)
