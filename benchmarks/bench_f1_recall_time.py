@@ -9,7 +9,6 @@ they may cross in the low-recall region where a single coarse probe is
 unbeatable.
 """
 
-import pytest
 
 from conftest import publish
 from repro.baselines.ivf import IVFConfig, IVFFlatIndex
@@ -45,7 +44,7 @@ def test_f1_recall_cost_curves(benchmark, workbench, results_dir):
                      "modeled_mcycles": res.modeled_cycles / 1e6,
                      "seconds": res.seconds})
 
-    publish(results_dir, "F1_recall_time", records.to_table())
+    publish(results_dir, "F1_recall_time", records)
 
     # figure rendering: recall (x) vs modeled cost (y, log)
     from repro.bench.plots import Series, ascii_plot

@@ -13,7 +13,6 @@ once the working set overflows cache, tiled's shared-memory staging takes
 over.
 """
 
-import pytest
 
 from conftest import publish
 from repro.baselines.bruteforce import BruteForceKNN
@@ -50,7 +49,7 @@ def test_f2_crossover_series(benchmark, results_dir):
                     {"atomic_mcycles": cycles["atomic"] / 1e6,
                      "tiled_mcycles": cycles["tiled"] / 1e6,
                      "atomic_over_tiled": ratios[d]})
-    publish(results_dir, "F2_crossover", records.to_table())
+    publish(results_dir, "F2_crossover", records)
 
     from repro.bench.plots import Series, ascii_plot
 
@@ -86,7 +85,7 @@ def test_f2_tile_size_ablation(benchmark, results_dir):
                     {"recall": res.recall,
                      "modeled_mcycles": res.modeled_cycles / 1e6,
                      "merge_rounds": res.detail["counters"]["merge_rounds"]})
-    publish(results_dir, "F2_tile_ablation", records.to_table())
+    publish(results_dir, "F2_tile_ablation", records)
 
     cfg = BuildConfig(k=K, strategy="tiled", strategy_kwargs={"tile_size": 32},
                       n_trees=4, leaf_size=64, refine_iters=2, seed=0)

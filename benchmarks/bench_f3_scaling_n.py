@@ -8,7 +8,6 @@ for w-KNNG and brute force across n, and the wall-clock of each build.
 
 import time
 
-import pytest
 
 from conftest import publish
 from repro.baselines.bruteforce import BruteForceKNN
@@ -47,7 +46,7 @@ def test_f3_scaling_with_n(benchmark, results_dir):
                 "bruteforce_evals_per_point": n - 1,
             },
         )
-    publish(results_dir, "F3_scaling_n", records.to_table())
+    publish(results_dir, "F3_scaling_n", records)
 
     rows = list(records)
     first, last = rows[0], rows[-1]

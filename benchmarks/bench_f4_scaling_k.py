@@ -8,7 +8,6 @@ share per strategy across K - the figure behind the paper's guidance that
 the lock-free path is most attractive at small K.
 """
 
-import pytest
 
 from conftest import publish
 from repro.baselines.bruteforce import BruteForceKNN
@@ -45,7 +44,7 @@ def test_f4_scaling_with_k(benchmark, results_dir):
                     "attempts": res.detail["counters"]["atomic_attempts"],
                 },
             )
-    publish(results_dir, "F4_scaling_k", records.to_table())
+    publish(results_dir, "F4_scaling_k", records)
 
     # insertion share of the atomic strategy must grow with K
     atomic_rows = [r for r in records if r.params["strategy"] == "atomic"]

@@ -8,7 +8,6 @@ in the first 2-3 rounds, then convergence (insertions -> 0), the signature
 of NN-descent.
 """
 
-import pytest
 
 from conftest import publish
 from repro.bench.sweep import run_wknng
@@ -38,7 +37,7 @@ def test_f5_refinement_rounds(benchmark, workbench, results_dir):
                 "insertions_per_round": res.detail["report"]["refine_insertions"],
             },
         )
-    publish(results_dir, "F5_refinement", records.to_table())
+    publish(results_dir, "F5_refinement", records)
 
     assert recalls[0] < recalls[-1], "refinement must improve recall"
     assert recalls[-1] > 0.9, "refined graph should be accurate"

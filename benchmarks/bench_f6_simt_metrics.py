@@ -14,7 +14,6 @@ This is the mechanism evidence for the F2 crossover.
 """
 
 import numpy as np
-import pytest
 
 from conftest import publish
 from repro.data.synthetic import gaussian_mixture
@@ -53,7 +52,7 @@ def test_f6_leaf_kernel_metrics(benchmark, results_dir):
                     "barriers": m.barriers,
                 },
             )
-    publish(results_dir, "F6_simt_metrics", records.to_table())
+    publish(results_dir, "F6_simt_metrics", records)
 
     # mechanism checks
     for d in DIMS:

@@ -12,7 +12,6 @@ the forest's own contribution is visible):
   super-linear leaf volume.
 """
 
-import pytest
 
 from conftest import publish
 from repro.bench.sweep import run_wknng
@@ -38,7 +37,7 @@ def test_f7_leaf_size_sweep(benchmark, workbench, results_dir):
                     {"recall": res.recall,
                      "modeled_mcycles": res.modeled_cycles / 1e6,
                      "evals_per_point": res.detail["counters"]["distance_evals"] / len(x)})
-    publish(results_dir, "F7_leaf_size", records.to_table())
+    publish(results_dir, "F7_leaf_size", records)
     assert recalls == sorted(recalls) or recalls[-1] > recalls[0]
 
     cfg = BuildConfig(k=16, strategy="tiled", n_trees=4, leaf_size=128,
@@ -58,7 +57,7 @@ def test_f7_tree_count_sweep(benchmark, workbench, results_dir):
         records.add("F7-trees", {"n_trees": trees},
                     {"recall": res.recall,
                      "modeled_mcycles": res.modeled_cycles / 1e6})
-    publish(results_dir, "F7_tree_count", records.to_table())
+    publish(results_dir, "F7_tree_count", records)
 
     assert recalls[-1] > recalls[0]
     # diminishing returns per *tree*: the marginal recall of each added
@@ -85,7 +84,7 @@ def test_f7_spill_sweep(benchmark, workbench, results_dir):
                     {"recall": res.recall,
                      "modeled_mcycles": res.modeled_cycles / 1e6,
                      "evals_per_point": res.detail["counters"]["distance_evals"] / len(x)})
-    publish(results_dir, "F7_spill", records.to_table())
+    publish(results_dir, "F7_spill", records)
 
     assert recalls[-1] > recalls[0], "spill must raise per-tree recall"
 

@@ -72,7 +72,7 @@ def test_f8_tsne_pipeline(benchmark, labeled_data, results_dir):
     records.add("F8", {"graph_stage": "bruteforce"},
                 {"knng_seconds": exact_graph_seconds})
 
-    publish(results_dir, "F8_tsne", records.to_table())
+    publish(results_dir, "F8_tsne", records)
 
     assert _separation(emb, labels) > 2.0, "embedding must separate clusters"
 

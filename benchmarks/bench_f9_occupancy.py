@@ -9,8 +9,6 @@ the longest block dominates - the tiled strategy's one-block-per-leaf
 geometry saturates earlier than the one-warp-per-point direct kernels).
 """
 
-import numpy as np
-import pytest
 
 from conftest import publish
 from repro.core.rpforest import build_tree
@@ -63,6 +61,6 @@ def test_f9_occupancy_speedup(benchmark, results_dir):
         # speedup must grow then saturate, never exceed the SM count
         assert all(s2 >= s1 - 1e-9 for s1, s2 in zip(speedups, speedups[1:]))
         assert all(s <= p + 1e-9 for s, p in zip(speedups, SMS))
-    publish(results_dir, "F9_occupancy", records.to_table())
+    publish(results_dir, "F9_occupancy", records)
 
     benchmark.pedantic(lambda: _run_strategy("tiled"), rounds=1, iterations=1)

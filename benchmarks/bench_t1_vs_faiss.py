@@ -16,6 +16,7 @@ wins clearly at the >= 0.95-recall operating points the paper targets.
 import pytest
 
 from conftest import publish
+from repro.baselines import BruteForceKNN, IVFFlatIndex, NNDescent
 from repro.baselines.ivf import IVFConfig
 from repro.bench.match import match_ivf_recall, match_wknng_recall
 from repro.core.config import BuildConfig
@@ -86,7 +87,7 @@ def test_t1_matched_recall_speedup(benchmark, workbench, results_dir,
     bf = bruteforce_cycles(len(x), dim=x.shape[1], k=16)
     records.add("T1", {"workload": workload, "target": "exact"},
                 {"system": "bruteforce", "modeled_mcycles": bf.total / 1e6})
-    publish(results_dir, f"T1_{workload}", records.to_table())
+    publish(results_dir, f"T1_{workload}", records)
 
     if rows:
         # time the winning w-KNNG configuration as the benchmark payload
@@ -103,3 +104,45 @@ def test_t1_matched_recall_speedup(benchmark, workbench, results_dir,
         )
         benchmark.extra_info["recall"] = result.recall
         benchmark.extra_info["modeled_mcycles"] = result.modeled_cycles / 1e6
+
+
+def test_t1_engine_comparison(workbench, results_dir):
+    """All baseline engines, driven through the one KNNIndex interface.
+
+    Complements the matched-recall table above: fixed default-ish
+    configurations, one protocol-generic code path
+    (:func:`repro.bench.sweep.run_index`), so adding an engine to the
+    comparison is one line.
+    """
+    from repro.bench.sweep import run_index
+
+    x, gt = workbench.load("clustered-16d")
+    k = 10
+    engines = [
+        BruteForceKNN(),
+        IVFFlatIndex(IVFConfig(nprobe=8, seed=7)),
+        NNDescent(k=16, seed=0),
+    ]
+    records = RecordSet()
+    results = []
+    for engine in engines:
+        res = run_index(x, gt, k, engine)
+        results.append(res)
+        records.add(
+            "T1-engines",
+            {"engine": res.system, "k": k},
+            {
+                "recall": res.recall,
+                "seconds": res.seconds,
+                "fit_seconds": res.detail["fit_seconds"],
+                "query_seconds": res.detail["query_seconds"],
+                **{f"stat_{key}": value
+                   for key, value in sorted(res.detail["stats"].items())
+                   if isinstance(value, (int, float))},
+            },
+        )
+    publish(results_dir, "T1_engine_comparison", records)
+    exact = next(r for r in results if r.system == "bruteforce")
+    assert exact.recall == pytest.approx(1.0), "exact engine must have recall 1"
+    for res in results:
+        assert res.recall > 0.5, f"{res.system} recall collapsed: {res.recall}"

@@ -50,7 +50,7 @@ def test_t2_strategy_table(benchmark, datasets, results_dir):
                     "evals_per_point": res.detail["counters"]["distance_evals"] / len(x),
                 },
             )
-    publish(results_dir, "T2_strategies", records.to_table())
+    publish(results_dir, "T2_strategies", records)
 
     x, gt = datasets[128]
     cfg = BuildConfig(k=K, strategy="tiled", n_trees=4, leaf_size=64,

@@ -52,8 +52,25 @@ def results_dir():
     return RESULTS_DIR
 
 
-def publish(results_dir: Path, experiment: str, table: str) -> None:
-    """Print an experiment table and persist it under benchmarks/results/."""
+def publish(results_dir: Path, experiment: str, records) -> None:
+    """Print an experiment table and persist it under benchmarks/results/.
+
+    Pass a :class:`~repro.metrics.records.RecordSet` to get both the
+    human-readable aligned table (``<experiment>.txt``) and the
+    machine-readable JSON-lines file (``<experiment>.jsonl``, one record
+    per line, schema-tagged).  A plain pre-rendered table string still
+    works but only produces the ``.txt``.
+    """
+    from repro.metrics.records import RecordSet
+    from repro.obs.export import SCHEMA_VERSION, write_jsonl
+
+    if isinstance(records, RecordSet):
+        table = records.to_table()
+        rows = [{"type": "record", "schema": SCHEMA_VERSION, **rec.flat()}
+                for rec in records]
+        write_jsonl(results_dir / f"{experiment}.jsonl", rows)
+    else:
+        table = str(records)
     banner = f"\n=== {experiment} ===\n{table}\n"
     print(banner)
     (results_dir / f"{experiment}.txt").write_text(table + "\n")

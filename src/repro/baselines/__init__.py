@@ -5,13 +5,68 @@ itself is closed off to this environment, so :mod:`repro.baselines.ivf`
 reimplements the relevant index (IVF-Flat: k-means coarse quantiser +
 inverted lists + ``nprobe`` search, applied to every point for KNNG
 construction) with the same accuracy/cost trade-off knobs.
+
+All engines conform to the :class:`KNNIndex` protocol - ``fit(points)`` /
+``query(q, k)`` / ``stats()`` - so benchmark harnesses (and
+``bench_t1_vs_faiss.py`` in particular) can drive every engine through one
+interface::
+
+    for engine in (BruteForceKNN(), IVFFlatIndex(), NNDescent()):
+        engine.fit(points)
+        ids, dists = engine.query(queries, k=10)
+        engine.stats()    # engine-specific work counters
 """
+
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
 
 from repro.baselines.bruteforce import BruteForceKNN, exact_knn_graph
 from repro.baselines.ivf import IVFFlatIndex, IVFConfig, ivf_knn_graph
 from repro.baselines.nndescent import NNDescent, nn_descent_graph
 
+
+@runtime_checkable
+class KNNIndex(Protocol):
+    """The common engine interface of every comparison baseline.
+
+    ``fit`` ingests the dataset (returning ``self`` for chaining),
+    ``query`` answers batched top-``k`` searches with ``(ids, dists)``
+    matrices sorted by ascending distance (unfilled slots carry ``-1`` /
+    ``+inf``), and ``stats`` reports engine-specific work counters of the
+    most recent operation as a flat dict.
+    """
+
+    def fit(self, points: np.ndarray) -> "KNNIndex": ...
+
+    def query(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]: ...
+
+    def stats(self) -> dict[str, Any]: ...
+
+
+#: engine-name -> zero-argument factory of a default-configured instance
+ENGINES = {
+    "bruteforce": BruteForceKNN,
+    "ivf-flat": IVFFlatIndex,
+    "nn-descent": NNDescent,
+}
+
+
+def get_engine(name: str, **kwargs) -> KNNIndex:
+    """Instantiate a baseline engine by registry name."""
+    try:
+        factory = ENGINES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown engine {name!r}; available: {sorted(ENGINES)}"
+        ) from None
+    return factory(**kwargs)
+
+
 __all__ = [
+    "KNNIndex",
+    "ENGINES",
+    "get_engine",
     "BruteForceKNN",
     "exact_knn_graph",
     "IVFFlatIndex",

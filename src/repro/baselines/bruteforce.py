@@ -30,6 +30,12 @@ class BruteForceKNN:
         ids, dists = index.search(queries, k)     # exact top-k
         graph = index.knn_graph(k)                # exact KNNG (no self-loops)
 
+    or through the :class:`~repro.baselines.KNNIndex` protocol::
+
+        index = BruteForceKNN().fit(points)
+        ids, dists = index.query(queries, k)
+        index.stats()                             # distance-eval counters
+
     ``metric`` may be ``"sqeuclidean"`` (default), ``"cosine"`` or
     ``"inner_product"``; the latter two reduce to L2 by input
     transformation (:mod:`repro.core.metric`) so returned ``dists`` are in
@@ -39,27 +45,49 @@ class BruteForceKNN:
 
     def __init__(
         self,
-        points: np.ndarray,
+        points: np.ndarray | None = None,
         block_rows: int = DEFAULT_BLOCK_ROWS,
         metric: str = "sqeuclidean",
     ) -> None:
-        from repro.core.metric import check_metric, prepare_points
+        from repro.core.metric import check_metric
 
-        x = check_points_matrix(points, "points")
         self.metric = check_metric(metric)
-        self._x, self._metric_info = prepare_points(x, metric)
-        self._raw_dim = x.shape[1]
         if block_rows < 1:
             raise ValueError(f"block_rows must be >= 1, got {block_rows}")
         self._block_rows = int(block_rows)
+        self._x: np.ndarray | None = None
+        self._metric_info: dict = {}
+        self._raw_dim = 0
+        #: work counters of the most recent search/query/knn_graph call
+        self.last_search_stats: dict[str, int] = {}
+        if points is not None:
+            self.fit(points)
+
+    def fit(self, points: np.ndarray) -> "BruteForceKNN":
+        """Ingest the dataset (transforming it for the configured metric)."""
+        from repro.core.metric import prepare_points
+
+        x = check_points_matrix(points, "points")
+        self._x, self._metric_info = prepare_points(x, self.metric)
+        self._raw_dim = x.shape[1]
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._x is not None
+
+    def _require_fitted(self) -> np.ndarray:
+        if self._x is None:
+            raise ValueError("search() before fit(): no dataset indexed")
+        return self._x
 
     @property
     def n(self) -> int:
-        return self._x.shape[0]
+        return self._require_fitted().shape[0]
 
     @property
     def dim(self) -> int:
-        return self._x.shape[1]
+        return self._require_fitted().shape[1]
 
     def search(
         self, queries: np.ndarray, k: int, exclude_self: bool = False
@@ -72,6 +100,7 @@ class BruteForceKNN:
         """
         from repro.core.metric import prepare_points
 
+        x = self._require_fitted()
         q = check_points_matrix(queries, "queries")
         if q.shape[1] != self._raw_dim:
             raise ValueError(
@@ -86,14 +115,26 @@ class BruteForceKNN:
         out_ids = np.empty((m, k), dtype=np.int32)
         out_dists = np.empty((m, k), dtype=np.float32)
         for s, e in blockwise_ranges(m, self._block_rows):
-            d = pairwise_sq_l2_gemm(q[s:e], self._x)
+            d = pairwise_sq_l2_gemm(q[s:e], x)
             if exclude_self:
                 d[np.arange(e - s), np.arange(s, e)] = np.inf
             ids = np.broadcast_to(np.arange(self.n, dtype=np.int32), d.shape)
             td, ti = row_topk(d, ids, k)
             out_dists[s:e] = td
             out_ids[s:e] = ti
+        self.last_search_stats = {
+            "distance_evals": m * self.n,
+            "queries": m,
+        }
         return out_ids, out_dists
+
+    def query(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """:class:`~repro.baselines.KNNIndex` alias of :meth:`search`."""
+        return self.search(queries, k)
+
+    def stats(self) -> dict:
+        """Work counters of the most recent search (exact scan: ``m * n``)."""
+        return {"engine": "bruteforce", **self.last_search_stats}
 
     def knn_graph(self, k: int) -> KNNGraph:
         """The exact K-NN graph of the indexed points."""
@@ -104,12 +145,13 @@ class BruteForceKNN:
             )
         # self._x is already transformed; search() must not transform again,
         # so go through the blocked scan directly
+        x = self._require_fitted()
         k = check_k_fits(k, self.n)
-        m = self._x.shape[0]
+        m = x.shape[0]
         out_ids = np.empty((m, k), dtype=np.int32)
         out_dists = np.empty((m, k), dtype=np.float32)
         for s, e in blockwise_ranges(m, self._block_rows):
-            d = pairwise_sq_l2_gemm(self._x[s:e], self._x)
+            d = pairwise_sq_l2_gemm(x[s:e], x)
             d[np.arange(e - s), np.arange(s, e)] = np.inf
             ids = np.broadcast_to(np.arange(self.n, dtype=np.int32), d.shape)
             td, ti = row_topk(d, ids, k)

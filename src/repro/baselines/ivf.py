@@ -245,6 +245,20 @@ class IVFFlatIndex:
         self.last_search_stats = stats
         return best_i, best_d
 
+    def query(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """:class:`~repro.baselines.KNNIndex` alias of :meth:`search`
+        (configured ``nprobe``, no exclusions)."""
+        return self.search(queries, k)
+
+    def stats(self) -> dict:
+        """Index shape plus the work counters of the most recent search."""
+        return {
+            "engine": "ivf-flat",
+            "n_lists": self.n_lists,
+            "nprobe": self.config.nprobe,
+            **self.last_search_stats,
+        }
+
     def knn_graph(self, k: int, nprobe: int | None = None) -> KNNGraph:
         """FAISS-style approximate KNNG: search the index with every point."""
         if not self.is_fitted:

@@ -53,6 +53,102 @@ class NNDescent:
     delta: float = 0.001
     seed: RngStream = None
 
+    def __post_init__(self) -> None:
+        self._x: np.ndarray | None = None
+        self._graph: KNNGraph | None = None
+        #: work counters of the most recent :meth:`query` call
+        self.last_search_stats: dict[str, int] = {}
+
+    def fit(self, points: np.ndarray) -> "NNDescent":
+        """Build the KNNG and keep it (plus the points) for :meth:`query`."""
+        x = check_points_matrix(points, "points")
+        self._graph = self.build(x)
+        self._x = x
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._graph is not None
+
+    def query(
+        self, queries: np.ndarray, k: int, pool_size: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Answer out-of-sample queries by greedy graph descent.
+
+        The standard way an NN-descent graph serves search: seed a
+        candidate pool with random points, then repeatedly expand the
+        nearest not-yet-expanded candidate along its graph edges, keeping
+        the best ``pool_size`` (default ``max(2k, 16)``) seen, until the
+        whole pool has been expanded.  Returns ``(ids, dists)`` - ``(m,
+        k)``, squared-L2, ascending.
+        """
+        if self._graph is None or self._x is None:
+            raise ValueError("query() before fit(): no graph built")
+        x = self._x
+        graph_ids = self._graph.ids
+        q = check_points_matrix(queries, "queries")
+        if q.shape[1] != x.shape[1]:
+            raise ValueError(
+                f"query dim {q.shape[1]} does not match index dim {x.shape[1]}"
+            )
+        n = x.shape[0]
+        k = min(int(k), n)
+        pool = max(pool_size or 0, 2 * k, 16)
+        rng = as_generator(self.seed)
+        m = q.shape[0]
+        out_ids = np.full((m, k), -1, dtype=np.int32)
+        out_dists = np.full((m, k), np.inf, dtype=np.float32)
+        n_seeds = min(n, pool)
+        distance_evals = 0
+        hops = 0
+        for qi in range(m):
+            qv = q[qi]
+            seeds = rng.choice(n, size=n_seeds, replace=False)
+            visited = np.zeros(n, dtype=bool)
+            visited[seeds] = True
+            d = ((x[seeds] - qv) ** 2).sum(axis=1)
+            distance_evals += int(seeds.size)
+            order = np.argsort(d, kind="stable")[:pool]
+            cand_ids, cand_d = seeds[order], d[order]
+            expanded = np.zeros(n, dtype=bool)
+            while True:
+                unexpanded = cand_ids[~expanded[cand_ids]]
+                if unexpanded.size == 0:
+                    break
+                c = int(unexpanded[0])  # pool is sorted: nearest first
+                expanded[c] = True
+                hops += 1
+                nbrs = graph_ids[c]
+                nbrs = nbrs[nbrs >= 0]
+                new = nbrs[~visited[nbrs]]
+                if new.size == 0:
+                    continue
+                visited[new] = True
+                nd = ((x[new] - qv) ** 2).sum(axis=1)
+                distance_evals += int(new.size)
+                cand_ids = np.concatenate([cand_ids, new])
+                cand_d = np.concatenate([cand_d, nd])
+                order = np.argsort(cand_d, kind="stable")[:pool]
+                cand_ids, cand_d = cand_ids[order], cand_d[order]
+            take = min(k, cand_ids.size)
+            out_ids[qi, :take] = cand_ids[:take].astype(np.int32)
+            out_dists[qi, :take] = cand_d[:take].astype(np.float32)
+        self.last_search_stats = {
+            "queries": m,
+            "distance_evals": distance_evals,
+            "graph_hops": hops,
+        }
+        return out_ids, out_dists
+
+    def stats(self) -> dict:
+        """Build convergence info plus the most recent query's counters."""
+        out: dict = {"engine": "nn-descent"}
+        if self._graph is not None:
+            out["iters_run"] = self._graph.meta.get("iters_run")
+            out["insertions"] = int(sum(self._graph.meta.get("insertions", [])))
+        out.update(self.last_search_stats)
+        return out
+
     def build(self, points: np.ndarray) -> KNNGraph:
         """Run NN-descent and return the resulting graph."""
         x = check_points_matrix(points, "points")

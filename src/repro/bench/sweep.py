@@ -53,11 +53,10 @@ def run_wknng(
     """Build a w-KNNG graph and measure recall/time/modeled cycles."""
     builder = WKNNGBuilder(config)
     t0 = time.perf_counter()
-    graph = builder.build(x)
+    graph, report = builder.build(x, return_report=True)
     seconds = time.perf_counter() - t0
-    assert builder.last_report is not None
     counters = OpCounters(**{
-        key: builder.last_report.counters.get(key, 0)
+        key: report.counters.get(key, 0)
         for key in OpCounters().as_dict()
     })
     tile = config.strategy_kwargs.get("tile_size", DEFAULT_TILE_SIZE)
@@ -88,7 +87,56 @@ def run_wknng(
         detail={
             "cycles": cycles.as_dict(),
             "counters": counters.as_dict(),
-            "report": builder.last_report.as_dict(),
+            "report": report.as_dict(),
+        },
+    )
+
+
+def run_index(
+    x: np.ndarray,
+    exact_ids: np.ndarray,
+    k: int,
+    index,
+    name: str | None = None,
+) -> SweepResult:
+    """Measure any :class:`~repro.baselines.KNNIndex` engine on the KNNG task.
+
+    Drives the engine purely through the protocol surface (``fit`` /
+    ``query`` / ``stats``): fits on ``x``, queries ``x`` back with ``k+1``
+    and strips each row's self-match - the KNNG convention - so exact,
+    IVF and graph-based engines are all comparable through one code path.
+    ``modeled_cycles`` is 0 (the GPU cost model is system-specific; use
+    :func:`run_wknng` / :func:`run_ivf` where it applies).
+    """
+    n = x.shape[0]
+    t0 = time.perf_counter()
+    index.fit(x)
+    fit_seconds = time.perf_counter() - t0
+    t1 = time.perf_counter()
+    ids, dists = index.query(x, min(k + 1, n))
+    query_seconds = time.perf_counter() - t1
+    # drop self-matches, keep order, truncate to k
+    rows = np.arange(n, dtype=ids.dtype)[:, None]
+    not_self = ids != rows
+    order = np.argsort(~not_self, axis=1, kind="stable")[:, :k]
+    out_ids = np.take_along_axis(ids, order, axis=1)
+    out_dists = np.take_along_axis(dists, order, axis=1)
+    stats = dict(index.stats())
+    engine = name or stats.pop("engine", type(index).__name__)
+    from repro.metrics.recall import knn_recall
+
+    return SweepResult(
+        system=engine,
+        recall=knn_recall(out_ids, exact_ids[:, :k]),
+        seconds=fit_seconds + query_seconds,
+        modeled_cycles=0,
+        graph=KNNGraph(ids=out_ids, dists=out_dists,
+                       meta={"algorithm": engine, "via": "KNNIndex"}),
+        params={"engine": engine, "k": k},
+        detail={
+            "fit_seconds": fit_seconds,
+            "query_seconds": query_seconds,
+            "stats": stats,
         },
     )
 

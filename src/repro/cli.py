@@ -62,6 +62,7 @@ def _add_data_args(p: argparse.ArgumentParser) -> None:
 
 def cmd_build(args) -> int:
     from repro import BuildConfig, WKNNGBuilder
+    from repro.obs import Observability
 
     x = _load_points(args)
     cfg = BuildConfig(
@@ -72,16 +73,25 @@ def cmd_build(args) -> int:
         refine_iters=args.refine,
         seed=args.seed,
     )
-    builder = WKNNGBuilder(cfg)
+    obs = Observability(trace_memory=args.trace_memory)
+    builder = WKNNGBuilder(cfg, obs=obs)
     t0 = time.perf_counter()
-    graph = builder.build(x)
+    graph, rep = builder.build(x, return_report=True)
     dt = time.perf_counter() - t0
     graph.save(args.output)
-    rep = builder.last_report
     print(f"built {graph} from {x.shape} in {dt:.2f}s -> {args.output}")
     for phase, secs in rep.phase_seconds.items():
         print(f"  {phase:<12s} {secs:8.3f}s")
     print(f"  distance evals/point: {rep.counters['distance_evals'] / graph.n:.0f}")
+    if args.trace_out:
+        from repro.obs.export import write_trace
+
+        path = write_trace(
+            args.trace_out, obs,
+            meta={"command": "build", "output": str(args.output),
+                  "n": graph.n, "k": graph.k, "strategy": cfg.strategy},
+        )
+        print(f"  trace: {len(obs.trace.records)} spans -> {path}")
     return 0
 
 
@@ -163,6 +173,10 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--leaf-size", type=int, default=64, dest="leaf_size")
     p.add_argument("--refine", type=int, default=2)
     p.add_argument("-o", "--output", required=True, help="output .npz path")
+    p.add_argument("--trace-out", dest="trace_out", default=None,
+                   help="write the build's JSON-lines trace here")
+    p.add_argument("--trace-memory", dest="trace_memory", action="store_true",
+                   help="capture per-span tracemalloc peaks (slow)")
     p.set_defaults(func=cmd_build)
 
     p = sub.add_parser("eval", help="evaluate a saved graph against exact KNN")

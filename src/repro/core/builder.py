@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-import time
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any
 
@@ -13,35 +13,107 @@ from repro.core.graph import KNNGraph
 from repro.core.metric import prepare_points
 from repro.core.refine import RefineState, refine_round
 from repro.core.rpforest import RPForest, batch_leaves, build_forest
+from repro.kernels.counters import METRICS_PREFIX as KERNEL_PREFIX
 from repro.kernels.knn_state import KnnState
 from repro.kernels.strategy import Strategy, get_strategy
+from repro.obs import Observability
+from repro.obs.trace import SpanRecord
 from repro.utils.rng import as_generator, spawn_streams
 from repro.utils.validation import check_k_fits, check_points_matrix
 
+#: root span name of one build
+ROOT_SPAN = "build"
+#: the pipeline phases, in order (direct children of the root span)
+PHASES = ("forest", "leaf_pairs", "refine", "finalize")
 
-@dataclass
+
+@dataclass(frozen=True)
 class BuildReport:
-    """Phase timings and work counters of one build.
+    """An immutable view over the observability trace of one build.
+
+    Constructed from a finished :class:`~repro.obs.Observability` session
+    via :meth:`from_obs`; the legacy attribute surface is preserved:
 
     Attributes
     ----------
     phase_seconds:
         Wall-clock per pipeline phase (``forest``, ``leaf_pairs``,
-        ``refine``, ``finalize``).
+        ``refine``, ``finalize``) - the durations of the root span's
+        children.
     counters:
-        The strategy's :class:`~repro.kernels.counters.OpCounters` snapshot
-        as a dict.
+        The work-counter section of the metrics registry: the strategy's
+        :class:`~repro.kernels.counters.OpCounters` snapshot for the
+        vectorised backend, the device
+        :class:`~repro.simt.metrics.KernelMetrics` for the simt backend.
     refine_insertions:
         Insertions per refinement round (length <= refine_iters; shorter if
-        a round converged and stopped early).
+        a round converged and stopped early) - the ``inserted`` attributes
+        of the ``refine/round-*`` spans.
     leaf_stats:
-        Forest shape diagnostics (leaf count, mean/max leaf size).
+        Forest shape diagnostics (leaf count, mean/max leaf size) - the
+        ``forest/`` gauges.
+    spans:
+        The raw :class:`~repro.obs.trace.SpanRecord` tuple of the build
+        (empty when constructed directly rather than from a trace).
+    metrics:
+        Full flat snapshot of the metrics registry at report time.
     """
 
     phase_seconds: dict[str, float] = field(default_factory=dict)
     counters: dict[str, int] = field(default_factory=dict)
     refine_insertions: list[int] = field(default_factory=list)
     leaf_stats: dict[str, float] = field(default_factory=dict)
+    spans: tuple[SpanRecord, ...] = ()
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_obs(
+        cls, obs: Observability, counters_prefix: str = KERNEL_PREFIX
+    ) -> "BuildReport":
+        """Derive the report from a finished observability session.
+
+        Uses the most recent completed root (``"build"``) span; when the
+        tracer is disabled (no spans) the span-derived fields are empty but
+        the metric-derived fields (``counters``, ``leaf_stats``) still
+        populate.
+        """
+        tracer = obs.trace
+        roots = [r for r in tracer.records
+                 if r.depth == 0 and r.name == ROOT_SPAN]
+        phase_seconds: dict[str, float] = {}
+        refine_insertions: list[int] = []
+        spans: tuple[SpanRecord, ...] = ()
+        if roots:
+            root = max(roots, key=lambda r: r.start)
+            lo, hi = root.start, root.start + root.seconds
+            spans = tuple(
+                r for r in tracer.records
+                if lo <= r.start <= hi and (r is root or r.depth > 0)
+            )
+            for rec in sorted(spans, key=lambda r: r.start):
+                if rec.depth == 1 and rec.parent_path == ROOT_SPAN:
+                    phase_seconds[rec.name] = rec.seconds
+                if (rec.depth == 2 and rec.parent_path == f"{ROOT_SPAN}/refine"
+                        and "inserted" in rec.attrs):
+                    refine_insertions.append(int(rec.attrs["inserted"]))
+        counters = {
+            name: int(value)
+            for name, value in obs.metrics.section(counters_prefix).items()
+            if isinstance(value, (int, np.integer))
+        }
+        leaf_stats = {
+            name: float(value)
+            for name, value in obs.metrics.section("forest/").items()
+            if isinstance(value, (int, float))
+        }
+        return cls(
+            phase_seconds=phase_seconds,
+            counters=counters,
+            refine_insertions=refine_insertions,
+            leaf_stats=leaf_stats,
+            spans=spans,
+            metrics=obs.metrics.as_dict(),
+        )
 
     @property
     def total_seconds(self) -> float:
@@ -64,27 +136,56 @@ class WKNNGBuilder:
 
         from repro import BuildConfig, WKNNGBuilder
         builder = WKNNGBuilder(BuildConfig(k=16, strategy="tiled", seed=0))
-        graph = builder.build(points)          # (n, d) float array
+        graph, report = builder.build(points, return_report=True)
         graph.ids, graph.dists                 # (n, 16) neighbour matrices
-        builder.last_report.phase_seconds      # where the time went
+        report.phase_seconds                   # where the time went
+
+    The report is also attached as ``graph.report``.  Pass an
+    :class:`~repro.obs.Observability` to capture the full span trace,
+    subscribe profiling hooks, or disable tracing::
+
+        obs = Observability()
+        obs.hooks.subscribe("kernel_dispatch:after", my_callback)
+        graph = WKNNGBuilder(config, obs=obs).build(points)
 
     The builder is reusable: each :meth:`build` call derives fresh RNG
     streams from the configured seed, so repeated builds on the same data
-    are identical.
+    are identical.  Without an explicit ``obs``, every build gets a fresh
+    observability session (available afterwards as :attr:`last_obs`).
     """
 
-    def __init__(self, config: BuildConfig | None = None, **kwargs) -> None:
+    def __init__(self, config: BuildConfig | None = None, *,
+                 obs: Observability | None = None, **kwargs) -> None:
         """``kwargs`` are a convenience for ``BuildConfig(**kwargs)``."""
         if config is not None and kwargs:
             raise TypeError("pass either a BuildConfig or keyword options, not both")
         self.config = config if config is not None else BuildConfig(**kwargs)
-        self.last_report: BuildReport | None = None
+        self.obs = obs
+        self.last_obs: Observability | None = None
+        self._last_report: BuildReport | None = None
         self.last_forest: RPForest | None = None
+
+    @property
+    def last_report(self) -> BuildReport | None:
+        """Deprecated: use ``build(points, return_report=True)`` or
+        ``graph.report`` instead."""
+        warnings.warn(
+            "WKNNGBuilder.last_report is deprecated; use "
+            "build(points, return_report=True) or graph.report",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._last_report
 
     # -- pipeline ---------------------------------------------------------------
 
-    def build(self, points: np.ndarray) -> KNNGraph:
+    def build(
+        self, points: np.ndarray, return_report: bool = False
+    ) -> KNNGraph | tuple[KNNGraph, BuildReport]:
         """Construct the K-NN graph of ``points`` (``(n, d)``, any float).
+
+        With ``return_report=True`` returns ``(graph, report)``; either
+        way the :class:`BuildReport` is attached as ``graph.report``.
 
         Under ``metric="cosine"`` the points are L2-normalised first and
         the graph's ``dists`` are squared L2 in the normalised space
@@ -98,13 +199,17 @@ class WKNNGBuilder:
         resolved = self._resolve_strategy(x.shape[1])
         if resolved != cfg.strategy:
             cfg = replace(cfg, strategy=resolved)
+        obs = self.obs if self.obs is not None else Observability()
+        self.last_obs = obs
         if cfg.backend == "simt":
-            graph = self._build_simt(x, cfg)
+            graph, report = self._build_simt(x, cfg, obs)
         else:
-            graph = self._build_vectorized(x, cfg)
+            graph, report = self._build_vectorized(x, cfg, obs)
         graph.meta["metric"] = cfg.metric
         graph.meta["metric_info"] = metric_info
         graph.meta["strategy"] = resolved
+        if return_report:
+            return graph, report
         return graph
 
     def _resolve_strategy(self, dim: int) -> str:
@@ -122,56 +227,58 @@ class WKNNGBuilder:
         self._resolved_strategy = choice
         return choice
 
-    def _build_vectorized(self, x: np.ndarray, cfg: BuildConfig | None = None) -> KNNGraph:
-        cfg = cfg or self.config
+    def _build_vectorized(
+        self, x: np.ndarray, cfg: BuildConfig, obs: Observability
+    ) -> tuple[KNNGraph, BuildReport]:
         n = x.shape[0]
-        report = BuildReport()
         forest_rng, refine_rng = spawn_streams(cfg.seed, 2)
         strategy: Strategy = get_strategy(cfg.strategy, **cfg.strategy_kwargs)
+        strategy.obs = obs
         state = KnnState(n, cfg.k)
 
-        t0 = time.perf_counter()
-        forest = build_forest(x, cfg.n_trees, cfg.leaf_size, forest_rng,
-                              n_jobs=cfg.n_jobs, spill=cfg.spill)
-        t1 = time.perf_counter()
-        report.phase_seconds["forest"] = t1 - t0
-        sizes = forest.leaf_sizes()
-        report.leaf_stats = {
-            "n_leaves": float(sizes.size),
-            "mean_leaf_size": float(sizes.mean()),
-            "max_leaf_size": float(sizes.max()),
-        }
-        self.last_forest = forest
+        with obs.trace.span(ROOT_SPAN, backend="vectorized", n=n,
+                            dim=int(x.shape[1]), k=cfg.k,
+                            strategy=cfg.strategy):
+            with obs.trace.span("forest"):
+                forest = build_forest(x, cfg.n_trees, cfg.leaf_size, forest_rng,
+                                      n_jobs=cfg.n_jobs, spill=cfg.spill, obs=obs)
+                sizes = forest.leaf_sizes()
+                obs.metrics.gauge("forest/n_leaves").set(float(sizes.size))
+                obs.metrics.gauge("forest/mean_leaf_size").set(float(sizes.mean()))
+                obs.metrics.gauge("forest/max_leaf_size").set(float(sizes.max()))
+            self.last_forest = forest
 
-        # one tree at a time: leaves of a classic tree are disjoint, so a
-        # batch carries no duplicate pairs; spill trees overlap and need
-        # the dedupe pass
-        for tree in forest.trees:
-            for leaf_mat, lengths in batch_leaves(tree.leaves):
-                strategy.update_leaf_batch(
-                    state, x, leaf_mat, lengths, dedupe=cfg.spill > 0.0
-                )
-        t2 = time.perf_counter()
-        report.phase_seconds["leaf_pairs"] = t2 - t1
+            # one tree at a time: leaves of a classic tree are disjoint, so a
+            # batch carries no duplicate pairs; spill trees overlap and need
+            # the dedupe pass
+            with obs.trace.span("leaf_pairs"):
+                for tree in forest.trees:
+                    for leaf_mat, lengths in batch_leaves(tree.leaves):
+                        strategy.update_leaf_batch(
+                            state, x, leaf_mat, lengths, dedupe=cfg.spill > 0.0
+                        )
 
-        sample = cfg.effective_refine_sample()
-        rng = as_generator(refine_rng)
-        refine_state = RefineState()
-        threshold = cfg.refine_delta * n * cfg.k
-        for _round in range(cfg.refine_iters):
-            inserted = refine_round(state, x, strategy, rng, sample, refine_state)
-            report.refine_insertions.append(inserted)
-            if inserted <= threshold:
-                break
-        t3 = time.perf_counter()
-        report.phase_seconds["refine"] = t3 - t2
+            with obs.trace.span("refine"):
+                sample = cfg.effective_refine_sample()
+                rng = as_generator(refine_rng)
+                refine_state = RefineState()
+                threshold = cfg.refine_delta * n * cfg.k
+                for round_idx in range(cfg.refine_iters):
+                    with obs.trace.span(f"round-{round_idx}") as round_span:
+                        inserted = refine_round(
+                            state, x, strategy, rng, sample, refine_state, obs=obs
+                        )
+                        round_span.set(inserted=inserted)
+                    if inserted <= threshold:
+                        break
 
-        ids, dists = state.sorted_arrays()
-        t4 = time.perf_counter()
-        report.phase_seconds["finalize"] = t4 - t3
-        report.counters = strategy.counters.as_dict()
-        self.last_report = report
-        return KNNGraph(
+            with obs.trace.span("finalize"):
+                ids, dists = state.sorted_arrays()
+
+        strategy.counters.emit(obs.metrics)
+        report = BuildReport.from_obs(obs, counters_prefix=KERNEL_PREFIX)
+        self._last_report = report
+        graph = KNNGraph(
             ids=ids,
             dists=dists,
             meta={
@@ -181,9 +288,13 @@ class WKNNGBuilder:
                 "config": cfg,
                 "report": report.as_dict(),
             },
+            report=report,
         )
+        return graph, report
 
-    def _build_simt(self, x: np.ndarray, cfg: BuildConfig | None = None) -> KNNGraph:
+    def _build_simt(
+        self, x: np.ndarray, cfg: BuildConfig, obs: Observability
+    ) -> tuple[KNNGraph, BuildReport]:
         """Route the pipeline through the warp-level simulator backend.
 
         Practical only for small ``n`` (the simulator interprets every warp
@@ -192,6 +303,6 @@ class WKNNGBuilder:
         """
         from repro.simt_kernels.pipeline import build_knng_simt
 
-        graph, report = build_knng_simt(x, cfg or self.config)
-        self.last_report = report
-        return graph
+        graph, report = build_knng_simt(x, cfg, obs=obs)
+        self._last_report = report
+        return graph, report

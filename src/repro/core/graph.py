@@ -24,11 +24,16 @@ class KNNGraph:
         ``(n, k)`` float32 *squared* Euclidean distances.
     meta:
         Free-form provenance (build configuration, timings, counters).
+    report:
+        The :class:`~repro.core.builder.BuildReport` of the build that
+        produced this graph (``None`` for graphs from other sources or
+        loaded from disk; not persisted by :meth:`save`).
     """
 
     ids: np.ndarray
     dists: np.ndarray
     meta: dict[str, Any] = field(default_factory=dict)
+    report: Any | None = None
 
     def __post_init__(self) -> None:
         if self.ids.shape != self.dists.shape or self.ids.ndim != 2:

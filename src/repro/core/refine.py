@@ -27,11 +27,15 @@ single sort over encoded ``(row, col)`` keys.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.kernels.knn_state import EMPTY_ID, KnnState
 from repro.kernels.strategy import Strategy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
 
 
 @dataclass
@@ -177,14 +181,25 @@ def refine_round(
     rng: np.random.Generator,
     sample: int,
     refine_state: RefineState | None = None,
+    obs: "Observability | None" = None,
 ) -> int:
     """Run one local-join round; returns the number of list insertions.
 
     Passing the same :class:`RefineState` across rounds enables the
     new/old-flag optimisation; without it every round joins everything
     (correct, just more work).  A return of 0 means the round converged.
+
+    With an :class:`~repro.obs.Observability` attached, the round emits
+    ``refine_round:before``/``:after`` profiling hooks and accumulates the
+    ``refine/candidate_pairs`` and ``refine/insertions`` counters.
     """
     rs = refine_state if refine_state is not None else RefineState()
+    round_index = rs.rounds_run
+    if obs is not None:
+        from repro.obs.hooks import Events
+
+        obs.hooks.emit(Events.REFINE_ROUND_BEFORE, round=round_index,
+                       sample=sample)
     rows, cols = local_join_candidates(state, rs, rng, sample)
     rs.prev_ids = state.ids.copy()
     inserted = 0
@@ -192,4 +207,11 @@ def refine_round(
         inserted = strategy.update_pairs(state, x, rows, cols)
     rs.rounds_run += 1
     rs.insertions.append(inserted)
+    if obs is not None:
+        from repro.obs.hooks import Events
+
+        obs.metrics.counter("refine/candidate_pairs").inc(int(rows.size))
+        obs.metrics.counter("refine/insertions").inc(inserted)
+        obs.hooks.emit(Events.REFINE_ROUND_AFTER, round=round_index,
+                       candidates=int(rows.size), inserted=inserted)
     return inserted

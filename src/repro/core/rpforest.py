@@ -350,7 +350,7 @@ def _build_tree_task(x: np.ndarray, leaf_size: int, seed_seq, spill: float) -> R
 
 def build_forest(
     x: np.ndarray, n_trees: int, leaf_size: int, seed: RngStream = None,
-    n_jobs: int = 1, spill: float = 0.0,
+    n_jobs: int = 1, spill: float = 0.0, obs=None,
 ) -> RPForest:
     """Build ``n_trees`` independent RP trees.
 
@@ -359,6 +359,12 @@ def build_forest(
     of ``n_jobs``: trees are independent, so with ``n_jobs > 1`` they
     build in forked worker processes (the points matrix is inherited
     copy-on-write, never pickled) with bitwise-identical results.
+
+    With an :class:`~repro.obs.Observability` attached, the serial path
+    wraps each tree in a ``tree-<i>`` span and emits paired
+    ``tree_build:before``/``:after`` hooks; the forked path cannot observe
+    workers individually, so it emits one hook pair for the whole batch
+    (``tree=-1``, ``n_trees`` in the payload).
     """
     n_trees = check_positive_int(n_trees, "n_trees")
     if n_jobs > 1:
@@ -371,11 +377,34 @@ def build_forest(
             child_seqs = seed.spawn(n_trees)
         else:
             child_seqs = np.random.SeedSequence(seed).spawn(n_trees)
+        if obs is not None:
+            from repro.obs.hooks import Events
+
+            obs.hooks.emit(Events.TREE_BUILD_BEFORE, tree=-1, n_trees=n_trees,
+                           n_jobs=n_jobs)
         trees = map_forked(
             _build_tree_task, x, [(leaf_size, s, spill) for s in child_seqs], n_jobs
         )
+        if obs is not None:
+            from repro.obs.hooks import Events
+
+            obs.hooks.emit(Events.TREE_BUILD_AFTER, tree=-1, n_trees=n_trees,
+                           n_jobs=n_jobs)
         return RPForest(trees=trees)
     streams = spawn_streams(seed, n_trees)
-    return RPForest(
-        trees=[build_tree(x, leaf_size, s, spill=spill) for s in streams]
-    )
+    if obs is None:
+        return RPForest(
+            trees=[build_tree(x, leaf_size, s, spill=spill) for s in streams]
+        )
+    from repro.obs.hooks import Events
+
+    trees = []
+    for ti, stream in enumerate(streams):
+        obs.hooks.emit(Events.TREE_BUILD_BEFORE, tree=ti, n_trees=n_trees)
+        with obs.trace.span(f"tree-{ti}") as span:
+            tree = build_tree(x, leaf_size, stream, spill=spill)
+            span.set(n_leaves=tree.n_leaves)
+        trees.append(tree)
+        obs.hooks.emit(Events.TREE_BUILD_AFTER, tree=ti, n_trees=n_trees,
+                       n_leaves=tree.n_leaves)
+    return RPForest(trees=trees)

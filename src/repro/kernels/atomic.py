@@ -60,6 +60,11 @@ class AtomicStrategy(Strategy):
             raise ValueError(f"concurrency must be >= 1, got {concurrency}")
         self.concurrency = int(concurrency)
 
+    def obs_attrs(self) -> dict:
+        """Dispatch payload: CAS discipline plus the contention window."""
+        return {**super().obs_attrs(), "discipline": "cas",
+                "concurrency": self.concurrency}
+
     def _insert(
         self, state: KnnState, rows: np.ndarray, cols: np.ndarray, dists: np.ndarray
     ) -> int:

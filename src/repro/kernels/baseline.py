@@ -34,6 +34,10 @@ class BaselineStrategy(Strategy):
     distance_method = "direct"
     pair_mode = "unordered"
 
+    def obs_attrs(self) -> dict:
+        """Dispatch payload: the baseline discipline is a per-point lock."""
+        return {**super().obs_attrs(), "discipline": "lock"}
+
     def _insert(
         self, state: KnnState, rows: np.ndarray, cols: np.ndarray, dists: np.ndarray
     ) -> int:

@@ -10,6 +10,13 @@ Benchmarks report both.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
+
+#: registry namespace the vectorised kernel counters emit under
+METRICS_PREFIX = "kernel/"
 
 
 @dataclass
@@ -50,6 +57,14 @@ class OpCounters:
 
     def as_dict(self) -> dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def emit(self, registry: "MetricsRegistry", prefix: str = METRICS_PREFIX) -> None:
+        """Pour the current snapshot into an observability metrics registry.
+
+        Each field becomes a counter increment named ``<prefix><field>``, so
+        ``registry.section(prefix)`` reproduces :meth:`as_dict` exactly.
+        """
+        registry.absorb(self.as_dict(), prefix=prefix)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         parts = [f"{k}={v}" for k, v in self.as_dict().items() if v]

@@ -16,8 +16,9 @@ maintenance discipline that distinguishes the three strategies.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -25,6 +26,9 @@ from repro.errors import ConfigurationError
 from repro.kernels.counters import OpCounters
 from repro.kernels.distance import batched_self_sq_l2, sq_l2_pairs
 from repro.kernels.knn_state import KnnState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
 
 
 class Strategy(ABC):
@@ -43,6 +47,39 @@ class Strategy(ABC):
 
     def __init__(self) -> None:
         self.counters = OpCounters()
+        #: optional observability session; when attached (the builder does
+        #: this), every entry-point call is reported as a kernel dispatch
+        #: (``kernel_dispatch:before``/``:after`` hooks plus ``dispatch/``
+        #: timing metrics)
+        self.obs: "Observability | None" = None
+
+    def obs_attrs(self) -> dict:
+        """Strategy-specific attributes attached to dispatch hook payloads."""
+        return {"pair_mode": self.pair_mode}
+
+    def _dispatch_begin(self, kernel: str, **payload) -> float | None:
+        obs = self.obs
+        if obs is None:
+            return None
+        from repro.obs.hooks import Events
+
+        obs.hooks.emit(Events.KERNEL_DISPATCH_BEFORE, kernel=kernel,
+                       strategy=self.name, **self.obs_attrs(), **payload)
+        return time.perf_counter()
+
+    def _dispatch_end(self, t0: float | None, kernel: str, inserted: int,
+                      **payload) -> None:
+        obs = self.obs
+        if obs is None or t0 is None:
+            return
+        from repro.obs.hooks import Events
+
+        seconds = time.perf_counter() - t0
+        obs.metrics.counter(f"dispatch/{kernel}/launches").inc()
+        obs.metrics.histogram(f"dispatch/{kernel}/seconds").observe(seconds)
+        obs.hooks.emit(Events.KERNEL_DISPATCH_AFTER, kernel=kernel,
+                       strategy=self.name, seconds=seconds, inserted=inserted,
+                       **self.obs_attrs(), **payload)
 
     # -- public entry points -----------------------------------------------
 
@@ -94,6 +131,9 @@ class Strategy(ABC):
         leaves = np.asarray(leaves, dtype=np.int64)
         lengths = np.asarray(lengths, dtype=np.int64)
         b, m = leaves.shape
+        t0 = self._dispatch_begin(
+            f"leaf_allpairs/{self.name}", batch_leaves=int(b), batch_width=int(m)
+        )
         pts = x[leaves]
         dmat = batched_self_sq_l2(pts, self.distance_method)
         in_leaf = np.arange(m)[None, :] < lengths[:, None]
@@ -120,7 +160,12 @@ class Strategy(ABC):
             key = rows * np.int64(state.n) + cols
             _, first = np.unique(key, return_index=True)
             rows, cols, dists = rows[first], cols[first], dists[first]
-        return self.insert(state, rows, cols, dists)
+        inserted = self.insert(state, rows, cols, dists)
+        self._dispatch_end(
+            t0, f"leaf_allpairs/{self.name}", inserted,
+            batch_leaves=int(b), candidates=int(rows.size),
+        )
+        return inserted
 
     def update_pairs(
         self, state: KnnState, x: np.ndarray, rows: np.ndarray, cols: np.ndarray
@@ -137,6 +182,9 @@ class Strategy(ABC):
         rows, cols = rows[keep], cols[keep]
         if rows.size == 0:
             return 0
+        t0 = self._dispatch_begin(
+            f"refine_pairs/{self.name}", pairs=int(rows.size)
+        )
         if self.pair_mode == "unordered":
             # canonicalise to unordered pairs: compute once, insert twice
             lo = np.minimum(rows, cols)
@@ -159,7 +207,11 @@ class Strategy(ABC):
             cols = (uniq % state.n).astype(np.int64)
             dists = sq_l2_pairs(x, rows, cols)
             self.counters.distance_evals += int(rows.size)
-        return self.insert(state, rows, cols, dists)
+        inserted = self.insert(state, rows, cols, dists)
+        self._dispatch_end(
+            t0, f"refine_pairs/{self.name}", inserted, pairs=int(rows.size)
+        )
+        return inserted
 
     # -- shared filtering + dispatch ------------------------------------------
 

@@ -58,6 +58,11 @@ class TiledStrategy(Strategy):
             raise ConfigurationError(f"tile_size must be >= 1, got {tile_size}")
         self.tile_size = int(tile_size)
 
+    def obs_attrs(self) -> dict:
+        """Dispatch payload: bulk-merge discipline plus the tile width."""
+        return {**super().obs_attrs(), "discipline": "bulk-merge",
+                "tile_size": self.tile_size}
+
     def _insert(
         self, state: KnnState, rows: np.ndarray, cols: np.ndarray, dists: np.ndarray
     ) -> int:

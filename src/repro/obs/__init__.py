@@ -1,0 +1,93 @@
+"""Unified observability: tracing spans, metrics registry, profiling hooks.
+
+One :class:`Observability` object bundles the three channels every build
+phase reports through:
+
+* :attr:`Observability.trace` - nestable wall-clock spans
+  (:mod:`repro.obs.trace`);
+* :attr:`Observability.metrics` - a typed counter/gauge/histogram registry
+  (:mod:`repro.obs.metrics`) that the legacy ``OpCounters`` and SIMT
+  ``KernelMetrics`` dataclasses emit into;
+* :attr:`Observability.hooks` - before/after callback points at kernel
+  dispatches, refinement rounds and tree builds (:mod:`repro.obs.hooks`).
+
+Typical use::
+
+    from repro import BuildConfig, WKNNGBuilder
+    from repro.obs import Observability, write_trace
+
+    obs = Observability()
+    graph, report = WKNNGBuilder(BuildConfig(k=16), obs=obs).build(
+        points, return_report=True)
+    report.phase_seconds            # derived from the span tree
+    write_trace("build.jsonl", obs)  # machine-readable record
+
+Span/metric naming scheme, hook payloads and the export format are
+documented in ``docs/observability.md``.
+"""
+
+from repro.obs.export import (
+    TraceData,
+    iter_jsonl,
+    read_trace,
+    trace_rows,
+    write_jsonl,
+    write_trace,
+)
+from repro.obs.hooks import Events, ProfilingHooks
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import NULL_SPAN, Span, SpanRecord, Tracer
+
+
+class Observability:
+    """The bundle of one tracing session: tracer + registry + hooks.
+
+    Parameters
+    ----------
+    enabled:
+        When ``False`` the tracer hands out no-op spans (metrics and hooks
+        stay live - they are cheap and gated at the call sites anyway).
+    trace_memory:
+        Capture per-span ``tracemalloc`` peak growth (starts tracemalloc on
+        demand; roughly 2-4x slower builds - for memory investigations).
+    """
+
+    def __init__(self, enabled: bool = True, trace_memory: bool = False) -> None:
+        self.trace = Tracer(enabled=enabled, trace_memory=trace_memory)
+        self.metrics = MetricsRegistry()
+        self.hooks = ProfilingHooks()
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """An observability bundle whose tracer is a no-op."""
+        return cls(enabled=False)
+
+    @property
+    def enabled(self) -> bool:
+        return self.trace.enabled
+
+    def reset(self) -> None:
+        """Clear spans and zero metrics (hook subscriptions are kept)."""
+        self.trace.reset()
+        self.metrics.reset()
+
+
+__all__ = [
+    "Observability",
+    "Tracer",
+    "Span",
+    "SpanRecord",
+    "NULL_SPAN",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ProfilingHooks",
+    "Events",
+    "TraceData",
+    "write_trace",
+    "read_trace",
+    "trace_rows",
+    "write_jsonl",
+    "iter_jsonl",
+]

@@ -1,0 +1,128 @@
+"""JSON-lines trace export/import.
+
+A trace file is newline-delimited JSON, one record per line, each tagged
+with a ``type``:
+
+``{"type": "meta", ...}``
+    One header line: schema version plus caller-supplied context (dataset,
+    config, command line).
+``{"type": "span", "name", "path", "start", "seconds", "depth", ...}``
+    One completed tracing span (completion order, children before parents).
+``{"type": "metric", "name", "kind", "value"}``
+    One registry metric (counters/gauges as scalars, histograms as
+    count/sum/min/max/mean summaries).
+``{"type": "record", ...}``
+    Free-form rows (benchmark tables re-emitted machine-readably).
+
+The format is append-friendly and greppable; :func:`read_trace` restores a
+:class:`TraceData` with reconstructed :class:`~repro.obs.trace.SpanRecord`
+objects and a :class:`~repro.obs.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import SpanRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
+
+#: bump when the line shapes change incompatibly
+SCHEMA_VERSION = 1
+
+
+def _default(obj: Any) -> Any:
+    """JSON fallback: numpy scalars and anything with ``as_dict``/``item``."""
+    if hasattr(obj, "item"):
+        return obj.item()
+    if hasattr(obj, "as_dict"):
+        return obj.as_dict()
+    return str(obj)
+
+
+def write_jsonl(path: str | Path, rows: Iterable[dict[str, Any]]) -> Path:
+    """Write an iterable of dicts as JSON lines; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for row in rows:
+            fh.write(json.dumps(row, default=_default) + "\n")
+    return path
+
+
+def iter_jsonl(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Yield the parsed records of a JSON-lines file (blank lines skipped)."""
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def trace_rows(obs: "Observability", meta: dict[str, Any] | None = None
+               ) -> Iterator[dict[str, Any]]:
+    """The JSON-lines rows of one observability session, header first."""
+    header: dict[str, Any] = {"type": "meta", "schema": SCHEMA_VERSION}
+    if meta:
+        header.update(meta)
+    yield header
+    for rec in obs.trace.records:
+        yield {"type": "span", **rec.as_dict()}
+    for name, entry in obs.metrics.typed_dict().items():
+        yield {"type": "metric", "name": name, **entry}
+
+
+def write_trace(path: str | Path, obs: "Observability",
+                meta: dict[str, Any] | None = None) -> Path:
+    """Export an observability session to a JSON-lines trace file."""
+    return write_jsonl(path, trace_rows(obs, meta))
+
+
+@dataclass
+class TraceData:
+    """A parsed trace file."""
+
+    meta: dict[str, Any] = field(default_factory=dict)
+    spans: list[SpanRecord] = field(default_factory=list)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    records: list[dict[str, Any]] = field(default_factory=list)
+
+    def span_paths(self) -> set[str]:
+        return {s.path for s in self.spans}
+
+    def find(self, path_prefix: str) -> list[SpanRecord]:
+        want = path_prefix.rstrip("/")
+        return [s for s in self.spans
+                if s.path == want or s.path.startswith(want + "/")]
+
+
+def read_trace(path: str | Path) -> TraceData:
+    """Parse a JSON-lines trace file back into structured objects."""
+    data = TraceData()
+    metric_lines: dict[str, dict[str, Any]] = {}
+    for row in iter_jsonl(path):
+        kind = row.get("type")
+        if kind == "meta":
+            data.meta = {k: v for k, v in row.items() if k != "type"}
+        elif kind == "span":
+            data.spans.append(SpanRecord(
+                name=row["name"],
+                path=row["path"],
+                start=float(row["start"]),
+                seconds=float(row["seconds"]),
+                depth=int(row["depth"]),
+                mem_peak_bytes=row.get("mem_peak_bytes"),
+                attrs=row.get("attrs", {}),
+            ))
+        elif kind == "metric":
+            metric_lines[row["name"]] = {"kind": row["kind"], "value": row["value"]}
+        elif kind == "record":
+            data.records.append({k: v for k, v in row.items() if k != "type"})
+        # unknown types are skipped: forward compatibility
+    data.metrics = MetricsRegistry.from_typed_dict(metric_lines)
+    return data

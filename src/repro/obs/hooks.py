@@ -1,0 +1,86 @@
+"""Profiling hooks: subscribable callback points in the build pipeline.
+
+The pipeline emits paired ``<event>:before`` / ``<event>:after`` events at
+its interesting boundaries; benchmarks and users subscribe callbacks::
+
+    hooks = ProfilingHooks()
+    unsub = hooks.subscribe(Events.KERNEL_DISPATCH_AFTER,
+                            lambda event, payload: print(payload["kernel"]))
+    ...
+    unsub()
+
+Callbacks receive ``(event_name, payload_dict)`` and run synchronously in
+subscription order; exceptions propagate to the instrumented call site (a
+profiling callback that raises is a bug worth surfacing, not swallowing).
+``"*"`` subscribes to every event - how a streaming exporter taps the
+whole build.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+HookFn = Callable[[str, dict[str, Any]], None]
+
+
+class Events:
+    """Well-known event names emitted by the instrumented pipeline."""
+
+    #: one strategy kernel dispatch (vectorised backend: a leaf batch or a
+    #: refinement pair batch; simt backend: one simulated grid launch)
+    KERNEL_DISPATCH_BEFORE = "kernel_dispatch:before"
+    KERNEL_DISPATCH_AFTER = "kernel_dispatch:after"
+    #: one neighbour-of-neighbour refinement round
+    REFINE_ROUND_BEFORE = "refine_round:before"
+    REFINE_ROUND_AFTER = "refine_round:after"
+    #: one RP tree of the forest phase
+    TREE_BUILD_BEFORE = "tree_build:before"
+    TREE_BUILD_AFTER = "tree_build:after"
+
+
+class ProfilingHooks:
+    """Event-name -> ordered subscriber lists."""
+
+    def __init__(self) -> None:
+        self._subs: dict[str, list[HookFn]] = {}
+
+    @property
+    def active(self) -> bool:
+        """True when at least one subscriber is registered (emit fast-path)."""
+        return bool(self._subs)
+
+    def subscribe(self, event: str, fn: HookFn) -> Callable[[], None]:
+        """Register ``fn`` for ``event`` (or ``"*"``); returns an unsubscriber."""
+        self._subs.setdefault(event, []).append(fn)
+
+        def unsubscribe() -> None:
+            subs = self._subs.get(event)
+            if subs and fn in subs:
+                subs.remove(fn)
+                if not subs:
+                    del self._subs[event]
+
+        return unsubscribe
+
+    def pair(self, event_base: str, fn: HookFn) -> Callable[[], None]:
+        """Subscribe ``fn`` to both ``<base>:before`` and ``<base>:after``."""
+        u1 = self.subscribe(f"{event_base}:before", fn)
+        u2 = self.subscribe(f"{event_base}:after", fn)
+
+        def unsubscribe() -> None:
+            u1()
+            u2()
+
+        return unsubscribe
+
+    def emit(self, event: str, **payload: Any) -> None:
+        """Invoke the event's subscribers, then the ``"*"`` subscribers."""
+        if not self._subs:
+            return
+        for fn in tuple(self._subs.get(event, ())):
+            fn(event, payload)
+        for fn in tuple(self._subs.get("*", ())):
+            fn(event, payload)
+
+    def clear(self) -> None:
+        self._subs.clear()

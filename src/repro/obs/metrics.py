@@ -1,0 +1,233 @@
+"""Typed metrics registry: counters, gauges, histograms.
+
+The registry is the single sink the pipeline's existing ad-hoc counter
+channels feed into: :class:`repro.kernels.counters.OpCounters` and
+:class:`repro.simt.metrics.KernelMetrics` both *emit* their fields here
+(see their ``emit`` methods), and instrumented code can register its own
+metrics directly::
+
+    reg = MetricsRegistry()
+    reg.counter("kernel/distance_evals").inc(1024)
+    reg.gauge("forest/max_leaf_size").set(48.0)
+    reg.histogram("kernel/dispatch_seconds").observe(0.003)
+
+Metric names are slash-namespaced (``section/name``); :meth:`MetricsRegistry.section`
+slices one namespace back out as a plain dict, which is how the legacy
+``BuildReport.counters`` surface is reconstructed from a trace.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator, Mapping
+
+
+class Counter:
+    """A monotonically-increasing integer metric."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = int(value)
+
+    def inc(self, n: int = 1) -> "Counter":
+        if n < 0:
+            raise ValueError(f"counters only increase; got inc({n})")
+        self.value += int(n)
+        return self
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def get(self) -> int:
+        return self.value
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A last-value-wins float metric."""
+
+    kind = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = float(value)
+
+    def set(self, v: float) -> "Gauge":
+        self.value = float(v)
+        return self
+
+    def merge(self, other: "Gauge") -> None:
+        self.value = other.value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def get(self) -> float:
+        return self.value
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """A streaming summary (count/sum/min/max) of observed values."""
+
+    kind = "histogram"
+    __slots__ = ("count", "total", "vmin", "vmax")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+
+    def observe(self, v: float) -> "Histogram":
+        v = float(v)
+        self.count += 1
+        self.total += v
+        self.vmin = min(self.vmin, v)
+        self.vmax = max(self.vmax, v)
+        return self
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.vmin = min(self.vmin, other.vmin)
+        self.vmax = max(self.vmax, other.vmax)
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+
+    def get(self) -> dict[str, float]:
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {"count": self.count, "sum": self.total,
+                "min": self.vmin, "max": self.vmax, "mean": self.mean}
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "value": self.get()}
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Name -> typed metric store with create-on-first-use accessors."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    # -- accessors -----------------------------------------------------------
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls()
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} is a {metric.kind}, not a {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    # -- bulk operations -----------------------------------------------------
+
+    def absorb(self, values: Mapping[str, int | float], prefix: str = "") -> None:
+        """Add a mapping of numeric values as counter increments.
+
+        This is how legacy counter dataclasses (``OpCounters``,
+        ``KernelMetrics``) pour a snapshot into the registry.
+        """
+        for key, value in values.items():
+            self.counter(prefix + key).inc(int(value))
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` into ``self``: counters/histograms accumulate,
+        gauges take the other registry's value.  Returns ``self``."""
+        for name, metric in other._metrics.items():
+            self._get(name, type(metric)).merge(metric)
+        return self
+
+    def reset(self) -> None:
+        """Zero every registered metric (names stay registered)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    # -- views ---------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._metrics))
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat ``name -> value`` view (histograms render as summary dicts)."""
+        return {name: self._metrics[name].get() for name in sorted(self._metrics)}
+
+    def typed_dict(self) -> dict[str, dict[str, Any]]:
+        """``name -> {kind, value}`` view (the JSON-lines export shape)."""
+        return {name: self._metrics[name].as_dict() for name in sorted(self._metrics)}
+
+    def section(self, prefix: str) -> dict[str, Any]:
+        """Metrics under ``prefix``, with the prefix stripped.
+
+        ``section("kernel/")`` over counters named ``kernel/distance_evals``
+        etc. reproduces the legacy ``OpCounters.as_dict()`` mapping.
+        """
+        return {
+            name[len(prefix):]: metric.get()
+            for name, metric in sorted(self._metrics.items())
+            if name.startswith(prefix)
+        }
+
+    @classmethod
+    def from_typed_dict(cls, data: Mapping[str, Mapping[str, Any]]) -> "MetricsRegistry":
+        """Inverse of :meth:`typed_dict` (used by the JSON-lines reader)."""
+        reg = cls()
+        for name, entry in data.items():
+            kind = entry["kind"]
+            value = entry["value"]
+            if kind == "counter":
+                reg.counter(name).inc(int(value))
+            elif kind == "gauge":
+                reg.gauge(name).set(float(value))
+            elif kind == "histogram":
+                h = reg.histogram(name)
+                h.count = int(value["count"])
+                h.total = float(value["sum"])
+                if h.count:
+                    h.vmin = float(value["min"])
+                    h.vmax = float(value["max"])
+            else:
+                raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
+        return reg

@@ -30,9 +30,12 @@ class Device:
     buffers and identical metrics.
     """
 
-    def __init__(self, config: DeviceConfig | None = None) -> None:
+    def __init__(self, config: DeviceConfig | None = None, obs=None) -> None:
         self.config = config or DeviceConfig()
         self.metrics = KernelMetrics()
+        #: optional :class:`~repro.obs.Observability`; when attached, every
+        #: launch emits kernel-dispatch hooks and ``dispatch/simt/`` metrics
+        self.obs = obs
         self._buffers: list[GlobalBuffer] = []
         self._next_base = 0
         from repro.simt.cache import make_device_cache

@@ -10,8 +10,15 @@ dimensionality and the tiled strategy at high dimensionality.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING
 
 from repro.simt.config import DeviceConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
+
+#: registry namespace the simulator counters emit under
+METRICS_PREFIX = "simt/"
 
 
 @dataclass
@@ -96,6 +103,14 @@ class KernelMetrics:
     def as_dict(self) -> dict[str, int]:
         """Return the counters as a plain dict (for tables and JSON records)."""
         return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def emit(self, registry: "MetricsRegistry", prefix: str = METRICS_PREFIX) -> None:
+        """Pour the current snapshot into an observability metrics registry.
+
+        Each field becomes a counter increment named ``<prefix><field>``, so
+        ``registry.section(prefix)`` reproduces :meth:`as_dict` exactly.
+        """
+        registry.absorb(self.as_dict(), prefix=prefix)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         parts = [f"{k}={v}" for k, v in self.as_dict().items() if v]

@@ -18,6 +18,7 @@ Execution model
 from __future__ import annotations
 
 import inspect
+import time
 from typing import Callable, TYPE_CHECKING
 
 from repro.errors import BarrierError, LaunchError
@@ -58,6 +59,19 @@ def launch(
         )
     is_gen = inspect.isgeneratorfunction(kernel)
     metrics = device.metrics
+    obs = device.obs
+    kernel_name = getattr(kernel, "__name__", "kernel")
+    t_start = 0.0
+    cycles_start = 0
+    if obs is not None:
+        from repro.obs.hooks import Events
+
+        obs.hooks.emit(
+            Events.KERNEL_DISPATCH_BEFORE, kernel=f"simt/{kernel_name}",
+            backend="simt", grid_blocks=grid_blocks, block_warps=block_warps,
+        )
+        cycles_start = metrics.estimated_cycles(device.config)
+        t_start = time.perf_counter()
     metrics.blocks_launched += grid_blocks
     metrics.warps_launched += grid_blocks * block_warps
 
@@ -79,6 +93,19 @@ def launch(
                     _run_block([result], block_id, metrics)
         block_cycles.append(metrics.estimated_cycles(device.config) - cycles_before)
     device.last_launch_block_cycles = block_cycles
+    if obs is not None:
+        from repro.obs.hooks import Events
+
+        seconds = time.perf_counter() - t_start
+        cycles = metrics.estimated_cycles(device.config) - cycles_start
+        obs.metrics.counter(f"dispatch/simt/{kernel_name}/launches").inc()
+        obs.metrics.histogram(f"dispatch/simt/{kernel_name}/seconds").observe(seconds)
+        obs.metrics.counter(f"dispatch/simt/{kernel_name}/cycles").inc(cycles)
+        obs.hooks.emit(
+            Events.KERNEL_DISPATCH_AFTER, kernel=f"simt/{kernel_name}",
+            backend="simt", grid_blocks=grid_blocks, block_warps=block_warps,
+            seconds=seconds, modeled_cycles=cycles,
+        )
 
 
 def _run_block(coroutines: list, block_id: int, metrics) -> None:

@@ -14,8 +14,6 @@ to collect per-strategy microarchitecture counters for one leaf workload
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.core.config import BuildConfig
@@ -149,58 +147,79 @@ def _launch_pairs(
         )
 
 
-def build_knng_simt(points: np.ndarray, config: BuildConfig, device: Device | None = None):
+def build_knng_simt(points: np.ndarray, config: BuildConfig,
+                    device: Device | None = None, obs=None):
     """Run the full w-KNNG pipeline on the simulator.
 
     Returns ``(KNNGraph, BuildReport)``; the graph's ``meta["simt_metrics"]``
     holds the accumulated :class:`~repro.simt.metrics.KernelMetrics` dict and
-    ``meta["estimated_cycles"]`` the cost-model total.
+    ``meta["estimated_cycles"]`` the cost-model total.  The report's
+    ``counters`` are the device metrics (the simt analogue of the
+    vectorised backend's op counters); an explicit
+    :class:`~repro.obs.Observability` additionally exposes every simulated
+    kernel launch through the ``kernel_dispatch`` hooks.
     """
     from repro.core.builder import BuildReport  # local: avoid import cycle
+    from repro.obs import Observability
+    from repro.simt.metrics import METRICS_PREFIX as SIMT_PREFIX
 
     x = check_points_matrix(points, "points")
     n, dim = x.shape
+    obs = obs if obs is not None else Observability()
     device = device or Device(DeviceConfig())
+    if device.obs is None:
+        device.obs = obs
     if config.k > device.config.warp_size:
         raise ConfigurationError(
             f"the simt backend requires k <= warp_size "
             f"({device.config.warp_size}), got k={config.k}"
         )
-    report = BuildReport()
     forest_rng, refine_rng = spawn_streams(config.seed, 2)
 
-    t0 = time.perf_counter()
-    forest = build_forest(x, config.n_trees, config.leaf_size, forest_rng)
-    t1 = time.perf_counter()
-    report.phase_seconds["forest"] = t1 - t0
+    with obs.trace.span("build", backend="simt", n=n, dim=dim, k=config.k,
+                        strategy=config.strategy):
+        with obs.trace.span("forest"):
+            forest = build_forest(x, config.n_trees, config.leaf_size,
+                                  forest_rng, obs=obs)
+            sizes = forest.leaf_sizes()
+            obs.metrics.gauge("forest/n_leaves").set(float(sizes.size))
+            obs.metrics.gauge("forest/mean_leaf_size").set(float(sizes.mean()))
+            obs.metrics.gauge("forest/max_leaf_size").set(float(sizes.max()))
 
-    xbuf = device.to_device(x.reshape(-1), "points")
-    lists = _DeviceLists(device, n, config.k, config.strategy)
-    for _ti, leaf in forest.iter_leaves():
-        _launch_leaf(device, lists, xbuf, leaf, dim, config.k)
-    t2 = time.perf_counter()
-    report.phase_seconds["leaf_pairs"] = t2 - t1
+        with obs.trace.span("leaf_pairs"):
+            xbuf = device.to_device(x.reshape(-1), "points")
+            lists = _DeviceLists(device, n, config.k, config.strategy)
+            for _ti, leaf in forest.iter_leaves():
+                _launch_leaf(device, lists, xbuf, leaf, dim, config.k)
 
-    rng = as_generator(refine_rng)
-    sample = config.effective_refine_sample()
-    refine_state = RefineState()
-    for _round in range(config.refine_iters):
-        state = lists.to_state()
-        rows, cols = local_join_candidates(state, refine_state, rng, sample)
-        refine_state.prev_ids = state.ids.copy()
-        refine_state.rounds_run += 1
-        if rows.size == 0:
-            break
-        before = lists.to_state().filled_counts().sum()
-        _launch_pairs(device, lists, xbuf, rows, cols, dim, config.k)
-        report.refine_insertions.append(int(lists.to_state().filled_counts().sum() - before))
-    t3 = time.perf_counter()
-    report.phase_seconds["refine"] = t3 - t2
+        with obs.trace.span("refine"):
+            rng = as_generator(refine_rng)
+            sample = config.effective_refine_sample()
+            refine_state = RefineState()
+            for round_idx in range(config.refine_iters):
+                with obs.trace.span(f"round-{round_idx}") as round_span:
+                    state = lists.to_state()
+                    rows, cols = local_join_candidates(
+                        state, refine_state, rng, sample)
+                    refine_state.prev_ids = state.ids.copy()
+                    refine_state.rounds_run += 1
+                    if rows.size == 0:
+                        round_span.set(converged=True)
+                        break
+                    before = lists.to_state().filled_counts().sum()
+                    _launch_pairs(device, lists, xbuf, rows, cols, dim, config.k)
+                    inserted = int(lists.to_state().filled_counts().sum() - before)
+                    round_span.set(inserted=inserted,
+                                   candidates=int(rows.size))
+                    obs.metrics.counter("refine/candidate_pairs").inc(int(rows.size))
+                    obs.metrics.counter("refine/insertions").inc(inserted)
 
-    state = lists.to_state()
-    ids, dists = state.sorted_arrays()
-    report.phase_seconds["finalize"] = time.perf_counter() - t3
-    report.counters = device.metrics.as_dict()
+        with obs.trace.span("finalize"):
+            state = lists.to_state()
+            ids, dists = state.sorted_arrays()
+
+    device.metrics.emit(obs.metrics, prefix=SIMT_PREFIX)
+    report = BuildReport.from_obs(obs, counters_prefix=SIMT_PREFIX)
     graph = KNNGraph(
         ids=ids,
         dists=dists,
@@ -213,6 +232,7 @@ def build_knng_simt(points: np.ndarray, config: BuildConfig, device: Device | No
             "estimated_cycles": device.metrics.estimated_cycles(device.config),
             "report": report.as_dict(),
         },
+        report=report,
     )
     return graph, report
 

@@ -6,7 +6,6 @@ import pytest
 from repro.apps.search import GraphSearchIndex, SearchConfig
 from repro.apps.tsne import TSNE, TSNEConfig
 from repro.baselines.bruteforce import BruteForceKNN
-from repro.data.synthetic import gaussian_mixture
 from repro.errors import ConfigurationError
 
 

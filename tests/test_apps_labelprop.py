@@ -6,7 +6,6 @@ import pytest
 from repro import BuildConfig, WKNNGBuilder
 from repro.apps.labelprop import LabelPropConfig, LabelPropagation
 from repro.core.graph import KNNGraph
-from repro.data.synthetic import gaussian_mixture
 from repro.errors import ConfigurationError, DataError
 
 

@@ -100,24 +100,27 @@ class TestBuild:
 
 class TestReport:
     def test_report_phases(self, small_clustered):
-        builder = WKNNGBuilder(cfg())
-        builder.build(small_clustered)
-        rep = builder.last_report
+        _, rep = WKNNGBuilder(cfg()).build(small_clustered, return_report=True)
         assert isinstance(rep, BuildReport)
         assert set(rep.phase_seconds) == {"forest", "leaf_pairs", "refine", "finalize"}
         assert rep.total_seconds > 0
 
     def test_report_counters_nonzero(self, small_clustered):
-        builder = WKNNGBuilder(cfg())
-        builder.build(small_clustered)
-        assert builder.last_report.counters["distance_evals"] > 0
+        graph = WKNNGBuilder(cfg()).build(small_clustered)
+        assert graph.report.counters["distance_evals"] > 0
 
     def test_leaf_stats(self, small_clustered):
-        builder = WKNNGBuilder(cfg(leaf_size=48))
-        builder.build(small_clustered)
-        stats = builder.last_report.leaf_stats
+        graph = WKNNGBuilder(cfg(leaf_size=48)).build(small_clustered)
+        stats = graph.report.leaf_stats
         assert stats["max_leaf_size"] <= 48
         assert stats["n_leaves"] >= 600 / 48 * 4
+
+    def test_last_report_deprecated_but_working(self, small_clustered):
+        builder = WKNNGBuilder(cfg())
+        graph = builder.build(small_clustered)
+        with pytest.warns(DeprecationWarning, match="return_report"):
+            rep = builder.last_report
+        assert rep is graph.report
 
     def test_meta_carries_report(self, small_clustered):
         graph = WKNNGBuilder(cfg()).build(small_clustered)

@@ -1,7 +1,6 @@
 """Tests for the NN-descent local-join refinement."""
 
 import numpy as np
-import pytest
 
 from repro.core.refine import (
     RefineState,

@@ -11,7 +11,6 @@ from repro import BuildConfig, WKNNGBuilder
 from repro.baselines import BruteForceKNN, IVFConfig, IVFFlatIndex
 from repro.core.graph import KNNGraph
 from repro.data.synthetic import gaussian_mixture, uniform_hypercube
-from repro.errors import ConfigurationError, DataError
 from repro.kernels import KnnState, get_strategy
 from repro.metrics.recall import knn_recall
 

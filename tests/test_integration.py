@@ -62,8 +62,8 @@ class TestCrossSystem:
         x, _ = workload
         builder = WKNNGBuilder(BuildConfig(k=10, strategy="atomic", n_trees=3,
                                            leaf_size=48, seed=0))
-        builder.build(x)
-        counters = OpCounters(**builder.last_report.counters)
+        _, report = builder.build(x, return_report=True)
+        counters = OpCounters(**report.counters)
         bd = wknng_cycles("atomic", counters, dim=24, k=10, leaf_size=48)
         assert bd.total > 0
         assert bd.distance > 0 and bd.insertion > 0
@@ -87,9 +87,9 @@ class TestScalingShape:
             x = gaussian_mixture(n, 12, n_clusters=16, seed=3)
             builder = WKNNGBuilder(BuildConfig(k=8, n_trees=3, leaf_size=40,
                                                refine_iters=0, seed=0))
-            builder.build(x)
+            graph = builder.build(x)
             evals_per_point.append(
-                builder.last_report.counters["distance_evals"] / n
+                graph.report.counters["distance_evals"] / n
             )
         assert evals_per_point[1] < evals_per_point[0] * 1.5
 

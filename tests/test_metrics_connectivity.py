@@ -1,7 +1,6 @@
 """Tests for graph-connectivity diagnostics."""
 
 import numpy as np
-import pytest
 
 from repro.core.graph import KNNGraph
 from repro.metrics.connectivity import (

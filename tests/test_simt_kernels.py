@@ -4,13 +4,11 @@ leaf kernels, and cross-backend equivalence with the vectorised layer."""
 import numpy as np
 import pytest
 
-from repro.baselines.bruteforce import BruteForceKNN
 from repro.core.config import BuildConfig
 from repro.core.builder import WKNNGBuilder
 from repro.errors import ConfigurationError
 from repro.metrics.recall import knn_recall
 from repro.simt.atomics import pack_dist_id, unpack_dist_id, EMPTY_PACKED
-from repro.simt.config import DeviceConfig
 from repro.simt.device import Device
 from repro.simt.shared import SharedMemory
 from repro.simt.warp import WarpContext
@@ -22,7 +20,7 @@ from repro.simt_kernels.device_fns import (
     load_point_chunks,
     load_scalar,
 )
-from repro.simt_kernels.pipeline import build_knng_simt, simt_leaf_metrics
+from repro.simt_kernels.pipeline import simt_leaf_metrics
 
 
 def make_ctx(dev):

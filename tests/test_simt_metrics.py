@@ -1,6 +1,5 @@
 """Tests for the KernelMetrics counters and cycle arithmetic."""
 
-import pytest
 
 from repro.simt.config import DeviceConfig
 from repro.simt.metrics import KernelMetrics
