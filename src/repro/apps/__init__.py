@@ -13,7 +13,7 @@ both are implemented here end to end:
 """
 
 from repro.apps.tsne import TSNE, TSNEConfig
-from repro.apps.search import GraphSearchIndex, SearchConfig
+from repro.apps.search import BatchedGraphSearch, GraphSearchIndex, SearchConfig
 from repro.apps.labelprop import LabelPropagation, LabelPropConfig
 from repro.apps.spectral import SpectralConfig, SpectralEmbedding
 from repro.apps.dedup import DedupConfig, Deduplicator
@@ -21,6 +21,7 @@ from repro.apps.dedup import DedupConfig, Deduplicator
 __all__ = [
     "TSNE",
     "TSNEConfig",
+    "BatchedGraphSearch",
     "GraphSearchIndex",
     "SearchConfig",
     "LabelPropagation",

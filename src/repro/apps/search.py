@@ -14,21 +14,74 @@ search** (the idea behind HNSW/NSG-style engines):
 
 Recall is controlled by the beam width (``ef``), exactly like ``efSearch``
 in HNSW - giving the same accuracy/time dial the benchmarks use.
+
+Two engines implement those semantics:
+
+* :class:`BatchedGraphSearch` - the production engine.  All live queries
+  advance in **lock-step rounds**: each round selects every query's best
+  unexpanded beam entries, gathers their graph neighbours as one
+  ``(m, frontier, k)`` index matrix, masks already-visited nodes with
+  per-query uint64 bitsets, scores all fresh candidates with a single
+  batched gather (:func:`repro.kernels.distance.sq_l2_query_gather`) and
+  merges them into the per-query beams with the same ``argpartition``
+  select-k the build-time :meth:`~repro.kernels.knn_state.KnnState.merge_rows`
+  uses.  Large batches shard across forked workers
+  (:func:`repro.utils.parallel.map_forked`).
+* the legacy per-query loop (:meth:`GraphSearchIndex.search_legacy`) -
+  heapq best-first expansion, kept as the semantic reference; with
+  ``frontier=1`` the batched engine expands nodes in exactly the same
+  order and returns identical results on tie-free inputs.
+
+**Metric handling**: the builder constructs graph and forest in the
+*prepared* space of ``BuildConfig.metric`` (L2-normalised for cosine, see
+:mod:`repro.core.metric`), so the index transforms its stored points and
+every incoming query batch the same way - routing, seeding and beam
+scoring all happen in the space the graph's edges live in.  Returned
+distances are squared L2 in that space (for cosine: exactly twice the
+cosine distance).
 """
 
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
 from repro.core.builder import WKNNGBuilder
 from repro.core.config import BuildConfig
 from repro.core.graph import KNNGraph
+from repro.core.metric import check_metric, prepare_points
 from repro.core.rpforest import RPForest
 from repro.errors import ConfigurationError
+from repro.kernels.distance import rowwise_sq_norm, sq_l2_query_gather
+from repro.obs import Events, Observability
+from repro.utils.arrays import blockwise_ranges
+from repro.utils.parallel import map_forked, shard_ranges
 from repro.utils.validation import check_points_matrix, check_positive_int
+
+#: queries processed per lock-step block (bounds the candidate/bitset
+#: temporaries at roughly block * ef and block * ceil(n/64) entries)
+_QUERY_BLOCK = 4096
+
+#: registry namespace the query engine's metrics emit under
+QUERY_METRICS_PREFIX = "query/"
+
+# Packed beam-key layout (see BatchedGraphSearch._search_chunk): the high
+# 32 bits hold the float32 distance's bit pattern (order-preserving for
+# the non-negative squared distances this library uses), bit 31 flags an
+# expanded entry, bits 0..30 hold the node id.
+_EXPANDED_BIT = np.int64(1) << 31
+_ID_MASK = np.int64((1 << 31) - 1)
+_ID_CAPACITY = 1 << 31
+#: any key at or above this has a non-finite distance (inf bit pattern)
+_INF_KEY = np.int64(0x7F800000) << 32
+#: empty beam slot: quiet-NaN distance bits, sorts after every real entry
+_EMPTY_KEY = np.int64(0x7FC00000) << 32
+#: visited-filter budget: dense boolean matrix below, uint64 bitsets above
+_DENSE_VISITED_BYTES = 1 << 27
 
 
 @dataclass
@@ -43,16 +96,367 @@ class SearchConfig:
         Entry points sampled from each tree's leaf.
     max_expansions:
         Safety cap on node expansions per query.
+    frontier:
+        Beam entries expanded per query per lock-step round (batched
+        engine only).  ``1`` reproduces the legacy best-first expansion
+        order exactly; larger values trade a few wasted expansions for
+        fewer, fatter rounds.
+    n_jobs:
+        Fork-shard query batches across this many worker processes
+        (batched engine only; ``1`` = serial, results are identical).
     """
 
     ef: int = 32
     seeds_per_tree: int = 4
     max_expansions: int = 512
+    frontier: int = 1
+    n_jobs: int = 1
 
     def __post_init__(self) -> None:
         self.ef = check_positive_int(self.ef, "ef")
         self.seeds_per_tree = check_positive_int(self.seeds_per_tree, "seeds_per_tree")
         self.max_expansions = check_positive_int(self.max_expansions, "max_expansions")
+        self.frontier = check_positive_int(self.frontier, "frontier")
+        self.n_jobs = check_positive_int(self.n_jobs, "n_jobs")
+
+
+def _dedupe_rows(ids: np.ndarray) -> np.ndarray:
+    """Mask repeated ids within each row to ``-1`` (first occurrence wins)."""
+    order = np.argsort(ids, axis=1, kind="stable")
+    in_order = np.take_along_axis(ids, order, axis=1)
+    dup_sorted = np.zeros(ids.shape, dtype=bool)
+    dup_sorted[:, 1:] = in_order[:, 1:] == in_order[:, :-1]
+    dup = np.zeros(ids.shape, dtype=bool)
+    np.put_along_axis(dup, order, dup_sorted, axis=1)
+    return np.where(dup, -1, ids)
+
+
+def _forked_search_block(shared, start: int, end: int, k: int, config: SearchConfig):
+    """Worker body for fork-sharded batched search (module-level for fork)."""
+    engine, queries = shared
+    return engine._search_block(queries[start:end], k, config)
+
+
+class BatchedGraphSearch:
+    """Batched, vectorized graph-guided beam search.
+
+    Operates in the *prepared* (kernel) space: ``points`` must already be
+    transformed for the graph's metric, and so must every query matrix
+    passed to :meth:`search` - :class:`GraphSearchIndex` owns that
+    transformation.  The engine itself is metric-agnostic, exactly like
+    the build kernels.
+
+    Per-query state during a search: a beam of ``ef`` ``(id, dist,
+    expanded)`` slots and a visited bitset of ``ceil(n / 64)`` uint64
+    words.  All queries of a block advance together; a query leaves the
+    lock-step as soon as every beam entry is expanded (nothing left that
+    could improve its result) or its expansion budget is exhausted.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        graph: KNNGraph,
+        forest: RPForest,
+        config: SearchConfig | None = None,
+        *,
+        obs: Observability | None = None,
+    ) -> None:
+        self._x = check_points_matrix(points, "points")
+        if graph.n != self._x.shape[0]:
+            raise ConfigurationError(
+                f"graph has {graph.n} nodes but points has {self._x.shape[0]} rows"
+            )
+        self.graph = graph
+        self.forest = forest
+        self.config = config or SearchConfig()
+        self.obs = obs
+        #: work counters of the most recent :meth:`search` call
+        self.last_query_stats: dict[str, Any] = {}
+
+    # -- seeding -----------------------------------------------------------------
+
+    def _seed_matrix(self, q: np.ndarray, config: SearchConfig) -> np.ndarray:
+        """Per-query entry points: ``(m, n_trees * seeds_per_tree)`` ids.
+
+        Routes the whole query block down every tree at once; invalid
+        slots (short leaves, intra-row duplicates) carry ``-1``.
+        """
+        m = q.shape[0]
+        n = self._x.shape[0]
+        spt = config.seeds_per_tree
+        if not self.forest.trees:
+            fallback = np.arange(min(config.ef, n), dtype=np.int64)
+            return np.broadcast_to(fallback, (m, fallback.size)).copy()
+        columns: list[np.ndarray] = []
+        for tree in self.forest.trees:
+            leaf_idx = tree.leaf_for(q)
+            uniq, inverse = np.unique(leaf_idx, return_inverse=True)
+            padded = np.full((uniq.size, spt), -1, dtype=np.int64)
+            for j, leaf in enumerate(uniq):
+                members = tree.leaves[int(leaf)][:spt]
+                padded[j, : members.size] = members
+            columns.append(padded[inverse])
+        return _dedupe_rows(np.concatenate(columns, axis=1))
+
+    # -- the lock-step engine ----------------------------------------------------
+
+    def _search_block(
+        self, q: np.ndarray, k: int, config: SearchConfig
+    ) -> tuple[np.ndarray, np.ndarray, dict[str, Any]]:
+        """Run the lock-step rounds for one query block (no obs side effects)."""
+        out_ids = np.full((q.shape[0], k), -1, dtype=np.int32)
+        out_dists = np.full((q.shape[0], k), np.inf, dtype=np.float32)
+        stats: dict[str, Any] = {
+            "queries": 0, "rounds": 0,
+            "expansions": 0, "distance_evals": 0, "round_expansions": [],
+        }
+        for s, e in blockwise_ranges(q.shape[0], _QUERY_BLOCK):
+            ids, dists, chunk = self._search_chunk(q[s:e], k, config)
+            out_ids[s:e] = ids
+            out_dists[s:e] = dists
+            _merge_stats(stats, chunk)
+        return out_ids, out_dists, stats
+
+    def _search_chunk(
+        self, q: np.ndarray, k: int, config: SearchConfig
+    ) -> tuple[np.ndarray, np.ndarray, dict[str, Any]]:
+        x = self._x
+        graph = self.graph
+        m = q.shape[0]
+        n = x.shape[0]
+        ef = config.ef
+        frontier = min(config.frontier, ef)
+        kg = graph.k
+
+        if n >= _ID_CAPACITY:
+            raise ConfigurationError(
+                f"batched search supports at most {_ID_CAPACITY - 1} points, got {n}"
+            )
+
+        # Beam entries are packed into single int64 sort keys:
+        #
+        #     key = float32_bits(dist) << 32 | expanded_flag << 31 | id
+        #
+        # Squared distances are non-negative, and the IEEE-754 bit pattern
+        # of a non-negative float is monotone in its value - so comparing
+        # keys compares (dist, id) lexicographically, exactly the legacy
+        # heap's ordering.  One np.partition on the key matrix is then a
+        # full select-k merge (no index gathers), and np.sort at the end
+        # is the legacy result order.  Empty slots hold _EMPTY_KEY (NaN
+        # dist bits), which sorts after every real entry, even +inf.
+        orig = np.arange(m)  # live row -> original query row
+        qv = q
+        beam = np.full((m, ef), _EMPTY_KEY, dtype=np.int64)
+        expansions = np.zeros(m, dtype=np.int64)
+        out_ids = np.full((m, k), -1, dtype=np.int32)
+        out_dists = np.full((m, k), np.inf, dtype=np.float32)
+        stats = {"queries": m, "rounds": 0, "expansions": 0,
+                 "distance_evals": 0, "round_expansions": []}
+
+        # visited filter: dense boolean matrix when it fits the budget
+        # (plain fancy-index scatter/gather), per-query uint64 bitsets
+        # beyond that (1 bit per node instead of 1 byte)
+        if m * n <= _DENSE_VISITED_BYTES:
+            visited = np.zeros((m, n), dtype=bool)
+
+            def mark_visited(rows: np.ndarray, ids: np.ndarray) -> None:
+                # flat 1-d scatter/gather: measurably faster than 2-d
+                # advanced indexing on the per-round hot path
+                visited.reshape(-1)[rows * n + ids] = True
+
+            def is_visited(rows: np.ndarray, ids: np.ndarray) -> np.ndarray:
+                return visited.reshape(-1).take(rows * n + ids)
+        else:
+            visited = np.zeros((m, (n + 63) // 64), dtype=np.uint64)
+
+            def mark_visited(rows: np.ndarray, ids: np.ndarray) -> None:
+                bits = np.left_shift(np.uint64(1), (ids & 63).astype(np.uint64))
+                np.bitwise_or.at(visited, (rows, ids >> 6), bits)
+
+            def is_visited(rows: np.ndarray, ids: np.ndarray) -> np.ndarray:
+                bits = np.left_shift(np.uint64(1), (ids & 63).astype(np.uint64))
+                return (visited[rows, ids >> 6] & bits) != 0
+
+        def pack(ids: np.ndarray, dists: np.ndarray) -> np.ndarray:
+            """Pack (id, dist) matrices into sort keys.
+
+            Invalid slots carry ``+inf`` distance by construction, so
+            their keys sort after every finite entry and are never
+            selected, never block termination, and never decode into the
+            final output (same role as ``_EMPTY_KEY``).
+            """
+            key = dists.view(np.uint32).astype(np.int64) << 32
+            return key | (ids.astype(np.int64) & _ID_MASK)
+
+        def merge(cand_keys: np.ndarray) -> None:
+            """Select-k merge of candidates into every live beam (the same
+            schedule as ``KnnState.merge_rows``, on packed keys).
+
+            Rows whose candidates are all at or beyond their current worst
+            beam entry cannot change and skip the select-k entirely.
+            """
+            worst = beam.max(axis=1)
+            improving = np.nonzero((cand_keys < worst[:, None]).any(axis=1))[0]
+            if improving.size == 0:
+                return
+            union = np.concatenate([beam[improving], cand_keys[improving]], axis=1)
+            beam[improving] = np.partition(union, ef - 1, axis=1)[:, :ef]
+
+        def finalize(rows: np.ndarray) -> None:
+            """Write the sorted top-k of the listed live rows to the output
+            (ascending distance, id tie-break - the legacy heap order)."""
+            keys = np.sort(beam[rows] & ~_EXPANDED_BIT, axis=1)[:, : min(k, ef)]
+            top_d = (keys >> 32).astype(np.uint32).view(np.float32)
+            top_i = (keys & _ID_MASK).astype(np.int32)
+            found = np.isfinite(top_d)  # empty slots decode to NaN
+            dest = orig[rows]
+            cols = np.arange(keys.shape[1])
+            out_ids[dest[:, None], cols] = np.where(found, top_i, -1)
+            out_dists[dest[:, None], cols] = np.where(found, top_d, np.float32(np.inf))
+
+        # --- seed the beams ---
+        seeds = self._seed_matrix(q, config)
+        s_rows, s_cols = np.nonzero(seeds >= 0)
+        mark_visited(s_rows, seeds[s_rows, s_cols])
+        seed_dists = sq_l2_query_gather(q, x, seeds, valid_pairs=(s_rows, s_cols))
+        stats["distance_evals"] += int(s_rows.size)
+        merge(pack(seeds, seed_dists))
+
+        # --- lock-step rounds ---
+        while orig.size:
+            # pick each live query's `frontier` nearest unexpanded beam
+            # entries (expanded and empty entries are masked out)
+            masked = np.where((beam & _EXPANDED_BIT) != 0, _EMPTY_KEY, beam)
+            if frontier == 1:
+                sel = np.argmin(masked, axis=1)[:, None]
+            else:
+                sel = np.argpartition(masked, frontier - 1, axis=1)[:, :frontier]
+            sel_keys = masked[np.arange(orig.size)[:, None], sel]
+            expandable = sel_keys < _INF_KEY  # real entry with finite dist
+            live = expandable.any(axis=1) & (expansions < config.max_expansions)
+            if not live.all():
+                done = np.nonzero(~live)[0]
+                finalize(done)
+                keep = np.nonzero(live)[0]
+                if keep.size == 0:
+                    break
+                orig, qv, expansions = orig[keep], qv[keep], expansions[keep]
+                beam, visited = beam[keep], visited[keep]
+                sel, expandable = sel[keep], expandable[keep]
+
+            a = orig.size
+            nodes = np.where(expandable, sel_keys[live] & _ID_MASK, -1)
+            rr, cc = np.nonzero(expandable)
+            beam[rr, sel[rr, cc]] |= _EXPANDED_BIT
+            n_expanded = int(rr.size)
+            expansions += expandable.sum(axis=1)
+            stats["rounds"] += 1
+            stats["expansions"] += n_expanded
+            stats["round_expansions"].append(n_expanded)
+
+            # gather graph neighbours of the selected nodes: (a, frontier, kg)
+            neigh = graph.ids[np.where(nodes >= 0, nodes, 0)]
+            neigh = np.where((nodes >= 0)[:, :, None], neigh, -1)
+            cand = neigh.reshape(a, frontier * kg)
+            if frontier > 1:
+                cand = _dedupe_rows(cand)
+            fresh = cand >= 0
+            safe = np.where(fresh, cand, 0)
+            row_grid = np.broadcast_to(np.arange(a)[:, None], safe.shape)
+            fresh &= ~is_visited(row_grid, safe)
+            rr, cc = np.nonzero(fresh)
+            if rr.size:
+                mark_visited(rr, cand[rr, cc])
+            cand_dists = sq_l2_query_gather(qv, x, cand, valid_pairs=(rr, cc))
+            stats["distance_evals"] += int(rr.size)
+            merge(pack(cand, cand_dists))
+
+        if orig.size:
+            finalize(np.arange(orig.size))
+        return out_ids, out_dists, stats
+
+    # -- public API --------------------------------------------------------------
+
+    def search(
+        self, queries: np.ndarray, k: int, config: SearchConfig | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Approximate k-NN for each (already metric-prepared) query row.
+
+        Returns ``(ids, dists)`` of shape ``(m, k)``, ascending by
+        distance; unfilled slots carry ``-1`` / ``+inf``.  With
+        ``config.n_jobs > 1`` the query matrix is sharded across forked
+        workers; results (and stats) are identical to the serial run.
+        """
+        cfg = config or self.config
+        q = check_points_matrix(queries, "queries")
+        if q.shape[1] != self._x.shape[1]:
+            raise ConfigurationError(
+                f"query dim {q.shape[1]} != index dim {self._x.shape[1]}"
+            )
+        k = check_positive_int(k, "k")
+        obs = self.obs
+        m = q.shape[0]
+        t0 = time.perf_counter()
+        if obs is not None:
+            obs.hooks.emit(Events.QUERY_BATCH_BEFORE,
+                           queries=m, k=k, ef=cfg.ef, n_jobs=cfg.n_jobs)
+            span = obs.trace.span("query", queries=m, k=k, ef=cfg.ef)
+        else:
+            span = None
+
+        def run() -> tuple[np.ndarray, np.ndarray, dict[str, Any]]:
+            shards = shard_ranges(m, cfg.n_jobs) if cfg.n_jobs > 1 else []
+            if len(shards) <= 1:
+                return self._search_block(q, k, cfg)
+            parts = map_forked(
+                _forked_search_block, (self, q),
+                [(s, e, k, cfg) for s, e in shards], cfg.n_jobs,
+            )
+            ids = np.concatenate([p[0] for p in parts], axis=0)
+            dists = np.concatenate([p[1] for p in parts], axis=0)
+            stats: dict[str, Any] = {"queries": 0, "rounds": 0, "expansions": 0,
+                                     "distance_evals": 0, "round_expansions": []}
+            for _, _, part_stats in parts:
+                _merge_stats(stats, part_stats)
+            return ids, dists, stats
+
+        if span is not None:
+            with span as sp:
+                ids, dists, stats = run()
+                sp.set(rounds=stats["rounds"], expansions=stats["expansions"],
+                       round_expansions=list(stats["round_expansions"]))
+        else:
+            ids, dists, stats = run()
+        stats["seconds"] = time.perf_counter() - t0
+        self.last_query_stats = stats
+        if obs is not None:
+            qm = obs.metrics.scoped(QUERY_METRICS_PREFIX)
+            qm.counter("batches").inc()
+            qm.counter("queries").inc(stats["queries"])
+            qm.counter("rounds").inc(stats["rounds"])
+            qm.counter("expansions").inc(stats["expansions"])
+            qm.counter("distance_evals").inc(stats["distance_evals"])
+            qm.histogram("batch_seconds").observe(stats["seconds"])
+            obs.hooks.emit(Events.QUERY_BATCH_AFTER,
+                           queries=m, k=k, ef=cfg.ef, seconds=stats["seconds"],
+                           rounds=stats["rounds"], expansions=stats["expansions"],
+                           distance_evals=stats["distance_evals"])
+        return ids, dists
+
+
+def _merge_stats(into: dict[str, Any], part: dict[str, Any]) -> None:
+    """Aggregate per-block/per-shard work counters (rounds overlap, so the
+    per-round expansion lists add elementwise and ``rounds`` is their max)."""
+    into["queries"] += part["queries"]
+    into["expansions"] += part["expansions"]
+    into["distance_evals"] += part["distance_evals"]
+    a, b = into["round_expansions"], part["round_expansions"]
+    if len(b) > len(a):
+        a.extend([0] * (len(b) - len(a)))
+    for i, v in enumerate(b):
+        a[i] += v
+    into["rounds"] = len(a)
 
 
 class GraphSearchIndex:
@@ -62,18 +466,67 @@ class GraphSearchIndex:
 
         index = GraphSearchIndex.build(points, k=16, seed=0)
         ids, dists = index.search(queries, k=10)
+
+    or through the :class:`~repro.baselines.KNNIndex` engine protocol::
+
+        index = GraphSearchIndex().fit(points)
+        ids, dists = index.query(queries, k=10)
+        index.stats()
+
+    The index stores its points in the *prepared* space of the graph's
+    build metric (``graph.meta["metric"]``; see :mod:`repro.core.metric`)
+    and transforms incoming queries the same way, so tree routing and
+    beam scoring happen in the space the graph was built in.  Queries are
+    answered by the batched :class:`BatchedGraphSearch` engine; the
+    legacy per-query loop remains available as :meth:`search_legacy`.
     """
 
-    def __init__(self, points: np.ndarray, graph: KNNGraph, forest: RPForest,
-                 config: SearchConfig | None = None) -> None:
-        self._x = check_points_matrix(points, "points")
+    def __init__(self, points: np.ndarray | None = None,
+                 graph: KNNGraph | None = None, forest: RPForest | None = None,
+                 config: SearchConfig | None = None, *,
+                 build_config: BuildConfig | None = None,
+                 obs: Observability | None = None) -> None:
+        self.config = config or SearchConfig()
+        self.obs = obs
+        self._build_config = build_config
+        self.graph: KNNGraph | None = None
+        self.forest: RPForest | None = None
+        self._x: np.ndarray | None = None
+        self._engine: BatchedGraphSearch | None = None
+        self._metric_info: dict = {}
+        self.metric = "sqeuclidean"
+        if points is not None:
+            if graph is None or forest is None:
+                raise ConfigurationError(
+                    "constructing from points requires graph and forest "
+                    "(use GraphSearchIndex.build or fit to create them)"
+                )
+            self._attach(points, graph, forest)
+
+    def _attach(self, points: np.ndarray, graph: KNNGraph, forest: RPForest) -> None:
+        x = check_points_matrix(points, "points")
+        metric = check_metric(str(graph.meta.get("metric", "sqeuclidean")))
+        if metric == "inner_product":
+            raise ConfigurationError(
+                "inner_product graphs are not supported by graph-guided "
+                "search (the build pipeline rejects the metric)"
+            )
+        self.metric = metric
+        self._x, self._metric_info = prepare_points(x, metric)
         if graph.n != self._x.shape[0]:
             raise ConfigurationError(
                 f"graph has {graph.n} nodes but points has {self._x.shape[0]} rows"
             )
         self.graph = graph
         self.forest = forest
-        self.config = config or SearchConfig()
+        self._engine = BatchedGraphSearch(
+            self._x, graph, forest, self.config, obs=self.obs
+        )
+
+    def _require_fitted(self) -> BatchedGraphSearch:
+        if self._engine is None:
+            raise ConfigurationError("search() before fit()/build(): no index data")
+        return self._engine
 
     # -- construction ----------------------------------------------------------
 
@@ -85,37 +538,55 @@ class GraphSearchIndex:
         build_config: BuildConfig | None = None,
         search_config: SearchConfig | None = None,
         seed=None,
+        *,
+        obs: Observability | None = None,
     ) -> "GraphSearchIndex":
         """Build the K-NN graph (keeping the forest) and wrap it for search."""
         cfg = build_config or BuildConfig(k=k, strategy="tiled", seed=seed)
         builder = WKNNGBuilder(cfg)
         graph = builder.build(points)
         assert builder.last_forest is not None
-        return cls(points, graph, builder.last_forest, search_config)
+        return cls(points, graph, builder.last_forest, search_config, obs=obs)
+
+    def fit(self, points: np.ndarray) -> "GraphSearchIndex":
+        """Engine-protocol ingest: build graph + forest over ``points``."""
+        cfg = self._build_config or BuildConfig(k=16, strategy="tiled", seed=0)
+        builder = WKNNGBuilder(cfg)
+        graph = builder.build(points)
+        assert builder.last_forest is not None
+        self._attach(points, graph, builder.last_forest)
+        return self
 
     # -- persistence -----------------------------------------------------------
 
     def save(self, directory) -> None:
-        """Persist points, graph and forest under a directory.
+        """Persist points, graph (with its metric metadata) and forest.
 
-        The search configuration is runtime state (tuneable per query
-        load) and is not persisted.
+        The stored points are in prepared space; since metric preparation
+        is idempotent for the graph-supported metrics, :meth:`load`
+        re-applies it safely.  The search configuration is runtime state
+        (tuneable per query load) and is not persisted.
         """
         from pathlib import Path
 
+        engine = self._require_fitted()
         d = Path(directory)
         d.mkdir(parents=True, exist_ok=True)
-        np.save(d / "points.npy", self._x)
+        np.save(d / "points.npy", engine._x)
+        assert self.graph is not None and self.forest is not None
         self.graph.save(d / "graph.npz")
         self.forest.save(d / "forest.npz")
 
     @classmethod
-    def load(cls, directory, config: SearchConfig | None = None) -> "GraphSearchIndex":
-        """Inverse of :meth:`save`."""
-        from pathlib import Path
+    def load(cls, directory, config: SearchConfig | None = None,
+             *, obs: Observability | None = None) -> "GraphSearchIndex":
+        """Inverse of :meth:`save`.
 
-        from repro.core.graph import KNNGraph
-        from repro.core.rpforest import RPForest
+        The graph's persisted ``meta`` carries the build metric, so the
+        restored index scores queries in the same prepared space as the
+        original (the cosine-correctness fix depends on this).
+        """
+        from pathlib import Path
 
         d = Path(directory)
         return cls(
@@ -123,27 +594,72 @@ class GraphSearchIndex:
             KNNGraph.load(d / "graph.npz"),
             RPForest.load(d / "forest.npz"),
             config,
+            obs=obs,
         )
 
     # -- queries -----------------------------------------------------------------
 
+    def _prepare_queries(self, queries: np.ndarray) -> np.ndarray:
+        engine = self._require_fitted()
+        q = check_points_matrix(queries, "queries")
+        if q.shape[1] != engine._x.shape[1]:
+            raise ConfigurationError(
+                f"query dim {q.shape[1]} != index dim {engine._x.shape[1]}"
+            )
+        prepared, _ = prepare_points(
+            q, self.metric, is_query=True,
+            max_norm=self._metric_info.get("max_norm"),
+        )
+        return prepared
+
+    def search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Approximate k-NN for each query row (batched engine).
+
+        Returns ``(ids, dists)`` of shape ``(m, k)``, ascending by
+        distance; ``dists`` are squared L2 in the index's prepared metric
+        space, like everywhere in the library.
+        """
+        engine = self._require_fitted()
+        q = self._prepare_queries(queries)
+        k = check_positive_int(k, "k")
+        return engine.search(q, k, config=self.config)
+
+    def query(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """:class:`~repro.baselines.KNNIndex` protocol alias of :meth:`search`."""
+        return self.search(queries, k)
+
+    def stats(self) -> dict[str, Any]:
+        """Work counters of the most recent search (engine protocol)."""
+        engine = self._require_fitted()
+        out: dict[str, Any] = {"engine": "wknng-graph", "metric": self.metric}
+        for key, value in engine.last_query_stats.items():
+            if key != "round_expansions":
+                out[key] = value
+        return out
+
+    # -- the legacy per-query reference engine -----------------------------------
+
     def _seed_candidates(self, query: np.ndarray) -> np.ndarray:
         """Entry points: members of the query's leaf in every tree."""
+        engine = self._require_fitted()
         seeds: list[np.ndarray] = []
         q = query[None, :]
+        assert self.forest is not None
         for tree in self.forest.trees:
             leaf_idx = int(tree.leaf_for(q)[0])
             members = tree.leaves[leaf_idx]
             seeds.append(members[: self.config.seeds_per_tree])
         return np.unique(np.concatenate(seeds)) if seeds else np.arange(
-            min(self.config.ef, self._x.shape[0])
+            min(self.config.ef, engine._x.shape[0])
         )
 
     def _search_one(self, query: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
-        x = self._x
+        engine = self._require_fitted()
+        x = engine._x
+        assert self.graph is not None
         cfg = self.config
         seeds = self._seed_candidates(query)
-        d = ((x[seeds] - query) ** 2).sum(axis=1)
+        d = rowwise_sq_norm(x[seeds] - query)
         visited = set(int(s) for s in seeds)
         # beam: max-heap of size ef over (-dist, id); frontier: min-heap
         beam: list[tuple[float, int]] = []
@@ -168,7 +684,7 @@ class GraphSearchIndex:
             if fresh.size == 0:
                 continue
             visited.update(int(n) for n in fresh)
-            nd = ((x[fresh] - query) ** 2).sum(axis=1)
+            nd = rowwise_sq_norm(x[fresh] - query)
             for ndist, nid in zip(nd, fresh):
                 worst = -beam[0][0] if len(beam) >= cfg.ef else np.inf
                 if ndist < worst or len(beam) < cfg.ef:
@@ -185,17 +701,14 @@ class GraphSearchIndex:
             dists[i] = nd
         return ids, dists
 
-    def search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
-        """Approximate k-NN for each query row.
+    def search_legacy(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """The pre-batching per-query reference loop (heapq best-first).
 
-        Returns ``(ids, dists)`` of shape ``(m, k)``, ascending by distance;
-        ``dists`` are squared L2 like everywhere in the library.
+        Kept for parity testing and as the single-query baseline in the
+        T3 throughput benchmark; with the default ``frontier=1`` the
+        batched engine returns identical results on tie-free inputs.
         """
-        q = check_points_matrix(queries, "queries")
-        if q.shape[1] != self._x.shape[1]:
-            raise ConfigurationError(
-                f"query dim {q.shape[1]} != index dim {self._x.shape[1]}"
-            )
+        q = self._prepare_queries(queries)
         k = check_positive_int(k, "k")
         ids = np.empty((q.shape[0], k), dtype=np.int32)
         dists = np.empty((q.shape[0], k), dtype=np.float32)

@@ -9,7 +9,9 @@ construction) with the same accuracy/cost trade-off knobs.
 All engines conform to the :class:`KNNIndex` protocol - ``fit(points)`` /
 ``query(q, k)`` / ``stats()`` - so benchmark harnesses (and
 ``bench_t1_vs_faiss.py`` in particular) can drive every engine through one
-interface::
+interface.  The library's own graph-guided engine
+(:class:`repro.apps.search.GraphSearchIndex`) registers here as
+``"wknng"``, so it slots into the same harnesses::
 
     for engine in (BruteForceKNN(), IVFFlatIndex(), NNDescent()):
         engine.fit(points)
@@ -44,11 +46,23 @@ class KNNIndex(Protocol):
     def stats(self) -> dict[str, Any]: ...
 
 
+def _wknng_factory(**kwargs: Any) -> "KNNIndex":
+    """Factory for the library's own graph-guided search engine.
+
+    Imported lazily: :mod:`repro.apps.search` pulls in the full build
+    pipeline, which the lightweight baselines should not pay for.
+    """
+    from repro.apps.search import GraphSearchIndex
+
+    return GraphSearchIndex(**kwargs)
+
+
 #: engine-name -> zero-argument factory of a default-configured instance
 ENGINES = {
     "bruteforce": BruteForceKNN,
     "ivf-flat": IVFFlatIndex,
     "nn-descent": NNDescent,
+    "wknng": _wknng_factory,
 }
 
 

@@ -11,6 +11,9 @@ Commands
 ``bench``
     Run one quick named-workload comparison (w-KNNG vs IVF at a recall
     target) and print the table.
+``search``
+    Build (or load) a graph-guided search index and answer a query
+    batch, reporting recall and throughput per engine.
 ``info``
     Show the library version, available strategies, datasets, workloads.
 
@@ -22,6 +25,8 @@ Examples
     python -m repro build --input base.fvecs --k 10 --strategy atomic -o g.npz
     python -m repro eval --input base.fvecs --graph g.npz
     python -m repro bench --workload clustered-128d --target 0.99 --scale 0.1
+    python -m repro search --dataset gaussian --n 20000 --ef 64 --compare-legacy
+    python -m repro search --dataset gaussian --metric cosine --save-index idx/
     python -m repro info
 """
 
@@ -140,6 +145,57 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_search(args) -> int:
+    from repro.apps.search import GraphSearchIndex, SearchConfig
+    from repro.baselines.bruteforce import BruteForceKNN
+    from repro.core.config import BuildConfig
+
+    search_cfg = SearchConfig(
+        ef=args.ef, frontier=args.frontier, n_jobs=args.jobs,
+        seeds_per_tree=args.seeds_per_tree,
+    )
+    if args.load_index:
+        index = GraphSearchIndex.load(args.load_index, search_cfg)
+        x = index._engine._x  # prepared space; fine for self-queries below
+        print(f"loaded index from {args.load_index}: "
+              f"n={index.graph.n}, k={index.graph.k}, metric={index.metric}")
+    else:
+        x = _load_points(args)
+        t0 = time.perf_counter()
+        index = GraphSearchIndex.build(
+            x,
+            build_config=BuildConfig(
+                k=args.k, strategy=args.strategy, n_trees=args.trees,
+                leaf_size=args.leaf_size, seed=args.seed, metric=args.metric,
+            ),
+            search_config=search_cfg,
+        )
+        print(f"built index over {x.shape} ({args.metric}) "
+              f"in {time.perf_counter() - t0:.2f}s")
+    if args.save_index:
+        index.save(args.save_index)
+        print(f"saved index -> {args.save_index}")
+
+    rng = np.random.default_rng(args.seed + 1)
+    q = x[rng.choice(x.shape[0], size=min(args.queries, x.shape[0]),
+                     replace=False)]
+    engines = ("batched", "legacy") if args.compare_legacy else (args.engine,)
+    gt_ids, _ = BruteForceKNN(x, metric=index.metric).search(q, args.topk)
+    for engine in engines:
+        run = index.search if engine == "batched" else index.search_legacy
+        t0 = time.perf_counter()
+        ids, _ = run(q, args.topk)
+        dt = time.perf_counter() - t0
+        hits = sum(
+            np.intersect1d(ids[i][ids[i] >= 0], gt_ids[i]).size
+            for i in range(q.shape[0])
+        )
+        recall = hits / (q.shape[0] * args.topk)
+        print(f"{engine:<8s} recall@{args.topk}={recall:.4f}  "
+              f"{q.shape[0] / dt:9.0f} queries/s  ({dt:.3f}s)")
+    return 0
+
+
 def cmd_verify(args) -> int:
     from repro.verify import run_verification
 
@@ -192,6 +248,36 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--strategy", default="tiled",
                    choices=("baseline", "atomic", "tiled"))
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "search", help="build (or load) a search index and answer queries"
+    )
+    _add_data_args(p)
+    p.add_argument("-k", "--k", type=int, default=16, help="graph degree")
+    p.add_argument("--strategy", default="tiled",
+                   choices=("baseline", "atomic", "tiled"))
+    p.add_argument("--trees", type=int, default=4)
+    p.add_argument("--leaf-size", type=int, default=64, dest="leaf_size")
+    p.add_argument("--metric", default="sqeuclidean",
+                   choices=("sqeuclidean", "cosine"))
+    p.add_argument("--queries", type=int, default=1000,
+                   help="dataset rows sampled as the query batch")
+    p.add_argument("--topk", type=int, default=10, help="neighbours per query")
+    p.add_argument("--ef", type=int, default=64, help="beam width")
+    p.add_argument("--frontier", type=int, default=1,
+                   help="beam entries expanded per round")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="fork-shard the query batch across workers")
+    p.add_argument("--seeds-per-tree", type=int, default=4,
+                   dest="seeds_per_tree")
+    p.add_argument("--engine", default="batched", choices=("batched", "legacy"))
+    p.add_argument("--compare-legacy", action="store_true", dest="compare_legacy",
+                   help="time both engines on the same batch")
+    p.add_argument("--save-index", dest="save_index", default=None,
+                   help="persist points+graph+forest to this directory")
+    p.add_argument("--load-index", dest="load_index", default=None,
+                   help="load a previously saved index instead of building")
+    p.set_defaults(func=cmd_search)
 
     p = sub.add_parser("info", help="show version and registries")
     p.set_defaults(func=cmd_info)

@@ -67,15 +67,36 @@ class BuildReport:
     metrics: dict[str, Any] = field(default_factory=dict)
 
     @classmethod
-    def from_obs(
+    def counters_snapshot(
         cls, obs: Observability, counters_prefix: str = KERNEL_PREFIX
+    ) -> dict[str, int]:
+        """Current integer counters under ``counters_prefix``.
+
+        Taken *before* a build and passed to :meth:`from_obs` as
+        ``counters_baseline`` so a shared long-lived observability session
+        yields per-build counter deltas instead of running totals.
+        """
+        return {
+            name: int(value)
+            for name, value in obs.metrics.section(counters_prefix).items()
+            if isinstance(value, (int, np.integer))
+        }
+
+    @classmethod
+    def from_obs(
+        cls,
+        obs: Observability,
+        counters_prefix: str = KERNEL_PREFIX,
+        counters_baseline: dict[str, int] | None = None,
     ) -> "BuildReport":
         """Derive the report from a finished observability session.
 
         Uses the most recent completed root (``"build"``) span; when the
         tracer is disabled (no spans) the span-derived fields are empty but
         the metric-derived fields (``counters``, ``leaf_stats``) still
-        populate.
+        populate.  ``counters_baseline`` (a :meth:`counters_snapshot` taken
+        before the build) is subtracted so reports count only their own
+        build even when one registry outlives several builds.
         """
         tracer = obs.trace
         roots = [r for r in tracer.records
@@ -96,8 +117,9 @@ class BuildReport:
                 if (rec.depth == 2 and rec.parent_path == f"{ROOT_SPAN}/refine"
                         and "inserted" in rec.attrs):
                     refine_insertions.append(int(rec.attrs["inserted"]))
+        baseline = counters_baseline or {}
         counters = {
-            name: int(value)
+            name: int(value) - baseline.get(name, 0)
             for name, value in obs.metrics.section(counters_prefix).items()
             if isinstance(value, (int, np.integer))
         }
@@ -231,6 +253,7 @@ class WKNNGBuilder:
         self, x: np.ndarray, cfg: BuildConfig, obs: Observability
     ) -> tuple[KNNGraph, BuildReport]:
         n = x.shape[0]
+        counters_before = BuildReport.counters_snapshot(obs, KERNEL_PREFIX)
         forest_rng, refine_rng = spawn_streams(cfg.seed, 2)
         strategy: Strategy = get_strategy(cfg.strategy, **cfg.strategy_kwargs)
         strategy.obs = obs
@@ -276,7 +299,9 @@ class WKNNGBuilder:
                 ids, dists = state.sorted_arrays()
 
         strategy.counters.emit(obs.metrics)
-        report = BuildReport.from_obs(obs, counters_prefix=KERNEL_PREFIX)
+        report = BuildReport.from_obs(
+            obs, counters_prefix=KERNEL_PREFIX, counters_baseline=counters_before
+        )
         self._last_report = report
         graph = KNNGraph(
             ids=ids,

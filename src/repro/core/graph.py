@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -133,13 +134,33 @@ class KNNGraph:
     # -- persistence -----------------------------------------------------------
 
     def save(self, path) -> None:
-        """Save to an ``.npz`` file (ids, dists; meta is not persisted)."""
-        np.savez_compressed(path, ids=self.ids, dists=self.dists)
+        """Save to an ``.npz`` file (ids, dists, and the JSON-serialisable
+        subset of ``meta``).
+
+        Meta entries that JSON cannot encode (arrays, reports, arbitrary
+        objects) are silently dropped; everything else - crucially the
+        build ``metric``, which :class:`repro.apps.search.GraphSearchIndex`
+        needs to prepare queries correctly after a reload - round-trips.
+        """
+        keep: dict[str, Any] = {}
+        for key, value in self.meta.items():
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                continue
+            keep[key] = value
+        np.savez_compressed(
+            path, ids=self.ids, dists=self.dists,
+            meta_json=np.array(json.dumps(keep)),
+        )
 
     @classmethod
     def load(cls, path) -> "KNNGraph":
         with np.load(path) as data:
-            return cls(ids=data["ids"], dists=data["dists"])
+            meta: dict[str, Any] = {}
+            if "meta_json" in data.files:
+                meta = json.loads(str(data["meta_json"]))
+            return cls(ids=data["ids"], dists=data["dists"], meta=meta)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"KNNGraph(n={self.n}, k={self.k}, complete={self.is_complete()})"

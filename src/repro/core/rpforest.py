@@ -101,20 +101,35 @@ class RPTree:
         if self.normals.shape[0] == 0:  # single-leaf tree
             out[:] = 0
             return out
-        # iterative routing, grouping queries by current node
-        stack: list[tuple[int, np.ndarray]] = [(0, np.arange(m))]
-        while stack:
-            node, idx = stack.pop()
-            proj = q[idx] @ self.normals[node]
-            go_right = proj >= self.thresholds[node]
-            for side, sel in ((0, idx[~go_right]), (1, idx[go_right])):
-                if sel.size == 0:
-                    continue
+        if m == 1:
+            # scalar descent for per-query callers; the projection kernel
+            # (einsum row-dot) matches the batched path below so a query
+            # routes identically regardless of call shape
+            node = 0
+            while True:
+                proj = np.einsum("j,j->", q[0], self.normals[node])
+                side = 1 if proj >= self.thresholds[node] else 0
                 child = int(self.children[node, side])
                 if child < 0:
-                    out[sel] = _decode_leaf(child)
-                else:
-                    stack.append((child, sel))
+                    out[0] = -child - 1
+                    return out
+                node = child
+        # level-synchronous routing: every still-internal query advances
+        # one level per iteration, so the loop runs depth times (not once
+        # per visited node) and each level is a single gathered projection
+        active = np.arange(m)
+        node = np.zeros(m, dtype=np.int64)
+        while active.size:
+            proj = np.einsum("ij,ij->i", q[active], self.normals[node])
+            go_right = proj >= self.thresholds[node]
+            child = self.children[node, go_right.astype(np.int64)]
+            at_leaf = child < 0
+            if at_leaf.any():
+                out[active[at_leaf]] = -child[at_leaf] - 1
+                keep = ~at_leaf
+                active, node = active[keep], child[keep]
+            else:
+                node = child
         return out
 
 

@@ -112,6 +112,62 @@ def batched_self_sq_l2(pts: np.ndarray, method: str = "gemm") -> np.ndarray:
     raise ValueError(f"unknown distance method {method!r}; use 'gemm' or 'direct'")
 
 
+#: element budget for the gather temporaries of :func:`sq_l2_query_gather`
+_GATHER_CHUNK_ELEMS = 1 << 22
+
+
+def rowwise_sq_norm(diff: np.ndarray) -> np.ndarray:
+    """``|diff[i]|^2`` per row (square, then pairwise-sum the trailing axis).
+
+    The single squared-norm microkernel shared by every query-time
+    distance path (batched engine *and* the legacy per-query loop), so
+    engines that must agree bitwise reduce in the same order.
+    """
+    np.square(diff, out=diff)
+    return diff.sum(axis=1)
+
+
+def sq_l2_query_gather(
+    queries: np.ndarray,
+    x: np.ndarray,
+    cand_ids: np.ndarray,
+    valid_pairs: tuple[np.ndarray, np.ndarray] | None = None,
+) -> np.ndarray:
+    """Per-query candidate distances via one batched gather.
+
+    Computes ``out[i, j] = |queries[i] - x[cand_ids[i, j]]|^2`` for a
+    ``(m, c)`` candidate-id matrix - the query-time analogue of the leaf
+    batch kernels: the graph-guided search engine hands every live query's
+    frontier neighbours over as one matrix and gets all distances back
+    from a single call.
+
+    Invalid candidate slots (``cand_ids < 0``) yield ``+inf``.  Processed
+    in pair chunks so the gather temporaries stay bounded; the reduction
+    is :func:`rowwise_sq_norm`, bitwise-identical to the per-query loop.
+    ``valid_pairs`` lets a caller that already knows the live ``(row,
+    col)`` positions (e.g. from its visited-filter mask) skip the
+    ``nonzero`` scan.
+    """
+    m, c = cand_ids.shape
+    dim = x.shape[1]
+    out = np.full((m, c), np.inf, dtype=np.float32)
+    if m == 0 or c == 0:
+        return out
+    # compact to the live (query, candidate) pairs so masked slots cost
+    # nothing (typical for beam search, where most gathered neighbours
+    # are already visited)
+    rr, cc = np.nonzero(cand_ids >= 0) if valid_pairs is None else valid_pairs
+    flat = rr * c + cc
+    ids = cand_ids.reshape(-1).take(flat)
+    out_flat = out.reshape(-1)
+    pairs = max(1, _GATHER_CHUNK_ELEMS // max(1, dim))
+    for s, e in blockwise_ranges(rr.shape[0], pairs):
+        diff = x.take(ids[s:e], axis=0)
+        np.subtract(diff, queries.take(rr[s:e], axis=0), out=diff)
+        out_flat[flat[s:e]] = rowwise_sq_norm(diff)
+    return out
+
+
 def sq_l2_pairs(
     x: np.ndarray, rows: np.ndarray, cols: np.ndarray, chunk: int = 1 << 18
 ) -> np.ndarray:

@@ -36,6 +36,10 @@ class Events:
     #: one RP tree of the forest phase
     TREE_BUILD_BEFORE = "tree_build:before"
     TREE_BUILD_AFTER = "tree_build:after"
+    #: one batched query-engine invocation (all lock-step rounds of one
+    #: query matrix; the ``after`` payload carries the work totals)
+    QUERY_BATCH_BEFORE = "query_batch:before"
+    QUERY_BATCH_AFTER = "query_batch:after"
 
 
 class ProfilingHooks:

@@ -153,6 +153,16 @@ class MetricsRegistry:
     def histogram(self, name: str) -> Histogram:
         return self._get(name, Histogram)
 
+    def scoped(self, prefix: str) -> "ScopedMetrics":
+        """A view of this registry that namespaces every accessor.
+
+        ``reg.scoped("query/").counter("expansions")`` is
+        ``reg.counter("query/expansions")`` - instrumented subsystems take
+        a scoped view so their metric names stay consistent without
+        repeating the prefix at every call site.
+        """
+        return ScopedMetrics(self, prefix)
+
     # -- bulk operations -----------------------------------------------------
 
     def absorb(self, values: Mapping[str, int | float], prefix: str = "") -> None:
@@ -231,3 +241,38 @@ class MetricsRegistry:
             else:
                 raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
         return reg
+
+
+class ScopedMetrics:
+    """A prefix-namespaced view over a :class:`MetricsRegistry`.
+
+    Shares the parent's storage: metrics created through the view are
+    visible in the parent under ``prefix + name`` (and vice versa).
+    Obtained via :meth:`MetricsRegistry.scoped`.
+    """
+
+    __slots__ = ("_registry", "_prefix")
+
+    def __init__(self, registry: MetricsRegistry, prefix: str) -> None:
+        self._registry = registry
+        self._prefix = str(prefix)
+
+    @property
+    def prefix(self) -> str:
+        return self._prefix
+
+    def counter(self, name: str) -> Counter:
+        return self._registry.counter(self._prefix + name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._registry.gauge(self._prefix + name)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._registry.histogram(self._prefix + name)
+
+    def absorb(self, values: Mapping[str, int | float]) -> None:
+        self._registry.absorb(values, prefix=self._prefix)
+
+    def section(self) -> dict[str, Any]:
+        """The parent-registry section under this view's prefix."""
+        return self._registry.section(self._prefix)

@@ -175,6 +175,7 @@ def build_knng_simt(points: np.ndarray, config: BuildConfig,
             f"({device.config.warp_size}), got k={config.k}"
         )
     forest_rng, refine_rng = spawn_streams(config.seed, 2)
+    counters_before = BuildReport.counters_snapshot(obs, SIMT_PREFIX)
 
     with obs.trace.span("build", backend="simt", n=n, dim=dim, k=config.k,
                         strategy=config.strategy):
@@ -219,7 +220,9 @@ def build_knng_simt(points: np.ndarray, config: BuildConfig,
             ids, dists = state.sorted_arrays()
 
     device.metrics.emit(obs.metrics, prefix=SIMT_PREFIX)
-    report = BuildReport.from_obs(obs, counters_prefix=SIMT_PREFIX)
+    report = BuildReport.from_obs(
+        obs, counters_prefix=SIMT_PREFIX, counters_baseline=counters_before
+    )
     graph = KNNGraph(
         ids=ids,
         dists=dists,

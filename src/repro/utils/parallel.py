@@ -33,6 +33,28 @@ def fork_available() -> bool:
         return False
 
 
+def shard_ranges(total: int, n_shards: int) -> list[tuple[int, int]]:
+    """Split ``[0, total)`` into at most ``n_shards`` near-even contiguous ranges.
+
+    Used to shard batched work (e.g. a query matrix) across forked
+    workers: every range is non-empty, sizes differ by at most one, and
+    concatenating results in range order restores the original row order.
+    """
+    if n_shards <= 0:
+        raise ValueError(f"n_shards must be positive, got {n_shards}")
+    n_shards = min(n_shards, total)
+    if n_shards <= 0:
+        return []
+    base, extra = divmod(total, n_shards)
+    out: list[tuple[int, int]] = []
+    start = 0
+    for i in range(n_shards):
+        stop = start + base + (1 if i < extra else 0)
+        out.append((start, stop))
+        start = stop
+    return out
+
+
 def _invoke(task: tuple[int, tuple]) -> tuple[int, Any]:
     index, args = task
     fn = _FORK_PAYLOAD["fn"]

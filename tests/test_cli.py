@@ -83,3 +83,24 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "modeled speedup" in out
+
+    def test_search_save_load_round_trip(self, tmp_path, capsys):
+        idx_dir = tmp_path / "idx"
+        rc = main([
+            "search", "--dataset", "gaussian", "--n", "600", "--dim", "8",
+            "--queries", "50", "--topk", "5", "--ef", "24",
+            "--compare-legacy", "--save-index", str(idx_dir),
+        ])
+        assert rc == 0 and idx_dir.exists()
+        out = capsys.readouterr().out
+        assert "batched" in out and "legacy" in out and "recall@5" in out
+        rc = main(["search", "--load-index", str(idx_dir),
+                   "--queries", "20", "--topk", "3"])
+        assert rc == 0
+        assert "recall@3" in capsys.readouterr().out
+
+    def test_search_cosine(self, capsys):
+        rc = main(["search", "--dataset", "gaussian", "--n", "400",
+                   "--dim", "8", "--metric", "cosine", "--queries", "30"])
+        assert rc == 0
+        assert "cosine" in capsys.readouterr().out
