@@ -15,7 +15,7 @@ wins clearly at the >= 0.95-recall operating points the paper targets.
 
 import pytest
 
-from conftest import publish
+from conftest import publish, publish_summary
 from repro.baselines import BruteForceKNN, IVFFlatIndex, NNDescent
 from repro.baselines.ivf import IVFConfig
 from repro.bench.match import match_ivf_recall, match_wknng_recall
@@ -88,6 +88,16 @@ def test_t1_matched_recall_speedup(benchmark, workbench, results_dir,
     records.add("T1", {"workload": workload, "target": "exact"},
                 {"system": "bruteforce", "modeled_mcycles": bf.total / 1e6})
     publish(results_dir, f"T1_{workload}", records)
+    publish_summary(results_dir, f"T1_{workload}", {
+        "workload": {"name": workload, "strategy": strategy,
+                     "n": int(x.shape[0]), "dim": int(x.shape[1])},
+        "cases": [
+            {"target": target, "wknng_recall": wk.recall,
+             "wknng_seconds": wk.seconds, "ivf_recall": ivf.recall,
+             "ivf_seconds": ivf.seconds, "modeled_speedup": spd}
+            for target, wk, ivf, spd in rows
+        ],
+    })
 
     if rows:
         # time the winning w-KNNG configuration as the benchmark payload

@@ -28,7 +28,7 @@ import time
 
 import numpy as np
 
-from conftest import BENCH_SCALE, publish
+from conftest import BENCH_SCALE, publish, publish_summary
 from repro.apps.search import GraphSearchIndex, SearchConfig
 from repro.baselines import get_engine
 from repro.baselines.bruteforce import BruteForceKNN
@@ -90,6 +90,14 @@ def test_t3_batched_vs_legacy(results_dir):
              "expansions_per_query": stats["expansions"] / q.shape[0]},
         )
     publish(results_dir, "T3_query_throughput", records)
+    publish_summary(results_dir, "T3", {
+        "workload": {"n": int(x.shape[0]), "dim": DIM,
+                     "queries": int(q.shape[0]), "ef": EF, "topk": TOP_K},
+        "batched_seconds": t_batched,
+        "legacy_seconds": t_legacy,
+        "batched_qps": q.shape[0] / t_batched,
+        "speedup": speedup,
+    })
 
     # frontier=1 reproduces the legacy expansion order: results must match
     assert np.array_equal(batched[0], legacy[0]), "engine results diverged"

@@ -74,3 +74,20 @@ def publish(results_dir: Path, experiment: str, records) -> None:
     banner = f"\n=== {experiment} ===\n{table}\n"
     print(banner)
     (results_dir / f"{experiment}.txt").write_text(table + "\n")
+
+
+def publish_summary(results_dir: Path, tier: str, payload: dict) -> None:
+    """Persist one bench tier's headline summary as ``BENCH_<tier>.json``.
+
+    These are the perf-trajectory artifacts CI uploads from ``main``:
+    one self-describing JSON per tier (workload parameters, wall times,
+    recall/speedup figures) so the trajectory accumulates run over run.
+    The bench scale is stamped in so reduced-scale smoke numbers are
+    never mistaken for full-scale ones.
+    """
+    from repro.obs.export import write_json_summary
+
+    write_json_summary(
+        results_dir / f"BENCH_{tier}.json",
+        {"tier": tier, "bench_scale": BENCH_SCALE, **payload},
+    )

@@ -77,6 +77,7 @@ def cmd_build(args) -> int:
         leaf_size=args.leaf_size,
         refine_iters=args.refine,
         seed=args.seed,
+        n_jobs=args.jobs,
     )
     obs = Observability(trace_memory=args.trace_memory)
     builder = WKNNGBuilder(cfg, obs=obs)
@@ -88,6 +89,10 @@ def cmd_build(args) -> int:
     for phase, secs in rep.phase_seconds.items():
         print(f"  {phase:<12s} {secs:8.3f}s")
     print(f"  distance evals/point: {rep.counters['distance_evals'] / graph.n:.0f}")
+    if rep.parallel.get("n_jobs", 1) > 1:
+        leaf = rep.parallel.get("leaf", {})
+        print(f"  parallel: {rep.parallel['workers']} workers, "
+              f"leaf merge {leaf.get('merge_seconds', 0.0):.3f}s")
     if args.trace_out:
         from repro.obs.export import write_trace
 
@@ -228,6 +233,9 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--trees", type=int, default=4)
     p.add_argument("--leaf-size", type=int, default=64, dest="leaf_size")
     p.add_argument("--refine", type=int, default=2)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="fork-shard the leaf and refine phases across workers "
+                        "(bitwise identical to the serial build)")
     p.add_argument("-o", "--output", required=True, help="output .npz path")
     p.add_argument("--trace-out", dest="trace_out", default=None,
                    help="write the build's JSON-lines trace here")

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any
@@ -11,13 +12,15 @@ import numpy as np
 from repro.core.config import BuildConfig
 from repro.core.graph import KNNGraph
 from repro.core.metric import prepare_points
-from repro.core.refine import RefineState, refine_round
-from repro.core.rpforest import RPForest, batch_leaves, build_forest
+from repro.core.refine import RefineState
+from repro.core.rpforest import RPForest, build_forest, forest_leaf_batches
+from repro.core.sharding import refine_round_sharded, run_leaf_phase_sharded
 from repro.kernels.counters import METRICS_PREFIX as KERNEL_PREFIX
 from repro.kernels.knn_state import KnnState
 from repro.kernels.strategy import Strategy, get_strategy
 from repro.obs import Observability
 from repro.obs.trace import SpanRecord
+from repro.utils.parallel import fork_available
 from repro.utils.rng import as_generator, spawn_streams
 from repro.utils.validation import check_k_fits, check_points_matrix
 
@@ -57,6 +60,17 @@ class BuildReport:
         (empty when constructed directly rather than from a trace).
     metrics:
         Full flat snapshot of the metrics registry at report time.
+    metric:
+        The distance metric actually resolved at build time
+        (``"sqeuclidean"``/``"cosine"``), so bench JSON derived from
+        :meth:`as_dict` is self-describing.
+    strategy:
+        The maintenance strategy actually resolved at build time (after
+        ``"auto"`` resolution).
+    parallel:
+        Process-parallel execution summary: worker count plus per-shard
+        wall times and merge times for the sharded phases (empty detail
+        for serial builds).
     """
 
     phase_seconds: dict[str, float] = field(default_factory=dict)
@@ -65,6 +79,9 @@ class BuildReport:
     leaf_stats: dict[str, float] = field(default_factory=dict)
     spans: tuple[SpanRecord, ...] = ()
     metrics: dict[str, Any] = field(default_factory=dict)
+    metric: str = ""
+    strategy: str = ""
+    parallel: dict[str, Any] = field(default_factory=dict)
 
     @classmethod
     def counters_snapshot(
@@ -88,6 +105,9 @@ class BuildReport:
         obs: Observability,
         counters_prefix: str = KERNEL_PREFIX,
         counters_baseline: dict[str, int] | None = None,
+        metric: str = "",
+        strategy: str = "",
+        parallel: dict[str, Any] | None = None,
     ) -> "BuildReport":
         """Derive the report from a finished observability session.
 
@@ -135,6 +155,9 @@ class BuildReport:
             leaf_stats=leaf_stats,
             spans=spans,
             metrics=obs.metrics.as_dict(),
+            metric=metric,
+            strategy=strategy,
+            parallel=dict(parallel or {}),
         )
 
     @property
@@ -148,6 +171,9 @@ class BuildReport:
             "counters": dict(self.counters),
             "refine_insertions": list(self.refine_insertions),
             "leaf_stats": dict(self.leaf_stats),
+            "metric": self.metric,
+            "strategy": self.strategy,
+            "parallel": dict(self.parallel),
         }
 
 
@@ -259,9 +285,15 @@ class WKNNGBuilder:
         strategy.obs = obs
         state = KnnState(n, cfg.k)
 
+        sharded = cfg.n_jobs > 1 and fork_available()
+        parallel_info: dict[str, Any] = {
+            "n_jobs": cfg.n_jobs,
+            "workers": cfg.n_jobs if sharded else 1,
+        }
         with obs.trace.span(ROOT_SPAN, backend="vectorized", n=n,
                             dim=int(x.shape[1]), k=cfg.k,
-                            strategy=cfg.strategy):
+                            strategy=cfg.strategy, metric=cfg.metric,
+                            n_jobs=cfg.n_jobs):
             with obs.trace.span("forest"):
                 forest = build_forest(x, cfg.n_trees, cfg.leaf_size, forest_rng,
                                       n_jobs=cfg.n_jobs, spill=cfg.spill, obs=obs)
@@ -273,34 +305,84 @@ class WKNNGBuilder:
 
             # one tree at a time: leaves of a classic tree are disjoint, so a
             # batch carries no duplicate pairs; spill trees overlap and need
-            # the dedupe pass
+            # the dedupe pass.  With n_jobs > 1 the batch list is sharded
+            # across forked workers and merged back in fixed shard order.
             with obs.trace.span("leaf_pairs"):
-                for tree in forest.trees:
-                    for leaf_mat, lengths in batch_leaves(tree.leaves):
+                batches = forest_leaf_batches(forest)
+                if sharded and len(batches) > 1:
+                    leaf_info = run_leaf_phase_sharded(
+                        state, x, batches, strategy, cfg.n_jobs,
+                        dedupe=cfg.spill > 0.0,
+                        strategy_kwargs=cfg.strategy_kwargs,
+                    )
+                    parallel_info["leaf"] = {
+                        "shards": leaf_info["shards"],
+                        "shard_seconds": leaf_info["shard_seconds"],
+                        "merge_seconds": leaf_info["merge_seconds"],
+                    }
+                    for sec in leaf_info["shard_seconds"]:
+                        obs.metrics.histogram(
+                            "parallel/leaf_shard_seconds").observe(sec)
+                    obs.metrics.gauge("parallel/leaf_merge_seconds").set(
+                        leaf_info["merge_seconds"])
+                else:
+                    for leaf_mat, lengths in batches:
                         strategy.update_leaf_batch(
                             state, x, leaf_mat, lengths, dedupe=cfg.spill > 0.0
                         )
+                # slot order is history-dependent (serial insertion vs shard
+                # merge); refine samples by (row, slot), so hand over the
+                # canonical arrangement regardless of how we got here
+                state.canonicalize()
 
             with obs.trace.span("refine"):
                 sample = cfg.effective_refine_sample()
                 rng = as_generator(refine_rng)
                 refine_state = RefineState()
                 threshold = cfg.refine_delta * n * cfg.k
+                refine_shard_seconds: list[float] = []
+                refine_merge_seconds = 0.0
                 for round_idx in range(cfg.refine_iters):
                     with obs.trace.span(f"round-{round_idx}") as round_span:
-                        inserted = refine_round(
-                            state, x, strategy, rng, sample, refine_state, obs=obs
+                        round_t0 = time.perf_counter()
+                        inserted, round_info = refine_round_sharded(
+                            state, x, strategy, rng, sample, refine_state,
+                            n_jobs=cfg.n_jobs if sharded else 1,
+                            strategy_kwargs=cfg.strategy_kwargs, obs=obs,
                         )
                         round_span.set(inserted=inserted)
+                    worker_secs = [
+                        g + i for g, i in zip(
+                            round_info["gen_seconds"],
+                            round_info["insert_seconds"]
+                            or [0.0] * len(round_info["gen_seconds"]),
+                        )
+                    ]
+                    refine_shard_seconds.extend(worker_secs)
+                    refine_merge_seconds += (
+                        time.perf_counter() - round_t0 - sum(worker_secs)
+                        if sharded else 0.0
+                    )
                     if inserted <= threshold:
                         break
+                if sharded:
+                    parallel_info["refine"] = {
+                        "shard_seconds": refine_shard_seconds,
+                        "merge_seconds": max(0.0, refine_merge_seconds),
+                    }
+                    for sec in refine_shard_seconds:
+                        obs.metrics.histogram(
+                            "parallel/refine_shard_seconds").observe(sec)
 
             with obs.trace.span("finalize"):
                 ids, dists = state.sorted_arrays()
 
+        obs.metrics.gauge("parallel/n_jobs").set(float(cfg.n_jobs))
+        obs.metrics.gauge("parallel/workers").set(float(parallel_info["workers"]))
         strategy.counters.emit(obs.metrics)
         report = BuildReport.from_obs(
-            obs, counters_prefix=KERNEL_PREFIX, counters_baseline=counters_before
+            obs, counters_prefix=KERNEL_PREFIX, counters_baseline=counters_before,
+            metric=cfg.metric, strategy=cfg.strategy, parallel=parallel_info,
         )
         self._last_report = report
         graph = KNNGraph(

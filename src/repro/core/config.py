@@ -72,9 +72,13 @@ class BuildConfig:
         ``"vectorized"`` (default) or ``"simt"`` (warp simulator;
         orders of magnitude slower, used for microarchitecture metrics).
     n_jobs:
-        Worker processes for the forest phase (trees are independent).
-        Results are bitwise identical for any value; >1 uses forked
-        workers on POSIX and silently falls back to serial elsewhere.
+        Worker processes for the whole vectorized build: the forest phase
+        (trees are independent), the leaf all-pairs phase (leaf batches
+        sharded, per-worker lists merged in fixed shard order), and the
+        refinement rounds (candidate generation and insertion sharded by
+        point ranges).  Results are bitwise identical for any value; >1
+        uses forked workers on POSIX and silently falls back to serial
+        elsewhere.  See ``docs/parallel.md``.
     """
 
     k: int = 16

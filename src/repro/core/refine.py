@@ -70,27 +70,39 @@ def _new_flags(state: KnnState, prev_ids: np.ndarray | None) -> np.ndarray:
     return valid & ~present.reshape(n, k)
 
 
-def _sample_columns(
+def sample_columns_with_keys(
     ids: np.ndarray,
     eligible: np.ndarray,
     sample: int,
-    rng: np.random.Generator,
+    keys: np.ndarray,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Per-row sample of up to ``sample`` eligible entries (vectorised).
 
     Returns a padded ``(n, sample)`` id matrix and its validity mask.
-    Sampling is by random keys: ineligible entries get pushed past the
-    horizon, then the ``sample`` smallest keys per row are kept.
+    Sampling is by the given random ``keys`` (same shape as ``ids``):
+    ineligible entries get pushed past the horizon, then the ``sample``
+    smallest keys per row are kept.  Row-local, so the sharded refine
+    path can pre-draw the keys once and slice them per row range.
     """
     n, k = ids.shape
     s = min(sample, k)
-    keys = rng.random((n, k))
+    keys = keys.copy()
     keys[~eligible] = 2.0  # beyond any real key
     take = np.argsort(keys, axis=1)[:, :s]
     out = np.take_along_axis(ids, take, axis=1).astype(np.int64)
     ok = np.take_along_axis(eligible, take, axis=1)
     out[~ok] = EMPTY_ID
     return out, ok
+
+
+def _sample_columns(
+    ids: np.ndarray,
+    eligible: np.ndarray,
+    sample: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`sample_columns_with_keys` drawing its keys from ``rng``."""
+    return sample_columns_with_keys(ids, eligible, sample, rng.random(ids.shape))
 
 
 def _reverse_lists(

@@ -358,6 +358,24 @@ def _pack_leaf_group(group: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
     return mat, lengths
 
 
+def forest_leaf_batches(
+    forest: RPForest,
+    max_batch_cells: int = 1 << 23,
+) -> "list[tuple[np.ndarray, np.ndarray]]":
+    """Every tree's padded leaf batches, flattened in serial (tree) order.
+
+    This is the canonical enumeration the builder replays - one tree at a
+    time, each tree's leaves grouped by :func:`batch_leaves` - and the
+    unit of work the sharded leaf phase splits across workers: shard
+    boundaries fall between batches, so shard order equals serial order.
+    """
+    return [
+        batch
+        for tree in forest.trees
+        for batch in batch_leaves(tree.leaves, max_batch_cells)
+    ]
+
+
 def _build_tree_task(x: np.ndarray, leaf_size: int, seed_seq, spill: float) -> RPTree:
     """Module-level worker for the process pool (fork-inheritable)."""
     return build_tree(x, leaf_size, np.random.default_rng(seed_seq), spill=spill)

@@ -51,12 +51,32 @@ class KnnState:
         return (self.ids != EMPTY_ID).sum(axis=1)
 
     def sorted_arrays(self) -> tuple[np.ndarray, np.ndarray]:
-        """Return ``(ids, dists)`` with every row sorted by ascending distance."""
-        order = np.argsort(self.dists, axis=1, kind="stable")
+        """Return ``(ids, dists)`` with every row sorted by ascending distance.
+
+        Exact distance ties are broken by ascending id, so the output is a
+        *canonical* function of each row's (id, distance) set - independent
+        of the slot order the maintenance discipline (or a sharded build's
+        merge order) happened to leave behind.
+        """
+        order = np.lexsort((self.ids, self.dists), axis=1)
         return (
             np.take_along_axis(self.ids, order, axis=1),
             np.take_along_axis(self.dists, order, axis=1),
         )
+
+    def canonicalize(self) -> None:
+        """Reorder every row's slots in place to the canonical order.
+
+        Slot order is maintenance-history dependent (disciplines replace
+        arbitrary slots; a sharded build's merge writes in merge order).
+        Pipeline stages whose *results* depend on slot positions - the
+        refine round attaches sampling keys to ``(row, slot)`` edges -
+        call this at the phase boundary so serial and sharded builds hand
+        over bitwise-identical arrays, not just identical per-row sets.
+        """
+        order = np.lexsort((self.ids, self.dists), axis=1)
+        self.ids = np.take_along_axis(self.ids, order, axis=1)
+        self.dists = np.take_along_axis(self.dists, order, axis=1)
 
     # -- bulk mutation (used by strategies) -------------------------------------
 

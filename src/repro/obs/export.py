@@ -55,6 +55,23 @@ def write_jsonl(path: str | Path, rows: Iterable[dict[str, Any]]) -> Path:
     return path
 
 
+def write_json_summary(path: str | Path, payload: dict[str, Any]) -> Path:
+    """Write one experiment summary as a single pretty-printed JSON file.
+
+    The perf-trajectory CI job uploads these (``BENCH_T*.json``) as
+    workflow artifacts, one file per bench target, so the trajectory can
+    be diffed run-over-run; the payload is schema-tagged like the
+    JSON-lines records.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps({"schema": SCHEMA_VERSION, **payload},
+                   default=_default, indent=2, sort_keys=True) + "\n"
+    )
+    return path
+
+
 def iter_jsonl(path: str | Path) -> Iterator[dict[str, Any]]:
     """Yield the parsed records of a JSON-lines file (blank lines skipped)."""
     with Path(path).open() as fh:

@@ -221,7 +221,9 @@ def build_knng_simt(points: np.ndarray, config: BuildConfig,
 
     device.metrics.emit(obs.metrics, prefix=SIMT_PREFIX)
     report = BuildReport.from_obs(
-        obs, counters_prefix=SIMT_PREFIX, counters_baseline=counters_before
+        obs, counters_prefix=SIMT_PREFIX, counters_baseline=counters_before,
+        metric=config.metric, strategy=config.strategy,
+        parallel={"n_jobs": 1, "workers": 1},
     )
     graph = KNNGraph(
         ids=ids,

@@ -33,6 +33,21 @@ def fork_available() -> bool:
         return False
 
 
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware).
+
+    ``os.cpu_count()`` reports the machine; CI runners and containers
+    often restrict the schedulable set, which is what matters when
+    deciding whether ``n_jobs > 1`` can pay off.
+    """
+    import os
+
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
 def shard_ranges(total: int, n_shards: int) -> list[tuple[int, int]]:
     """Split ``[0, total)`` into at most ``n_shards`` near-even contiguous ranges.
 

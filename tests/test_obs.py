@@ -276,7 +276,12 @@ class TestBuilderApi:
         assert rep.leaf_stats["n_leaves"] > 0
         d = rep.as_dict()
         assert set(d) == {"phase_seconds", "total_seconds", "counters",
-                          "refine_insertions", "leaf_stats"}
+                          "refine_insertions", "leaf_stats",
+                          "metric", "strategy", "parallel"}
+        # bench JSON is self-describing: resolved metric + strategy ride along
+        assert d["metric"] == "sqeuclidean"
+        assert d["strategy"] == cfg().strategy
+        assert d["parallel"]["n_jobs"] == 1
 
     def test_report_constructible_directly(self):
         # the legacy constructor shape still works (old pickles/tests)

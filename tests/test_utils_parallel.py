@@ -6,7 +6,50 @@ import pytest
 from repro import BuildConfig, WKNNGBuilder
 from repro.core.rpforest import build_forest
 from repro.data.synthetic import gaussian_mixture
-from repro.utils.parallel import fork_available, map_forked
+from repro.utils.parallel import (
+    fork_available,
+    map_forked,
+    shard_ranges,
+    usable_cpus,
+)
+
+
+class TestShardRanges:
+    def test_even_split(self):
+        assert shard_ranges(10, 2) == [(0, 5), (5, 10)]
+
+    def test_uneven_split_sizes_differ_by_at_most_one(self):
+        ranges = shard_ranges(10, 3)
+        assert ranges == [(0, 4), (4, 7), (7, 10)]
+        sizes = [hi - lo for lo, hi in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_total_smaller_than_n_shards(self):
+        # never emits empty ranges: shard count collapses to the total
+        ranges = shard_ranges(3, 8)
+        assert ranges == [(0, 1), (1, 2), (2, 3)]
+
+    def test_zero_total(self):
+        assert shard_ranges(0, 4) == []
+
+    def test_single_shard(self):
+        assert shard_ranges(7, 1) == [(0, 7)]
+
+    def test_covers_without_gaps_or_overlap(self):
+        for total in (1, 2, 5, 17, 100):
+            for n_shards in (1, 2, 3, 7, 16):
+                ranges = shard_ranges(total, n_shards)
+                flat = [i for lo, hi in ranges for i in range(lo, hi)]
+                assert flat == list(range(total))
+
+    def test_nonpositive_n_shards_rejected(self):
+        with pytest.raises(ValueError):
+            shard_ranges(10, 0)
+        with pytest.raises(ValueError):
+            shard_ranges(10, -2)
+
+    def test_usable_cpus_positive(self):
+        assert usable_cpus() >= 1
 
 
 def _square(shared, i):
@@ -83,3 +126,55 @@ class TestParallelForest:
 
         with pytest.raises(ConfigurationError):
             BuildConfig(n_jobs=0)
+
+
+class TestShardedBuildDeterminism:
+    """Serial and process-parallel builds must be bitwise identical.
+
+    This is the whole-build contract (see docs/parallel.md): the leaf
+    all-pairs phase shards leaf batches across workers and the refinement
+    rounds shard point ranges, but merge order is fixed, so the final
+    graph - ids *and* float32 distances - matches the serial build
+    exactly for any ``n_jobs`` and any insertion strategy.
+    """
+
+    @pytest.fixture(scope="class")
+    def points(self):
+        return gaussian_mixture(2_000, 24, n_clusters=12, seed=11)
+
+    @staticmethod
+    def _build(points, strategy, n_jobs, *, return_report=False):
+        cfg = BuildConfig(k=8, strategy=strategy, n_trees=4, leaf_size=32,
+                          refine_iters=2, seed=0, n_jobs=n_jobs)
+        return WKNNGBuilder(cfg).build(points, return_report=return_report)
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    @pytest.mark.parametrize("strategy", ["baseline", "atomic", "tiled"])
+    def test_bitwise_identical_across_n_jobs(self, points, strategy):
+        serial = self._build(points, strategy, n_jobs=1)
+        for n_jobs in (2, 4):
+            sharded = self._build(points, strategy, n_jobs=n_jobs)
+            assert np.array_equal(serial.ids, sharded.ids), (
+                f"{strategy}: ids diverged at n_jobs={n_jobs}"
+            )
+            assert np.array_equal(serial.dists, sharded.dists), (
+                f"{strategy}: dists diverged at n_jobs={n_jobs}"
+            )
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    def test_report_parallel_section(self, points):
+        _, report = self._build(points, "tiled", n_jobs=2,
+                                return_report=True)
+        par = report.parallel
+        assert par["n_jobs"] == 2
+        assert par["workers"] == 2
+        assert "leaf" in par and par["leaf"]["shards"] == 2
+        assert len(par["leaf"]["shard_seconds"]) == 2
+        assert "refine" in par and par["refine"]["shard_seconds"]
+        assert par["refine"]["merge_seconds"] >= 0.0
+        assert report.as_dict()["parallel"]["n_jobs"] == 2
+
+    def test_serial_report_parallel_section(self, points):
+        _, report = self._build(points, "tiled", n_jobs=1,
+                                return_report=True)
+        assert report.parallel == {"n_jobs": 1, "workers": 1}
