@@ -66,13 +66,25 @@ def _add_data_args(p: argparse.ArgumentParser) -> None:
 
 
 def cmd_build(args) -> int:
+    import os
+
     from repro import BuildConfig, WKNNGBuilder
     from repro.obs import Observability
 
+    if args.sanitize is not None:
+        if args.backend != "simt":
+            raise SystemExit(
+                "--sanitize requires --backend simt (the wksan race detector "
+                "instruments the simulated device)"
+            )
+        # the env switch is how the sanitizer reaches the DeviceConfig the
+        # pipeline constructs internally (and any worker processes)
+        os.environ["WKNN_SANITIZE"] = args.sanitize
     x = _load_points(args)
     cfg = BuildConfig(
         k=args.k,
         strategy=args.strategy,
+        backend=args.backend,
         n_trees=args.trees,
         leaf_size=args.leaf_size,
         refine_iters=args.refine,
@@ -88,7 +100,18 @@ def cmd_build(args) -> int:
     print(f"built {graph} from {x.shape} in {dt:.2f}s -> {args.output}")
     for phase, secs in rep.phase_seconds.items():
         print(f"  {phase:<12s} {secs:8.3f}s")
-    print(f"  distance evals/point: {rep.counters['distance_evals'] / graph.n:.0f}")
+    if "distance_evals" in rep.counters:
+        print(f"  distance evals/point: "
+              f"{rep.counters['distance_evals'] / graph.n:.0f}")
+    san = graph.meta.get("sanitizer")
+    if san is not None:
+        if san["findings"] == 0:
+            print("  wksan: clean (no findings)")
+        else:
+            kinds = ", ".join(f"{k}={v}" for k, v in sorted(san["by_kind"].items()))
+            print(f"  wksan: {san['findings']} findings ({kinds})")
+            for msg in san["messages"][:5]:
+                print(f"    {msg}")
     if rep.parallel.get("n_jobs", 1) > 1:
         leaf = rep.parallel.get("leaf", {})
         print(f"  parallel: {rep.parallel['workers']} workers, "
@@ -230,6 +253,15 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("-k", "--k", type=int, default=16)
     p.add_argument("--strategy", default="tiled",
                    choices=("baseline", "atomic", "tiled"))
+    p.add_argument("--backend", default="vectorized",
+                   choices=("vectorized", "simt"),
+                   help="vectorized NumPy kernels (fast) or the event-level "
+                        "SIMT simulator (faithful, slow)")
+    p.add_argument("--sanitize", nargs="?", const="raise", default=None,
+                   choices=("raise", "report"),
+                   help="run the simt build under the wksan race detector "
+                        "(simt backend only; 'report' logs findings instead "
+                        "of raising)")
     p.add_argument("--trees", type=int, default=4)
     p.add_argument("--leaf-size", type=int, default=64, dest="leaf_size")
     p.add_argument("--refine", type=int, default=2)

@@ -11,6 +11,22 @@ import numpy as np
 from repro.errors import DataError
 
 
+def _denumpy(value: Any) -> Any:
+    """Coerce numpy scalars to native Python numbers, recursively.
+
+    Containers are rebuilt (dicts/lists/tuples) so nested stats like
+    ``{"recall": np.float32(0.99)}`` survive the JSON-serialisability check
+    in :meth:`KNNGraph.save`.  Non-scalar objects pass through unchanged.
+    """
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, dict):
+        return {k: _denumpy(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_denumpy(v) for v in value]
+    return value
+
+
 @dataclass
 class KNNGraph:
     """An (approximate) K-nearest-neighbour graph over ``n`` points.
@@ -123,13 +139,26 @@ class KNNGraph:
 
     def symmetrized_ids(self) -> list[np.ndarray]:
         """Per-point neighbour sets of the undirected closure (i~j if either
-        direction is present).  Used by t-SNE, which symmetrises affinities."""
-        out: list[list[int]] = [[] for _ in range(self.n)]
-        for i in range(self.n):
-            for j in self.neighbors(i):
-                out[i].append(int(j))
-                out[int(j)].append(i)
-        return [np.unique(np.array(lst, dtype=np.int64)) for lst in out]
+        direction is present).  Used by t-SNE, which symmetrises affinities.
+
+        Vectorized: one concatenate + sort over all edges (both directions),
+        split back into per-point unique neighbour arrays - O(E log E)
+        instead of the former O(n*k) Python-level append loop.
+        """
+        valid = self.ids >= 0
+        src = np.repeat(np.arange(self.n, dtype=np.int64), valid.sum(axis=1))
+        dst = self.ids[valid].astype(np.int64)
+        # every edge contributes both directions to the closure
+        rows = np.concatenate([src, dst])
+        nbrs = np.concatenate([dst, src])
+        # sort by (row, neighbour); unique keys collapse duplicate edges
+        key = rows * np.int64(self.n) + nbrs
+        key = np.unique(key)
+        rows = key // self.n
+        nbrs = key % self.n
+        # split the sorted edge list at row boundaries
+        starts = np.searchsorted(rows, np.arange(self.n + 1, dtype=np.int64))
+        return [nbrs[starts[i]:starts[i + 1]] for i in range(self.n)]
 
     # -- persistence -----------------------------------------------------------
 
@@ -141,9 +170,14 @@ class KNNGraph:
         objects) are silently dropped; everything else - crucially the
         build ``metric``, which :class:`repro.apps.search.GraphSearchIndex`
         needs to prepare queries correctly after a reload - round-trips.
+        NumPy scalars (``np.float32`` recall values, ``np.int64`` counters,
+        anywhere in a nested dict/list) are coerced to native Python numbers
+        first - previously they failed ``json.dumps`` and the whole entry
+        silently vanished from the saved file.
         """
         keep: dict[str, Any] = {}
         for key, value in self.meta.items():
+            value = _denumpy(value)
             try:
                 json.dumps(value)
             except (TypeError, ValueError):

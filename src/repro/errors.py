@@ -48,5 +48,21 @@ class AtomicError(SimtError, TypeError):
     """An atomic operation was applied to an unsupported buffer/dtype."""
 
 
+class RaceError(SimtError, RuntimeError):
+    """The memory sanitizer ("wksan") detected undefined behaviour.
+
+    Raised (in ``raise`` mode) for unordered conflicting accesses, duplicate
+    intra-warp scatter targets, uninitialized reads, out-of-bounds sanitized
+    accesses and lock-discipline violations.  Carries the structured
+    :class:`repro.simt.sanitizer.Finding` as :attr:`finding`; the message
+    names both conflicting access sites when two exist.
+    """
+
+    def __init__(self, message: str, finding=None) -> None:
+        super().__init__(message)
+        #: the structured :class:`repro.simt.sanitizer.Finding` (or ``None``)
+        self.finding = finding
+
+
 class BenchmarkError(ReproError, RuntimeError):
     """The benchmark harness could not complete a requested measurement."""

@@ -31,6 +31,13 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.obs import Observability
 
 
+def _sanitize_enabled() -> bool:
+    """True when ``WKNN_SANITIZE`` asks for sanitized execution."""
+    from repro.simt.sanitizer import env_mode
+
+    return env_mode() is not None
+
+
 class Strategy(ABC):
     """Base class for the three w-KNNG k-NN set maintenance strategies."""
 
@@ -233,9 +240,36 @@ class Strategy(ABC):
         if rows.size == 0:
             return 0
         self.counters.candidates_offered += int(rows.size)
+        if _sanitize_enabled():
+            self._check_batch_unique(state, rows, cols)
         inserted = self._insert(state, rows, cols, dists)
         self.counters.candidates_inserted += inserted
         return inserted
+
+    @staticmethod
+    def _check_batch_unique(state: KnnState, rows: np.ndarray, cols: np.ndarray) -> None:
+        """Host-side wksan analogue of the duplicate-scatter detector.
+
+        ``_insert`` implementations use NumPy fancy assignment, which
+        silently applies last-write-wins when the same ``(row, col)`` pair
+        appears twice in a batch - the vectorised twin of two CUDA lanes
+        scattering to one address.  Under ``WKNN_SANITIZE`` a duplicate is
+        an error rather than silent double occupancy.
+        """
+        if rows.size == 0:
+            return
+        key = rows * np.int64(state.n) + cols
+        uniq, counts = np.unique(key, return_counts=True)
+        if (counts > 1).any():
+            from repro.errors import RaceError
+
+            bad = int(uniq[counts > 1][0])
+            raise RaceError(
+                f"wksan [vectorized insert]: duplicate (row, col) pair "
+                f"({bad // state.n}, {bad % state.n}) within one candidate "
+                f"batch; fancy assignment would silently keep the last "
+                f"occurrence (see Strategy._insert preconditions)"
+            )
 
     @abstractmethod
     def _insert(

@@ -40,6 +40,9 @@ class Events:
     #: query matrix; the ``after`` payload carries the work totals)
     QUERY_BATCH_BEFORE = "query_batch:before"
     QUERY_BATCH_AFTER = "query_batch:after"
+    #: one wksan sanitizer finding in report-only mode (payload: the
+    #: structured :meth:`repro.simt.sanitizer.Finding.as_dict` fields)
+    SANITIZER_FINDING = "sanitizer:finding"
 
 
 class ProfilingHooks:

@@ -10,8 +10,13 @@ the microarchitectural quantities that determine real GPU performance:
 * **shared-memory bank conflicts** (:mod:`repro.simt.shared`),
 * **atomic-operation contention** (:mod:`repro.simt.atomics`),
 * **branch divergence** via explicit predication masks
-  (:mod:`repro.simt.warp`), and
-* a simple **cycle cost model** combining them (:mod:`repro.simt.metrics`).
+  (:mod:`repro.simt.warp`),
+* a simple **cycle cost model** combining them (:mod:`repro.simt.metrics`),
+  and
+* an optional **race detector / memory sanitizer** ("wksan",
+  :mod:`repro.simt.sanitizer`) that checks every sanitized access against a
+  happens-before model of warps, barriers, locks and atomics - enable with
+  ``DeviceConfig(sanitize=True)`` or ``WKNN_SANITIZE=1``.
 
 A kernel sees a :class:`~repro.simt.warp.WarpContext` whose register values
 are NumPy vectors of ``warp_size`` lanes.  Blocks are collections of warps
@@ -29,12 +34,16 @@ from repro.simt.config import DeviceConfig
 from repro.simt.device import Device
 from repro.simt.metrics import KernelMetrics
 from repro.simt.memory import GlobalBuffer
+from repro.simt.sanitizer import Finding, Sanitizer, SanitizerReport
 from repro.simt.warp import WarpContext
 
 __all__ = [
     "Device",
     "DeviceConfig",
+    "Finding",
     "GlobalBuffer",
     "KernelMetrics",
+    "Sanitizer",
+    "SanitizerReport",
     "WarpContext",
 ]

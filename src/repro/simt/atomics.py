@@ -36,12 +36,25 @@ def pack_dist_id(dist: np.ndarray, ids: np.ndarray) -> np.ndarray:
     The distance occupies the high 32 bits, so unsigned comparison of packed
     words orders by distance first (ids break ties).  Distances must be
     non-negative (squared L2 distances always are); negative inputs raise.
+
+    Ids must fit int32: only the low 32 bits are stored, so an out-of-range
+    id would silently alias another point (e.g. ``-1`` and ``0xFFFFFFFF``
+    become the same word).  Out-of-range ids raise :class:`AtomicError`
+    instead of corrupting the packed word.
     """
     d = np.asarray(dist, dtype=np.float32)
     if d.size and float(np.min(d)) < 0.0:
         raise AtomicError("pack_dist_id requires non-negative distances")
+    i = np.asarray(ids).astype(np.int64)
+    if i.size:
+        lo_id, hi_id = int(i.min()), int(i.max())
+        if lo_id < -(2**31) or hi_id >= 2**31:
+            raise AtomicError(
+                f"pack_dist_id ids must fit int32 (got range [{lo_id}, {hi_id}]); "
+                f"ids outside it would alias other points in the packed word"
+            )
     hi = d.view(np.uint32).astype(np.uint64) << np.uint64(32)
-    lo = np.asarray(ids).astype(np.int64).astype(np.uint64) & np.uint64(0xFFFFFFFF)
+    lo = i.astype(np.uint64) & np.uint64(0xFFFFFFFF)
     return hi | lo
 
 
@@ -61,10 +74,17 @@ EMPTY_PACKED = int(pack_dist_id(np.float32(np.inf), np.int32(-1)))
 
 
 class AtomicUnit:
-    """Executes warp-wide atomics against :class:`GlobalBuffer` objects."""
+    """Executes warp-wide atomics against :class:`GlobalBuffer` objects.
 
-    def __init__(self, metrics: KernelMetrics) -> None:
+    ``ctx`` (the issuing warp context, when there is one) lets the wksan
+    sanitizer record each RMW as an ``atomic`` access event - atomics are
+    ordered against each other and against plain reads, but an atomic
+    against a plain *write* of the same word is still a race.
+    """
+
+    def __init__(self, metrics: KernelMetrics, ctx=None) -> None:
         self._metrics = metrics
+        self._ctx = ctx
 
     def _prepare(
         self, buf: GlobalBuffer, idx: np.ndarray, mask: np.ndarray, op: str
@@ -74,6 +94,9 @@ class AtomicUnit:
                 f"atomic_{op} supports integer buffers only, got {buf.dtype} "
                 f"for {buf.name!r}; pack floats with pack_dist_id()"
             )
+        ctx = self._ctx
+        if ctx is not None and ctx.sanitizer is not None:
+            ctx.sanitizer.global_access(buf, idx, mask, "atomic", ctx)
         buf._check_bounds(idx, mask)
         lanes = np.flatnonzero(mask)
         active = idx[lanes]

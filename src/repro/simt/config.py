@@ -10,7 +10,7 @@ strategies, not absolute time prediction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
 
@@ -18,6 +18,18 @@ from repro.errors import ConfigurationError
 def _check_pow2(value: int, name: str) -> None:
     if value <= 0 or (value & (value - 1)) != 0:
         raise ConfigurationError(f"{name} must be a positive power of two, got {value}")
+
+
+def _env_sanitize() -> bool:
+    from repro.simt.sanitizer import env_mode
+
+    return env_mode() is not None
+
+
+def _env_sanitize_mode() -> str:
+    from repro.simt.sanitizer import env_mode
+
+    return env_mode() or "raise"
 
 
 @dataclass(frozen=True)
@@ -59,6 +71,15 @@ class DeviceConfig:
         not model a cache; see the cost model's docstring.
     cache_hit_cycles:
         Cost charged per cache-hit transaction by the analytic model.
+    sanitize:
+        Enable the wksan race detector / memory sanitizer
+        (:mod:`repro.simt.sanitizer`).  Defaults from the ``WKNN_SANITIZE``
+        environment switch (``1``/``true``/``raise``/``report`` enable).
+    sanitize_mode:
+        ``"raise"`` stops at the first finding with a
+        :class:`~repro.errors.RaceError`; ``"report"`` accumulates findings
+        and logs them through the observability layer.  Defaults from
+        ``WKNN_SANITIZE`` (``report`` selects report-only mode).
     """
 
     warp_size: int = 32
@@ -71,6 +92,8 @@ class DeviceConfig:
     atomic_cycles: int = 16
     cache_bytes: int = 32 * 1024
     cache_hit_cycles: int = 4
+    sanitize: bool = field(default_factory=_env_sanitize)
+    sanitize_mode: str = field(default_factory=_env_sanitize_mode)
 
     def __post_init__(self) -> None:
         _check_pow2(self.warp_size, "warp_size")
@@ -90,3 +113,7 @@ class DeviceConfig:
         ):
             if getattr(self, name) < 0:
                 raise ConfigurationError(f"{name} must be non-negative")
+        if self.sanitize_mode not in ("raise", "report"):
+            raise ConfigurationError(
+                f"sanitize_mode must be 'raise' or 'report', got {self.sanitize_mode!r}"
+            )

@@ -42,30 +42,65 @@ class Device:
 
         #: device-level cache model (None when config.cache_bytes == 0)
         self.cache = make_device_cache(self.config)
+        #: wksan race detector / memory sanitizer (None when disabled); see
+        #: :mod:`repro.simt.sanitizer` and ``DeviceConfig.sanitize``
+        self.sanitizer = None
+        if self.config.sanitize:
+            from repro.simt.sanitizer import Sanitizer
+
+            self.sanitizer = Sanitizer(mode=self.config.sanitize_mode)
+            self.sanitizer.metrics = self.metrics
         #: per-block cycle estimates of the most recent launch (set by the
         #: scheduler; input to the multi-SM occupancy estimate)
         self.last_launch_block_cycles: list[int] = []
 
     # -- memory management ---------------------------------------------------
 
-    def to_device(self, array: np.ndarray, name: str = "buffer") -> GlobalBuffer:
+    def to_device(
+        self, array: np.ndarray, name: str = "buffer", const: bool = False
+    ) -> GlobalBuffer:
         """Copy a host array into a new device buffer.
 
         Buffers receive disjoint, segment-aligned base addresses so the
-        cache model sees a realistic unified address space.
+        cache model sees a realistic unified address space.  ``const=True``
+        marks the buffer read-only for the sanitizer: device writes are
+        flagged (``const-write``) and reads skip conflict tracking, the
+        fast path for kernel inputs such as the point matrix.
         """
         buf = GlobalBuffer(array, name=name, base_addr=self._next_base)
         seg = self.config.segment_bytes
         self._next_base += ((buf.nbytes + seg - 1) // seg) * seg
         self._buffers.append(buf)
+        if self.sanitizer is not None:
+            self.sanitizer.register_global(buf, initialized=True, const=const)
         return buf
 
     def empty(self, shape, dtype, name: str = "buffer", fill=None) -> GlobalBuffer:
-        """Allocate a device buffer, zero-filled (or ``fill``-filled)."""
+        """Allocate a device buffer, zero-filled (or ``fill``-filled).
+
+        Zero-filling models an explicit ``cudaMemset`` and counts as
+        initialization; use :meth:`malloc` for undefined-content semantics.
+        """
         arr = np.zeros(shape, dtype=dtype)
         if fill is not None:
             arr[...] = fill
         return self.to_device(arr, name=name)
+
+    def malloc(self, shape, dtype, name: str = "buffer") -> GlobalBuffer:
+        """Allocate a device buffer with *undefined* contents (``cudaMalloc``).
+
+        The storage is zero-filled for determinism, but the sanitizer treats
+        every word as never-written: reading one before a device-side store
+        is an ``uninitialized-read`` finding.
+        """
+        buf = GlobalBuffer(np.zeros(shape, dtype=dtype), name=name,
+                           base_addr=self._next_base)
+        seg = self.config.segment_bytes
+        self._next_base += ((buf.nbytes + seg - 1) // seg) * seg
+        self._buffers.append(buf)
+        if self.sanitizer is not None:
+            self.sanitizer.register_global(buf, initialized=False)
+        return buf
 
     @property
     def allocated_bytes(self) -> int:

@@ -132,13 +132,18 @@ class GlobalBuffer:
         config: DeviceConfig,
         metrics: KernelMetrics,
         cache=None,
+        ctx=None,
     ) -> np.ndarray:
         """Warp-wide load: ``out[l] = buf[idx[l]]`` for active lanes.
 
         Inactive lanes read as zero.  Counts one load plus one transaction
         per distinct segment; when a device cache is supplied, transactions
-        are classified into hits and misses.
+        are classified into hits and misses.  When ``ctx`` (the issuing
+        :class:`~repro.simt.warp.WarpContext`) carries a sanitizer, the
+        access is recorded with it first.
         """
+        if ctx is not None and ctx.sanitizer is not None:
+            ctx.sanitizer.global_access(self, idx, mask, "read", ctx)
         self._check_bounds(idx, mask)
         out = np.zeros(idx.shape, dtype=self._flat.dtype)
         out[mask] = self._flat[idx[mask]]
@@ -162,14 +167,18 @@ class GlobalBuffer:
         config: DeviceConfig,
         metrics: KernelMetrics,
         cache=None,
+        ctx=None,
     ) -> None:
         """Warp-wide store: ``buf[idx[l]] = values[l]`` for active lanes.
 
         When several active lanes target the same address the *highest* lane
         wins, matching CUDA's unspecified-but-single-winner semantics in a
-        deterministic way.  Stores are write-through: they allocate in the
-        cache but always count a downstream transaction.
+        deterministic way (the wksan sanitizer flags such duplicate-index
+        scatters when enabled).  Stores are write-through: they allocate in
+        the cache but always count a downstream transaction.
         """
+        if ctx is not None and ctx.sanitizer is not None:
+            ctx.sanitizer.global_access(self, idx, mask, "write", ctx)
         self._check_bounds(idx, mask)
         np_idx = idx[mask]
         np_val = np.asarray(values, dtype=self._flat.dtype)

@@ -59,6 +59,8 @@ class KernelMetrics:
     barriers: int = 0
     warps_launched: int = 0
     blocks_launched: int = 0
+    #: wksan sanitizer findings recorded (report mode; not charged in cycles)
+    sanitizer_findings: int = 0
 
     def add(self, other: "KernelMetrics") -> "KernelMetrics":
         """Accumulate ``other`` into ``self`` (in place) and return ``self``."""

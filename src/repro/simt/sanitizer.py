@@ -1,0 +1,510 @@
+"""wksan - SIMT race detector and memory sanitizer for the simulator.
+
+The paper's contribution is three *synchronization disciplines* for
+maintaining k-NN lists in global memory (per-point lock, lock-free 64-bit
+atomics, tiled privatization).  The simulator executes warps cooperatively,
+so a kernel with a data race still produces deterministic NumPy results -
+it would pass every recall test while the equivalent CUDA corrupts memory.
+This module makes the discipline argument mechanically checkable: every
+sanitized access is recorded as an ``(address, lane, warp, op, sync-epoch)``
+event and checked against a happens-before model of the device.
+
+Detector classes
+----------------
+``write-write`` / ``read-write``
+    Conflicting accesses to the same word from different warps (or blocks)
+    with no ordering synchronization between them.
+``duplicate-scatter``
+    Several active lanes of one warp scatter to the same address in a
+    single store.  NumPy silently applies last-write-wins; CUDA leaves the
+    surviving lane unspecified.
+``uninitialized-read``
+    A read (or atomic RMW) of a device word never written since its
+    undefined allocation (:meth:`repro.simt.device.Device.malloc`, or any
+    shared-memory word - CUDA ``__shared__`` is never zero-filled).
+``out-of-bounds``
+    A sanitized access outside the buffer/region (always also raises
+    :class:`~repro.errors.MemoryAccessError` from the access itself).
+``const-write``
+    A store or atomic to a buffer registered read-only
+    (``Device.to_device(..., const=True)``).
+``lock-discipline``
+    Releasing a lock the warp does not hold, or exiting the kernel while
+    still holding one.
+
+Happens-before model
+--------------------
+Two accesses to the same word are *ordered* (cannot race) iff any of:
+
+* same block **and** same warp (program order);
+* both are atomic RMW operations (hardware serialises them);
+* one is an atomic RMW and the other a *read* - a single aligned word
+  cannot tear, and the disciplines' lock-free scans rely on exactly this;
+* both were issued holding a common lock
+  (:meth:`~repro.simt.warp.WarpContext.lock_acquire`);
+* same block and different sync epoch (a ``yield ctx.barrier()`` -
+  ``__syncthreads()`` - separates them).
+
+Everything else - in particular a plain write against any access from
+another warp or block - is an unordered conflict.  Kernel launches
+serialise on the stream, so the conflict state resets per launch;
+initialization shadow state persists for the life of the device.
+
+Modes
+-----
+``raise`` (default): the first finding raises :class:`~repro.errors.RaceError`
+with both access sites named.  ``report``: findings accumulate on
+:attr:`Sanitizer.findings` (deduplicated per launch), are counted into
+``KernelMetrics.sanitizer_findings``, and - when the device has an
+observability session attached - emitted as ``sanitizer/<kind>`` counters
+plus :data:`repro.obs.hooks.Events.SANITIZER_FINDING` hook events.
+
+Enable with ``DeviceConfig(sanitize=True)``, the ``WKNN_SANITIZE=1`` (or
+``=report``) environment switch, or ``python -m repro build --backend simt
+--sanitize``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.errors import RaceError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simt.memory import GlobalBuffer
+    from repro.simt.metrics import KernelMetrics
+    from repro.simt.warp import WarpContext
+
+#: finding kinds, in rough order of severity
+KINDS = (
+    "write-write",
+    "read-write",
+    "duplicate-scatter",
+    "uninitialized-read",
+    "out-of-bounds",
+    "const-write",
+    "lock-discipline",
+)
+
+_FALSE_VALUES = {"", "0", "false", "no", "off"}
+
+
+def env_mode() -> str | None:
+    """Sanitizer mode requested by ``WKNN_SANITIZE`` (``None`` = disabled).
+
+    ``1``/``true``/``yes``/``on``/``raise`` select ``raise`` mode;
+    ``report`` selects report-only mode.
+    """
+    val = os.environ.get("WKNN_SANITIZE", "").strip().lower()
+    if val in _FALSE_VALUES:
+        return None
+    return "report" if val == "report" else "raise"
+
+
+# --------------------------------------------------------------------------
+# access events and findings
+# --------------------------------------------------------------------------
+
+#: files whose frames are skipped when locating the kernel-source access site
+_SKIP_FILES = frozenset({"sanitizer.py", "memory.py", "shared.py",
+                         "atomics.py", "warp.py"})
+
+
+def _caller_site() -> str:
+    """``file.py:line in func`` of the nearest frame outside the substrate."""
+    f = sys._getframe(1)
+    while f is not None:
+        name = os.path.basename(f.f_code.co_filename)
+        if name not in _SKIP_FILES:
+            return f"{name}:{f.f_lineno} in {f.f_code.co_name}"
+        f = f.f_back
+    return "<unknown site>"  # pragma: no cover - a frame always exists
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One warp-wide sanitized access (one event per touched address)."""
+
+    block: int
+    warp: int
+    #: barrier count of the block when the access happened
+    epoch: int
+    #: "read" | "write" | "atomic"
+    op: str
+    #: locks held by the issuing warp (keys from WarpContext.lock_acquire)
+    locks: frozenset
+    #: human-readable source site: "file.py:line in func (block b, warp w, ...)"
+    site: str
+
+    @property
+    def atomic(self) -> bool:
+        return self.op == "atomic"
+
+    def key(self) -> tuple:
+        """Equivalence key for read deduplication (site kept from first)."""
+        return (self.block, self.warp, self.epoch, self.op, self.locks)
+
+    def describe(self) -> str:
+        held = f", holding {sorted(map(str, self.locks))}" if self.locks else ""
+        return (f"{self.op} at {self.site} "
+                f"[block {self.block}, warp {self.warp}, epoch {self.epoch}{held}]")
+
+
+def _ordered(a: AccessRecord, b: AccessRecord) -> bool:
+    """True when the happens-before model orders the two accesses."""
+    if a.block == b.block and a.warp == b.warp:
+        return True  # program order
+    if a.atomic and b.atomic:
+        return True  # hardware serialises atomics
+    if (a.atomic and b.op == "read") or (b.atomic and a.op == "read"):
+        return True  # aligned single-word RMW cannot tear under a plain load
+    if a.locks and b.locks and (a.locks & b.locks):
+        return True  # common critical section
+    if a.block == b.block and a.epoch != b.epoch:
+        return True  # separated by a block barrier
+    return False
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One sanitizer finding (structured; ``site_b`` set for conflicts)."""
+
+    kind: str
+    buffer: str
+    address: int
+    message: str
+    site_a: str = ""
+    site_b: str | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "kind": self.kind, "buffer": self.buffer,
+            "address": self.address, "message": self.message,
+            "site_a": self.site_a,
+        }
+        if self.site_b is not None:
+            out["site_b"] = self.site_b
+        return out
+
+    def __str__(self) -> str:
+        return self.message
+
+
+@dataclass(frozen=True)
+class SanitizerReport:
+    """Immutable snapshot of a sanitizer's accumulated findings."""
+
+    findings: tuple[Finding, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for f in self.findings:
+            counts[f.kind] = counts.get(f.kind, 0) + 1
+        return counts
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "findings": len(self.findings),
+            "by_kind": self.by_kind(),
+            "messages": [f.message for f in self.findings[:20]],
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.clean:
+            return "SanitizerReport(clean)"
+        kinds = ", ".join(f"{k}={v}" for k, v in sorted(self.by_kind().items()))
+        return f"SanitizerReport({len(self.findings)} findings: {kinds})"
+
+
+class _AddrState:
+    """Per-word conflict state: last write + reads since that write."""
+
+    __slots__ = ("write", "reads")
+
+    def __init__(self) -> None:
+        self.write: AccessRecord | None = None
+        self.reads: dict[tuple, AccessRecord] = {}
+
+
+# --------------------------------------------------------------------------
+# the sanitizer
+# --------------------------------------------------------------------------
+
+
+class Sanitizer:
+    """Shadow-memory instrumentation for one simulated device.
+
+    Owned by :class:`repro.simt.device.Device` (``device.sanitizer``; ``None``
+    when disabled).  The warp context routes every global gather/scatter,
+    atomic and shared load/store through :meth:`global_access` /
+    :meth:`shared_access`; the scheduler reports launch, barrier and
+    block-completion events so the happens-before model tracks sync epochs.
+    """
+
+    def __init__(self, mode: str = "raise") -> None:
+        if mode not in ("raise", "report"):
+            raise ValueError(f"sanitizer mode must be 'raise'|'report', got {mode!r}")
+        self.mode = mode
+        #: accumulated findings (all modes; ``raise`` stops at the first)
+        self.findings: list[Finding] = []
+        #: device metric counters (set by Device; sanitizer_findings field)
+        self.metrics: "KernelMetrics | None" = None
+        #: observability session of the current launch (set by the scheduler)
+        self.obs = None
+        self._kernel = "<host>"
+        # persistent shadow state -------------------------------------------------
+        self._bufrefs: dict[int, "GlobalBuffer"] = {}
+        self._init_global: dict[int, np.ndarray] = {}
+        self._const: set[int] = set()
+        # per-launch state --------------------------------------------------------
+        self._state: dict[tuple, _AddrState] = {}
+        self._shared_written: dict[tuple, np.ndarray] = {}
+        self._epochs: dict[int, int] = {}
+        self._seen: set[tuple] = set()
+
+    # -- registration ------------------------------------------------------------
+
+    def register_global(self, buf: "GlobalBuffer", initialized: bool = True,
+                        const: bool = False) -> None:
+        """Track a global buffer's shadow state.
+
+        ``initialized=False`` models a ``cudaMalloc``-style allocation whose
+        contents are undefined until written; ``const=True`` marks the
+        buffer read-only (writes are flagged, reads skip conflict
+        tracking - host-initialised inputs like the point matrix).
+        """
+        bid = id(buf)
+        if bid in self._bufrefs:
+            return
+        self._bufrefs[bid] = buf  # strong ref: keeps id() stable
+        self._init_global[bid] = np.full(buf.size, initialized, dtype=bool)
+        if const:
+            self._const.add(bid)
+
+    # -- scheduler events --------------------------------------------------------
+
+    def launch_begin(self, kernel: str, grid_blocks: int, block_warps: int,
+                     obs=None) -> None:
+        """Reset per-launch conflict state (launches serialise on the stream)."""
+        self._kernel = kernel
+        self.obs = obs
+        self._state.clear()
+        self._shared_written.clear()
+        self._epochs.clear()
+        self._seen.clear()
+
+    def barrier(self, block_id: int) -> None:
+        """A block barrier released: bump the block's sync epoch."""
+        self._epochs[block_id] = self._epochs.get(block_id, 0) + 1
+
+    def block_end(self, contexts) -> None:
+        """A block ran to completion: no warp may still hold a lock."""
+        for ctx in contexts:
+            held = getattr(ctx, "_held_locks", None)
+            if held:
+                names = sorted(str(k) for k in held)
+                self._emit(Finding(
+                    kind="lock-discipline", buffer="<locks>", address=-1,
+                    message=(f"wksan [{self._kernel}]: block {ctx.block_id} "
+                             f"warp {ctx.warp_id} exited the kernel still "
+                             f"holding lock(s) {names}"),
+                    site_a=f"kernel {self._kernel}",
+                ))
+                held.clear()
+
+    def launch_end(self) -> SanitizerReport:
+        """Finish the launch; returns the report accumulated so far."""
+        self._kernel = "<host>"
+        return self.report()
+
+    # -- lock protocol -----------------------------------------------------------
+
+    def bad_release(self, ctx: "WarpContext", lock_name: str) -> None:
+        """Called by the warp context on release of a lock it does not hold."""
+        self._emit(Finding(
+            kind="lock-discipline", buffer="<locks>", address=-1,
+            message=(f"wksan [{self._kernel}]: release of lock {lock_name} "
+                     f"not held by block {ctx.block_id} warp {ctx.warp_id} "
+                     f"at {_caller_site()}"),
+            site_a=_caller_site(),
+        ))
+
+    # -- access recording --------------------------------------------------------
+
+    def global_access(self, buf: "GlobalBuffer", idx: np.ndarray,
+                      mask: np.ndarray, op: str, ctx: "WarpContext") -> None:
+        """Record one warp-wide global-memory access (``op``: read/write/atomic)."""
+        bid = id(buf)
+        if bid not in self._bufrefs:
+            # unknown origin (e.g. a bare GlobalBuffer in tests): assume the
+            # host initialised it, track conflicts normally
+            self.register_global(buf, initialized=True)
+        lanes = np.flatnonzero(mask)
+        if lanes.size == 0:
+            return
+        addrs = np.asarray(idx)[lanes]
+        site = self._site(ctx, lanes)
+        bad = (addrs < 0) | (addrs >= buf.size)
+        if bad.any():
+            off = addrs[bad]
+            self._emit(Finding(
+                kind="out-of-bounds", buffer=buf.name, address=int(off[0]),
+                message=(f"wksan [{self._kernel}]: out-of-bounds {op} of "
+                         f"{buf.name!r} (size {buf.size}) at addresses "
+                         f"{off[:4].tolist()} from {site}"),
+                site_a=site,
+            ))
+            return  # the access itself raises MemoryAccessError next
+        if bid in self._const and op != "read":
+            self._emit(Finding(
+                kind="const-write", buffer=buf.name, address=int(addrs[0]),
+                message=(f"wksan [{self._kernel}]: {op} to read-only buffer "
+                         f"{buf.name!r} from {site}"),
+                site_a=site,
+            ))
+        init = self._init_global[bid]
+        self._check_init(init, addrs, buf.name, op, site)
+        if op == "write":
+            self._check_duplicates(addrs, lanes, buf.name, site)
+        if bid in self._const:
+            return  # no writes possible: reads cannot conflict
+        self._track(("g", bid), buf.name, addrs, op, ctx, site)
+
+    def shared_access(self, block_id: int, name: str, size: int,
+                      idx: np.ndarray, mask: np.ndarray, op: str,
+                      ctx: "WarpContext") -> None:
+        """Record one warp-wide shared-memory access within ``block_id``."""
+        lanes = np.flatnonzero(mask)
+        if lanes.size == 0:
+            return
+        addrs = np.asarray(idx)[lanes]
+        site = self._site(ctx, lanes)
+        label = f"shared:{name}"
+        bad = (addrs < 0) | (addrs >= size)
+        if bad.any():
+            self._emit(Finding(
+                kind="out-of-bounds", buffer=label, address=int(addrs[bad][0]),
+                message=(f"wksan [{self._kernel}]: out-of-bounds {op} of "
+                         f"shared region {name!r} (size {size}) from {site}"),
+                site_a=site,
+            ))
+            return
+        written = self._shared_written.get((block_id, name))
+        if written is None:
+            # CUDA __shared__ is uninitialized until some warp stores to it
+            written = np.zeros(size, dtype=bool)
+            self._shared_written[(block_id, name)] = written
+        self._check_init(written, addrs, label, op, site)
+        if op == "write":
+            self._check_duplicates(addrs, lanes, label, site)
+        self._track(("s", block_id, name), label, addrs, op, ctx, site)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _site(self, ctx: "WarpContext", lanes: np.ndarray) -> str:
+        shown = lanes[:6].tolist() + (["..."] if lanes.size > 6 else [])
+        return (f"{_caller_site()} (block {ctx.block_id}, warp {ctx.warp_id}, "
+                f"lanes {shown})")
+
+    def _check_init(self, init: np.ndarray, addrs: np.ndarray, bufname: str,
+                    op: str, site: str) -> None:
+        """Uninitialized-read check; writes (incl. atomic RMW) initialise."""
+        if op in ("read", "atomic"):
+            fresh = ~init[addrs]
+            if fresh.any():
+                first = addrs[fresh]
+                self._emit(Finding(
+                    kind="uninitialized-read", buffer=bufname,
+                    address=int(first[0]),
+                    message=(f"wksan [{self._kernel}]: {op} of never-written "
+                             f"{bufname!r} word(s) {first[:4].tolist()} "
+                             f"from {site}"),
+                    site_a=site,
+                ))
+        if op in ("write", "atomic"):
+            init[addrs] = True
+
+    def _check_duplicates(self, addrs: np.ndarray, lanes: np.ndarray,
+                          bufname: str, site: str) -> None:
+        uniq, counts = np.unique(addrs, return_counts=True)
+        if (counts > 1).any():
+            dup = int(uniq[counts > 1][0])
+            dup_lanes = lanes[addrs == dup].tolist()
+            self._emit(Finding(
+                kind="duplicate-scatter", buffer=bufname, address=dup,
+                message=(f"wksan [{self._kernel}]: lanes {dup_lanes} of one "
+                         f"warp scatter to the same address {dup} of "
+                         f"{bufname!r} (CUDA leaves the winner unspecified; "
+                         f"NumPy silently keeps the highest lane) at {site}"),
+                site_a=site,
+            ))
+
+    def _track(self, space: tuple, bufname: str, addrs: np.ndarray, op: str,
+               ctx: "WarpContext", site: str) -> None:
+        rec = AccessRecord(
+            block=ctx.block_id, warp=ctx.warp_id,
+            epoch=self._epochs.get(ctx.block_id, 0), op=op,
+            locks=frozenset(getattr(ctx, "_held_locks", ())), site=site,
+        )
+        state = self._state
+        for a in np.unique(addrs):
+            key = (space, int(a))
+            st = state.get(key)
+            if st is None:
+                st = _AddrState()
+                state[key] = st
+            if op == "read":
+                if st.write is not None and not _ordered(st.write, rec):
+                    self._conflict("read-write", bufname, int(a), st.write, rec)
+                st.reads.setdefault(rec.key(), rec)
+            else:
+                if st.write is not None and not _ordered(st.write, rec):
+                    self._conflict("write-write", bufname, int(a), st.write, rec)
+                for r in st.reads.values():
+                    if not _ordered(r, rec):
+                        self._conflict("read-write", bufname, int(a), r, rec)
+                st.write = rec
+                st.reads.clear()
+
+    def _conflict(self, kind: str, bufname: str, addr: int,
+                  first: AccessRecord, second: AccessRecord) -> None:
+        self._emit(Finding(
+            kind=kind, buffer=bufname, address=addr,
+            message=(f"wksan [{self._kernel}]: unordered {kind} conflict on "
+                     f"{bufname!r}[{addr}]: {first.describe()} vs "
+                     f"{second.describe()}"),
+            site_a=first.site, site_b=second.site,
+        ))
+
+    def _emit(self, finding: Finding) -> None:
+        dedupe = (finding.kind, finding.buffer, finding.address,
+                  finding.site_a, finding.site_b)
+        if dedupe in self._seen:
+            return
+        self._seen.add(dedupe)
+        self.findings.append(finding)
+        if self.metrics is not None:
+            self.metrics.sanitizer_findings += 1
+        if self.mode == "raise":
+            raise RaceError(finding.message, finding=finding)
+        obs = self.obs
+        if obs is not None:
+            from repro.obs.hooks import Events
+
+            obs.metrics.counter(f"sanitizer/{finding.kind}").inc()
+            obs.hooks.emit(Events.SANITIZER_FINDING, **finding.as_dict())
+
+    # -- results -----------------------------------------------------------------
+
+    def report(self) -> SanitizerReport:
+        """Snapshot of all findings accumulated so far (device lifetime)."""
+        return SanitizerReport(tuple(self.findings))

@@ -60,7 +60,11 @@ def launch(
     is_gen = inspect.isgeneratorfunction(kernel)
     metrics = device.metrics
     obs = device.obs
+    san = device.sanitizer
     kernel_name = getattr(kernel, "__name__", "kernel")
+    if san is not None:
+        # launches serialise on the stream: reset per-launch conflict state
+        san.launch_begin(kernel_name, grid_blocks, block_warps, obs=obs)
     t_start = 0.0
     cycles_start = 0
     if obs is not None:
@@ -78,21 +82,25 @@ def launch(
     block_cycles: list[int] = []
     for block_id in range(grid_blocks):
         cycles_before = metrics.estimated_cycles(device.config)
-        shared = SharedMemory(device.config, metrics)
+        shared = SharedMemory(device.config, metrics, block_id=block_id)
         contexts = [
             WarpContext(device, shared, block_id, w, block_warps, grid_blocks)
             for w in range(block_warps)
         ]
         if is_gen:
             coroutines = [kernel(ctx, *args) for ctx in contexts]
-            _run_block(coroutines, block_id, metrics)
+            _run_block(coroutines, block_id, metrics, san)
         else:
             for ctx in contexts:
                 result = kernel(ctx, *args)
                 if inspect.isgenerator(result):  # defensive: lambda returning gen
-                    _run_block([result], block_id, metrics)
+                    _run_block([result], block_id, metrics, san)
+        if san is not None:
+            san.block_end(contexts)
         block_cycles.append(metrics.estimated_cycles(device.config) - cycles_before)
     device.last_launch_block_cycles = block_cycles
+    if san is not None:
+        san.launch_end()
     if obs is not None:
         from repro.obs.hooks import Events
 
@@ -108,7 +116,7 @@ def launch(
         )
 
 
-def _run_block(coroutines: list, block_id: int, metrics) -> None:
+def _run_block(coroutines: list, block_id: int, metrics, san=None) -> None:
     """Round-robin the block's warp coroutines with barrier rendezvous."""
     states = [_RUNNING] * len(coroutines)
     while True:
@@ -140,6 +148,9 @@ def _run_block(coroutines: list, block_id: int, metrics) -> None:
                     f"warps {done} exited the kernel without reaching"
                 )
             metrics.barriers += 1
+            if san is not None:
+                # a released barrier starts a new sync epoch for the block
+                san.barrier(block_id)
             for i in waiting:
                 states[i] = _RUNNING
         elif not progressed:  # pragma: no cover - defensive

@@ -23,10 +23,16 @@ from repro.simt.metrics import KernelMetrics
 class SharedMemory:
     """Shared-memory arena for one thread block."""
 
-    def __init__(self, config: DeviceConfig, metrics: KernelMetrics) -> None:
+    def __init__(
+        self, config: DeviceConfig, metrics: KernelMetrics, block_id: int = 0
+    ) -> None:
         self._config = config
         self._metrics = metrics
         self._regions: dict[str, np.ndarray] = {}
+        #: names by region identity, for sanitizer reports
+        self._names: dict[int, str] = {}
+        #: owning block (sanitizer scopes shared shadow state per block)
+        self.block_id = block_id
 
     def allocate(self, name: str, shape: tuple[int, ...] | int, dtype) -> np.ndarray:
         """Return the named region, creating it (zero-filled) on first use.
@@ -39,8 +45,12 @@ class SharedMemory:
         dtype = np.dtype(dtype)
         region = self._regions.get(name)
         if region is None:
+            # zero-filled for determinism; CUDA ``__shared__`` contents are
+            # undefined, which the wksan sanitizer enforces independently by
+            # flagging loads of never-stored words
             region = np.zeros(shape, dtype=dtype)
             self._regions[name] = region
+            self._names[id(region)] = name
             return region
         if region.shape != tuple(shape) or region.dtype != dtype:
             raise MemoryAccessError(
@@ -69,8 +79,20 @@ class SharedMemory:
                 f"shared-memory access out of bounds (size {region.shape[0]})"
             )
 
-    def load(self, region: np.ndarray, idx: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    def _sanitize(self, region: np.ndarray, idx: np.ndarray, mask: np.ndarray,
+                  op: str, ctx) -> None:
+        if ctx is None or ctx.sanitizer is None:
+            return
+        name = self._names.get(id(region), "<region>")
+        ctx.sanitizer.shared_access(
+            self.block_id, name, region.shape[0], idx, mask, op, ctx
+        )
+
+    def load(
+        self, region: np.ndarray, idx: np.ndarray, mask: np.ndarray, ctx=None
+    ) -> np.ndarray:
         """Warp-wide load from a 1-D shared region with conflict accounting."""
+        self._sanitize(region, idx, mask, "read", ctx)
         self._check(region, idx, mask)
         out = np.zeros(idx.shape, dtype=region.dtype)
         out[mask] = region[idx[mask]]
@@ -79,9 +101,15 @@ class SharedMemory:
         return out
 
     def store(
-        self, region: np.ndarray, idx: np.ndarray, values: np.ndarray, mask: np.ndarray
+        self,
+        region: np.ndarray,
+        idx: np.ndarray,
+        values: np.ndarray,
+        mask: np.ndarray,
+        ctx=None,
     ) -> None:
         """Warp-wide store to a 1-D shared region with conflict accounting."""
+        self._sanitize(region, idx, mask, "write", ctx)
         self._check(region, idx, mask)
         vals = np.asarray(values, dtype=region.dtype)
         if vals.ndim == 0:

@@ -64,7 +64,13 @@ class WarpContext:
         self._config = device.config
         self._metrics = device.metrics
         self._shared = shared
-        self._atomics = AtomicUnit(device.metrics)
+        self._atomics = AtomicUnit(device.metrics, ctx=self)
+        #: wksan sanitizer of the owning device (``None`` when disabled)
+        self.sanitizer = getattr(device, "sanitizer", None)
+        #: spinlocks currently held by this warp: ``(buffer id, index)`` keys;
+        #: tagged onto sanitized accesses so lock-protected critical sections
+        #: order against each other
+        self._held_locks: set[tuple[int, int]] = set()
         self.block_id = block_id
         #: index of this warp within its block
         self.warp_id = warp_id
@@ -129,7 +135,7 @@ class WarpContext:
         mask = self.full_mask if mask is None else np.asarray(mask, dtype=bool)
         idx = self._as_lanes(idx)
         return buf.gather(idx, mask, self._config, self._metrics,
-                          cache=self._device.cache)
+                          cache=self._device.cache, ctx=self)
 
     def store(
         self,
@@ -142,7 +148,7 @@ class WarpContext:
         mask = self.full_mask if mask is None else np.asarray(mask, dtype=bool)
         idx = self._as_lanes(idx)
         buf.scatter(idx, values, mask, self._config, self._metrics,
-                    cache=self._device.cache)
+                    cache=self._device.cache, ctx=self)
 
     # -- atomics ---------------------------------------------------------------
 
@@ -166,6 +172,49 @@ class WarpContext:
         mask = self.full_mask if mask is None else np.asarray(mask, dtype=bool)
         return self._atomics.cas(buf, self._as_lanes(idx), compare, values, mask)
 
+    # -- spinlock protocol ------------------------------------------------------
+
+    def lock_acquire(self, lock_buf: GlobalBuffer, index: int,
+                     owner_lane: int = 0) -> bool:
+        """One ``atomicExch(lock[index], 1)`` attempt to take a spinlock.
+
+        Returns True when the lock was free (the word held 0).  The warp
+        then *holds* the lock: the wksan sanitizer tags every subsequent
+        access with it, so two critical sections on the same lock word are
+        mutually ordered.  Kernels must pair this with :meth:`lock_release`.
+        """
+        old = self.atomic_exch(
+            lock_buf, np.full(self.warp_size, int(index)), 1,
+            self.lane_id == owner_lane,
+        )
+        acquired = int(old[owner_lane]) == 0
+        if acquired:
+            self._held_locks.add((id(lock_buf), int(index)))
+        return acquired
+
+    def lock_release(self, lock_buf: GlobalBuffer, index: int,
+                     owner_lane: int = 0) -> None:
+        """Release a spinlock taken with :meth:`lock_acquire`.
+
+        The release is itself an ``atomicExch(lock[index], 0)`` - a plain
+        store would race with another warp's acquire exchange (and real
+        devices need the implied fence); the cost model already charges the
+        baseline discipline for an atomic release
+        (:mod:`repro.bench.costmodel`).  Releasing a lock the warp does not
+        hold is a discipline violation reported by the sanitizer.
+        """
+        key = (id(lock_buf), int(index))
+        if key in self._held_locks:
+            # drop the tag first so the release exchange itself is ordered by
+            # atomicity, not by the (ending) critical section
+            self._held_locks.discard(key)
+        elif self.sanitizer is not None:
+            self.sanitizer.bad_release(self, f"{lock_buf.name}[{int(index)}]")
+        self.atomic_exch(
+            lock_buf, np.full(self.warp_size, int(index)), 0,
+            self.lane_id == owner_lane,
+        )
+
     # -- shared memory ----------------------------------------------------------
 
     def shared(self, name: str, shape, dtype) -> np.ndarray:
@@ -174,11 +223,11 @@ class WarpContext:
 
     def shared_load(self, region: np.ndarray, idx, mask=None) -> np.ndarray:
         mask = self.full_mask if mask is None else np.asarray(mask, dtype=bool)
-        return self._shared.load(region, self._as_lanes(idx), mask)
+        return self._shared.load(region, self._as_lanes(idx), mask, ctx=self)
 
     def shared_store(self, region: np.ndarray, idx, values, mask=None) -> None:
         mask = self.full_mask if mask is None else np.asarray(mask, dtype=bool)
-        self._shared.store(region, self._as_lanes(idx), values, mask)
+        self._shared.store(region, self._as_lanes(idx), values, mask, ctx=self)
 
     # -- warp shuffle / vote intrinsics -------------------------------------------
 

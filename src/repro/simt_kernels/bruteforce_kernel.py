@@ -105,7 +105,7 @@ def bruteforce_knng_simt(
     device = device or Device(DeviceConfig())
     if k > device.config.warp_size:
         raise ValueError(f"k={k} exceeds warp_size={device.config.warp_size}")
-    xbuf = device.to_device(x.reshape(-1), "points")
+    xbuf = device.to_device(x.reshape(-1), "points", const=True)
     dist_buf = device.empty((n * k,), np.float32, "bf_dists", fill=np.inf)
     id_buf = device.empty((n * k,), np.int32, "bf_ids", fill=EMPTY_ID)
     blocks = (n + queries_per_block - 1) // queries_per_block

@@ -86,22 +86,27 @@ def insert_baseline(
 ) -> bool:
     """Lock-protected scan-and-replace (the baseline discipline).
 
-    Returns True if the candidate entered the list.  The lock is an
-    ``atomicExch`` on a per-point word; within the cooperative simulator it
-    always succeeds on the first try (see package docstring), but the
-    operation is still issued so its cost is counted.
+    Returns True if the candidate entered the list.  The lock is taken and
+    released through :meth:`~repro.simt.warp.WarpContext.lock_acquire` /
+    :meth:`~repro.simt.warp.WarpContext.lock_release` - both ``atomicExch``
+    operations.  A plain store release would race with another warp's
+    acquire exchange on the same lock word (and on hardware lacks the fence
+    the critical section needs); the cost model has always charged two
+    atomics per insert for exactly this protocol
+    (:mod:`repro.bench.costmodel`).  Within the cooperative simulator the
+    acquire succeeds on the first try (see package docstring), but the
+    operations are still issued so their cost is counted and the wksan
+    sanitizer can order the critical sections.
     """
     lane = ctx.lane_id
     slot_mask = lane < k
-    # acquire
-    old = ctx.atomic_exch(lock_buf, np.full(ctx.warp_size, row), 1, lane == 0)
-    if int(ctx.shfl(old, 0)[0]) != 0:  # pragma: no cover - no real contention
+    if not ctx.lock_acquire(lock_buf, row):  # pragma: no cover - no contention
         raise RuntimeError("simulated lock unexpectedly contended")
     # scan (membership + maximum in one pass over the k slots)
     dists = ctx.load(dist_buf, row * k + lane, slot_mask)
     ids = ctx.load(id_buf, row * k + lane, slot_mask)
     if ctx.any(ids == cand_id, slot_mask):
-        ctx.store(lock_buf, np.full(ctx.warp_size, row), np.int32(0), lane == 0)
+        ctx.lock_release(lock_buf, row)
         return False
     max_val, max_lane = ctx.argmax_lane(dists, slot_mask)
     accepted = ctx.branch(np.full(ctx.warp_size, cand_dist < max_val), slot_mask)
@@ -109,8 +114,7 @@ def insert_baseline(
         at = np.full(ctx.warp_size, row * k + max_lane)
         ctx.store(dist_buf, at, np.float32(cand_dist), lane == 0)
         ctx.store(id_buf, at, np.int32(cand_id), lane == 0)
-    # release
-    ctx.store(lock_buf, np.full(ctx.warp_size, row), np.int32(0), lane == 0)
+    ctx.lock_release(lock_buf, row)
     return accepted
 
 
@@ -226,8 +230,11 @@ class TiledInserter:
         lane = ctx.lane_id
         w = ctx.warp_size
         valid = lane < self._fill
-        tile_d = ctx.shared_load(self._tile_d, lane)
-        tile_i = ctx.shared_load(self._tile_i, lane)
+        # load only the populated prefix: lanes past _fill would read tile
+        # words no warp ever stored this round (uninitialized __shared__ on
+        # real hardware; flagged by the wksan sanitizer)
+        tile_d = ctx.shared_load(self._tile_d, lane, valid)
+        tile_i = ctx.shared_load(self._tile_i, lane, valid)
         tile_d = np.where(valid, tile_d, np.float32(np.inf))
         tile_i = np.where(valid, tile_i, np.int32(-1))
         tile_d, tile_i = warp_bitonic_sort(ctx, tile_d, tile_i)

@@ -72,7 +72,7 @@ def _launch_leaf(
     leaf_len = int(leaf.shape[0])
     if leaf_len < 2:
         return
-    leaf_buf = device.to_device(leaf.astype(np.int64), "leaf")
+    leaf_buf = device.to_device(leaf.astype(np.int64), "leaf", const=True)
     if lists.strategy == "baseline":
         device.launch(
             leaf_kernels.leaf_kernel_baseline,
@@ -111,10 +111,10 @@ def _launch_pairs(
     n_groups = int(urows.size)
     if n_groups == 0:
         return
-    rows_buf = device.to_device(urows.astype(np.int64), "ref_rows")
-    cols_buf = device.to_device(scols.astype(np.int64), "ref_cols")
-    starts_buf = device.to_device(starts.astype(np.int64), "ref_starts")
-    counts_buf = device.to_device(counts.astype(np.int64), "ref_counts")
+    rows_buf = device.to_device(urows.astype(np.int64), "ref_rows", const=True)
+    cols_buf = device.to_device(scols.astype(np.int64), "ref_cols", const=True)
+    starts_buf = device.to_device(starts.astype(np.int64), "ref_starts", const=True)
+    counts_buf = device.to_device(counts.astype(np.int64), "ref_counts", const=True)
     if lists.strategy == "baseline":
         device.launch(
             pairs_kernels.pairs_kernel_baseline,
@@ -188,7 +188,9 @@ def build_knng_simt(points: np.ndarray, config: BuildConfig,
             obs.metrics.gauge("forest/max_leaf_size").set(float(sizes.max()))
 
         with obs.trace.span("leaf_pairs"):
-            xbuf = device.to_device(x.reshape(-1), "points")
+            # the point matrix is kernel input only: const skips conflict
+            # tracking (it is the hot gather path under the sanitizer)
+            xbuf = device.to_device(x.reshape(-1), "points", const=True)
             lists = _DeviceLists(device, n, config.k, config.strategy)
             for _ti, leaf in forest.iter_leaves():
                 _launch_leaf(device, lists, xbuf, leaf, dim, config.k)
@@ -225,18 +227,23 @@ def build_knng_simt(points: np.ndarray, config: BuildConfig,
         metric=config.metric, strategy=config.strategy,
         parallel={"n_jobs": 1, "workers": 1},
     )
+    meta = {
+        "algorithm": "w-knng",
+        "strategy": config.strategy,
+        "backend": "simt",
+        "config": config,
+        "simt_metrics": device.metrics.as_dict(),
+        "estimated_cycles": device.metrics.estimated_cycles(device.config),
+        "report": report.as_dict(),
+    }
+    if device.sanitizer is not None:
+        # raise mode would have aborted the build at the first finding, so
+        # this summary is the report-mode record of what wksan saw
+        meta["sanitizer"] = device.sanitizer.report().as_dict()
     graph = KNNGraph(
         ids=ids,
         dists=dists,
-        meta={
-            "algorithm": "w-knng",
-            "strategy": config.strategy,
-            "backend": "simt",
-            "config": config,
-            "simt_metrics": device.metrics.as_dict(),
-            "estimated_cycles": device.metrics.estimated_cycles(device.config),
-            "report": report.as_dict(),
-        },
+        meta=meta,
         report=report,
     )
     return graph, report

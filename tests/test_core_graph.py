@@ -94,3 +94,67 @@ class TestPersistence:
         loaded = KNNGraph.load(path)
         assert np.array_equal(loaded.ids, graph.ids)
         assert np.array_equal(loaded.dists, graph.dists)
+
+    def test_save_keeps_numpy_scalar_meta(self, tmp_path):
+        """np.float32/np.int64 meta values must survive the round-trip
+        (previously they failed json.dumps and silently vanished)."""
+        g = KNNGraph(
+            ids=np.array([[1], [0]], dtype=np.int32),
+            dists=np.array([[1.0], [1.0]], dtype=np.float32),
+            meta={
+                "recall": np.float32(0.875),
+                "inserted": np.int64(42),
+                "stats": {"ratio": np.float64(1.25), "per_round": [np.int32(3)]},
+                "metric": "sqeuclidean",
+            },
+        )
+        path = tmp_path / "g.npz"
+        g.save(path)
+        loaded = KNNGraph.load(path)
+        assert loaded.meta["recall"] == pytest.approx(0.875)
+        assert loaded.meta["inserted"] == 42
+        assert loaded.meta["stats"] == {"ratio": 1.25, "per_round": [3]}
+        assert loaded.meta["metric"] == "sqeuclidean"
+
+    def test_save_still_drops_non_serialisable_meta(self, tmp_path):
+        g = KNNGraph(
+            ids=np.array([[1], [0]], dtype=np.int32),
+            dists=np.array([[1.0], [1.0]], dtype=np.float32),
+            meta={"arr": np.zeros(4), "obj": object(), "ok": 1},
+        )
+        path = tmp_path / "g.npz"
+        g.save(path)
+        loaded = KNNGraph.load(path)
+        assert loaded.meta == {"ok": 1}
+
+
+class TestSymmetrizedVectorized:
+    """Parity of the vectorized symmetrized_ids with the former O(n*k) loop."""
+
+    @staticmethod
+    def _reference(g: KNNGraph) -> list[np.ndarray]:
+        out: list[list[int]] = [[] for _ in range(g.n)]
+        for i in range(g.n):
+            for j in g.neighbors(i):
+                out[i].append(int(j))
+                out[int(j)].append(i)
+        return [np.unique(np.array(lst, dtype=np.int64)) for lst in out]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_parity_with_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        n, k = 50, 6
+        ids = rng.integers(0, n, size=(n, k)).astype(np.int32)
+        ids[rng.random((n, k)) < 0.25] = -1  # unfilled slots
+        g = KNNGraph(ids=ids, dists=np.ones((n, k), dtype=np.float32))
+        got, want = g.symmetrized_ids(), self._reference(g)
+        assert len(got) == len(want) == n
+        for a, b in zip(got, want):
+            assert a.dtype == np.int64
+            assert np.array_equal(a, b)
+
+    def test_isolated_point_gets_empty_int64_array(self):
+        g = KNNGraph(ids=np.array([[1], [0], [-1]], dtype=np.int32),
+                     dists=np.array([[1.0], [1.0], [np.inf]], dtype=np.float32))
+        sym = g.symmetrized_ids()
+        assert sym[2].size == 0 and sym[2].dtype == np.int64

@@ -152,3 +152,38 @@ class TestAtomicOps:
         au.min(buf, np.zeros(W, dtype=np.int64), cand, mask)
         d, i = unpack_dist_id(buf.to_host())
         assert d[0] == 2.0 and i[0] == 0
+
+
+class TestPackIdValidation:
+    """Out-of-int32-range ids must raise instead of aliasing other points."""
+
+    def test_sentinel_minus_one_round_trips(self):
+        p = pack_dist_id(np.float32(1.0), np.int32(-1))
+        _, i = unpack_dist_id(np.array([p], dtype=np.uint64))
+        assert i[0] == -1
+
+    def test_id_too_large_raises(self):
+        from repro.errors import AtomicError
+
+        with pytest.raises(AtomicError, match="int32"):
+            pack_dist_id(np.float32(1.0), np.int64(2**31))
+
+    def test_id_too_negative_raises(self):
+        from repro.errors import AtomicError
+
+        with pytest.raises(AtomicError, match="int32"):
+            pack_dist_id(np.float32(1.0), np.int64(-(2**31) - 1))
+
+    def test_vector_with_one_bad_id_raises(self):
+        from repro.errors import AtomicError
+
+        ids = np.arange(W, dtype=np.int64)
+        ids[-1] = 2**32 - 1  # would alias -1 after masking
+        with pytest.raises(AtomicError, match="alias"):
+            pack_dist_id(np.full(W, 2.0, dtype=np.float32), ids)
+
+    def test_int32_extremes_accepted(self):
+        ids = np.array([-(2**31), 2**31 - 1], dtype=np.int64)
+        packed = pack_dist_id(np.full(2, 1.0, dtype=np.float32), ids)
+        _, got = unpack_dist_id(packed)
+        assert got.tolist() == ids.tolist()

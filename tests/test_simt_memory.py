@@ -161,3 +161,34 @@ class TestCoalescing:
         m = KernelMetrics()
         buf.gather(np.arange(W, dtype=np.int64), np.zeros(W, dtype=bool), CFG, m)
         assert m.global_load_transactions == 0
+
+
+class TestScatterDuplicateSemantics:
+    """Documented duplicate-index behaviour: the highest active lane wins
+    (CUDA's single-unspecified-winner made deterministic; the wksan
+    sanitizer flags these scatters when enabled)."""
+
+    def test_highest_lane_wins(self):
+        buf = GlobalBuffer(np.zeros(8, dtype=np.int32))
+        m = KernelMetrics()
+        idx = np.zeros(W, dtype=np.int64)  # all lanes -> word 0
+        vals = np.arange(W, dtype=np.int32)
+        buf.scatter(idx, vals, ALL, CFG, m)
+        assert buf.to_host()[0] == W - 1
+
+    def test_highest_active_lane_wins_under_mask(self):
+        buf = GlobalBuffer(np.zeros(8, dtype=np.int32))
+        m = KernelMetrics()
+        idx = np.zeros(W, dtype=np.int64)
+        vals = np.arange(W, dtype=np.int32)
+        mask = np.zeros(W, dtype=bool)
+        mask[3] = mask[7] = True
+        buf.scatter(idx, vals, mask, CFG, m)
+        assert buf.to_host()[0] == 7
+
+    def test_distinct_indices_all_land(self):
+        buf = GlobalBuffer(np.zeros(W, dtype=np.int32))
+        m = KernelMetrics()
+        buf.scatter(np.arange(W, dtype=np.int64), np.arange(W, dtype=np.int32),
+                    ALL, CFG, m)
+        assert np.array_equal(buf.to_host(), np.arange(W, dtype=np.int32))

@@ -1,0 +1,483 @@
+"""Tests for the wksan race detector / memory sanitizer.
+
+Two halves:
+
+* a *negative-test corpus* of deliberately broken kernels, one per detector
+  class, proving each detector actually fires and names both access sites;
+* *positive* runs showing the shipped kernels (all three strategy
+  disciplines plus the brute-force pipeline) are certified race-free -
+  including the acceptance check that a lock-removed variant of the
+  baseline discipline is demonstrably caught.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import BuildConfig
+from repro.errors import MemoryAccessError, RaceError
+from repro.obs import Observability
+from repro.simt import Device, DeviceConfig
+from repro.simt.sanitizer import env_mode
+from repro.simt_kernels.bruteforce_kernel import bruteforce_knng_simt
+from repro.simt_kernels.device_fns import insert_baseline
+from repro.simt_kernels.pipeline import build_knng_simt
+
+
+def raise_device() -> Device:
+    return Device(DeviceConfig(sanitize=True, sanitize_mode="raise"))
+
+
+def report_device(obs=None) -> Device:
+    return Device(DeviceConfig(sanitize=True, sanitize_mode="report"), obs=obs)
+
+
+# --------------------------------------------------------------------------
+# negative corpus: each detector class fires, with both sites named
+# --------------------------------------------------------------------------
+
+
+class TestDetectorCorpus:
+    def test_write_write_across_blocks(self):
+        dev = raise_device()
+        out = dev.empty(8, np.int32, "out")
+
+        def racy_ww(ctx, out):
+            # every block's lane 0 stores to word 0 - no ordering between them
+            ctx.store(out, np.zeros(32, dtype=np.int64), ctx.block_id,
+                      ctx.lane_id == 0)
+
+        with pytest.raises(RaceError) as ei:
+            dev.launch(racy_ww, grid_blocks=2, block_warps=1, args=(out,))
+        msg = str(ei.value)
+        assert "write-write" in msg
+        assert msg.count("in racy_ww") == 2  # both conflicting sites named
+        assert ei.value.finding.site_b is not None
+
+    def test_write_write_across_warps_same_block(self):
+        dev = raise_device()
+        out = dev.empty(8, np.int32, "out")
+
+        def racy(ctx, out):
+            ctx.store(out, np.zeros(32, dtype=np.int64), ctx.warp_id,
+                      ctx.lane_id == 0)
+
+        with pytest.raises(RaceError, match="write-write"):
+            dev.launch(racy, grid_blocks=1, block_warps=2, args=(out,))
+
+    def test_read_write_across_warps(self):
+        dev = raise_device()
+        out = dev.empty(8, np.int32, "out")
+
+        def racy_rw(ctx, out):
+            if ctx.warp_id == 0:
+                ctx.load(out, np.zeros(32, dtype=np.int64), ctx.lane_id == 0)
+            else:
+                ctx.store(out, np.zeros(32, dtype=np.int64), 1,
+                          ctx.lane_id == 0)
+
+        with pytest.raises(RaceError) as ei:
+            dev.launch(racy_rw, grid_blocks=1, block_warps=2, args=(out,))
+        assert ei.value.finding.kind == "read-write"
+        assert str(ei.value).count("in racy_rw") == 2
+
+    def test_duplicate_index_scatter(self):
+        dev = raise_device()
+        out = dev.empty(8, np.int32, "out")
+
+        def racy_dup(ctx, out):
+            # all 32 lanes scatter to word 0 in one store
+            ctx.store(out, np.zeros(32, dtype=np.int64), ctx.lane_id)
+
+        with pytest.raises(RaceError) as ei:
+            dev.launch(racy_dup, grid_blocks=1, block_warps=1, args=(out,))
+        assert ei.value.finding.kind == "duplicate-scatter"
+
+    def test_uninitialized_global_read(self):
+        dev = raise_device()
+        scratch = dev.malloc(64, np.float32, "scratch")
+
+        def racy_uninit(ctx, buf):
+            ctx.load(buf, ctx.lane_id)
+
+        with pytest.raises(RaceError) as ei:
+            dev.launch(racy_uninit, grid_blocks=1, block_warps=1,
+                       args=(scratch,))
+        assert ei.value.finding.kind == "uninitialized-read"
+        assert "scratch" in str(ei.value)
+
+    def test_malloc_written_then_read_is_clean(self):
+        dev = raise_device()
+        scratch = dev.malloc(32, np.float32, "scratch")
+
+        def ok(ctx, buf):
+            ctx.store(buf, ctx.lane_id, np.float32(1.0))
+            ctx.load(buf, ctx.lane_id)
+
+        dev.launch(ok, grid_blocks=1, block_warps=1, args=(scratch,))
+
+    def test_uninitialized_shared_read(self):
+        dev = raise_device()
+
+        def racy_shared(ctx):
+            tile = ctx.shared("tile", (32,), np.float32)
+            ctx.shared_load(tile, ctx.lane_id)  # no warp ever stored
+
+        with pytest.raises(RaceError) as ei:
+            dev.launch(racy_shared, grid_blocks=1, block_warps=1)
+        assert ei.value.finding.kind == "uninitialized-read"
+        assert "shared:tile" in str(ei.value)
+
+    def test_out_of_bounds_flagged_before_access_error(self):
+        dev = raise_device()
+        out = dev.empty(8, np.int32, "out")
+
+        def racy_oob(ctx, out):
+            ctx.store(out, ctx.lane_id + 100, ctx.lane_id)
+
+        with pytest.raises(RaceError) as ei:
+            dev.launch(racy_oob, grid_blocks=1, block_warps=1, args=(out,))
+        assert ei.value.finding.kind == "out-of-bounds"
+
+    def test_out_of_bounds_report_mode_still_raises_access_error(self):
+        dev = report_device()
+        out = dev.empty(8, np.int32, "out")
+
+        def racy_oob(ctx, out):
+            ctx.store(out, ctx.lane_id + 100, ctx.lane_id)
+
+        with pytest.raises(MemoryAccessError):
+            dev.launch(racy_oob, grid_blocks=1, block_warps=1, args=(out,))
+        kinds = dev.sanitizer.report().by_kind()
+        assert kinds.get("out-of-bounds") == 1
+
+    def test_const_write_flagged(self):
+        dev = raise_device()
+        pts = dev.to_device(np.zeros(32, np.float32), "points", const=True)
+
+        def racy_const(ctx, buf):
+            ctx.store(buf, ctx.lane_id, np.float32(1.0))
+
+        with pytest.raises(RaceError) as ei:
+            dev.launch(racy_const, grid_blocks=1, block_warps=1, args=(pts,))
+        assert ei.value.finding.kind == "const-write"
+
+    def test_lock_release_without_acquire(self):
+        dev = raise_device()
+        locks = dev.empty(4, np.int32, "locks")
+
+        def racy_unlock(ctx, locks):
+            ctx.lock_release(locks, 0)
+
+        with pytest.raises(RaceError) as ei:
+            dev.launch(racy_unlock, grid_blocks=1, block_warps=1, args=(locks,))
+        assert ei.value.finding.kind == "lock-discipline"
+
+    def test_kernel_exit_holding_lock(self):
+        dev = raise_device()
+        locks = dev.empty(4, np.int32, "locks")
+
+        def racy_hold(ctx, locks):
+            ctx.lock_acquire(locks, 0)  # never released
+
+        with pytest.raises(RaceError) as ei:
+            dev.launch(racy_hold, grid_blocks=1, block_warps=1, args=(locks,))
+        assert ei.value.finding.kind == "lock-discipline"
+        assert "still holding" in str(ei.value)
+
+
+# --------------------------------------------------------------------------
+# happens-before: synchronization that MUST suppress findings
+# --------------------------------------------------------------------------
+
+
+class TestOrderings:
+    def test_barrier_orders_warps_within_block(self):
+        dev = raise_device()
+        out = dev.empty(8, np.int32, "out")
+
+        def handoff(ctx, out):
+            if ctx.warp_id == 0:
+                ctx.store(out, np.zeros(32, dtype=np.int64), 7,
+                          ctx.lane_id == 0)
+            yield ctx.barrier()
+            if ctx.warp_id == 1:
+                ctx.load(out, np.zeros(32, dtype=np.int64), ctx.lane_id == 0)
+
+        dev.launch(handoff, grid_blocks=1, block_warps=2, args=(out,))
+
+    def test_barrier_does_not_order_blocks(self):
+        dev = raise_device()
+        out = dev.empty(8, np.int32, "out")
+
+        def racy(ctx, out):
+            yield ctx.barrier()
+            ctx.store(out, np.zeros(32, dtype=np.int64), ctx.block_id,
+                      ctx.lane_id == 0)
+
+        with pytest.raises(RaceError, match="write-write"):
+            dev.launch(racy, grid_blocks=2, block_warps=1, args=(out,))
+
+    def test_common_lock_orders_critical_sections(self):
+        dev = raise_device()
+        out = dev.empty(8, np.int32, "out")
+        locks = dev.empty(1, np.int32, "locks")
+
+        def locked(ctx, out, locks):
+            ctx.lock_acquire(locks, 0)
+            ctx.store(out, np.zeros(32, dtype=np.int64), ctx.block_id,
+                      ctx.lane_id == 0)
+            ctx.lock_release(locks, 0)
+
+        dev.launch(locked, grid_blocks=3, block_warps=1, args=(out, locks))
+
+    def test_different_locks_do_not_order(self):
+        dev = raise_device()
+        out = dev.empty(8, np.int32, "out")
+        locks = dev.empty(4, np.int32, "locks")
+
+        def locked(ctx, out, locks):
+            ctx.lock_acquire(locks, ctx.block_id)  # disjoint locks!
+            ctx.store(out, np.zeros(32, dtype=np.int64), ctx.block_id,
+                      ctx.lane_id == 0)
+            ctx.lock_release(locks, ctx.block_id)
+
+        with pytest.raises(RaceError, match="write-write"):
+            dev.launch(locked, grid_blocks=2, block_warps=1, args=(out, locks))
+
+    def test_atomics_order_against_each_other_and_reads(self):
+        dev = raise_device()
+        ctr = dev.empty(1, np.int32, "counter")
+
+        def atomic_ok(ctx, ctr):
+            ctx.atomic_add(ctr, np.zeros(32, dtype=np.int64), 1,
+                           ctx.lane_id == 0)
+            ctx.load(ctr, np.zeros(32, dtype=np.int64), ctx.lane_id == 0)
+
+        dev.launch(atomic_ok, grid_blocks=4, block_warps=1, args=(ctr,))
+        assert int(ctr.to_host()[0]) == 4
+
+    def test_atomic_vs_plain_write_races(self):
+        dev = raise_device()
+        ctr = dev.empty(1, np.int32, "counter")
+
+        def mixed(ctx, ctr):
+            if ctx.block_id == 0:
+                ctx.atomic_add(ctr, np.zeros(32, dtype=np.int64), 1,
+                               ctx.lane_id == 0)
+            else:
+                ctx.store(ctr, np.zeros(32, dtype=np.int64), 0,
+                          ctx.lane_id == 0)
+
+        with pytest.raises(RaceError, match="write-write"):
+            dev.launch(mixed, grid_blocks=2, block_warps=1, args=(ctr,))
+
+
+# --------------------------------------------------------------------------
+# acceptance: shipped kernels are certified, broken variants are caught
+# --------------------------------------------------------------------------
+
+
+def _points(n=60, dim=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, dim)).astype(np.float32)
+
+
+class TestShippedKernelsCertified:
+    @pytest.mark.parametrize("strategy", ["baseline", "atomic", "tiled"])
+    def test_strategy_pipeline_clean_under_sanitizer(self, strategy):
+        cfg = BuildConfig(k=6, strategy=strategy, backend="simt", n_trees=2,
+                          leaf_size=16, refine_iters=2, seed=1)
+        dev = raise_device()
+        graph, _report = build_knng_simt(_points(), cfg, device=dev)
+        assert dev.sanitizer.report().clean
+        assert graph.meta["sanitizer"]["findings"] == 0
+        assert graph.is_complete()
+
+    def test_bruteforce_pipeline_clean_under_sanitizer(self):
+        dev = raise_device()
+        state, dev = bruteforce_knng_simt(_points(40), 5, device=dev)
+        assert dev.sanitizer.report().clean
+        assert (state.ids >= 0).all()
+
+    def test_lock_removed_baseline_is_caught(self):
+        """The acceptance-criteria kernel: baseline discipline minus the lock.
+
+        Two blocks insert different candidates into the *same* row's list.
+        With the lock the critical sections order; without it the scan and
+        replace stores race - wksan must name both sites.
+        """
+        dev = raise_device()
+        k = 4
+        dists = dev.empty(k, np.float32, "knn_dists", fill=np.inf)
+        ids = dev.empty(k, np.int32, "knn_ids", fill=-1)
+
+        def lockless_insert(ctx, dist_buf, id_buf):
+            lane = ctx.lane_id
+            slot_mask = lane < k
+            # unsynchronized scan-and-replace of row 0 (insert_baseline
+            # without lock_acquire/lock_release)
+            cur = ctx.load(dist_buf, lane, slot_mask)
+            _mx, max_lane = ctx.argmax_lane(cur, slot_mask)
+            at = np.full(ctx.warp_size, max_lane)
+            ctx.store(dist_buf, at, np.float32(ctx.block_id), lane == 0)
+            ctx.store(id_buf, at, np.int32(ctx.block_id), lane == 0)
+
+        with pytest.raises(RaceError) as ei:
+            dev.launch(lockless_insert, grid_blocks=2, block_warps=1,
+                       args=(dists, ids))
+        msg = str(ei.value)
+        assert ei.value.finding.kind in ("read-write", "write-write")
+        assert msg.count("in lockless_insert") == 2  # both sites named
+
+    def test_locked_baseline_variant_is_clean(self):
+        """Same workload as above but through the real discipline: clean."""
+        dev = raise_device()
+        k = 4
+        dists = dev.empty(k, np.float32, "knn_dists", fill=np.inf)
+        ids = dev.empty(k, np.int32, "knn_ids", fill=-1)
+        locks = dev.empty(1, np.int32, "knn_locks")
+
+        def locked_insert(ctx, dist_buf, id_buf, lock_buf):
+            insert_baseline(ctx, dist_buf, id_buf, lock_buf, 0, k,
+                            float(ctx.block_id), ctx.block_id)
+
+        dev.launch(locked_insert, grid_blocks=2, block_warps=1,
+                   args=(dists, ids, locks))
+        assert dev.sanitizer.report().clean
+        assert set(ids.to_host()[ids.to_host() >= 0]) == {0, 1}
+        assert int(locks.to_host()[0]) == 0  # released
+
+
+# --------------------------------------------------------------------------
+# report mode + observability integration
+# --------------------------------------------------------------------------
+
+
+class TestReportMode:
+    def test_findings_accumulate_without_raising(self):
+        obs = Observability()
+        dev = report_device(obs=obs)
+        out = dev.empty(8, np.int32, "out")
+
+        def racy(ctx, out):
+            ctx.store(out, np.zeros(32, dtype=np.int64), ctx.block_id,
+                      ctx.lane_id == 0)
+
+        dev.launch(racy, grid_blocks=3, block_warps=1, args=(out,))
+        rep = dev.sanitizer.report()
+        assert not rep.clean
+        assert rep.by_kind()["write-write"] >= 1
+        assert dev.metrics.sanitizer_findings == len(rep.findings)
+        assert obs.metrics.counter("sanitizer/write-write").value >= 1
+
+    def test_finding_hook_emitted(self):
+        obs = Observability()
+        seen = []
+        from repro.obs.hooks import Events
+
+        obs.hooks.subscribe(Events.SANITIZER_FINDING,
+                            lambda event, payload: seen.append(payload))
+        dev = report_device(obs=obs)
+        out = dev.empty(8, np.int32, "out")
+
+        def racy(ctx, out):
+            ctx.store(out, np.zeros(32, dtype=np.int64), ctx.block_id,
+                      ctx.lane_id == 0)
+
+        dev.launch(racy, grid_blocks=2, block_warps=1, args=(out,))
+        assert seen and seen[0]["kind"] == "write-write"
+        assert "site_a" in seen[0] and "site_b" in seen[0]
+
+    def test_findings_deduplicated_within_launch(self):
+        dev = report_device()
+        out = dev.empty(8, np.int32, "out")
+
+        def racy_loop(ctx, out):
+            for _ in range(5):  # same conflict five times
+                ctx.store(out, np.zeros(32, dtype=np.int64), ctx.block_id,
+                          ctx.lane_id == 0)
+
+        dev.launch(racy_loop, grid_blocks=2, block_warps=1, args=(out,))
+        # one (kind, buffer, addr, sites) tuple, not five
+        assert len(dev.sanitizer.report().findings) <= 3
+
+
+# --------------------------------------------------------------------------
+# configuration plumbing: env switch, DeviceConfig, CLI
+# --------------------------------------------------------------------------
+
+
+class TestWiring:
+    def test_env_mode_values(self, monkeypatch):
+        for val, expect in [("", None), ("0", None), ("off", None),
+                            ("1", "raise"), ("true", "raise"),
+                            ("raise", "raise"), ("report", "report")]:
+            monkeypatch.setenv("WKNN_SANITIZE", val)
+            assert env_mode() == expect, val
+        monkeypatch.delenv("WKNN_SANITIZE")
+        assert env_mode() is None
+
+    def test_env_switch_drives_device_config(self, monkeypatch):
+        monkeypatch.setenv("WKNN_SANITIZE", "report")
+        cfg = DeviceConfig()
+        assert cfg.sanitize and cfg.sanitize_mode == "report"
+        dev = Device(cfg)
+        assert dev.sanitizer is not None and dev.sanitizer.mode == "report"
+        monkeypatch.delenv("WKNN_SANITIZE")
+        assert not DeviceConfig().sanitize
+
+    def test_explicit_config_beats_env(self, monkeypatch):
+        monkeypatch.setenv("WKNN_SANITIZE", "1")
+        dev = Device(DeviceConfig(sanitize=False))
+        assert dev.sanitizer is None
+
+    def test_invalid_mode_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="sanitize_mode"):
+            DeviceConfig(sanitize=True, sanitize_mode="warn")
+
+    def test_cli_sanitize_requires_simt_backend(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="simt"):
+            main(["build", "--dataset", "gaussian", "--n", "50",
+                  "--sanitize", "-o", "/tmp/never_written.npz"])
+
+    def test_cli_simt_sanitized_build(self, tmp_path, monkeypatch):
+        from repro.cli import main
+
+        out = tmp_path / "g.npz"
+        # setenv (not delenv) so monkeypatch restores the var even though
+        # cmd_build itself writes os.environ["WKNN_SANITIZE"] during main()
+        monkeypatch.setenv("WKNN_SANITIZE", "0")
+        rc = main(["build", "--dataset", "gaussian", "--n", "80", "--k", "4",
+                   "--backend", "simt", "--sanitize", "--trees", "1",
+                   "--leaf-size", "16", "--refine", "1", "-o", str(out)])
+        assert rc == 0 and out.exists()
+
+    def test_vectorized_strategies_reject_duplicate_batch_pairs(self, monkeypatch):
+        from repro.kernels.knn_state import KnnState
+        from repro.kernels.strategy import get_strategy
+
+        monkeypatch.setenv("WKNN_SANITIZE", "1")
+        for name in ("baseline", "atomic", "tiled"):
+            strat = get_strategy(name)
+            state = KnnState(10, 4)
+            rows = np.array([1, 1], dtype=np.int64)
+            cols = np.array([2, 2], dtype=np.int64)
+            dists = np.array([0.5, 0.5], dtype=np.float32)
+            with pytest.raises(RaceError, match="duplicate"):
+                strat.insert(state, rows, cols, dists)
+
+    def test_vectorized_build_clean_under_sanitizer(self, monkeypatch):
+        """The full vectorized pipeline honours the no-duplicate discipline."""
+        from repro.core.builder import WKNNGBuilder
+
+        monkeypatch.setenv("WKNN_SANITIZE", "1")
+        cfg = BuildConfig(k=6, strategy="tiled", n_trees=2, leaf_size=16,
+                          refine_iters=2, seed=3)
+        graph = WKNNGBuilder(cfg).build(_points(80))
+        assert graph.is_complete()
