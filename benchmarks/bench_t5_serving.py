@@ -1,0 +1,268 @@
+"""T5 - online serving: micro-batched service vs one-request-per-call.
+
+The offline tiers (T1-T4) measure the engine as a library; T5 measures it
+as a *service*.  A :class:`~repro.serve.KNNServer` coalesces concurrent
+single-vector requests into micro-batches, so serving throughput should
+approach the batched engine's offline rate instead of the one-at-a-time
+rate a naive request-per-call deployment gets.
+
+Three measurements:
+
+* **closed loop** - many synchronous clients vs a sequential
+  one-request-per-call baseline over the same query stream.  Results are
+  checked for exact parity (the lock-step engine is batch-composition
+  independent), so the speedup is at *equal recall* by construction.
+  Gate at full scale: serving >= 5x the sequential baseline.
+* **open loop at 2x capacity** - requests arrive on a wall-clock schedule
+  at twice the measured closed-loop capacity.  The server must stay up
+  and degrade gracefully: shed ``ef`` and/or reject with
+  ``ServerOverloaded``, never return a success past its deadline, and
+  keep the p99 of *accepted* requests bounded (zero deadline violations
+  implies p99 <= the deadline).  Recall-under-load of what was served is
+  reported against exact ground truth.
+* **result cache** - a repeated query stream through the LRU cache;
+  hits must bypass the engine and answer bit-identically.
+
+The zero-deadline-violation and server-stays-up invariants are asserted
+at every scale; throughput/shedding magnitude gates only at
+``WKNNG_BENCH_SCALE >= 1``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import BENCH_SCALE, publish, publish_summary
+from repro.apps.search import GraphSearchIndex, SearchConfig
+from repro.baselines.bruteforce import BruteForceKNN
+from repro.core.config import BuildConfig
+from repro.data.synthetic import make_dataset
+from repro.metrics.records import RecordSet
+from repro.serve import (
+    KNNServer,
+    ServeConfig,
+    ShedPolicy,
+    closed_loop,
+    open_loop,
+    recall_against,
+)
+
+FULL_SCALE = BENCH_SCALE >= 1.0
+
+#: headline workload (at scale 1.0): the offline tiers' operating point
+N_POINTS = 20_000
+N_QUERIES = 512
+DIM = 32
+EF = 64
+TOP_K = 10
+
+#: accumulated across the tests in file order; the last writer publishes
+#: the complete BENCH_T5.json
+SUMMARY: dict = {
+    "workload": {"n": None, "dim": DIM, "queries": None, "ef": EF,
+                 "topk": TOP_K},
+}
+
+
+def _scaled(n: int, floor: int = 256) -> int:
+    return max(floor, int(n * BENCH_SCALE))
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    x = make_dataset("gaussian", _scaled(N_POINTS), seed=0, dim=DIM)
+    rng = np.random.default_rng(1)
+    q = x[rng.choice(x.shape[0], size=min(_scaled(N_QUERIES, floor=64),
+                                          x.shape[0]), replace=False)]
+    SUMMARY["workload"]["n"] = int(x.shape[0])
+    SUMMARY["workload"]["queries"] = int(q.shape[0])
+    return x, q
+
+
+@pytest.fixture(scope="module")
+def index(corpus):
+    x, _ = corpus
+    return GraphSearchIndex.build(
+        x,
+        build_config=BuildConfig(k=16, strategy="tiled", seed=0),
+        search_config=SearchConfig(ef=EF),
+    )
+
+
+@pytest.fixture(scope="module")
+def gt_ids(corpus):
+    x, q = corpus
+    ids, _ = BruteForceKNN(x).search(q, TOP_K)
+    return ids
+
+
+def test_t5_serving_vs_sequential(index, corpus, gt_ids, results_dir):
+    _, q = corpus
+    direct_ids, direct_dists = index.search(q, TOP_K)
+
+    # baseline: one request per engine call, no batching, one caller
+    t0 = time.perf_counter()
+    for i in range(q.shape[0]):
+        seq_ids, _ = index.search(q[i:i + 1], TOP_K)
+        assert np.array_equal(seq_ids[0], direct_ids[i])
+    seq_seconds = time.perf_counter() - t0
+    seq_qps = q.shape[0] / seq_seconds
+
+    # serving: concurrent clients through the micro-batching server
+    server = KNNServer(index, ServeConfig(
+        max_batch=64, max_wait_ms=2.0, queue_limit=512, ef=EF,
+        shed=ShedPolicy(enabled=False),   # equal-quality comparison
+    ))
+    with server:
+        report = closed_loop(server, q, TOP_K, clients=32, repeat=2,
+                             deadline_ms=2000.0)
+    speedup = report.throughput_qps / seq_qps
+
+    # zero late successes, at any scale: the core serving invariant
+    assert report.deadline_violations == 0
+    assert report.errors == 0 and report.rejected == 0
+    # equal recall is exact parity: every answered request matches the
+    # offline batched result for its query bit-for-bit
+    assert report.ids, "closed loop collected no results"
+    for qi, ids in report.ids.items():
+        assert np.array_equal(ids, direct_ids[qi]), f"parity broke at {qi}"
+
+    recall = recall_against(report, gt_ids, TOP_K)
+    records = RecordSet()
+    for mode, qps, seconds in (
+        ("sequential", seq_qps, seq_seconds),
+        ("serving", report.throughput_qps, report.wall_seconds),
+    ):
+        records.add(
+            "T5", {"mode": mode, "n": SUMMARY["workload"]["n"],
+                   "queries": q.shape[0], "ef": EF},
+            {"qps": qps, "seconds": seconds,
+             "speedup_vs_sequential": qps / seq_qps},
+        )
+    publish(results_dir, "T5_serving_throughput", records)
+    SUMMARY["closed_loop"] = {
+        "sequential_qps": seq_qps,
+        "serving_qps": report.throughput_qps,
+        "speedup": speedup,
+        "latency_ms": report.latency_summary(),
+        "recall": recall,
+        "timeouts": report.timeouts,
+        "deadline_violations": report.deadline_violations,
+    }
+    publish_summary(results_dir, "T5", SUMMARY)
+
+    if FULL_SCALE:
+        assert speedup >= 5.0, (
+            f"serving only {speedup:.1f}x over one-request-per-call "
+            f"({report.throughput_qps:.0f} vs {seq_qps:.0f} q/s)"
+        )
+        assert recall > 0.8, f"recall under serving collapsed: {recall:.3f}"
+
+
+def test_t5_overload_graceful(index, corpus, gt_ids, results_dir):
+    _, q = corpus
+    deadline_ms = 150.0
+
+    # measure sustainable capacity with a short closed loop
+    cal = KNNServer(index, ServeConfig(
+        max_batch=32, max_wait_ms=2.0, queue_limit=256, ef=EF))
+    with cal:
+        cal_report = closed_loop(cal, q, TOP_K, clients=16, repeat=1,
+                                 collect_ids=False)
+    capacity_qps = max(cal_report.throughput_qps, 1.0)
+
+    # offer 2x capacity, open loop, against a deliberately small queue
+    server = KNNServer(index, ServeConfig(
+        max_batch=32, max_wait_ms=2.0, queue_limit=64, ef=EF,
+        shed=ShedPolicy(high_water=0.4, low_water=0.1, step_up_after=1,
+                        step_down_after=4, factor=0.5, min_ef=16),
+    ))
+    duration_s = 1.0 + 2.0 * min(1.0, BENCH_SCALE)
+    with server:
+        report = open_loop(server, q, TOP_K, rate_qps=2.0 * capacity_qps,
+                           duration_s=duration_s, deadline_ms=deadline_ms,
+                           collect_ids=True, seed=5)
+        # the server is still up and answering after the storm
+        post = server.query(q[0], TOP_K, timeout=30.0)
+    assert post.ids.shape == (TOP_K,)
+    stats = server.stats()
+
+    # graceful-degradation invariants, at any scale
+    assert report.deadline_violations == 0, "late success returned"
+    assert report.errors == 0, f"{report.errors} unexpected errors"
+    assert report.ok > 0, "overloaded server answered nothing"
+    # zero violations means every accepted success beat its deadline:
+    # the p99 of accepted requests is bounded by construction
+    assert report.percentile_ms(0.99) <= deadline_ms
+
+    recall = recall_against(report, gt_ids, TOP_K)
+    records = RecordSet()
+    records.add(
+        "T5-overload",
+        {"rate_qps": round(2.0 * capacity_qps), "deadline_ms": deadline_ms,
+         "queue_limit": 64},
+        {"offered_qps": report.offered_qps, "ok": report.ok,
+         "rejected": report.rejected, "timeouts": report.timeouts,
+         "shed_served": report.shed_served, "recall_under_load": recall,
+         "p99_ms": report.percentile_ms(0.99)},
+    )
+    publish(results_dir, "T5_overload", records)
+    SUMMARY["open_loop_2x"] = {
+        "capacity_qps": capacity_qps,
+        "offered_qps": report.offered_qps,
+        "ok": report.ok,
+        "rejected": report.rejected,
+        "timeouts": report.timeouts,
+        "shed_served": report.shed_served,
+        "shed_transitions": stats["shed_transitions"],
+        "deadline_violations": report.deadline_violations,
+        "deadline_ms": deadline_ms,
+        "latency_ms": report.latency_summary(),
+        "recall_under_load": recall,
+    }
+    publish_summary(results_dir, "T5", SUMMARY)
+
+    if FULL_SCALE:
+        # the overload must actually have engaged a defence: shed and/or
+        # rejected and/or deadline-dropped work
+        defended = report.shed_served + report.rejected + report.timeouts
+        assert defended > 0, "2x load triggered no shedding or rejection"
+        assert recall > 0.5, f"recall under overload collapsed: {recall:.3f}"
+
+
+def test_t5_cache_effectiveness(index, corpus, results_dir):
+    _, q = corpus
+    server = KNNServer(index, ServeConfig(
+        max_batch=64, max_wait_ms=2.0, queue_limit=512, ef=EF,
+        cache_size=2 * q.shape[0], shed=ShedPolicy(enabled=False)))
+    with server:
+        cold = closed_loop(server, q, TOP_K, clients=16, repeat=1,
+                           collect_ids=False)
+        warm = closed_loop(server, q, TOP_K, clients=16, repeat=1,
+                           collect_ids=True)
+    assert warm.cached == q.shape[0], (
+        f"expected every warm request cached, got {warm.cached}"
+    )
+    # cache hits answer bit-identically to the engine
+    direct_ids, _ = index.search(q, TOP_K)
+    for qi, ids in warm.ids.items():
+        assert np.array_equal(ids, direct_ids[qi])
+
+    records = RecordSet()
+    for phase, rep in (("cold", cold), ("warm", warm)):
+        records.add("T5-cache", {"phase": phase, "queries": q.shape[0]},
+                    {"qps": rep.throughput_qps, "cached": rep.cached,
+                     "p50_ms": rep.percentile_ms(0.5)})
+    publish(results_dir, "T5_cache", records)
+    SUMMARY["cache"] = {
+        "cold_qps": cold.throughput_qps,
+        "warm_qps": warm.throughput_qps,
+        "warm_hit_rate": warm.cached / max(1, warm.ok),
+        "warm_p50_ms": warm.percentile_ms(0.5),
+    }
+    publish_summary(results_dir, "T5", SUMMARY)
+    if FULL_SCALE:
+        assert warm.throughput_qps > cold.throughput_qps, (
+            "cache made serving slower"
+        )

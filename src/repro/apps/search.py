@@ -60,7 +60,11 @@ from repro.kernels.distance import rowwise_sq_norm, sq_l2_query_gather
 from repro.obs import Events, Observability
 from repro.utils.arrays import blockwise_ranges
 from repro.utils.parallel import map_forked, shard_ranges
-from repro.utils.validation import check_points_matrix, check_positive_int
+from repro.utils.validation import (
+    check_points_matrix,
+    check_positive_int,
+    check_query_matrix,
+)
 
 #: queries processed per lock-step block (bounds the candidate/bitset
 #: temporaries at roughly block * ef and block * ceil(n/64) entries)
@@ -389,11 +393,7 @@ class BatchedGraphSearch:
         workers; results (and stats) are identical to the serial run.
         """
         cfg = config or self.config
-        q = check_points_matrix(queries, "queries")
-        if q.shape[1] != self._x.shape[1]:
-            raise ConfigurationError(
-                f"query dim {q.shape[1]} != index dim {self._x.shape[1]}"
-            )
+        q = check_query_matrix(queries, self._x.shape[1], "queries")
         k = check_positive_int(k, "k")
         obs = self.obs
         m = q.shape[0]
@@ -503,7 +503,8 @@ class GraphSearchIndex:
                 )
             self._attach(points, graph, forest)
 
-    def _attach(self, points: np.ndarray, graph: KNNGraph, forest: RPForest) -> None:
+    def _attach(self, points: np.ndarray, graph: KNNGraph, forest: RPForest,
+                *, prepared: bool = False) -> None:
         x = check_points_matrix(points, "points")
         metric = check_metric(str(graph.meta.get("metric", "sqeuclidean")))
         if metric == "inner_product":
@@ -512,7 +513,14 @@ class GraphSearchIndex:
                 "search (the build pipeline rejects the metric)"
             )
         self.metric = metric
-        self._x, self._metric_info = prepare_points(x, metric)
+        if prepared:
+            # points are already in prepared space (the persisted form);
+            # re-preparing would renormalise cosine data by a norm of
+            # 1.0±ulp and break byte-identical load round-trips
+            self._x = x
+            self._metric_info = {"normalized": True} if metric == "cosine" else {}
+        else:
+            self._x, self._metric_info = prepare_points(x, metric)
         if graph.n != self._x.shape[0]:
             raise ConfigurationError(
                 f"graph has {graph.n} nodes but points has {self._x.shape[0]} rows"
@@ -564,9 +572,13 @@ class GraphSearchIndex:
 
         The stored points are in prepared space; since metric preparation
         is idempotent for the graph-supported metrics, :meth:`load`
-        re-applies it safely.  The search configuration is runtime state
-        (tuneable per query load) and is not persisted.
+        re-applies it safely.  The search configuration (``ef`` and
+        friends) is persisted alongside in ``search_config.json`` so a
+        loaded index serves with the same defaults - ``repro serve
+        --load-index`` depends on this for byte-identical results.
         """
+        import dataclasses
+        import json
         from pathlib import Path
 
         engine = self._require_fitted()
@@ -576,6 +588,9 @@ class GraphSearchIndex:
         assert self.graph is not None and self.forest is not None
         self.graph.save(d / "graph.npz")
         self.forest.save(d / "forest.npz")
+        (d / "search_config.json").write_text(
+            json.dumps(dataclasses.asdict(self.config), indent=2)
+        )
 
     @classmethod
     def load(cls, directory, config: SearchConfig | None = None,
@@ -584,45 +599,68 @@ class GraphSearchIndex:
 
         The graph's persisted ``meta`` carries the build metric, so the
         restored index scores queries in the same prepared space as the
-        original (the cosine-correctness fix depends on this).
+        original (the cosine-correctness fix depends on this).  An
+        explicit ``config`` overrides the persisted search defaults;
+        indexes saved before ``search_config.json`` existed load with
+        stock defaults.
         """
+        import json
         from pathlib import Path
 
         d = Path(directory)
-        return cls(
+        if config is None and (d / "search_config.json").exists():
+            config = SearchConfig(
+                **json.loads((d / "search_config.json").read_text())
+            )
+        index = cls(config=config, obs=obs)
+        index._attach(
             np.load(d / "points.npy"),
             KNNGraph.load(d / "graph.npz"),
             RPForest.load(d / "forest.npz"),
-            config,
-            obs=obs,
+            prepared=True,
         )
+        return index
 
     # -- queries -----------------------------------------------------------------
 
     def _prepare_queries(self, queries: np.ndarray) -> np.ndarray:
         engine = self._require_fitted()
-        q = check_points_matrix(queries, "queries")
-        if q.shape[1] != engine._x.shape[1]:
-            raise ConfigurationError(
-                f"query dim {q.shape[1]} != index dim {engine._x.shape[1]}"
-            )
+        q = check_query_matrix(queries, engine._x.shape[1], "queries")
         prepared, _ = prepare_points(
             q, self.metric, is_query=True,
             max_norm=self._metric_info.get("max_norm"),
         )
         return prepared
 
-    def search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the indexed points (prepared space)."""
+        return self._require_fitted()._x.shape[1]
+
+    @property
+    def n(self) -> int:
+        """Number of indexed points."""
+        return self._require_fitted()._x.shape[0]
+
+    def search(self, queries: np.ndarray, k: int, *,
+               ef: int | None = None) -> tuple[np.ndarray, np.ndarray]:
         """Approximate k-NN for each query row (batched engine).
 
         Returns ``(ids, dists)`` of shape ``(m, k)``, ascending by
         distance; ``dists`` are squared L2 in the index's prepared metric
-        space, like everywhere in the library.
+        space, like everywhere in the library.  ``ef`` overrides the
+        configured beam width for this call only - the dial the serving
+        layer's degradation policy turns under load.
         """
         engine = self._require_fitted()
         q = self._prepare_queries(queries)
         k = check_positive_int(k, "k")
-        return engine.search(q, k, config=self.config)
+        cfg = self.config
+        if ef is not None and ef != cfg.ef:
+            from dataclasses import replace
+
+            cfg = replace(cfg, ef=check_positive_int(ef, "ef"))
+        return engine.search(q, k, config=cfg)
 
     def query(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
         """:class:`~repro.baselines.KNNIndex` protocol alias of :meth:`search`."""

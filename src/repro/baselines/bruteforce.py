@@ -15,7 +15,11 @@ import numpy as np
 from repro.core.graph import KNNGraph
 from repro.kernels.distance import pairwise_sq_l2_gemm
 from repro.utils.arrays import blockwise_ranges, row_topk
-from repro.utils.validation import check_k_fits, check_points_matrix
+from repro.utils.validation import (
+    check_k_fits,
+    check_points_matrix,
+    check_query_matrix,
+)
 
 #: default rows per block: 512 rows x 50k points x 4B = ~100 MB of distances
 DEFAULT_BLOCK_ROWS = 512
@@ -101,11 +105,7 @@ class BruteForceKNN:
         from repro.core.metric import prepare_points
 
         x = self._require_fitted()
-        q = check_points_matrix(queries, "queries")
-        if q.shape[1] != self._raw_dim:
-            raise ValueError(
-                f"query dim {q.shape[1]} does not match index dim {self._raw_dim}"
-            )
+        q = check_query_matrix(queries, self._raw_dim, "queries")
         q, _ = prepare_points(
             q, self.metric, is_query=True,
             max_norm=self._metric_info.get("max_norm"),

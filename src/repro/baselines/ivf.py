@@ -33,7 +33,11 @@ from repro.errors import ConfigurationError
 from repro.kernels.distance import pairwise_sq_l2_gemm
 from repro.utils.arrays import blockwise_ranges, row_topk
 from repro.utils.rng import RngStream
-from repro.utils.validation import check_points_matrix, check_positive_int
+from repro.utils.validation import (
+    check_points_matrix,
+    check_positive_int,
+    check_query_matrix,
+)
 
 #: queries per block when computing query->centroid distances
 _PROBE_BLOCK = 4096
@@ -108,6 +112,7 @@ class IVFFlatIndex:
             raise TypeError("pass either an IVFConfig or keyword options, not both")
         self.config = config if config is not None else IVFConfig(**kwargs)
         self._x: np.ndarray | None = None
+        self._raw_dim = 0
         self.centroids: np.ndarray | None = None
         #: list -> array of member point ids
         self.lists: list[np.ndarray] = []
@@ -121,6 +126,7 @@ class IVFFlatIndex:
         from repro.core.metric import prepare_points
 
         x = check_points_matrix(points, "points")
+        self._raw_dim = x.shape[1]
         x, _ = prepare_points(x, self.config.metric)
         cfg = self.config
         n_lists = cfg.resolve_n_lists(x.shape[0])
@@ -191,7 +197,7 @@ class IVFFlatIndex:
             raise ConfigurationError("search() before fit()")
         from repro.core.metric import prepare_points
 
-        q = check_points_matrix(queries, "queries")
+        q = check_query_matrix(queries, self._raw_dim, "queries")
         q, _ = prepare_points(q, self.config.metric, is_query=True)
         k = check_positive_int(k, "k")
         nprobe = self.config.nprobe if nprobe is None else check_positive_int(nprobe, "nprobe")

@@ -24,7 +24,11 @@ from repro.kernels.knn_state import KnnState
 from repro.kernels.strategy import get_strategy
 from repro.kernels.distance import sq_l2_pairs
 from repro.utils.rng import RngStream, as_generator
-from repro.utils.validation import check_k_fits, check_points_matrix
+from repro.utils.validation import (
+    check_k_fits,
+    check_points_matrix,
+    check_query_matrix,
+)
 
 
 @dataclass
@@ -86,11 +90,7 @@ class NNDescent:
             raise ValueError("query() before fit(): no graph built")
         x = self._x
         graph_ids = self._graph.ids
-        q = check_points_matrix(queries, "queries")
-        if q.shape[1] != x.shape[1]:
-            raise ValueError(
-                f"query dim {q.shape[1]} does not match index dim {x.shape[1]}"
-            )
+        q = check_query_matrix(queries, x.shape[1], "queries")
         n = x.shape[0]
         k = min(int(k), n)
         pool = max(pool_size or 0, 2 * k, 16)

@@ -14,6 +14,12 @@ Commands
 ``search``
     Build (or load) a graph-guided search index and answer a query
     batch, reporting recall and throughput per engine.
+``serve``
+    Run the micro-batching query server under a closed-loop client
+    swarm and report throughput + latency percentiles.
+``loadgen``
+    Drive open-loop load (target arrival rate, per-request deadlines)
+    against the server: the overload/SLO instrument.
 ``info``
     Show the library version, available strategies, datasets, workloads.
 
@@ -27,6 +33,8 @@ Examples
     python -m repro bench --workload clustered-128d --target 0.99 --scale 0.1
     python -m repro search --dataset gaussian --n 20000 --ef 64 --compare-legacy
     python -m repro search --dataset gaussian --metric cosine --save-index idx/
+    python -m repro serve --dataset gaussian --n 20000 --clients 16 --cache-size 512
+    python -m repro loadgen --load-index idx/ --rate 3000 --deadline-ms 50
     python -m repro info
 """
 
@@ -224,6 +232,152 @@ def cmd_search(args) -> int:
     return 0
 
 
+def _serving_index(args):
+    """Build or load the GraphSearchIndex the serve/loadgen commands use."""
+    from repro.apps.search import GraphSearchIndex, SearchConfig
+    from repro.core.config import BuildConfig
+
+    search_cfg = SearchConfig(ef=args.ef)
+    if args.load_index:
+        index = GraphSearchIndex.load(args.load_index, search_cfg)
+        print(f"loaded index from {args.load_index}: "
+              f"n={index.n}, k={index.graph.k}, metric={index.metric}")
+    else:
+        x = _load_points(args)
+        t0 = time.perf_counter()
+        index = GraphSearchIndex.build(
+            x,
+            build_config=BuildConfig(k=args.k, strategy="tiled",
+                                     seed=args.seed, metric=args.metric),
+            search_config=search_cfg,
+        )
+        print(f"built index over {x.shape} ({args.metric}) "
+              f"in {time.perf_counter() - t0:.2f}s")
+    return index
+
+
+def _make_server(index, args, obs):
+    from repro.serve import KNNServer, ServeConfig, ShedPolicy
+
+    cfg = ServeConfig(
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_limit=args.queue_limit,
+        n_workers=args.workers,
+        default_k=args.topk,
+        ef=args.ef,
+        default_deadline_ms=args.deadline_ms,
+        cache_size=args.cache_size,
+        shed=ShedPolicy(enabled=not args.no_shed),
+    )
+    return KNNServer(index, cfg, obs=obs)
+
+
+def _print_serve_report(server, report) -> None:
+    lat = report.latency_summary()
+    print(f"  requests={report.requests}  ok={report.ok}  "
+          f"rejected={report.rejected}  timeouts={report.timeouts}  "
+          f"cached={report.cached}  shed={report.shed_served}")
+    print(f"  throughput {report.throughput_qps:9.0f} q/s  "
+          f"(offered {report.offered_qps:.0f} q/s)")
+    print(f"  latency ms  p50={lat['p50']:.2f}  p95={lat['p95']:.2f}  "
+          f"p99={lat['p99']:.2f}  mean={lat['mean']:.2f}")
+    stats = server.stats()
+    print(f"  server: batches={stats['batches']}  "
+          f"shed_level={stats['shed_level']}  "
+          f"deadline_violations={report.deadline_violations}")
+
+
+def _maybe_write_serve_trace(args, obs, command: str) -> None:
+    if getattr(args, "trace_out", None):
+        from repro.obs.export import write_trace
+
+        path = write_trace(args.trace_out, obs, meta={"command": command})
+        print(f"  trace -> {path}")
+
+
+def _add_serve_args(p, include_rate: bool) -> None:
+    _add_data_args(p)
+    p.add_argument("-k", "--k", type=int, default=16, help="graph degree")
+    p.add_argument("--metric", default="sqeuclidean",
+                   choices=("sqeuclidean", "cosine"))
+    p.add_argument("--load-index", dest="load_index", default=None,
+                   help="serve a previously saved index directory")
+    p.add_argument("--topk", type=int, default=10, help="neighbours per query")
+    p.add_argument("--ef", type=int, default=64, help="full-quality beam width")
+    p.add_argument("--max-batch", type=int, default=64, dest="max_batch")
+    p.add_argument("--max-wait-ms", type=float, default=2.0, dest="max_wait_ms")
+    p.add_argument("--queue-limit", type=int, default=256, dest="queue_limit")
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--cache-size", type=int, default=0, dest="cache_size",
+                   help="LRU result-cache entries (0 disables)")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   dest="deadline_ms", help="per-request deadline")
+    p.add_argument("--no-shed", action="store_true", dest="no_shed",
+                   help="disable ef-shedding degradation under load")
+    p.add_argument("--queries", type=int, default=2000,
+                   help="dataset rows sampled as the request stream")
+    if include_rate:
+        p.add_argument("--rate", type=float, default=2000.0,
+                       help="offered arrival rate (requests/s)")
+        p.add_argument("--duration", type=float, default=5.0,
+                       help="seconds of open-loop load")
+    else:
+        p.add_argument("--clients", type=int, default=8,
+                       help="closed-loop client threads")
+        p.add_argument("--repeat", type=int, default=1,
+                       help="passes over the sampled query stream")
+    p.add_argument("--trace-out", dest="trace_out", default=None,
+                   help="write the serving JSON-lines trace here")
+
+
+def cmd_serve(args) -> int:
+    """Closed-loop serving session: N client threads over an in-process server."""
+    from repro.obs import Observability
+    from repro.serve import closed_loop
+
+    index = _serving_index(args)
+    obs = Observability()
+    server = _make_server(index, args, obs)
+    rng = np.random.default_rng(args.seed + 1)
+    x = index._engine._x
+    q = x[rng.choice(x.shape[0], size=min(args.queries, x.shape[0]),
+                     replace=False)]
+    print(f"serving closed-loop: {q.shape[0]} queries x{args.repeat} over "
+          f"{args.clients} clients (max_batch={args.max_batch}, "
+          f"max_wait={args.max_wait_ms}ms, ef={args.ef})")
+    with server:
+        report = closed_loop(server, q, args.topk, clients=args.clients,
+                             repeat=args.repeat, deadline_ms=args.deadline_ms,
+                             collect_ids=False)
+    _print_serve_report(server, report)
+    _maybe_write_serve_trace(args, obs, "serve")
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    """Open-loop load generation: arrivals at a target rate with deadlines."""
+    from repro.obs import Observability
+    from repro.serve import open_loop
+
+    index = _serving_index(args)
+    obs = Observability()
+    server = _make_server(index, args, obs)
+    rng = np.random.default_rng(args.seed + 1)
+    x = index._engine._x
+    q = x[rng.choice(x.shape[0], size=min(args.queries, x.shape[0]),
+                     replace=False)]
+    print(f"loadgen open-loop: {args.rate:.0f} req/s for {args.duration:.1f}s "
+          f"(deadline={args.deadline_ms}ms, queue_limit={args.queue_limit})")
+    with server:
+        report = open_loop(server, q, args.topk, rate_qps=args.rate,
+                           duration_s=args.duration,
+                           deadline_ms=args.deadline_ms, seed=args.seed)
+    _print_serve_report(server, report)
+    _maybe_write_serve_trace(args, obs, "loadgen")
+    return 0
+
+
 def cmd_verify(args) -> int:
     from repro.verify import run_verification
 
@@ -318,6 +472,20 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--load-index", dest="load_index", default=None,
                    help="load a previously saved index instead of building")
     p.set_defaults(func=cmd_search)
+
+    p = sub.add_parser(
+        "serve",
+        help="run a micro-batching query server under closed-loop clients",
+    )
+    _add_serve_args(p, include_rate=False)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="drive open-loop load (rate + deadlines) against the server",
+    )
+    _add_serve_args(p, include_rate=True)
+    p.set_defaults(func=cmd_loadgen)
 
     p = sub.add_parser("info", help="show version and registries")
     p.set_defaults(func=cmd_info)

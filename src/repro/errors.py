@@ -66,3 +66,37 @@ class RaceError(SimtError, RuntimeError):
 
 class BenchmarkError(ReproError, RuntimeError):
     """The benchmark harness could not complete a requested measurement."""
+
+
+class ServeError(ReproError, RuntimeError):
+    """Base class for errors raised by the ``repro.serve`` query service."""
+
+
+class ServerOverloaded(ServeError):
+    """Admission control rejected a request: the queue is at its limit.
+
+    Raised synchronously by :meth:`repro.serve.KNNServer.submit` when the
+    bounded admission queue has reached ``ServeConfig.queue_limit`` - the
+    backpressure signal clients are expected to react to (back off, retry
+    with jitter, or shed load upstream).  Carries the queue depth observed
+    at rejection time as :attr:`queue_depth`.
+    """
+
+    def __init__(self, message: str, queue_depth: int = 0) -> None:
+        super().__init__(message)
+        #: admission-queue depth at the moment of rejection
+        self.queue_depth = int(queue_depth)
+
+
+class DeadlineExceeded(ServeError, TimeoutError):
+    """A request's deadline expired before a result could be returned.
+
+    Set on the request's future either when the deadline expires while the
+    request is still queued (dropped before scoring) or when batch
+    execution finishes past the deadline (the result is discarded rather
+    than returned late as a success).
+    """
+
+
+class ServerClosed(ServeError):
+    """The server was stopped before (or while) handling the request."""

@@ -35,7 +35,13 @@ from repro.obs.export import (
     write_trace,
 )
 from repro.obs.hooks import Events, ProfilingHooks
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    QuantileHistogram,
+)
 from repro.obs.trace import NULL_SPAN, Span, SpanRecord, Tracer
 
 
@@ -82,6 +88,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "QuantileHistogram",
     "ProfilingHooks",
     "Events",
     "TraceData",

@@ -43,6 +43,24 @@ class Events:
     #: one wksan sanitizer finding in report-only mode (payload: the
     #: structured :meth:`repro.simt.sanitizer.Finding.as_dict` fields)
     SANITIZER_FINDING = "sanitizer:finding"
+    #: serving lifecycle: the query server's batcher/worker threads
+    #: starting and stopping (payload: the serve configuration)
+    SERVE_START = "serve:start"
+    SERVE_STOP = "serve:stop"
+    #: one micro-batch flush through the engine (``before`` payload:
+    #: batch size, queue depth, effective ef; ``after`` adds seconds)
+    SERVE_BATCH_BEFORE = "serve_batch:before"
+    SERVE_BATCH_AFTER = "serve_batch:after"
+    #: admission control rejected a request (queue at its limit)
+    SERVE_REQUEST_REJECTED = "serve:rejected"
+    #: a request's deadline expired (payload says whether it was dropped
+    #: while queued or discarded after execution finished late)
+    SERVE_REQUEST_TIMEOUT = "serve:timeout"
+    #: a request was answered from the result cache without scoring
+    SERVE_CACHE_HIT = "serve:cache_hit"
+    #: the degradation controller changed its shed level (payload: old
+    #: and new level, queue depth)
+    SERVE_SHED_CHANGE = "serve:shed_change"
 
 
 class ProfilingHooks:

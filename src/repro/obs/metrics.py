@@ -19,6 +19,7 @@ slices one namespace back out as a plain dict, which is how the legacy
 from __future__ import annotations
 
 import math
+import random
 from typing import Any, Iterator, Mapping
 
 
@@ -122,7 +123,79 @@ class Histogram:
         return {"kind": self.kind, "value": self.get()}
 
 
-_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+class QuantileHistogram(Histogram):
+    """A histogram that additionally estimates p50/p95/p99 quantiles.
+
+    Keeps a bounded reservoir of observed values (uniform reservoir
+    sampling, deterministic seed) next to the streaming
+    count/sum/min/max summary, so tail latencies stay reportable at
+    serving volumes without unbounded memory.  Up to ``RESERVOIR_CAP``
+    observations the quantiles are exact.
+    """
+
+    kind = "quantile_histogram"
+    __slots__ = ("samples", "_rng", "_restored_quantiles")
+
+    #: reservoir size: exact quantiles below this many observations
+    RESERVOIR_CAP = 8192
+    #: the tail points every summary reports
+    QUANTILES = (0.5, 0.95, 0.99)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.samples: list[float] = []
+        self._rng = random.Random(0x5EED)
+        self._restored_quantiles: dict[str, float] | None = None
+
+    def observe(self, v: float) -> "QuantileHistogram":
+        super().observe(float(v))
+        self._restored_quantiles = None
+        if len(self.samples) < self.RESERVOIR_CAP:
+            self.samples.append(float(v))
+        else:
+            # classic Algorithm R: keep each of the `count` observations
+            # with equal probability cap/count
+            j = self._rng.randrange(self.count)
+            if j < self.RESERVOIR_CAP:
+                self.samples[j] = float(v)
+        return self
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile of the reservoir (0 when empty)."""
+        if self._restored_quantiles is not None:
+            key = f"p{int(round(q * 100))}"
+            if key in self._restored_quantiles:
+                return self._restored_quantiles[key]
+        if not self.samples:
+            return 0.0
+        s = sorted(self.samples)
+        pos = q * (len(s) - 1)
+        lo = int(math.floor(pos))
+        hi = min(lo + 1, len(s) - 1)
+        return s[lo] + (s[hi] - s[lo]) * (pos - lo)
+
+    def merge(self, other: "Histogram") -> None:
+        super().merge(other)
+        if isinstance(other, QuantileHistogram):
+            self._restored_quantiles = None
+            self.samples.extend(other.samples)
+            while len(self.samples) > self.RESERVOIR_CAP:
+                self.samples.pop(self._rng.randrange(len(self.samples)))
+
+    def reset(self) -> None:
+        super().reset()
+        self.samples.clear()
+        self._restored_quantiles = None
+
+    def get(self) -> dict[str, float]:
+        out = super().get()
+        for q in self.QUANTILES:
+            out[f"p{int(round(q * 100))}"] = self.quantile(q)
+        return out
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram,
+          "quantile_histogram": QuantileHistogram}
 
 
 class MetricsRegistry:
@@ -152,6 +225,9 @@ class MetricsRegistry:
 
     def histogram(self, name: str) -> Histogram:
         return self._get(name, Histogram)
+
+    def quantile_histogram(self, name: str) -> QuantileHistogram:
+        return self._get(name, QuantileHistogram)
 
     def scoped(self, prefix: str) -> "ScopedMetrics":
         """A view of this registry that namespaces every accessor.
@@ -231,13 +307,21 @@ class MetricsRegistry:
                 reg.counter(name).inc(int(value))
             elif kind == "gauge":
                 reg.gauge(name).set(float(value))
-            elif kind == "histogram":
-                h = reg.histogram(name)
+            elif kind in ("histogram", "quantile_histogram"):
+                h = (reg.histogram(name) if kind == "histogram"
+                     else reg.quantile_histogram(name))
                 h.count = int(value["count"])
                 h.total = float(value["sum"])
                 if h.count:
                     h.vmin = float(value["min"])
                     h.vmax = float(value["max"])
+                if isinstance(h, QuantileHistogram):
+                    # the raw reservoir is not persisted; freeze the
+                    # exported quantiles so the round-trip reports them
+                    h._restored_quantiles = {
+                        k: float(v) for k, v in value.items()
+                        if k.startswith("p") and k[1:].isdigit()
+                    }
             else:
                 raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
         return reg
@@ -269,6 +353,9 @@ class ScopedMetrics:
 
     def histogram(self, name: str) -> Histogram:
         return self._registry.histogram(self._prefix + name)
+
+    def quantile_histogram(self, name: str) -> QuantileHistogram:
+        return self._registry.quantile_histogram(self._prefix + name)
 
     def absorb(self, values: Mapping[str, int | float]) -> None:
         self._registry.absorb(values, prefix=self._prefix)

@@ -1,0 +1,63 @@
+"""``repro.serve``: the online micro-batching query service.
+
+The traffic layer between concurrent clients and the batched graph-search
+engine.  Individual ``(query_vector, k, ef, deadline)`` requests are
+admitted through a bounded queue, coalesced into micro-batches (flush on
+``max_batch`` or ``max_wait_ms``), executed on a
+:class:`~repro.apps.search.GraphSearchIndex` by a worker pool, and
+resolved through per-request futures - with admission backpressure
+(:class:`~repro.errors.ServerOverloaded`), deadline enforcement
+(:class:`~repro.errors.DeadlineExceeded`), ``ef``-shedding degradation
+under sustained load, and an optional LRU result cache.
+
+Quickstart::
+
+    from repro.apps.search import GraphSearchIndex
+    from repro.serve import KNNServer, ServeConfig
+
+    index = GraphSearchIndex.build(points, k=16)
+    with KNNServer(index, ServeConfig(max_batch=64, max_wait_ms=2.0)) as srv:
+        fut = srv.submit(query_vec, k=10, deadline_ms=50.0)
+        result = fut.result()      # QueryResult(ids, dists, ...)
+
+Architecture, tuning guidance and SLO methodology: ``docs/serving.md``.
+"""
+
+from repro.errors import (
+    DeadlineExceeded,
+    ServeError,
+    ServerClosed,
+    ServerOverloaded,
+)
+from repro.serve.cache import ResultCache
+from repro.serve.degrade import DegradationController, ShedPolicy
+from repro.serve.loadgen import LoadReport, closed_loop, open_loop, recall_against
+from repro.serve.queue import AdmissionQueue
+from repro.serve.scheduler import MicroBatcher, Request
+from repro.serve.server import (
+    SERVE_METRICS_PREFIX,
+    KNNServer,
+    QueryResult,
+    ServeConfig,
+)
+
+__all__ = [
+    "KNNServer",
+    "ServeConfig",
+    "QueryResult",
+    "SERVE_METRICS_PREFIX",
+    "AdmissionQueue",
+    "MicroBatcher",
+    "Request",
+    "ResultCache",
+    "ShedPolicy",
+    "DegradationController",
+    "LoadReport",
+    "closed_loop",
+    "open_loop",
+    "recall_against",
+    "ServeError",
+    "ServerOverloaded",
+    "ServerClosed",
+    "DeadlineExceeded",
+]

@@ -1,0 +1,85 @@
+"""LRU result cache keyed on quantized query bytes.
+
+Online similarity traffic is heavy-tailed: the same (or near-identical)
+query vectors recur - autocomplete prefixes, trending items, retry storms.
+The cache exploits that by quantizing each query to a fixed decimal grid
+and using the raw bytes of the quantized vector (plus ``k`` and the
+requested ``ef``) as the key, so queries within half a grid step of each
+other collapse onto one entry.
+
+Only *full-quality* results are cached: the server never stores a result
+that was computed at a shed (degraded) ``ef``, so a cache hit after
+recovery always returns full-accuracy answers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+import numpy as np
+
+
+class ResultCache:
+    """Thread-safe LRU of ``key -> (ids, dists)`` result pairs.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached results (LRU eviction beyond it).
+    decimals:
+        Quantization grid for the key: queries are rounded to this many
+        decimal digits before hashing.  Coarser grids (fewer decimals)
+        trade exactness of the hit for a higher hit rate; ``decimals >= 6``
+        is effectively exact-match for float32 inputs.
+    """
+
+    def __init__(self, capacity: int, decimals: int = 6) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.decimals = int(decimals)
+        self._store: OrderedDict[bytes, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, query: np.ndarray, k: int, ef: int) -> bytes:
+        """The cache key of one (1-D, float32) query vector."""
+        q = np.round(np.asarray(query, dtype=np.float32), self.decimals)
+        # normalise -0.0 -> 0.0 so the two encode to the same bytes
+        q = q + np.float32(0.0)
+        return q.tobytes() + int(k).to_bytes(4, "little") \
+            + int(ef).to_bytes(4, "little")
+
+    def get(self, key: bytes) -> Any | None:
+        """Look up (and LRU-touch) a cached result; ``None`` on miss."""
+        with self._lock:
+            entry = self._store.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._store.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: bytes, value: Any) -> None:
+        with self._lock:
+            self._store[key] = value
+            self._store.move_to_end(key)
+            while len(self._store) > self.capacity:
+                self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {"size": len(self._store), "capacity": self.capacity,
+                    "hits": self.hits, "misses": self.misses}

@@ -1,0 +1,112 @@
+"""Graceful degradation: shed beam width (``ef``) under sustained load.
+
+The accuracy/latency dial of graph-guided search is the beam width - the
+same ``ef`` knob the offline benchmarks sweep.  Under overload the right
+move is not to queue without bound (latency explodes) nor to reject
+everything above capacity (throughput is left on the table), but to serve
+*slightly less accurate* answers faster: exactly the build-time strategy
+crossover's trade, applied at query time.
+
+:class:`DegradationController` watches the admission-queue depth at every
+flush.  Sustained depth above the high-water fraction raises the shed
+level (each level multiplies ``ef`` by ``factor``); sustained depth below
+the low-water fraction lowers it again.  Hysteresis (consecutive-flush
+counts in both directions) keeps the level from flapping on bursty
+arrivals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ShedPolicy:
+    """Tuning knobs of the degradation controller.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch; when off, ``effective_ef`` is the identity.
+    high_water / low_water:
+        Queue fill fractions (of the admission limit) that count as
+        pressure / relief.  ``0.5 / 0.125`` means: start shedding when the
+        queue is half full, recover below one eighth.
+    step_up_after / step_down_after:
+        Consecutive flush observations required before moving one level
+        (the hysteresis).  Recovery is deliberately slower than shedding.
+    factor:
+        Per-level ``ef`` multiplier (level ``L`` serves at
+        ``ef * factor**L``).
+    min_ef:
+        Accuracy floor: shedding never drives ``ef`` below this.
+    max_level:
+        Cap on the shed level.
+    """
+
+    enabled: bool = True
+    high_water: float = 0.5
+    low_water: float = 0.125
+    step_up_after: int = 2
+    step_down_after: int = 4
+    factor: float = 0.5
+    min_ef: int = 8
+    max_level: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.low_water < self.high_water <= 1.0:
+            raise ValueError(
+                f"need 0 < low_water < high_water <= 1, got "
+                f"{self.low_water} / {self.high_water}"
+            )
+        if self.factor <= 0.0 or self.factor >= 1.0:
+            raise ValueError(f"factor must be in (0, 1), got {self.factor}")
+
+
+class DegradationController:
+    """Queue-pressure observer that maps sustained growth to a shed level."""
+
+    def __init__(self, policy: ShedPolicy | None = None) -> None:
+        self.policy = policy or ShedPolicy()
+        self.level = 0
+        self._above = 0
+        self._below = 0
+        #: total number of level changes (exported as a counter)
+        self.transitions = 0
+
+    def observe(self, depth: int, limit: int) -> int:
+        """Feed one queue-depth observation; returns the (new) shed level."""
+        p = self.policy
+        if not p.enabled:
+            return 0
+        fill = depth / max(1, limit)
+        if fill >= p.high_water:
+            self._above += 1
+            self._below = 0
+            if self._above >= p.step_up_after and self.level < p.max_level:
+                self.level += 1
+                self._above = 0
+                self.transitions += 1
+        elif fill <= p.low_water:
+            self._below += 1
+            self._above = 0
+            if self._below >= p.step_down_after and self.level > 0:
+                self.level -= 1
+                self._below = 0
+                self.transitions += 1
+        else:
+            self._above = 0
+            self._below = 0
+        return self.level
+
+    def effective_ef(self, ef: int) -> int:
+        """The beam width to serve at under the current shed level."""
+        p = self.policy
+        if not p.enabled or self.level == 0:
+            return ef
+        shed = int(ef * (p.factor ** self.level))
+        return max(min(p.min_ef, ef), shed)
+
+    @property
+    def shedding(self) -> bool:
+        return self.level > 0

@@ -1,0 +1,246 @@
+"""Closed- and open-loop load generators for the query server.
+
+Two canonical traffic shapes drive every serving benchmark:
+
+* **closed loop** - a fixed number of concurrent clients, each submitting
+  its next request only after the previous response arrives.  Concurrency
+  is bounded, so the server is never overloaded; this measures peak
+  *sustainable* throughput and the latency/batching trade.
+* **open loop** - requests arrive on a wall-clock schedule at a target
+  rate regardless of completions (how real traffic behaves).  Offered
+  load can exceed capacity, which is exactly the regime admission
+  control, deadlines and shedding exist for.
+
+Both return a :class:`LoadReport` with throughput, latency percentiles
+and the shed/reject/timeout accounting the SLO gates assert on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import DeadlineExceeded, ServeError, ServerOverloaded
+from repro.serve.server import KNNServer
+from repro.utils.validation import check_positive_int, check_query_matrix
+
+
+@dataclass
+class LoadReport:
+    """Outcome accounting of one load-generation run."""
+
+    mode: str
+    requests: int = 0            #: submit attempts
+    ok: int = 0                  #: successful responses
+    rejected: int = 0            #: ServerOverloaded at admission
+    timeouts: int = 0            #: DeadlineExceeded (queued or late)
+    errors: int = 0              #: anything else
+    cached: int = 0              #: ok responses served from cache
+    shed_served: int = 0         #: ok responses at degraded ef
+    deadline_violations: int = 0  #: ok responses later than their deadline
+    requested_ef: int = 0        #: the full-quality ef this run asked for
+    wall_seconds: float = 0.0
+    latencies_ms: list[float] = field(default_factory=list)
+    #: request index -> result ids (when collected, for recall-under-load)
+    ids: dict[int, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def throughput_qps(self) -> float:
+        return self.ok / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def offered_qps(self) -> float:
+        return self.requests / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def percentile_ms(self, p: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        lat = sorted(self.latencies_ms)
+        return lat[min(len(lat) - 1, int(round(p * (len(lat) - 1))))]
+
+    def latency_summary(self) -> dict[str, float]:
+        return {"p50": self.percentile_ms(0.50),
+                "p95": self.percentile_ms(0.95),
+                "p99": self.percentile_ms(0.99),
+                "mean": (sum(self.latencies_ms) / len(self.latencies_ms)
+                         if self.latencies_ms else 0.0)}
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "mode": self.mode, "requests": self.requests, "ok": self.ok,
+            "rejected": self.rejected, "timeouts": self.timeouts,
+            "errors": self.errors, "cached": self.cached,
+            "shed_served": self.shed_served,
+            "deadline_violations": self.deadline_violations,
+            "wall_seconds": self.wall_seconds,
+            "throughput_qps": self.throughput_qps,
+            "offered_qps": self.offered_qps,
+            "latency_ms": self.latency_summary(),
+        }
+
+
+def _record_outcome(report: LoadReport, lock: threading.Lock, idx: int,
+                    fut, deadline_ms: float | None, collect_ids: bool,
+                    wait_timeout: float) -> None:
+    """Wait for one future and fold its outcome into the report."""
+    try:
+        res = fut.result(timeout=wait_timeout)
+    except DeadlineExceeded:
+        with lock:
+            report.timeouts += 1
+        return
+    except ServeError:
+        with lock:
+            report.errors += 1
+        return
+    except Exception:
+        with lock:
+            report.errors += 1
+        return
+    with lock:
+        report.ok += 1
+        report.latencies_ms.append(res.latency_ms)
+        if res.cached:
+            report.cached += 1
+        if not res.cached and res.ef_used < report.requested_ef:
+            report.shed_served += 1
+        if deadline_ms is not None and res.latency_ms > deadline_ms:
+            report.deadline_violations += 1
+        if collect_ids:
+            report.ids[idx] = res.ids
+
+
+def closed_loop(
+    server: KNNServer,
+    queries: np.ndarray,
+    k: int,
+    *,
+    clients: int = 8,
+    repeat: int = 1,
+    ef: int | None = None,
+    deadline_ms: float | None = None,
+    collect_ids: bool = True,
+    wait_timeout: float = 120.0,
+) -> LoadReport:
+    """Fixed-concurrency load: each client waits for its response.
+
+    The query matrix is dealt round-robin to ``clients`` threads and
+    cycled ``repeat`` times; request index ``i`` always carries query
+    ``queries[i % len(queries)]``, so collected ids line up with ground
+    truth rows for recall-under-load.
+    """
+    q = check_query_matrix(queries, server.index.dim, "queries")
+    clients = check_positive_int(clients, "clients")
+    report = LoadReport(
+        mode="closed",
+        requested_ef=ef if ef is not None else server._base_ef,
+    )
+    lock = threading.Lock()
+    total = q.shape[0] * repeat
+
+    def client(worker: int) -> None:
+        for i in range(worker, total, clients):
+            try:
+                fut = server.submit(q[i % q.shape[0]], k, ef=ef,
+                                    deadline_ms=deadline_ms)
+            except ServerOverloaded:
+                with lock:
+                    report.requests += 1
+                    report.rejected += 1
+                continue
+            with lock:
+                report.requests += 1
+            _record_outcome(report, lock, i % q.shape[0], fut, deadline_ms,
+                            collect_ids, wait_timeout)
+
+    t0 = time.monotonic()
+    threads = [threading.Thread(target=client, args=(w,), daemon=True)
+               for w in range(clients)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    report.wall_seconds = time.monotonic() - t0
+    return report
+
+
+def open_loop(
+    server: KNNServer,
+    queries: np.ndarray,
+    k: int,
+    *,
+    rate_qps: float,
+    duration_s: float,
+    ef: int | None = None,
+    deadline_ms: float | None = None,
+    collect_ids: bool = False,
+    seed: int = 0,
+    wait_timeout: float = 120.0,
+) -> LoadReport:
+    """Arrival-scheduled load at ``rate_qps`` for ``duration_s`` seconds.
+
+    A dispatcher thread submits on schedule without waiting for
+    completions (unbounded virtual clients); rejected submissions count
+    but do not slow the arrival process - offered load stays at the
+    target rate even when the server is saturated, which is what makes
+    the overload regime observable.
+    """
+    if rate_qps <= 0:
+        raise ValueError(f"rate_qps must be > 0, got {rate_qps}")
+    q = check_query_matrix(queries, server.index.dim, "queries")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(q.shape[0])
+    report = LoadReport(
+        mode="open",
+        requested_ef=ef if ef is not None else server._base_ef,
+    )
+    lock = threading.Lock()
+    interval = 1.0 / rate_qps
+    pending: list[tuple[int, Any]] = []
+
+    t0 = time.monotonic()
+    next_at = t0
+    i = 0
+    while True:
+        now = time.monotonic()
+        if now - t0 >= duration_s:
+            break
+        if now < next_at:
+            time.sleep(min(next_at - now, 0.005))
+            continue
+        next_at += interval
+        qi = int(order[i % order.size])
+        i += 1
+        report.requests += 1
+        try:
+            fut = server.submit(q[qi], k, ef=ef, deadline_ms=deadline_ms)
+        except ServerOverloaded:
+            report.rejected += 1
+            continue
+        pending.append((qi, fut))
+    dispatch_wall = time.monotonic() - t0
+
+    for qi, fut in pending:
+        _record_outcome(report, lock, qi, fut, deadline_ms, collect_ids,
+                        wait_timeout)
+    report.wall_seconds = max(dispatch_wall, time.monotonic() - t0)
+    return report
+
+
+def recall_against(report: LoadReport, gt_ids: np.ndarray, k: int) -> float:
+    """Recall@k of the collected response ids vs ground-truth rows.
+
+    Only answered requests participate (the recall-under-load figure is
+    about the quality of what *was* served).  Returns 0.0 when nothing
+    was collected.
+    """
+    if not report.ids:
+        return 0.0
+    hits = 0
+    for qi, ids in report.ids.items():
+        hits += np.intersect1d(ids[ids >= 0], gt_ids[qi][:k]).size
+    return hits / (len(report.ids) * k)

@@ -1,0 +1,105 @@
+"""Bounded admission queue with micro-batch draining.
+
+The queue is the server's backpressure point: :meth:`AdmissionQueue.offer`
+refuses new work once ``limit`` requests are waiting (the caller turns
+that into :class:`~repro.errors.ServerOverloaded`), and
+:meth:`AdmissionQueue.take_batch` is the batcher thread's coalescing
+primitive - it blocks for the first request, then keeps gathering until
+either ``max_batch`` requests are in hand or ``max_wait_s`` has elapsed
+since the batch opened, whichever comes first.  That "flush on size or
+age" rule is the whole micro-batching idea: one early request never waits
+longer than ``max_wait_s``, and a burst is drained at full batch width.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any
+
+
+class AdmissionQueue:
+    """Thread-safe bounded FIFO of pending requests.
+
+    All waiting is condition-based; there is no polling.  ``limit`` is the
+    hard admission cap (the high-water mark): ``offer`` returns ``False``
+    at or beyond it and the caller rejects the request.
+    """
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError(f"queue limit must be >= 1, got {limit}")
+        self.limit = int(limit)
+        self._items: deque[Any] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    # -- producer side ---------------------------------------------------------
+
+    def offer(self, item: Any) -> bool:
+        """Enqueue ``item``; ``False`` if the queue is full or closed."""
+        with self._lock:
+            if self._closed or len(self._items) >= self.limit:
+                return False
+            self._items.append(item)
+            self._not_empty.notify()
+            return True
+
+    # -- consumer side ---------------------------------------------------------
+
+    def take_batch(self, max_batch: int, max_wait_s: float) -> list[Any]:
+        """Blockingly gather the next micro-batch.
+
+        Waits for at least one item (or close), then collects more until
+        ``max_batch`` items are gathered or ``max_wait_s`` has passed
+        since the *first* item of this batch was taken.  Returns an empty
+        list only when the queue is closed and drained - the batcher's
+        shutdown signal.
+        """
+        batch: list[Any] = []
+        with self._lock:
+            while not self._items and not self._closed:
+                self._not_empty.wait()
+            if not self._items and self._closed:
+                return batch
+            batch.append(self._items.popleft())
+            flush_at = time.monotonic() + max_wait_s
+            while len(batch) < max_batch:
+                while self._items and len(batch) < max_batch:
+                    batch.append(self._items.popleft())
+                if len(batch) >= max_batch:
+                    break
+                remaining = flush_at - time.monotonic()
+                if remaining <= 0 or self._closed:
+                    break
+                self._not_empty.wait(timeout=remaining)
+        return batch
+
+    def drain(self) -> list[Any]:
+        """Remove and return everything currently queued."""
+        with self._lock:
+            items = list(self._items)
+            self._items.clear()
+            return items
+
+    # -- lifecycle / introspection ---------------------------------------------
+
+    def close(self) -> None:
+        """Stop admitting; wake any blocked consumer."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def depth(self) -> int:
+        """Current number of queued requests (the queue-depth gauge)."""
+        with self._lock:
+            return len(self._items)
+
+    def __len__(self) -> int:
+        return self.depth()

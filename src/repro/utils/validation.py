@@ -21,7 +21,13 @@ def ensure_float32(x: np.ndarray, name: str = "array") -> np.ndarray:
     CUDA kernels use and halves memory traffic relative to float64, which is
     exactly the trade-off the GPU implementation exploits.
     """
-    arr = np.ascontiguousarray(x, dtype=np.float32)
+    try:
+        arr = np.ascontiguousarray(x, dtype=np.float32)
+    except (TypeError, ValueError) as exc:
+        raise DataError(
+            f"{name} cannot be converted to float32 (dtype "
+            f"{getattr(np.asarray(x), 'dtype', '?')}): {exc}"
+        ) from None
     if not np.all(np.isfinite(arr)):
         raise DataError(f"{name} contains NaN or infinite values")
     return arr
@@ -42,6 +48,70 @@ def check_points_matrix(x: np.ndarray, name: str = "points") -> np.ndarray:
     if n == 0 or d == 0:
         raise DataError(f"{name} must be non-empty, got shape {arr.shape}")
     return ensure_float32(arr, name=name)
+
+
+def check_query_matrix(
+    q: np.ndarray, expected_dim: int | None = None, name: str = "queries"
+) -> np.ndarray:
+    """Validate an ``(m, d)`` query matrix at the engine protocol boundary.
+
+    This is the shared :meth:`~repro.baselines.KNNIndex.query` validator
+    every engine (bruteforce, IVF, NN-descent, the graph index, the query
+    server) runs before touching its internals, so wrong dtype / wrong
+    rank / dimension mismatch / NaN all fail with the same clear
+    :class:`ValueError` subclass instead of an opaque shape error deep
+    inside a gather.
+
+    Parameters
+    ----------
+    q:
+        The candidate query matrix.  A single ``(d,)`` vector is rejected
+        with a message telling the caller to reshape - engines answer
+        *batches*.
+    expected_dim:
+        When given, ``q.shape[1]`` must equal it (the indexed
+        dimensionality).
+    """
+    arr = np.asarray(q)
+    if arr.ndim == 1:
+        raise DataError(
+            f"{name} must be a 2-D (n_queries, n_dims) matrix; got a 1-D "
+            f"array of shape {arr.shape} - reshape a single query with "
+            f"q[None, :]"
+        )
+    out = check_points_matrix(arr, name=name)
+    if expected_dim is not None and out.shape[1] != int(expected_dim):
+        raise DataError(
+            f"{name} have dimension {out.shape[1]} but the index was built "
+            f"over dimension {expected_dim}"
+        )
+    return out
+
+
+def check_query_vector(
+    q: np.ndarray, expected_dim: int | None = None, name: str = "query"
+) -> np.ndarray:
+    """Validate one query vector (``(d,)`` or ``(1, d)``) -> 1-D float32.
+
+    The single-request twin of :func:`check_query_matrix`, used by the
+    online serving path where clients submit one vector at a time.
+    """
+    arr = np.asarray(q)
+    if arr.ndim == 2 and arr.shape[0] == 1:
+        arr = arr[0]
+    if arr.ndim != 1:
+        raise DataError(
+            f"{name} must be a single 1-D vector, got shape {arr.shape}"
+        )
+    if arr.size == 0:
+        raise DataError(f"{name} must be non-empty")
+    out = ensure_float32(arr, name=name)
+    if expected_dim is not None and out.shape[0] != int(expected_dim):
+        raise DataError(
+            f"{name} has dimension {out.shape[0]} but the index was built "
+            f"over dimension {expected_dim}"
+        )
+    return out
 
 
 def check_positive_int(value, name: str, *, minimum: int = 1) -> int:

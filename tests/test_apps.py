@@ -139,8 +139,10 @@ class TestGraphSearch:
         assert recall_at(64) >= recall_at(2) - 0.02
 
     def test_dim_mismatch(self, index):
+        from repro.errors import DataError
+
         _, idx = index
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(DataError, match="dimension"):
             idx.search(np.zeros((1, 5), dtype=np.float32), 3)
 
     def test_graph_points_mismatch_rejected(self, labeled_blobs):

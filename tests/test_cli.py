@@ -104,3 +104,41 @@ class TestCommands:
                    "--dim", "8", "--metric", "cosine", "--queries", "30"])
         assert rc == 0
         assert "cosine" in capsys.readouterr().out
+
+    def test_serve_closed_loop(self, tmp_path, capsys):
+        trace = tmp_path / "serve.jsonl"
+        rc = main([
+            "serve", "--dataset", "gaussian", "--n", "500", "--dim", "8",
+            "--queries", "40", "--topk", "5", "--clients", "4",
+            "--max-batch", "8", "--max-wait-ms", "1", "--cache-size", "64",
+            "--trace-out", str(trace),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "q/s" in out and "p99" in out
+        assert trace.exists()
+        from repro.obs.export import read_trace
+
+        metrics = read_trace(trace).metrics.section("serve/")
+        assert metrics["latency_seconds"]["count"] > 0
+
+    def test_serve_load_index(self, tmp_path, capsys):
+        idx_dir = tmp_path / "idx"
+        main(["search", "--dataset", "gaussian", "--n", "500", "--dim", "8",
+              "--save-index", str(idx_dir)])
+        capsys.readouterr()
+        rc = main(["serve", "--load-index", str(idx_dir),
+                   "--queries", "30", "--topk", "4", "--clients", "2"])
+        assert rc == 0
+        assert "q/s" in capsys.readouterr().out
+
+    def test_loadgen_open_loop(self, capsys):
+        rc = main([
+            "loadgen", "--dataset", "gaussian", "--n", "500", "--dim", "8",
+            "--queries", "40", "--topk", "5", "--rate", "300",
+            "--duration", "0.5", "--deadline-ms", "100",
+            "--queue-limit", "32", "--max-batch", "8",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "offered" in out and "deadline_violations=0" in out

@@ -13,7 +13,7 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
-FAST = {"custom_simt_kernel.py", "quickstart.py"}
+FAST = {"custom_simt_kernel.py", "quickstart.py", "serving_demo.py"}
 
 
 @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
@@ -44,4 +44,5 @@ def test_expected_examples_present():
         "similarity_search.py",
         "custom_simt_kernel.py",
         "label_propagation.py",
+        "serving_demo.py",
     } <= names

@@ -374,3 +374,80 @@ class TestAcceptance:
         assert len(obs.trace.records) == 0
         assert report.phase_seconds == {}   # no spans -> no phase timings
         assert report.counters["distance_evals"] > 0  # metrics still flow
+
+
+class TestQuantileHistogram:
+    def test_quantiles_of_known_distribution(self):
+        from repro.obs.metrics import QuantileHistogram
+
+        h = QuantileHistogram()
+        for v in range(1, 1001):          # 1..1000, well under the reservoir
+            h.observe(float(v))
+        out = h.get()
+        assert out["count"] == 1000
+        assert out["p50"] == pytest.approx(500.5, rel=0.01)
+        assert out["p95"] == pytest.approx(950.0, rel=0.01)
+        assert out["p99"] == pytest.approx(990.0, rel=0.01)
+
+    def test_reservoir_bounds_memory(self):
+        from repro.obs.metrics import QuantileHistogram
+
+        h = QuantileHistogram()
+        for v in range(QuantileHistogram.RESERVOIR_CAP * 3):
+            h.observe(float(v))
+        assert len(h.samples) == QuantileHistogram.RESERVOIR_CAP
+        assert h.count == QuantileHistogram.RESERVOIR_CAP * 3
+        # sampled quantiles stay in the ballpark of the true ones
+        n = QuantileHistogram.RESERVOIR_CAP * 3
+        assert h.get()["p50"] == pytest.approx(n / 2, rel=0.10)
+
+    def test_deterministic_across_instances(self):
+        from repro.obs.metrics import QuantileHistogram
+
+        a, b = QuantileHistogram(), QuantileHistogram()
+        for v in range(20_000):
+            a.observe(float(v))
+            b.observe(float(v))
+        assert a.get() == b.get()
+
+    def test_merge_combines_counts(self):
+        from repro.obs.metrics import QuantileHistogram
+
+        a, b = QuantileHistogram(), QuantileHistogram()
+        for v in range(100):
+            a.observe(float(v))
+        for v in range(100, 200):
+            b.observe(float(v))
+        a.merge(b)
+        out = a.get()
+        assert out["count"] == 200
+        assert out["min"] == 0.0 and out["max"] == 199.0
+        assert out["p50"] == pytest.approx(99.5, rel=0.05)
+
+    def test_registry_accessor_and_kind_stability(self):
+        reg = MetricsRegistry()
+        h = reg.quantile_histogram("serve/latency")
+        h.observe(1.0)
+        assert reg.quantile_histogram("serve/latency") is h
+        with pytest.raises(Exception):
+            reg.counter("serve/latency")   # kind mismatch
+
+    def test_trace_round_trip_preserves_percentiles(self, tmp_path):
+        obs = Observability()
+        h = obs.metrics.quantile_histogram("serve/latency_seconds")
+        for v in range(500):
+            h.observe(v / 1000.0)
+        before = h.get()
+        path = write_trace(tmp_path / "t.jsonl", obs)
+        restored = read_trace(path).metrics
+        after = restored.quantile_histogram("serve/latency_seconds").get()
+        assert after["count"] == before["count"]
+        for p in ("p50", "p95", "p99"):
+            assert after[p] == pytest.approx(before[p])
+
+    def test_empty_histogram_reports_zero_percentiles(self):
+        from repro.obs.metrics import QuantileHistogram
+
+        out = QuantileHistogram().get()
+        assert out["count"] == 0
+        assert out["p50"] == 0.0 and out["p99"] == 0.0

@@ -64,3 +64,65 @@ class TestSearchIndexPersistence:
         loaded = GraphSearchIndex.load(tmp_path / "idx",
                                        SearchConfig(ef=64))
         assert loaded.config.ef == 64
+
+    def test_search_config_defaults_round_trip(self, points, tmp_path):
+        """The saved ef/frontier defaults come back without being passed."""
+        from repro.apps.search import SearchConfig
+
+        index = GraphSearchIndex.build(
+            points, k=8, seed=0,
+            search_config=SearchConfig(ef=48, seeds_per_tree=3, frontier=2),
+        )
+        index.save(tmp_path / "idx")
+        loaded = GraphSearchIndex.load(tmp_path / "idx")
+        assert loaded.config == index.config
+        assert loaded.config.ef == 48
+
+    def test_metric_round_trip_byte_identical(self, tmp_path):
+        """A cosine index serves byte-identical ids/dists after load."""
+        from repro.apps.search import SearchConfig
+        from repro.core.config import BuildConfig
+
+        rng = np.random.default_rng(21)
+        x = rng.standard_normal((350, 9), dtype=np.float32)
+        index = GraphSearchIndex.build(
+            x,
+            build_config=BuildConfig(k=8, strategy="tiled", seed=0,
+                                     metric="cosine"),
+            search_config=SearchConfig(ef=40),
+        )
+        q = rng.standard_normal((25, 9), dtype=np.float32)
+        before_ids, before_d = index.search(q, 5)
+        index.save(tmp_path / "idx")
+        loaded = GraphSearchIndex.load(tmp_path / "idx")
+        assert loaded.metric == "cosine"
+        assert loaded.config.ef == 40
+        after_ids, after_d = loaded.search(q, 5)
+        assert after_ids.tobytes() == before_ids.tobytes()
+        assert after_d.tobytes() == before_d.tobytes()
+
+    def test_legacy_directory_without_config_loads(self, points, tmp_path):
+        """Indexes saved before search_config.json existed still load."""
+        index = GraphSearchIndex.build(points, k=8, seed=0)
+        index.save(tmp_path / "idx")
+        (tmp_path / "idx" / "search_config.json").unlink()
+        loaded = GraphSearchIndex.load(tmp_path / "idx")
+        assert loaded.config.ef == 32  # stock default
+
+    def test_served_results_identical_after_load(self, points, tmp_path):
+        """KNNServer over a loaded index answers exactly like the original."""
+        from repro.serve import KNNServer, ServeConfig
+
+        index = GraphSearchIndex.build(points, k=8, seed=0)
+        index.save(tmp_path / "idx")
+        loaded = GraphSearchIndex.load(tmp_path / "idx")
+        q = points[:12] * 1.001
+        direct_ids, direct_d = index.search(q, 5)
+        with KNNServer(loaded, ServeConfig(max_batch=4,
+                                           max_wait_ms=1.0)) as server:
+            futs = [server.submit(row, 5) for row in q]
+            results = [f.result(timeout=30.0) for f in futs]
+        ids = np.stack([r.ids for r in results])
+        dists = np.stack([r.dists for r in results])
+        assert ids.tobytes() == direct_ids.tobytes()
+        assert dists.tobytes() == direct_d.tobytes()

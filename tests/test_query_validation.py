@@ -1,0 +1,116 @@
+"""Cross-engine query-input validation (the shared ``check_query_matrix``).
+
+Every engine behind the :class:`~repro.baselines.KNNIndex` protocol - and
+the online server - must reject malformed query input with a clear
+``ValueError`` naming the problem, instead of failing deep inside a GEMM
+or silently broadcasting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ENGINES
+from repro.errors import DataError
+from repro.serve import KNNServer
+from repro.utils.validation import check_query_matrix, check_query_vector
+
+DIM = 8
+N = 120
+
+
+def _fitted(name):
+    rng = np.random.default_rng(11)
+    x = rng.standard_normal((N, DIM), dtype=np.float32)
+    engine = ENGINES[name]()
+    engine.fit(x)
+    return engine
+
+
+@pytest.fixture(scope="module", params=sorted(ENGINES))
+def engine(request):
+    return _fitted(request.param)
+
+
+class TestEngineQueryValidation:
+    def test_ok_query_accepted(self, engine):
+        ids, dists = engine.query(np.zeros((2, DIM), dtype=np.float32), 3)
+        assert ids.shape == (2, 3) and dists.shape == (2, 3)
+
+    def test_float64_converted_not_rejected(self, engine):
+        ids, _ = engine.query(np.zeros((1, DIM), dtype=np.float64), 3)
+        assert ids.shape == (1, 3)
+
+    def test_non_numeric_dtype_rejected(self, engine):
+        bad = np.array([["a"] * DIM], dtype=object)
+        with pytest.raises(ValueError, match="float32"):
+            engine.query(bad, 3)
+
+    def test_1d_rejected_with_reshape_hint(self, engine):
+        with pytest.raises(ValueError, match="reshape"):
+            engine.query(np.zeros(DIM, dtype=np.float32), 3)
+
+    def test_3d_rejected(self, engine):
+        with pytest.raises(ValueError, match="2-D"):
+            engine.query(np.zeros((1, 2, DIM), dtype=np.float32), 3)
+
+    def test_dimension_mismatch_rejected(self, engine):
+        with pytest.raises(ValueError, match=f"{DIM}"):
+            engine.query(np.zeros((2, DIM + 3), dtype=np.float32), 3)
+
+    def test_nan_rejected(self, engine):
+        q = np.zeros((2, DIM), dtype=np.float32)
+        q[1, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            engine.query(q, 3)
+
+    def test_inf_rejected(self, engine):
+        q = np.zeros((1, DIM), dtype=np.float32)
+        q[0, -1] = np.inf
+        with pytest.raises(ValueError):
+            engine.query(q, 3)
+
+    def test_empty_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.query(np.zeros((0, DIM), dtype=np.float32), 3)
+
+
+class TestServerSubmitValidation:
+    @pytest.fixture(scope="class")
+    def server(self):
+        engine = _fitted("wknng")
+        with KNNServer(engine.index if hasattr(engine, "index") else engine) \
+                as srv:
+            yield srv
+
+    def test_wrong_dim(self, server):
+        with pytest.raises(ValueError, match="dimension"):
+            server.submit(np.zeros(DIM + 1, dtype=np.float32), 3)
+
+    def test_nan(self, server):
+        q = np.zeros(DIM, dtype=np.float32)
+        q[0] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            server.submit(q, 3)
+
+    def test_matrix_of_many_rows(self, server):
+        with pytest.raises(ValueError, match="1-D"):
+            server.submit(np.zeros((2, DIM), dtype=np.float32), 3)
+
+
+class TestValidatorHelpers:
+    def test_check_query_matrix_is_dataerror_and_valueerror(self):
+        with pytest.raises(DataError):
+            check_query_matrix(np.zeros(4, dtype=np.float32), 4)
+        assert issubclass(DataError, ValueError)
+
+    def test_check_query_matrix_dim_message_names_both_dims(self):
+        with pytest.raises(DataError, match="3.*5|5.*3"):
+            check_query_matrix(np.zeros((1, 5), dtype=np.float32), 3)
+
+    def test_check_query_vector_accepts_row_matrix(self):
+        out = check_query_vector(np.zeros((1, 4), dtype=np.float32), 4)
+        assert out.shape == (4,)
+
+    def test_check_query_vector_rejects_scalar(self):
+        with pytest.raises(DataError):
+            check_query_vector(np.float32(1.0), 4)

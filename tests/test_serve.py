@@ -1,0 +1,477 @@
+"""Tests for the ``repro.serve`` online query service.
+
+Covers the ISSUE's required scheduler edge cases (empty flush on
+shutdown, deadline expiring while queued, single request below
+``max_wait_ms``, cache hits bypassing the engine, batch-size-independent
+determinism) plus the admission queue, degradation controller, result
+cache, overload behaviour and obs integration.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.apps.search import GraphSearchIndex, SearchConfig
+from repro.core.config import BuildConfig
+from repro.errors import (
+    DeadlineExceeded,
+    ServerClosed,
+    ServerOverloaded,
+)
+from repro.obs import Events, Observability
+from repro.serve import (
+    AdmissionQueue,
+    DegradationController,
+    KNNServer,
+    ResultCache,
+    ServeConfig,
+    ShedPolicy,
+    closed_loop,
+    open_loop,
+)
+
+
+@pytest.fixture(scope="module")
+def index():
+    rng = np.random.default_rng(7)
+    x = rng.standard_normal((1500, 12), dtype=np.float32)
+    return GraphSearchIndex.build(
+        x,
+        build_config=BuildConfig(k=8, strategy="tiled", seed=0),
+        search_config=SearchConfig(ef=24),
+    )
+
+
+@pytest.fixture(scope="module")
+def queries(index):
+    rng = np.random.default_rng(8)
+    x = index._engine._x
+    return x[rng.choice(x.shape[0], size=48, replace=False)]
+
+
+class CountingIndex:
+    """Engine proxy that counts ``search`` calls and rows scored."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = 0
+        self.rows = 0
+        self.lock = threading.Lock()
+
+    @property
+    def dim(self):
+        return self.inner.dim
+
+    @property
+    def config(self):
+        return self.inner.config
+
+    def search(self, q, k, *, ef=None):
+        with self.lock:
+            self.calls += 1
+            self.rows += q.shape[0]
+        return self.inner.search(q, k, ef=ef)
+
+
+class TestAdmissionQueue:
+    def test_offer_take_fifo(self):
+        q = AdmissionQueue(limit=4)
+        assert q.offer("a") and q.offer("b")
+        assert q.take_batch(10, 0.0) == ["a", "b"]
+
+    def test_offer_rejects_at_limit(self):
+        q = AdmissionQueue(limit=2)
+        assert q.offer(1) and q.offer(2)
+        assert not q.offer(3)
+        assert q.depth() == 2
+
+    def test_take_batch_flushes_on_max_batch(self):
+        q = AdmissionQueue(limit=16)
+        for i in range(6):
+            q.offer(i)
+        assert q.take_batch(4, 10.0) == [0, 1, 2, 3]
+        assert q.take_batch(4, 0.0) == [4, 5]
+
+    def test_take_batch_flushes_on_timer(self):
+        q = AdmissionQueue(limit=16)
+        q.offer("only")
+        t0 = time.monotonic()
+        batch = q.take_batch(64, 0.05)
+        waited = time.monotonic() - t0
+        assert batch == ["only"]
+        assert waited >= 0.04
+
+    def test_close_wakes_blocked_consumer(self):
+        q = AdmissionQueue(limit=4)
+        got = []
+        t = threading.Thread(target=lambda: got.append(q.take_batch(8, 5.0)))
+        t.start()
+        time.sleep(0.05)
+        q.close()
+        t.join(timeout=2.0)
+        assert not t.is_alive()
+        assert got == [[]]
+        assert not q.offer("late")
+
+
+class TestDegradation:
+    def test_levels_rise_and_recover_with_hysteresis(self):
+        c = DegradationController(ShedPolicy(
+            high_water=0.5, low_water=0.1, step_up_after=2,
+            step_down_after=2, factor=0.5, min_ef=8, max_level=3,
+        ))
+        assert c.observe(60, 100) == 0       # 1st pressure observation
+        assert c.observe(60, 100) == 1       # 2nd -> shed one level
+        assert c.effective_ef(64) == 32
+        assert c.observe(60, 100) == 1
+        assert c.observe(60, 100) == 2
+        assert c.effective_ef(64) == 16
+        assert c.observe(5, 100) == 2        # 1st relief observation
+        assert c.observe(5, 100) == 1        # 2nd -> recover one level
+        assert c.observe(5, 100) == 1
+        assert c.observe(5, 100) == 0
+        assert c.effective_ef(64) == 64
+
+    def test_min_ef_floor(self):
+        c = DegradationController(ShedPolicy(
+            step_up_after=1, factor=0.5, min_ef=20, max_level=3))
+        for _ in range(3):
+            c.observe(100, 100)
+        assert c.level == 3
+        assert c.effective_ef(64) == 20      # not 8
+        assert c.effective_ef(10) == 10      # never raises ef above requested
+
+    def test_disabled_policy_is_identity(self):
+        c = DegradationController(ShedPolicy(enabled=False))
+        for _ in range(10):
+            assert c.observe(100, 100) == 0
+        assert c.effective_ef(64) == 64
+
+    def test_midband_resets_streaks(self):
+        c = DegradationController(ShedPolicy(
+            high_water=0.5, low_water=0.1, step_up_after=2))
+        c.observe(60, 100)
+        c.observe(30, 100)                   # mid band: streak broken
+        assert c.observe(60, 100) == 0       # needs 2 consecutive again
+        assert c.observe(60, 100) == 1
+
+
+class TestResultCache:
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put(b"a", 1)
+        cache.put(b"b", 2)
+        assert cache.get(b"a") == 1          # touches a
+        cache.put(b"c", 3)                   # evicts b (least recent)
+        assert cache.get(b"b") is None
+        assert cache.get(b"a") == 1 and cache.get(b"c") == 3
+
+    def test_quantized_keys_collapse_near_duplicates(self):
+        cache = ResultCache(capacity=4, decimals=2)
+        a = np.array([0.123, 4.567], dtype=np.float32)
+        b = a + 1e-4
+        assert cache.key(a, 5, 32) == cache.key(b, 5, 32)
+        assert cache.key(a, 5, 32) != cache.key(a, 6, 32)
+        assert cache.key(a, 5, 32) != cache.key(a, 5, 64)
+
+    def test_negative_zero_normalised(self):
+        cache = ResultCache(capacity=2)
+        a = np.array([0.0, 1.0], dtype=np.float32)
+        b = np.array([-0.0, 1.0], dtype=np.float32)
+        assert cache.key(a, 3, 8) == cache.key(b, 3, 8)
+
+
+class TestSchedulerEdgeCases:
+    def test_empty_flush_on_shutdown(self, index):
+        """A server stopped with nothing queued joins cleanly."""
+        server = KNNServer(index, ServeConfig(max_batch=8, max_wait_ms=50.0))
+        server.start()
+        batcher = server._batcher
+        server.stop(timeout=5.0)
+        assert not batcher.running
+        assert server.stats()["completed"] == 0
+        # restartable after a clean stop
+        server.start()
+        server.stop(timeout=5.0)
+
+    def test_deadline_expiring_while_queued(self, index, queries):
+        """An expired request is dropped before scoring, not after."""
+        counting = CountingIndex(index)
+        server = KNNServer(counting, ServeConfig(
+            max_batch=64, max_wait_ms=120.0, queue_limit=8))
+        with server:
+            fut = server.submit(queries[0], 5, deadline_ms=1.0)
+            with pytest.raises(DeadlineExceeded, match="while queued"):
+                fut.result(timeout=10.0)
+        assert counting.calls == 0            # never reached the engine
+        stats = server.stats()
+        assert stats["timeout_queued"] == 1
+        assert stats["completed"] == 0
+
+    def test_single_request_below_max_wait(self, index, queries):
+        """A lone request flushes on the timer as a batch of one."""
+        server = KNNServer(index, ServeConfig(max_batch=64, max_wait_ms=30.0))
+        with server:
+            t0 = time.monotonic()
+            res = server.query(queries[0], 5, timeout=10.0)
+            waited = time.monotonic() - t0
+        assert res.batch_size == 1
+        assert res.ids.shape == (5,)
+        assert waited >= 0.025                # sat out the coalescing window
+        assert server.stats()["completed"] == 1
+
+    def test_cache_hit_bypasses_engine(self, index, queries):
+        counting = CountingIndex(index)
+        server = KNNServer(counting, ServeConfig(
+            max_batch=8, max_wait_ms=1.0, cache_size=32))
+        with server:
+            first = server.query(queries[0], 5, timeout=10.0)
+            calls_after_first = counting.calls
+            second = server.query(queries[0], 5, timeout=10.0)
+        assert not first.cached and second.cached
+        assert counting.calls == calls_after_first   # no extra engine call
+        assert np.array_equal(first.ids, second.ids)
+        assert np.allclose(first.dists, second.dists)
+        assert server.stats()["cache_hits"] == 1
+
+    @pytest.mark.parametrize("max_batch", [1, 7, 64])
+    def test_deterministic_for_any_max_batch(self, index, queries, max_batch):
+        """Serving answers equal direct BatchedGraphSearch calls exactly."""
+        direct_ids, direct_dists = index.search(queries, 5)
+        server = KNNServer(index, ServeConfig(
+            max_batch=max_batch, max_wait_ms=5.0, queue_limit=256))
+        with server:
+            futs = [server.submit(q, 5) for q in queries]
+            results = [f.result(timeout=30.0) for f in futs]
+        ids = np.stack([r.ids for r in results])
+        dists = np.stack([r.dists for r in results])
+        assert np.array_equal(ids, direct_ids)
+        assert np.allclose(dists, direct_dists, equal_nan=True)
+
+    def test_shutdown_drains_queued_requests(self, index, queries):
+        server = KNNServer(index, ServeConfig(max_batch=4, max_wait_ms=1.0))
+        server.start()
+        futs = [server.submit(q, 5) for q in queries[:12]]
+        server.stop(drain=True, timeout=30.0)
+        for f in futs:
+            assert f.result(timeout=1.0).ids.shape == (5,)
+
+    def test_shutdown_without_drain_fails_pending(self, index, queries):
+        server = KNNServer(index, ServeConfig(
+            max_batch=64, max_wait_ms=5000.0))  # huge window: stays queued
+        server.start()
+        fut = server.submit(queries[0], 5)
+        # the batcher may already hold the request; only assert the
+        # contract for requests still in the queue at stop time
+        server.stop(drain=False, timeout=10.0)
+        try:
+            fut.result(timeout=1.0)
+        except ServerClosed:
+            pass
+
+
+class TestServerProtocol:
+    def test_submit_after_stop_raises(self, index, queries):
+        server = KNNServer(index)
+        server.start()
+        server.stop()
+        with pytest.raises(ServerClosed):
+            server.submit(queries[0], 5)
+
+    def test_validation_at_the_boundary(self, index, queries):
+        with KNNServer(index) as server:
+            with pytest.raises(ValueError, match="dimension"):
+                server.submit(np.zeros(3, dtype=np.float32), 5)
+            with pytest.raises(ValueError, match="NaN"):
+                bad = queries[0].copy()
+                bad[0] = np.nan
+                server.submit(bad, 5)
+            with pytest.raises(ValueError, match="1-D"):
+                server.submit(queries[:2], 5)
+            with pytest.raises(ValueError):
+                server.submit(queries[0], 0)
+
+    def test_accepts_row_matrix_query(self, index, queries):
+        with KNNServer(index, ServeConfig(max_wait_ms=1.0)) as server:
+            res = server.query(queries[:1], 5, timeout=10.0)
+        assert res.ids.shape == (5,)
+
+    def test_overload_rejection_is_synchronous(self, index, queries):
+        """Past the high-water mark submit raises ServerOverloaded."""
+
+        class SlowIndex(CountingIndex):
+            def search(self, q, k, *, ef=None):
+                time.sleep(0.05)
+                return super().search(q, k, ef=ef)
+
+        server = KNNServer(SlowIndex(index), ServeConfig(
+            max_batch=1, max_wait_ms=0.0, queue_limit=4))
+        server.start()
+        try:
+            rejected = 0
+            for i in range(32):
+                try:
+                    server.submit(queries[i % queries.shape[0]], 5)
+                except ServerOverloaded as exc:
+                    rejected += 1
+                    assert exc.queue_depth >= 4
+            # 4 queue slots + at most 2 batches held by the scheduler can
+            # be admitted before the submit burst outruns the slow worker
+            assert rejected >= 32 - 4 - 2 - 4
+            assert rejected > 0
+            assert server.stats()["rejected"] == rejected
+        finally:
+            server.stop(drain=True, timeout=60.0)
+
+    def test_late_result_is_timeout_not_success(self, index):
+        """A result finishing past its deadline resolves as DeadlineExceeded."""
+
+        class SlowIndex(CountingIndex):
+            def search(self, q, k, *, ef=None):
+                time.sleep(0.08)
+                return super().search(q, k, ef=ef)
+
+        slow = SlowIndex(index)
+        q0 = index._engine._x[0]
+        server = KNNServer(slow, ServeConfig(max_batch=4, max_wait_ms=1.0))
+        with server:
+            fut = server.submit(q0, 5, deadline_ms=40.0)
+            with pytest.raises(DeadlineExceeded, match="past the deadline"):
+                fut.result(timeout=10.0)
+        assert slow.calls == 1                # it *was* scored, then discarded
+        assert server.stats()["timeout_late"] == 1
+
+    def test_shed_reduces_ef_and_recovers(self, index):
+        """Sustained queue pressure sheds ef; results still arrive."""
+
+        class SlowIndex(CountingIndex):
+            def __init__(self, inner):
+                super().__init__(inner)
+                self.efs = []
+
+            def search(self, q, k, *, ef=None):
+                with self.lock:
+                    self.efs.append(ef)
+                time.sleep(0.02)
+                return self.inner.search(q, k, ef=ef)
+
+        slow = SlowIndex(index)
+        x = index._engine._x
+        server = KNNServer(slow, ServeConfig(
+            max_batch=2, max_wait_ms=1.0, queue_limit=10, ef=32,
+            shed=ShedPolicy(high_water=0.3, low_water=0.05,
+                            step_up_after=1, step_down_after=2,
+                            factor=0.5, min_ef=8, max_level=2),
+        ))
+        obs_events = []
+        server.obs = Observability()
+        server.obs.hooks.subscribe(
+            Events.SERVE_SHED_CHANGE,
+            lambda event, payload: obs_events.append(payload))
+        with server:
+            futs = []
+            for i in range(24):
+                try:
+                    futs.append(server.submit(x[i], 5))
+                except ServerOverloaded:
+                    pass
+            results = [f.result(timeout=30.0) for f in futs]
+        served_efs = {r.ef_used for r in results}
+        assert 16 in served_efs or 8 in served_efs, (
+            f"expected shed ef in served set, got {served_efs}")
+        assert server.stats()["shed_served"] > 0
+        assert obs_events, "SERVE_SHED_CHANGE should have fired"
+
+    def test_shed_results_not_cached(self, index):
+        """The cache only ever stores full-quality results."""
+        x = index._engine._x
+        server = KNNServer(index, ServeConfig(
+            max_batch=2, max_wait_ms=1.0, queue_limit=4, ef=32, cache_size=64,
+            shed=ShedPolicy(high_water=0.25, step_up_after=1, max_level=1),
+        ))
+        # force a permanent shed level, then serve one request
+        server.degradation.level = 1
+        with server:
+            res = server.query(x[0], 5, timeout=10.0)
+        assert res.ef_used < 32
+        assert len(server.cache) == 0
+
+
+class TestServeObservability:
+    def test_metrics_hooks_and_trace(self, index, queries, tmp_path):
+        from repro.obs.export import read_trace, write_trace
+        from repro.serve.server import SERVE_METRICS_PREFIX
+
+        obs = Observability()
+        seen = []
+        obs.hooks.subscribe("*", lambda event, payload: seen.append(event))
+        server = KNNServer(index, ServeConfig(
+            max_batch=8, max_wait_ms=2.0, cache_size=16), obs=obs)
+        with server:
+            futs = [server.submit(q, 5) for q in queries[:16]]
+            [f.result(timeout=30.0) for f in futs]
+            server.query(queries[0], 5, timeout=10.0)  # cache hit
+        events = set(seen)
+        assert Events.SERVE_START in events
+        assert Events.SERVE_BATCH_BEFORE in events
+        assert Events.SERVE_BATCH_AFTER in events
+        assert Events.SERVE_CACHE_HIT in events
+        assert Events.SERVE_STOP in events
+
+        section = obs.metrics.section(SERVE_METRICS_PREFIX)
+        assert section["latency_seconds"]["count"] == 17
+        for p in ("p50", "p95", "p99"):
+            assert section["latency_seconds"][p] > 0
+        assert section["batch_size"]["count"] >= 1
+        # the serving counters are mirrored into the registry, so
+        # shed/reject/timeout accounting survives a trace export
+        assert section["completed"] == 17
+        assert section["cache_hits"] == 1
+        assert section["submitted"] == 17
+
+        # the quantile histogram survives a trace round-trip
+        path = write_trace(tmp_path / "serve.jsonl", obs)
+        restored = read_trace(path)
+        rsec = restored.metrics.section(SERVE_METRICS_PREFIX)
+        assert rsec["latency_seconds"]["count"] == 17
+        assert rsec["latency_seconds"]["p99"] == pytest.approx(
+            section["latency_seconds"]["p99"])
+
+
+class TestLoadgen:
+    def test_closed_loop_all_answered(self, index, queries):
+        server = KNNServer(index, ServeConfig(
+            max_batch=16, max_wait_ms=2.0, queue_limit=256))
+        with server:
+            report = closed_loop(server, queries, 5, clients=6, repeat=2)
+        assert report.ok == queries.shape[0] * 2
+        assert report.rejected == report.timeouts == report.errors == 0
+        assert report.throughput_qps > 0
+        assert report.deadline_violations == 0
+        # collected ids line up with direct engine answers
+        direct_ids, _ = index.search(queries, 5)
+        for qi, ids in report.ids.items():
+            assert np.array_equal(ids, direct_ids[qi])
+
+    def test_open_loop_under_overload_stays_up(self, index, queries):
+        """2x-ish overload: server survives, rejects and/or times out."""
+
+        class SlowIndex(CountingIndex):
+            def search(self, q, k, *, ef=None):
+                time.sleep(0.01)
+                return super().search(q, k, ef=ef)
+
+        server = KNNServer(SlowIndex(index), ServeConfig(
+            max_batch=4, max_wait_ms=1.0, queue_limit=8))
+        with server:
+            report = open_loop(server, queries, 5, rate_qps=2000.0,
+                               duration_s=0.6, deadline_ms=30.0, seed=3)
+            # still alive and serving afterwards
+            res = server.query(queries[0], 5, timeout=10.0)
+        assert res.ids.shape == (5,)
+        assert report.requests > 100
+        assert report.rejected + report.timeouts > 0
+        assert report.errors == 0
+        assert report.deadline_violations == 0
