@@ -40,6 +40,8 @@ from repro.core.config import BuildConfig
 from repro.data.synthetic import make_dataset
 from repro.metrics.records import RecordSet
 from repro.serve import (
+    AdmissionPolicy,
+    CachePolicy,
     KNNServer,
     ServeConfig,
     ShedPolicy,
@@ -111,7 +113,9 @@ def test_t5_serving_vs_sequential(index, corpus, gt_ids, results_dir):
 
     # serving: concurrent clients through the micro-batching server
     server = KNNServer(index, ServeConfig(
-        max_batch=64, max_wait_ms=2.0, queue_limit=512, ef=EF,
+        admission=AdmissionPolicy(max_batch=64, max_wait_ms=2.0,
+                                  queue_limit=512),
+        ef=EF,
         shed=ShedPolicy(enabled=False),   # equal-quality comparison
     ))
     with server:
@@ -166,7 +170,9 @@ def test_t5_overload_graceful(index, corpus, gt_ids, results_dir):
 
     # measure sustainable capacity with a short closed loop
     cal = KNNServer(index, ServeConfig(
-        max_batch=32, max_wait_ms=2.0, queue_limit=256, ef=EF))
+        admission=AdmissionPolicy(max_batch=32, max_wait_ms=2.0,
+                                  queue_limit=256),
+        ef=EF))
     with cal:
         cal_report = closed_loop(cal, q, TOP_K, clients=16, repeat=1,
                                  collect_ids=False)
@@ -174,7 +180,9 @@ def test_t5_overload_graceful(index, corpus, gt_ids, results_dir):
 
     # offer 2x capacity, open loop, against a deliberately small queue
     server = KNNServer(index, ServeConfig(
-        max_batch=32, max_wait_ms=2.0, queue_limit=64, ef=EF,
+        admission=AdmissionPolicy(max_batch=32, max_wait_ms=2.0,
+                                  queue_limit=64),
+        ef=EF,
         shed=ShedPolicy(high_water=0.4, low_water=0.1, step_up_after=1,
                         step_down_after=4, factor=0.5, min_ef=16),
     ))
@@ -234,8 +242,10 @@ def test_t5_overload_graceful(index, corpus, gt_ids, results_dir):
 def test_t5_cache_effectiveness(index, corpus, results_dir):
     _, q = corpus
     server = KNNServer(index, ServeConfig(
-        max_batch=64, max_wait_ms=2.0, queue_limit=512, ef=EF,
-        cache_size=2 * q.shape[0], shed=ShedPolicy(enabled=False)))
+        admission=AdmissionPolicy(max_batch=64, max_wait_ms=2.0,
+                                  queue_limit=512),
+        ef=EF, cache=CachePolicy(size=2 * q.shape[0]),
+        shed=ShedPolicy(enabled=False)))
     with server:
         cold = closed_loop(server, q, TOP_K, clients=16, repeat=1,
                            collect_ids=False)

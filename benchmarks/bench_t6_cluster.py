@@ -1,0 +1,219 @@
+"""T6 - sharded cluster serving: scale-out throughput and fault tolerance.
+
+T5 measured one engine behind one micro-batching server; T6 measures the
+sharded scatter-gather cluster (:class:`~repro.serve.ClusterClient`).
+Points are partitioned across ``S`` shards, each served by ``R`` replica
+workers, and per-shard top-k lists are merged by packed ``(dist, id)``
+keys - by construction the merged answer is bitwise identical to a flat
+single-index search at the same search settings.
+
+Two measurements:
+
+* **shard scaling** - closed-loop QPS for S in {1, 2, 4} shards with the
+  ``scaled`` shard-ef policy (each shard searches ``ef/S``-wide beams, so
+  total beam work stays roughly constant while shards run concurrently).
+  Gate at full scale *and* >= 4 usable cores *and* the process backend:
+  QPS(S=4) >= 2.5x QPS(S=1).  On a starved container the sweep still
+  runs and publishes numbers; only the gate is skipped.
+* **kill a replica mid-run** - an S=2, R=2 cluster serves a steady
+  closed-loop stream; one replica of shard 0 is killed cold.  Because
+  every replica of a shard is built from the same index, failover can
+  never change an answer: every post-kill response must match the
+  cluster's own pre-kill answer bit-for-bit (zero wrong answers, at any
+  scale).  At full scale the p99 of the post-kill phase must stay within
+  3x the steady-state p99, and the health loop must have ejected the
+  corpse.
+
+The wrong-answer and server-stays-up invariants assert at every scale;
+throughput magnitude gates only at ``WKNNG_BENCH_SCALE >= 1``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import BENCH_SCALE, publish, publish_summary
+from repro.core.config import BuildConfig
+from repro.data.synthetic import make_dataset
+from repro.metrics.records import RecordSet
+from repro.serve import (
+    AdmissionPolicy,
+    ClusterClient,
+    ClusterConfig,
+    ServeConfig,
+    ShedPolicy,
+    closed_loop,
+)
+from repro.utils.parallel import fork_available, usable_cpus
+
+FULL_SCALE = BENCH_SCALE >= 1.0
+
+#: headline workload (at scale 1.0)
+N_POINTS = 8_000
+N_QUERIES = 256
+DIM = 32
+EF = 64
+TOP_K = 10
+GRAPH_K = 16
+
+SUMMARY: dict = {
+    "workload": {"n": None, "dim": DIM, "queries": None, "ef": EF,
+                 "topk": TOP_K, "graph_k": GRAPH_K},
+    "env": {"usable_cpus": usable_cpus(), "fork_available": fork_available()},
+}
+
+
+def _scaled(n: int, floor: int = 256) -> int:
+    return max(floor, int(n * BENCH_SCALE))
+
+
+def _backend() -> str:
+    return "process" if fork_available() else "thread"
+
+
+def _serve_cfg() -> ServeConfig:
+    # shedding off: every request is served at full ef so answers are
+    # deterministic and phases are comparable at equal quality
+    return ServeConfig(
+        admission=AdmissionPolicy(max_batch=64, max_wait_ms=2.0,
+                                  queue_limit=1024),
+        ef=EF, shed=ShedPolicy(enabled=False),
+    )
+
+
+def _build_cluster(points: np.ndarray, n_shards: int, n_replicas: int,
+                   **cfg_kw) -> ClusterClient:
+    return ClusterClient.build(
+        points,
+        build_config=BuildConfig(k=GRAPH_K, strategy="tiled", seed=0),
+        config=ClusterConfig(
+            n_shards=n_shards, n_replicas=n_replicas, backend=_backend(),
+            serve=_serve_cfg(), **cfg_kw,
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    x = make_dataset("gaussian", _scaled(N_POINTS), seed=0, dim=DIM)
+    rng = np.random.default_rng(1)
+    q = x[rng.choice(x.shape[0], size=min(_scaled(N_QUERIES, floor=64),
+                                          x.shape[0]), replace=False)]
+    SUMMARY["workload"]["n"] = int(x.shape[0])
+    SUMMARY["workload"]["queries"] = int(q.shape[0])
+    return x, q
+
+
+def test_t6_shard_scaling(corpus, results_dir):
+    x, q = corpus
+    sweep = []
+    for n_shards in (1, 2, 4):
+        client = _build_cluster(x, n_shards, 1, shard_ef_policy="scaled")
+        with client:
+            report = closed_loop(client, q, TOP_K, clients=16, repeat=2,
+                                 deadline_ms=10_000.0)
+            stats = client.stats()
+        assert report.errors == 0, f"S={n_shards}: {report.errors} errors"
+        assert report.deadline_violations == 0
+        assert report.ok == 2 * q.shape[0], f"S={n_shards} dropped requests"
+        sweep.append({
+            "shards": n_shards,
+            "qps": report.throughput_qps,
+            "p50_ms": report.percentile_ms(0.5),
+            "p99_ms": report.percentile_ms(0.99),
+            "shard_ef": client.config.shard_ef(EF, TOP_K),
+            "shard_calls": stats["router"]["shard_calls"],
+        })
+
+    base_qps = sweep[0]["qps"]
+    records = RecordSet()
+    for row in sweep:
+        records.add(
+            "T6", {"shards": row["shards"], "replicas": 1,
+                   "backend": _backend(), "policy": "scaled"},
+            {"qps": row["qps"], "p50_ms": row["p50_ms"],
+             "p99_ms": row["p99_ms"],
+             "speedup_vs_s1": row["qps"] / base_qps},
+        )
+    publish(results_dir, "T6_shard_scaling", records)
+    SUMMARY["shard_scaling"] = {
+        "backend": _backend(),
+        "policy": "scaled",
+        "sweep": [{"shards": r["shards"], "qps": r["qps"],
+                   "p99_ms": r["p99_ms"],
+                   "speedup_vs_s1": r["qps"] / base_qps} for r in sweep],
+    }
+    publish_summary(results_dir, "T6", SUMMARY)
+
+    if FULL_SCALE and usable_cpus() >= 4 and _backend() == "process":
+        speedup = sweep[-1]["qps"] / base_qps
+        assert speedup >= 2.5, (
+            f"4 shards only {speedup:.2f}x over 1 shard "
+            f"({sweep[-1]['qps']:.0f} vs {base_qps:.0f} q/s)"
+        )
+
+
+def test_t6_kill_replica_mid_run(corpus, results_dir):
+    x, q = corpus
+    client = _build_cluster(x, 2, 2, heartbeat_interval_s=0.1,
+                            heartbeat_timeout_s=0.5)
+    with client:
+        # ground truth from the cluster itself: replicas of a shard are
+        # forks of one built index, so failover must reproduce these bits
+        expected = {i: client.query(q[i], TOP_K, timeout=30.0).ids
+                    for i in range(q.shape[0])}
+
+        steady = closed_loop(client, q, TOP_K, clients=16, repeat=1,
+                             deadline_ms=10_000.0)
+        assert steady.errors == 0 and steady.deadline_violations == 0
+
+        client.kill_replica(0, 0)
+        post = closed_loop(client, q, TOP_K, clients=16, repeat=2,
+                           deadline_ms=10_000.0)
+        # give the heartbeat a beat to observe the corpse
+        deadline = time.monotonic() + 5.0
+        while (client.router.counters["ejections"] == 0
+               and time.monotonic() < deadline):
+            time.sleep(0.05)
+        stats = client.stats()
+
+    # zero wrong answers, at any scale
+    assert post.errors == 0, f"{post.errors} errors after replica kill"
+    assert post.ok == 2 * q.shape[0], "replica kill dropped requests"
+    wrong = sum(
+        0 if np.array_equal(ids, expected[qi]) else 1
+        for qi, ids in post.ids.items()
+    )
+    assert wrong == 0, f"{wrong} queries changed answers after the kill"
+    assert stats["router"]["healthy_replicas"] == 3
+    assert stats["router"]["ejections"] >= 1, "corpse was never ejected"
+
+    p99_ratio = post.percentile_ms(0.99) / max(steady.percentile_ms(0.99),
+                                               1e-3)
+    records = RecordSet()
+    for phase, rep in (("steady", steady), ("post_kill", post)):
+        records.add(
+            "T6-kill", {"phase": phase, "shards": 2, "replicas": 2,
+                        "backend": _backend()},
+            {"qps": rep.throughput_qps, "p50_ms": rep.percentile_ms(0.5),
+             "p99_ms": rep.percentile_ms(0.99), "ok": rep.ok,
+             "errors": rep.errors},
+        )
+    publish(results_dir, "T6_kill_replica", records)
+    SUMMARY["kill_replica"] = {
+        "backend": _backend(),
+        "steady_p99_ms": steady.percentile_ms(0.99),
+        "post_kill_p99_ms": post.percentile_ms(0.99),
+        "p99_ratio": p99_ratio,
+        "wrong_answers": wrong,
+        "failovers": stats["router"]["failovers"],
+        "ejections": stats["router"]["ejections"],
+        "healthy_replicas": stats["router"]["healthy_replicas"],
+    }
+    publish_summary(results_dir, "T6", SUMMARY)
+
+    if FULL_SCALE:
+        assert p99_ratio <= 3.0, (
+            f"post-kill p99 blew up {p99_ratio:.1f}x over steady state"
+        )

@@ -24,6 +24,8 @@ from repro.apps import GraphSearchIndex, SearchConfig
 from repro.core import BuildConfig
 from repro.data import gaussian_mixture
 from repro.serve import (
+    AdmissionPolicy,
+    CachePolicy,
     KNNServer,
     ServeConfig,
     ShedPolicy,
@@ -53,7 +55,8 @@ def main() -> None:
         index.search(q[None, :], k)
     seq_qps = len(queries) / (time.perf_counter() - t0)
 
-    server = KNNServer(index, ServeConfig(max_batch=64, max_wait_ms=2.0))
+    server = KNNServer(index, ServeConfig(
+        admission=AdmissionPolicy(max_batch=64, max_wait_ms=2.0)))
     with server:
         report = closed_loop(server, queries, k, clients=16, repeat=2)
     print("\n[1] micro-batched serving (16 clients) vs sequential calls")
@@ -65,7 +68,8 @@ def main() -> None:
 
     # -- 2. the result cache on repeat traffic ---------------------------------
     server = KNNServer(index, ServeConfig(
-        max_batch=64, max_wait_ms=2.0, cache_size=512))
+        admission=AdmissionPolicy(max_batch=64, max_wait_ms=2.0),
+        cache=CachePolicy(size=512)))
     with server:
         closed_loop(server, queries, k, clients=8, collect_ids=False)
         warm = closed_loop(server, queries, k, clients=8, collect_ids=False)
@@ -76,7 +80,8 @@ def main() -> None:
 
     # -- 3. open-loop overload: shed, reject, enforce deadlines ----------------
     server = KNNServer(index, ServeConfig(
-        max_batch=32, max_wait_ms=2.0, queue_limit=64,
+        admission=AdmissionPolicy(max_batch=32, max_wait_ms=2.0,
+                                  queue_limit=64),
         shed=ShedPolicy(high_water=0.4, low_water=0.1, step_up_after=1,
                         min_ef=12),
     ))
@@ -92,7 +97,7 @@ def main() -> None:
     print(f"    p99 of accepted: {storm.percentile_ms(0.99):.1f}ms  "
           f"late successes: {storm.deadline_violations}")
     print(f"    server still answering afterwards: "
-          f"{alive.ids.shape[0]} neighbours at ef={alive.ef_used}")
+          f"{alive.ids.shape[0]} neighbours at ef={alive.served_ef}")
     print("\n(shedding trades a little recall for a lot of latency; the "
           "deadline is a hard promise)")
 

@@ -662,9 +662,14 @@ class GraphSearchIndex:
             cfg = replace(cfg, ef=check_positive_int(ef, "ef"))
         return engine.search(q, k, config=cfg)
 
-    def query(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
-        """:class:`~repro.baselines.KNNIndex` protocol alias of :meth:`search`."""
-        return self.search(queries, k)
+    def query(self, queries: np.ndarray, k: int, *,
+              ef: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """:class:`~repro.baselines.KNNIndex` protocol alias of :meth:`search`.
+
+        ``ef`` is the protocol-wide per-call quality dial; here it is the
+        beam width, exactly as in :meth:`search`.
+        """
+        return self.search(queries, k, ef=ef)
 
     def stats(self) -> dict[str, Any]:
         """Work counters of the most recent search (engine protocol)."""

@@ -37,11 +37,19 @@ class KNNIndex(Protocol):
     matrices sorted by ascending distance (unfilled slots carry ``-1`` /
     ``+inf``), and ``stats`` reports engine-specific work counters of the
     most recent operation as a flat dict.
+
+    ``ef`` is the protocol-wide *per-call* quality dial: every engine
+    accepts it as keyword-only and maps it onto its own search-effort
+    knob (beam width for the graph engine, probe count for IVF, pool
+    size for NN-descent) or ignores it when exact (brute force).  One
+    signature means one harness - :func:`repro.bench.sweep.run_index`
+    and the serving layer drive every engine identically.
     """
 
     def fit(self, points: np.ndarray) -> "KNNIndex": ...
 
-    def query(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]: ...
+    def query(self, queries: np.ndarray, k: int, *,
+              ef: int | None = None) -> tuple[np.ndarray, np.ndarray]: ...
 
     def stats(self) -> dict[str, Any]: ...
 

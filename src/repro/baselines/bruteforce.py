@@ -128,8 +128,13 @@ class BruteForceKNN:
         }
         return out_ids, out_dists
 
-    def query(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
-        """:class:`~repro.baselines.KNNIndex` alias of :meth:`search`."""
+    def query(self, queries: np.ndarray, k: int, *,
+              ef: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """:class:`~repro.baselines.KNNIndex` alias of :meth:`search`.
+
+        ``ef`` (the protocol's per-call quality dial) is accepted and
+        ignored: an exact scan has no accuracy knob to turn.
+        """
         return self.search(queries, k)
 
     def stats(self) -> dict:

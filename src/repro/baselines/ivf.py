@@ -251,10 +251,15 @@ class IVFFlatIndex:
         self.last_search_stats = stats
         return best_i, best_d
 
-    def query(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
-        """:class:`~repro.baselines.KNNIndex` alias of :meth:`search`
-        (configured ``nprobe``, no exclusions)."""
-        return self.search(queries, k)
+    def query(self, queries: np.ndarray, k: int, *,
+              ef: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """:class:`~repro.baselines.KNNIndex` alias of :meth:`search`.
+
+        ``ef`` (the protocol's per-call quality dial) maps onto this
+        engine's probe count: ``nprobe = ef`` when given, else the
+        configured default.  No exclusions.
+        """
+        return self.search(queries, k, nprobe=ef)
 
     def stats(self) -> dict:
         """Index shape plus the work counters of the most recent search."""

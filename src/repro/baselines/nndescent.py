@@ -75,7 +75,8 @@ class NNDescent:
         return self._graph is not None
 
     def query(
-        self, queries: np.ndarray, k: int, pool_size: int | None = None
+        self, queries: np.ndarray, k: int, *,
+        ef: int | None = None, pool_size: int | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Answer out-of-sample queries by greedy graph descent.
 
@@ -85,6 +86,10 @@ class NNDescent:
         the best ``pool_size`` (default ``max(2k, 16)``) seen, until the
         whole pool has been expanded.  Returns ``(ids, dists)`` - ``(m,
         k)``, squared-L2, ascending.
+
+        ``ef`` (the protocol's per-call quality dial) maps onto this
+        engine's pool size and wins over ``pool_size`` when both are
+        given.
         """
         if self._graph is None or self._x is None:
             raise ValueError("query() before fit(): no graph built")
@@ -93,6 +98,8 @@ class NNDescent:
         q = check_query_matrix(queries, x.shape[1], "queries")
         n = x.shape[0]
         k = min(int(k), n)
+        if ef is not None:
+            pool_size = ef
         pool = max(pool_size or 0, 2 * k, 16)
         rng = as_generator(self.seed)
         m = q.shape[0]

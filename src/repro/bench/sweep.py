@@ -98,6 +98,7 @@ def run_index(
     k: int,
     index,
     name: str | None = None,
+    ef: int | None = None,
 ) -> SweepResult:
     """Measure any :class:`~repro.baselines.KNNIndex` engine on the KNNG task.
 
@@ -105,6 +106,8 @@ def run_index(
     ``query`` / ``stats``): fits on ``x``, queries ``x`` back with ``k+1``
     and strips each row's self-match - the KNNG convention - so exact,
     IVF and graph-based engines are all comparable through one code path.
+    ``ef`` is handed to ``query`` unchanged (the protocol's per-call
+    quality dial; each engine maps it onto its own effort knob).
     ``modeled_cycles`` is 0 (the GPU cost model is system-specific; use
     :func:`run_wknng` / :func:`run_ivf` where it applies).
     """
@@ -113,7 +116,7 @@ def run_index(
     index.fit(x)
     fit_seconds = time.perf_counter() - t0
     t1 = time.perf_counter()
-    ids, dists = index.query(x, min(k + 1, n))
+    ids, dists = index.query(x, min(k + 1, n), ef=ef)
     query_seconds = time.perf_counter() - t1
     # drop self-matches, keep order, truncate to k
     rows = np.arange(n, dtype=ids.dtype)[:, None]
@@ -132,7 +135,7 @@ def run_index(
         modeled_cycles=0,
         graph=KNNGraph(ids=out_ids, dists=out_dists,
                        meta={"algorithm": engine, "via": "KNNIndex"}),
-        params={"engine": engine, "k": k},
+        params={"engine": engine, "k": k, "ef": ef},
         detail={
             "fit_seconds": fit_seconds,
             "query_seconds": query_seconds,

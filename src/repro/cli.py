@@ -256,24 +256,77 @@ def _serving_index(args):
     return index
 
 
-def _make_server(index, args, obs):
-    from repro.serve import KNNServer, ServeConfig, ShedPolicy
+def _serve_config(args):
+    from repro.serve import (
+        AdmissionPolicy,
+        CachePolicy,
+        DeadlinePolicy,
+        ServeConfig,
+        ShedPolicy,
+    )
 
-    cfg = ServeConfig(
-        max_batch=args.max_batch,
-        max_wait_ms=args.max_wait_ms,
-        queue_limit=args.queue_limit,
-        n_workers=args.workers,
+    return ServeConfig(
+        admission=AdmissionPolicy(
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            queue_limit=args.queue_limit,
+            n_workers=args.workers,
+        ),
+        deadline=DeadlinePolicy(default_ms=args.deadline_ms),
+        cache=CachePolicy(size=args.cache_size),
+        shed=ShedPolicy(enabled=not args.no_shed),
         default_k=args.topk,
         ef=args.ef,
-        default_deadline_ms=args.deadline_ms,
-        cache_size=args.cache_size,
-        shed=ShedPolicy(enabled=not args.no_shed),
     )
-    return KNNServer(index, cfg, obs=obs)
 
 
-def _print_serve_report(server, report) -> None:
+def _make_client(args, obs):
+    """Build the SearchClient the serve/loadgen commands drive.
+
+    ``--shards``/``--replicas`` select the sharded cluster; otherwise a
+    single-process :class:`~repro.serve.KNNServer`.  Returns ``(client,
+    query_pool)`` - the pool the request stream is sampled from.
+    """
+    cfg = _serve_config(args)
+    if args.shards > 1 or args.replicas > 1:
+        if args.load_index:
+            raise SystemExit(
+                "--load-index cannot be combined with --shards/--replicas: "
+                "sharding re-partitions the raw points at build time"
+            )
+        from repro.apps.search import SearchConfig
+        from repro.core.config import BuildConfig
+        from repro.serve import ClusterClient, ClusterConfig
+
+        x = _load_points(args)
+        ccfg = ClusterConfig(
+            n_shards=args.shards,
+            n_replicas=args.replicas,
+            backend=args.cluster_backend,
+            shard_ef_policy=args.shard_ef_policy,
+            serve=cfg,
+        )
+        t0 = time.perf_counter()
+        client = ClusterClient.build(
+            x,
+            build_config=BuildConfig(k=args.k, strategy="tiled",
+                                     seed=args.seed, metric=args.metric),
+            search_config=SearchConfig(ef=args.ef),
+            seed=args.seed,
+            config=ccfg,
+            obs=obs,
+        )
+        print(f"built {args.shards}x{args.replicas} "
+              f"{client.backend}-backend cluster over {x.shape} "
+              f"({args.metric}) in {time.perf_counter() - t0:.2f}s")
+        return client, x
+    from repro.serve import KNNServer
+
+    index = _serving_index(args)
+    return KNNServer(index, cfg, obs=obs), index._engine._x
+
+
+def _print_serve_report(client, report) -> None:
     lat = report.latency_summary()
     print(f"  requests={report.requests}  ok={report.ok}  "
           f"rejected={report.rejected}  timeouts={report.timeouts}  "
@@ -282,10 +335,17 @@ def _print_serve_report(server, report) -> None:
           f"(offered {report.offered_qps:.0f} q/s)")
     print(f"  latency ms  p50={lat['p50']:.2f}  p95={lat['p95']:.2f}  "
           f"p99={lat['p99']:.2f}  mean={lat['mean']:.2f}")
-    stats = server.stats()
+    stats = client.stats()
     print(f"  server: batches={stats['batches']}  "
           f"shed_level={stats['shed_level']}  "
           f"deadline_violations={report.deadline_violations}")
+    router = stats.get("router")
+    if router is not None:
+        print(f"  cluster: shards={stats['n_shards']}  "
+              f"replicas={stats['n_replicas']}  "
+              f"healthy={router['healthy_replicas']}  "
+              f"failovers={router['failovers']}  "
+              f"ejections={router['ejections']}")
 
 
 def _maybe_write_serve_trace(args, obs, command: str) -> None:
@@ -315,6 +375,20 @@ def _add_serve_args(p, include_rate: bool) -> None:
                    dest="deadline_ms", help="per-request deadline")
     p.add_argument("--no-shed", action="store_true", dest="no_shed",
                    help="disable ef-shedding degradation under load")
+    p.add_argument("--shards", type=int, default=1,
+                   help="index shards; >1 serves through the sharded "
+                        "cluster (repro.serve.cluster)")
+    p.add_argument("--replicas", type=int, default=1,
+                   help="replica workers per shard (cluster serving)")
+    p.add_argument("--cluster-backend", dest="cluster_backend",
+                   default="auto", choices=("auto", "process", "thread"),
+                   help="replica isolation: forked processes or in-process "
+                        "threads ('auto' forks where available)")
+    p.add_argument("--shard-ef-policy", dest="shard_ef_policy",
+                   default="scaled", choices=("full", "scaled"),
+                   help="per-shard beam width: 'full' sends the request ef "
+                        "to every shard (flat-index parity), 'scaled' sends "
+                        "~ef/S (throughput scales with shards)")
     p.add_argument("--queries", type=int, default=2000,
                    help="dataset rows sampled as the request stream")
     if include_rate:
@@ -332,25 +406,23 @@ def _add_serve_args(p, include_rate: bool) -> None:
 
 
 def cmd_serve(args) -> int:
-    """Closed-loop serving session: N client threads over an in-process server."""
+    """Closed-loop serving session over a server or sharded cluster."""
     from repro.obs import Observability
     from repro.serve import closed_loop
 
-    index = _serving_index(args)
     obs = Observability()
-    server = _make_server(index, args, obs)
+    client, x = _make_client(args, obs)
     rng = np.random.default_rng(args.seed + 1)
-    x = index._engine._x
     q = x[rng.choice(x.shape[0], size=min(args.queries, x.shape[0]),
                      replace=False)]
     print(f"serving closed-loop: {q.shape[0]} queries x{args.repeat} over "
           f"{args.clients} clients (max_batch={args.max_batch}, "
           f"max_wait={args.max_wait_ms}ms, ef={args.ef})")
-    with server:
-        report = closed_loop(server, q, args.topk, clients=args.clients,
+    with client:
+        report = closed_loop(client, q, args.topk, clients=args.clients,
                              repeat=args.repeat, deadline_ms=args.deadline_ms,
                              collect_ids=False)
-    _print_serve_report(server, report)
+        _print_serve_report(client, report)
     _maybe_write_serve_trace(args, obs, "serve")
     return 0
 
@@ -360,20 +432,18 @@ def cmd_loadgen(args) -> int:
     from repro.obs import Observability
     from repro.serve import open_loop
 
-    index = _serving_index(args)
     obs = Observability()
-    server = _make_server(index, args, obs)
+    client, x = _make_client(args, obs)
     rng = np.random.default_rng(args.seed + 1)
-    x = index._engine._x
     q = x[rng.choice(x.shape[0], size=min(args.queries, x.shape[0]),
                      replace=False)]
     print(f"loadgen open-loop: {args.rate:.0f} req/s for {args.duration:.1f}s "
           f"(deadline={args.deadline_ms}ms, queue_limit={args.queue_limit})")
-    with server:
-        report = open_loop(server, q, args.topk, rate_qps=args.rate,
+    with client:
+        report = open_loop(client, q, args.topk, rate_qps=args.rate,
                            duration_s=args.duration,
                            deadline_ms=args.deadline_ms, seed=args.seed)
-    _print_serve_report(server, report)
+        _print_serve_report(client, report)
     _maybe_write_serve_trace(args, obs, "loadgen")
     return 0
 

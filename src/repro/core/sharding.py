@@ -47,7 +47,28 @@ from repro.kernels.knn_state import EMPTY_ID, KnnState
 from repro.kernels.strategy import Strategy, get_strategy
 from repro.utils.parallel import map_forked, shard_ranges
 
-__all__ = ["run_leaf_phase_sharded", "refine_round_sharded"]
+__all__ = ["run_leaf_phase_sharded", "refine_round_sharded", "shard_partition"]
+
+
+def shard_partition(n: int, n_shards: int) -> list[tuple[int, int]]:
+    """Contiguous near-even ``[lo, hi)`` point ranges for index shards.
+
+    The serving cluster's partition discipline (see
+    :mod:`repro.serve.cluster`): shard ``s`` indexes rows ``[lo_s, hi_s)``
+    of the dataset.  Contiguity is load-bearing - it makes shard ``s``'s
+    local->global id map the monotone ``global = local + lo_s``, so each
+    shard's packed ``(dist, local_id)`` result ordering is already the
+    global ``(dist, global_id)`` ordering restricted to that shard, and
+    the router's packed-key merge reproduces the flat index's results
+    bitwise.  Requires at least one point per shard.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    if n < n_shards:
+        raise ValueError(
+            f"cannot partition {n} points into {n_shards} non-empty shards"
+        )
+    return shard_ranges(n, n_shards)
 
 
 # -- leaf phase -----------------------------------------------------------------

@@ -100,3 +100,32 @@ class DeadlineExceeded(ServeError, TimeoutError):
 
 class ServerClosed(ServeError):
     """The server was stopped before (or while) handling the request."""
+
+
+class ClusterError(ServeError):
+    """Base class for errors raised by the sharded serving cluster."""
+
+
+class ReplicaUnavailable(ClusterError):
+    """One replica worker could not answer (crashed, hung past its RPC
+    timeout, or is administratively down).
+
+    Raised *inside* the router's shard call and normally absorbed by
+    failover to a sibling replica; it only reaches callers when used as
+    the cause of a :class:`ShardUnavailable`.
+    """
+
+
+class ShardUnavailable(ClusterError):
+    """Every replica of one shard failed to answer a request.
+
+    With no live replica the shard's slice of the dataset cannot be
+    scored, so returning a merged result would silently drop neighbours -
+    the cluster fails the request instead (capacity degrades, correctness
+    never does).  Carries the shard index as :attr:`shard_id`.
+    """
+
+    def __init__(self, message: str, shard_id: int = -1) -> None:
+        super().__init__(message)
+        #: index of the shard that could not be served
+        self.shard_id = int(shard_id)

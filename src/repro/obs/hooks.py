@@ -61,6 +61,19 @@ class Events:
     #: the degradation controller changed its shed level (payload: old
     #: and new level, queue depth)
     SERVE_SHED_CHANGE = "serve:shed_change"
+    #: cluster lifecycle: shard replica workers + router starting/stopping
+    CLUSTER_START = "cluster:start"
+    CLUSTER_STOP = "cluster:stop"
+    #: one scatter-gather micro-batch through the shard cluster
+    #: (``before`` payload: batch size, k, per-shard ef; ``after`` adds
+    #: seconds and per-shard work counters)
+    CLUSTER_BATCH_BEFORE = "cluster_batch:before"
+    CLUSTER_BATCH_AFTER = "cluster_batch:after"
+    #: a shard call failed over from a dead/slow replica to a sibling
+    CLUSTER_FAILOVER = "cluster:failover"
+    #: replica health transitions (heartbeat monitor or in-band failure)
+    REPLICA_EJECTED = "replica:ejected"
+    REPLICA_READMITTED = "replica:readmitted"
 
 
 class ProfilingHooks:

@@ -1,4 +1,10 @@
-"""Closed- and open-loop load generators for the query server.
+"""Closed- and open-loop load generators for any ``SearchClient``.
+
+The generators drive the :class:`~repro.serve.client.SearchClient`
+protocol only (``submit``/``dim``/``default_ef``), so the same harness
+measures a single-process :class:`~repro.serve.server.KNNServer`, a
+sharded :class:`~repro.serve.cluster.ClusterClient` or the in-process
+:class:`~repro.serve.client.DirectClient` baseline unchanged.
 
 Two canonical traffic shapes drive every serving benchmark:
 
@@ -25,7 +31,7 @@ from typing import Any
 import numpy as np
 
 from repro.errors import DeadlineExceeded, ServeError, ServerOverloaded
-from repro.serve.server import KNNServer
+from repro.serve.client import SearchClient
 from repro.utils.validation import check_positive_int, check_query_matrix
 
 
@@ -104,9 +110,9 @@ def _record_outcome(report: LoadReport, lock: threading.Lock, idx: int,
     with lock:
         report.ok += 1
         report.latencies_ms.append(res.latency_ms)
-        if res.cached:
+        if res.from_cache:
             report.cached += 1
-        if not res.cached and res.ef_used < report.requested_ef:
+        if not res.from_cache and res.served_ef < report.requested_ef:
             report.shed_served += 1
         if deadline_ms is not None and res.latency_ms > deadline_ms:
             report.deadline_violations += 1
@@ -115,7 +121,7 @@ def _record_outcome(report: LoadReport, lock: threading.Lock, idx: int,
 
 
 def closed_loop(
-    server: KNNServer,
+    client: SearchClient,
     queries: np.ndarray,
     k: int,
     *,
@@ -133,19 +139,19 @@ def closed_loop(
     ``queries[i % len(queries)]``, so collected ids line up with ground
     truth rows for recall-under-load.
     """
-    q = check_query_matrix(queries, server.index.dim, "queries")
+    q = check_query_matrix(queries, client.dim, "queries")
     clients = check_positive_int(clients, "clients")
     report = LoadReport(
         mode="closed",
-        requested_ef=ef if ef is not None else server._base_ef,
+        requested_ef=ef if ef is not None else client.default_ef,
     )
     lock = threading.Lock()
     total = q.shape[0] * repeat
 
-    def client(worker: int) -> None:
+    def run_client(worker: int) -> None:
         for i in range(worker, total, clients):
             try:
-                fut = server.submit(q[i % q.shape[0]], k, ef=ef,
+                fut = client.submit(q[i % q.shape[0]], k, ef=ef,
                                     deadline_ms=deadline_ms)
             except ServerOverloaded:
                 with lock:
@@ -158,7 +164,7 @@ def closed_loop(
                             collect_ids, wait_timeout)
 
     t0 = time.monotonic()
-    threads = [threading.Thread(target=client, args=(w,), daemon=True)
+    threads = [threading.Thread(target=run_client, args=(w,), daemon=True)
                for w in range(clients)]
     for t in threads:
         t.start()
@@ -169,7 +175,7 @@ def closed_loop(
 
 
 def open_loop(
-    server: KNNServer,
+    client: SearchClient,
     queries: np.ndarray,
     k: int,
     *,
@@ -191,12 +197,12 @@ def open_loop(
     """
     if rate_qps <= 0:
         raise ValueError(f"rate_qps must be > 0, got {rate_qps}")
-    q = check_query_matrix(queries, server.index.dim, "queries")
+    q = check_query_matrix(queries, client.dim, "queries")
     rng = np.random.default_rng(seed)
     order = rng.permutation(q.shape[0])
     report = LoadReport(
         mode="open",
-        requested_ef=ef if ef is not None else server._base_ef,
+        requested_ef=ef if ef is not None else client.default_ef,
     )
     lock = threading.Lock()
     interval = 1.0 / rate_qps
@@ -217,7 +223,7 @@ def open_loop(
         i += 1
         report.requests += 1
         try:
-            fut = server.submit(q[qi], k, ef=ef, deadline_ms=deadline_ms)
+            fut = client.submit(q[qi], k, ef=ef, deadline_ms=deadline_ms)
         except ServerOverloaded:
             report.rejected += 1
             continue

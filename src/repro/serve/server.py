@@ -8,7 +8,7 @@ the underlying :class:`~repro.apps.search.GraphSearchIndex`, and resolves
 each future individually.  Around that core sit the production envelope
 pieces:
 
-* **admission control** - a bounded queue; past ``queue_limit``,
+* **admission control** - a bounded queue; past ``admission.queue_limit``,
   :meth:`KNNServer.submit` raises :class:`~repro.errors.ServerOverloaded`
   synchronously (backpressure beats unbounded queueing);
 * **deadline enforcement** - requests whose deadline expires while queued
@@ -22,6 +22,14 @@ pieces:
   (:mod:`repro.serve.cache`); hits resolve at submit time without ever
   touching the engine.
 
+Configuration is the frozen, sectioned :class:`ServeConfig`
+(:class:`AdmissionPolicy` / :class:`DeadlinePolicy` / :class:`CachePolicy`
+/ :class:`~repro.serve.degrade.ShedPolicy`); the historical flat keyword
+surface still constructs for one release with a ``DeprecationWarning``.
+The server implements the :class:`~repro.serve.client.SearchClient`
+protocol, so callers written against the protocol can swap it for the
+sharded :class:`~repro.serve.cluster.ClusterClient` unchanged.
+
 Everything is observable: ``serve/*`` metrics (counters, queue-depth and
 shed-level gauges, p50/p95/p99 latency quantile histograms) and
 ``SERVE_*`` profiling hook events.
@@ -29,11 +37,13 @@ shed-level gauges, p50/p95/p99 latency quantile histograms) and
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
+import warnings
 from concurrent.futures import Future
-from dataclasses import dataclass, field
-from typing import Any, Sequence
+from dataclasses import dataclass
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -45,6 +55,7 @@ from repro.errors import (
 )
 from repro.obs import Events, Observability
 from repro.serve.cache import ResultCache
+from repro.serve.client import SearchResult
 from repro.serve.degrade import DegradationController, ShedPolicy
 from repro.serve.queue import AdmissionQueue
 from repro.serve.scheduler import MicroBatcher, Request, resolve
@@ -56,10 +67,13 @@ from repro.utils.validation import (
 #: registry namespace the serving metrics emit under
 SERVE_METRICS_PREFIX = "serve/"
 
+#: deprecated alias of :class:`~repro.serve.client.SearchResult`
+QueryResult = SearchResult
 
-@dataclass
-class ServeConfig:
-    """Serving parameters.
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Micro-batching and backpressure knobs.
 
     Attributes
     ----------
@@ -75,69 +89,229 @@ class ServeConfig:
         are already queued.
     n_workers:
         Execution pool size (see :class:`~repro.serve.scheduler.MicroBatcher`).
-    default_k:
-        ``k`` used when a request does not specify one.
-    ef:
-        Full-quality beam width served at (``None`` = the index's
-        configured ``ef``).
-    default_deadline_ms:
-        Deadline applied to requests that do not carry their own
-        (``None`` = no deadline).
-    cache_size:
-        LRU result-cache capacity; ``0`` disables caching.
-    cache_decimals:
-        Quantization grid of the cache key (see
-        :class:`~repro.serve.cache.ResultCache`).
-    shed:
-        The degradation policy (see :class:`~repro.serve.degrade.ShedPolicy`).
     """
 
     max_batch: int = 64
     max_wait_ms: float = 2.0
     queue_limit: int = 256
     n_workers: int = 1
-    default_k: int = 10
-    ef: int | None = None
-    default_deadline_ms: float | None = None
-    cache_size: int = 0
-    cache_decimals: int = 6
-    shed: ShedPolicy = field(default_factory=ShedPolicy)
 
     def __post_init__(self) -> None:
-        self.max_batch = check_positive_int(self.max_batch, "max_batch")
-        self.queue_limit = check_positive_int(self.queue_limit, "queue_limit")
-        self.n_workers = check_positive_int(self.n_workers, "n_workers")
-        self.default_k = check_positive_int(self.default_k, "default_k")
-        if self.ef is not None:
-            self.ef = check_positive_int(self.ef, "ef")
+        object.__setattr__(
+            self, "max_batch", check_positive_int(self.max_batch, "max_batch"))
+        object.__setattr__(
+            self, "queue_limit",
+            check_positive_int(self.queue_limit, "queue_limit"))
+        object.__setattr__(
+            self, "n_workers", check_positive_int(self.n_workers, "n_workers"))
         if self.max_wait_ms < 0:
             raise ConfigurationError(
                 f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
             )
-        if self.cache_size < 0:
+        object.__setattr__(self, "max_wait_ms", float(self.max_wait_ms))
+
+
+@dataclass(frozen=True)
+class DeadlinePolicy:
+    """Deadline defaults.
+
+    ``default_ms`` is applied to requests that do not carry their own
+    deadline (``None`` = no deadline).
+    """
+
+    default_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.default_ms is not None and self.default_ms <= 0:
             raise ConfigurationError(
-                f"cache_size must be >= 0, got {self.cache_size}"
+                f"deadline default_ms must be > 0, got {self.default_ms}"
             )
 
 
 @dataclass(frozen=True)
-class QueryResult:
-    """One resolved request.
+class CachePolicy:
+    """Result-cache knobs: LRU ``size`` (0 disables) and the quantization
+    grid ``decimals`` of the cache key (see
+    :class:`~repro.serve.cache.ResultCache`)."""
 
-    ``ids`` / ``dists`` are ``(k,)`` arrays (ascending distance, the
-    engine's contract); ``ef_used`` records the beam width actually
-    served (lower than requested under shedding); ``cached`` marks
-    answers that came from the result cache; ``latency_ms`` is
-    submit-to-resolve wall time; ``batch_size`` is how many requests
-    shared the engine call (0 for cache hits).
+    size: int = 0
+    decimals: int = 6
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ConfigurationError(
+                f"cache size must be >= 0, got {self.size}"
+            )
+        object.__setattr__(
+            self, "decimals", check_positive_int(self.decimals, "decimals"))
+
+
+#: deprecated flat kwarg -> (section field, field inside the section)
+_FLAT_FIELDS: dict[str, tuple[str, str]] = {
+    "max_batch": ("admission", "max_batch"),
+    "max_wait_ms": ("admission", "max_wait_ms"),
+    "queue_limit": ("admission", "queue_limit"),
+    "n_workers": ("admission", "n_workers"),
+    "default_deadline_ms": ("deadline", "default_ms"),
+    "cache_size": ("cache", "size"),
+    "cache_decimals": ("cache", "decimals"),
+}
+
+_SECTION_TYPES = {
+    "admission": AdmissionPolicy,
+    "deadline": DeadlinePolicy,
+    "cache": CachePolicy,
+}
+
+
+@dataclass(frozen=True, init=False)
+class ServeConfig:
+    """Serving parameters, grouped into frozen policy sections.
+
+    Attributes
+    ----------
+    admission:
+        Micro-batching + backpressure (:class:`AdmissionPolicy`).
+    deadline:
+        Deadline defaults (:class:`DeadlinePolicy`).
+    cache:
+        Result caching (:class:`CachePolicy`).
+    shed:
+        The degradation policy (:class:`~repro.serve.degrade.ShedPolicy`).
+    default_k:
+        ``k`` used when a request does not specify one.
+    ef:
+        Full-quality beam width served at (``None`` = the index's
+        configured ``ef``).
+
+    The pre-redesign flat keywords (``max_batch``, ``max_wait_ms``,
+    ``queue_limit``, ``n_workers``, ``default_deadline_ms``,
+    ``cache_size``, ``cache_decimals``) still construct - applied on top
+    of the matching section - but emit a ``DeprecationWarning`` and will
+    be removed next release; the same names remain readable as
+    properties.  ``from_dict``/``as_dict`` round-trip the nested form for
+    CLI/JSON use.
     """
 
-    ids: np.ndarray
-    dists: np.ndarray
-    ef_used: int
-    cached: bool
-    latency_ms: float
-    batch_size: int
+    admission: AdmissionPolicy
+    deadline: DeadlinePolicy
+    cache: CachePolicy
+    shed: ShedPolicy
+    default_k: int
+    ef: int | None
+
+    def __init__(
+        self,
+        admission: AdmissionPolicy | None = None,
+        deadline: DeadlinePolicy | None = None,
+        cache: CachePolicy | None = None,
+        shed: ShedPolicy | None = None,
+        default_k: int = 10,
+        ef: int | None = None,
+        **flat: Any,
+    ) -> None:
+        if flat:
+            known = sorted(set(flat) & set(_FLAT_FIELDS))
+            unknown = sorted(set(flat) - set(_FLAT_FIELDS))
+            if unknown:
+                raise TypeError(
+                    f"unknown ServeConfig argument(s) {unknown}; "
+                    f"sections: admission/deadline/cache/shed"
+                )
+            warnings.warn(
+                f"flat ServeConfig keyword(s) {known} are deprecated; pass "
+                f"the admission=/deadline=/cache= sections instead "
+                f"(docs/serving.md has the migration table)",
+                DeprecationWarning, stacklevel=2,
+            )
+        sections: dict[str, Any] = {
+            "admission": admission, "deadline": deadline, "cache": cache,
+        }
+        overrides: dict[str, dict[str, Any]] = {
+            name: {} for name in _SECTION_TYPES
+        }
+        for key, value in flat.items():
+            section, field_name = _FLAT_FIELDS[key]
+            overrides[section][field_name] = value
+        for name, cls_ in _SECTION_TYPES.items():
+            current = sections[name]
+            if current is None:
+                current = cls_(**overrides[name])
+            elif overrides[name]:
+                current = dataclasses.replace(current, **overrides[name])
+            object.__setattr__(self, name, current)
+        object.__setattr__(self, "shed", shed or ShedPolicy())
+        object.__setattr__(
+            self, "default_k", check_positive_int(default_k, "default_k"))
+        object.__setattr__(
+            self, "ef", None if ef is None else check_positive_int(ef, "ef"))
+
+    # -- deprecated flat read surface (kept one release) -----------------------
+
+    @property
+    def max_batch(self) -> int:
+        return self.admission.max_batch
+
+    @property
+    def max_wait_ms(self) -> float:
+        return self.admission.max_wait_ms
+
+    @property
+    def queue_limit(self) -> int:
+        return self.admission.queue_limit
+
+    @property
+    def n_workers(self) -> int:
+        return self.admission.n_workers
+
+    @property
+    def default_deadline_ms(self) -> float | None:
+        return self.deadline.default_ms
+
+    @property
+    def cache_size(self) -> int:
+        return self.cache.size
+
+    @property
+    def cache_decimals(self) -> int:
+        return self.cache.decimals
+
+    # -- JSON / CLI round-trip --------------------------------------------------
+
+    def as_dict(self) -> dict[str, Any]:
+        """Nested plain-dict form (the inverse of :meth:`from_dict`)."""
+        return {
+            "admission": dataclasses.asdict(self.admission),
+            "deadline": dataclasses.asdict(self.deadline),
+            "cache": dataclasses.asdict(self.cache),
+            "shed": dataclasses.asdict(self.shed),
+            "default_k": self.default_k,
+            "ef": self.ef,
+        }
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, Any]) -> "ServeConfig":
+        """Build a config from the nested dict form.
+
+        Flat legacy keys are accepted too (forwarded through the
+        deprecation path), so configs serialized before the redesign
+        still load.
+        """
+        data = dict(mapping)
+        kwargs: dict[str, Any] = {}
+        for name, cls_ in _SECTION_TYPES.items():
+            if name in data:
+                section = data.pop(name)
+                kwargs[name] = (
+                    section if isinstance(section, cls_) else cls_(**section)
+                )
+        if "shed" in data:
+            shed = data.pop("shed")
+            kwargs["shed"] = (
+                shed if isinstance(shed, ShedPolicy) else ShedPolicy(**shed)
+            )
+        kwargs.update(data)
+        return cls(**kwargs)
 
 
 class KNNServer:
@@ -146,14 +320,16 @@ class KNNServer:
     Usage::
 
         index = GraphSearchIndex.build(points, k=16)
-        with KNNServer(index, ServeConfig(max_batch=64)) as server:
+        config = ServeConfig(admission=AdmissionPolicy(max_batch=64))
+        with KNNServer(index, config) as server:
             fut = server.submit(query_vector, k=10, deadline_ms=50.0)
-            result = fut.result()          # QueryResult (or raises)
+            result = fut.result()          # SearchResult (or raises)
 
     The index must expose ``search(queries, k, *, ef=None)`` over a fixed
     dimensionality ``dim`` - :class:`~repro.apps.search.GraphSearchIndex`
     is the intended engine.  One server instance is safe to submit to
-    from any number of threads.
+    from any number of threads, and implements the
+    :class:`~repro.serve.client.SearchClient` protocol.
     """
 
     def __init__(
@@ -162,7 +338,16 @@ class KNNServer:
         config: ServeConfig | None = None,
         *,
         obs: Observability | None = None,
+        **flat: Any,
     ) -> None:
+        if flat:
+            if config is not None:
+                raise ConfigurationError(
+                    "pass either a ServeConfig or flat keyword arguments, "
+                    "not both"
+                )
+            # ServeConfig emits the DeprecationWarning for the flat names
+            config = ServeConfig(**flat)
         self.index = index
         self.config = config or ServeConfig()
         self.obs = obs
@@ -171,9 +356,10 @@ class KNNServer:
         if base_ef is None:
             base_ef = int(getattr(getattr(index, "config", None), "ef", 32))
         self._base_ef = base_ef
+        cache_cfg = self.config.cache
         self.cache: ResultCache | None = (
-            ResultCache(self.config.cache_size, self.config.cache_decimals)
-            if self.config.cache_size > 0 else None
+            ResultCache(cache_cfg.size, cache_cfg.decimals)
+            if cache_cfg.size > 0 else None
         )
         self.degradation = DegradationController(self.config.shed)
         self._queue: AdmissionQueue | None = None
@@ -193,21 +379,31 @@ class KNNServer:
     def running(self) -> bool:
         return self._accepting
 
+    @property
+    def dim(self) -> int:
+        """Query dimensionality (SearchClient protocol)."""
+        return self._dim
+
+    @property
+    def default_ef(self) -> int:
+        """The full-quality beam width served by default (protocol)."""
+        return self._base_ef
+
     def start(self) -> "KNNServer":
         if self._accepting:
             raise ConfigurationError("server already started")
-        cfg = self.config
-        self._queue = AdmissionQueue(cfg.queue_limit)
+        adm = self.config.admission
+        self._queue = AdmissionQueue(adm.queue_limit)
         self._batcher = MicroBatcher(
             self._queue, self._execute,
-            max_batch=cfg.max_batch, max_wait_s=cfg.max_wait_ms / 1000.0,
-            n_workers=cfg.n_workers,
+            max_batch=adm.max_batch, max_wait_s=adm.max_wait_ms / 1000.0,
+            n_workers=adm.n_workers,
         )
         self._batcher.start()
         self._accepting = True
-        self._emit(Events.SERVE_START, max_batch=cfg.max_batch,
-                   max_wait_ms=cfg.max_wait_ms, queue_limit=cfg.queue_limit,
-                   n_workers=cfg.n_workers, ef=self._base_ef)
+        self._emit(Events.SERVE_START, max_batch=adm.max_batch,
+                   max_wait_ms=adm.max_wait_ms, queue_limit=adm.queue_limit,
+                   n_workers=adm.n_workers, ef=self._base_ef)
         return self
 
     def stop(self, drain: bool = True, timeout: float | None = None) -> None:
@@ -234,6 +430,10 @@ class KNNServer:
         self._batcher = None
         self._emit(Events.SERVE_STOP, **self.counters)
 
+    def close(self) -> None:
+        """SearchClient protocol alias of :meth:`stop` (graceful drain)."""
+        self.stop()
+
     def __enter__(self) -> "KNNServer":
         if not self._accepting:
             self.start()
@@ -254,8 +454,8 @@ class KNNServer:
     ) -> Future:
         """Submit one query vector; returns a future.
 
-        The future resolves to a :class:`QueryResult`, or raises
-        :class:`~repro.errors.DeadlineExceeded` /
+        The future resolves to a :class:`~repro.serve.client.SearchResult`,
+        or raises :class:`~repro.errors.DeadlineExceeded` /
         :class:`~repro.errors.ServerClosed`.  Admission failures are
         synchronous: :class:`~repro.errors.ServerOverloaded` is raised
         *here*, not set on a future, so callers feel backpressure
@@ -269,7 +469,7 @@ class KNNServer:
         k = cfg.default_k if k is None else check_positive_int(k, "k")
         ef = self._base_ef if ef is None else check_positive_int(ef, "ef")
         if deadline_ms is None:
-            deadline_ms = cfg.default_deadline_ms
+            deadline_ms = cfg.deadline.default_ms
         now = time.monotonic()
         deadline = None if deadline_ms is None else now + deadline_ms / 1000.0
 
@@ -280,14 +480,14 @@ class KNNServer:
             req.cache_key = self.cache.key(q, k, ef)
             hit = self.cache.get(req.cache_key)
             if hit is not None:
-                ids, dists, ef_used = hit
+                ids, dists, served_ef = hit
                 self._count("cache_hits")
                 self._count("completed")
                 self._emit(Events.SERVE_CACHE_HIT, k=k, ef=ef)
                 self._observe_latency(time.monotonic() - now)
-                resolve(req.future, QueryResult(
-                    ids=ids.copy(), dists=dists.copy(), ef_used=ef_used,
-                    cached=True, batch_size=0,
+                resolve(req.future, SearchResult(
+                    ids=ids.copy(), dists=dists.copy(), served_ef=served_ef,
+                    from_cache=True, shard_fanout=1, batch_size=0,
                     latency_ms=(time.monotonic() - now) * 1000.0,
                 ))
                 return req.future
@@ -296,10 +496,10 @@ class KNNServer:
             depth = queue.depth()
             self._count("rejected")
             self._emit(Events.SERVE_REQUEST_REJECTED, queue_depth=depth,
-                       limit=cfg.queue_limit)
+                       limit=cfg.admission.queue_limit)
             raise ServerOverloaded(
-                f"admission queue full ({depth}/{cfg.queue_limit} pending); "
-                f"retry with backoff", queue_depth=depth,
+                f"admission queue full ({depth}/{cfg.admission.queue_limit} "
+                f"pending); retry with backoff", queue_depth=depth,
             )
         self._count("accepted")
         self._gauge("queue_depth", queue.depth())
@@ -313,7 +513,7 @@ class KNNServer:
         ef: int | None = None,
         deadline_ms: float | None = None,
         timeout: float | None = None,
-    ) -> QueryResult:
+    ) -> SearchResult:
         """Blocking convenience wrapper: ``submit(...).result()``."""
         return self.submit(query, k, ef=ef, deadline_ms=deadline_ms) \
             .result(timeout=timeout)
@@ -348,7 +548,7 @@ class KNNServer:
         # degradation: one queue-pressure observation per flush
         old_level = self.degradation.level
         level = self.degradation.observe(
-            depth, self.config.queue_limit
+            depth, self.config.admission.queue_limit
         )
         if level != old_level:
             self._gauge("shed_level", level)
@@ -364,15 +564,15 @@ class KNNServer:
 
     def _run_group(self, k: int, ef: int, reqs: list[Request],
                    depth: int) -> None:
-        ef_used = self.degradation.effective_ef(ef)
-        shed = ef_used < ef
+        served_ef = self.degradation.effective_ef(ef)
+        shed = served_ef < ef
         qmat = np.stack([r.query for r in reqs], axis=0)
         self._emit(Events.SERVE_BATCH_BEFORE, batch=len(reqs), k=k,
-                   ef=ef_used, shed=shed, queue_depth=depth)
+                   ef=served_ef, shed=shed, queue_depth=depth)
         t0 = time.monotonic()
         for req in reqs:
             self._observe_hist("queue_wait_seconds", t0 - req.submitted)
-        ids, dists = self.index.search(qmat, k, ef=ef_used)
+        ids, dists = self.index.search(qmat, k, ef=served_ef)
         seconds = time.monotonic() - t0
         self._count("batches")
         if shed:
@@ -380,7 +580,7 @@ class KNNServer:
         self._observe_hist("batch_seconds", seconds)
         self._observe_hist("batch_size", len(reqs))
         self._emit(Events.SERVE_BATCH_AFTER, batch=len(reqs), k=k,
-                   ef=ef_used, shed=shed, seconds=seconds)
+                   ef=served_ef, shed=shed, seconds=seconds)
 
         now = time.monotonic()
         late = 0
@@ -395,12 +595,13 @@ class KNNServer:
                 ))
                 continue
             if self.cache is not None and req.cache_key is not None and not shed:
-                self.cache.put(req.cache_key, (ids[i], dists[i], ef_used))
+                self.cache.put(req.cache_key, (ids[i], dists[i], served_ef))
             latency = now - req.submitted
             self._observe_latency(latency)
             self._count("completed")
-            resolve(req.future, QueryResult(
-                ids=ids[i], dists=dists[i], ef_used=ef_used, cached=False,
+            resolve(req.future, SearchResult(
+                ids=ids[i], dists=dists[i], served_ef=served_ef,
+                from_cache=False, shard_fanout=1,
                 latency_ms=latency * 1000.0, batch_size=len(reqs),
             ))
         if late:
@@ -469,7 +670,7 @@ class KNNServer:
             **counters,
             "timeouts": counters["timeout_queued"] + counters["timeout_late"],
             "queue_depth": queue.depth() if queue is not None else 0,
-            "queue_limit": self.config.queue_limit,
+            "queue_limit": self.config.admission.queue_limit,
             "shed_level": self.degradation.level,
             "shed_transitions": self.degradation.transitions,
             "latency_ms": self.latency_percentiles(),

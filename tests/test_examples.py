@@ -13,7 +13,8 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
-FAST = {"custom_simt_kernel.py", "quickstart.py", "serving_demo.py"}
+FAST = {"cluster_demo.py", "custom_simt_kernel.py", "quickstart.py",
+        "serving_demo.py"}
 
 
 @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
@@ -45,4 +46,5 @@ def test_expected_examples_present():
         "custom_simt_kernel.py",
         "label_propagation.py",
         "serving_demo.py",
+        "cluster_demo.py",
     } <= names

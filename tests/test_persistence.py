@@ -111,15 +111,16 @@ class TestSearchIndexPersistence:
 
     def test_served_results_identical_after_load(self, points, tmp_path):
         """KNNServer over a loaded index answers exactly like the original."""
-        from repro.serve import KNNServer, ServeConfig
+        from repro.serve import AdmissionPolicy, KNNServer, ServeConfig
 
         index = GraphSearchIndex.build(points, k=8, seed=0)
         index.save(tmp_path / "idx")
         loaded = GraphSearchIndex.load(tmp_path / "idx")
         q = points[:12] * 1.001
         direct_ids, direct_d = index.search(q, 5)
-        with KNNServer(loaded, ServeConfig(max_batch=4,
-                                           max_wait_ms=1.0)) as server:
+        cfg = ServeConfig(admission=AdmissionPolicy(max_batch=4,
+                                                    max_wait_ms=1.0))
+        with KNNServer(loaded, cfg) as server:
             futs = [server.submit(row, 5) for row in q]
             results = [f.result(timeout=30.0) for f in futs]
         ids = np.stack([r.ids for r in results])

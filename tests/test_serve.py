@@ -22,7 +22,9 @@ from repro.errors import (
 )
 from repro.obs import Events, Observability
 from repro.serve import (
+    AdmissionPolicy,
     AdmissionQueue,
+    CachePolicy,
     DegradationController,
     KNNServer,
     ResultCache,
@@ -186,7 +188,7 @@ class TestResultCache:
 class TestSchedulerEdgeCases:
     def test_empty_flush_on_shutdown(self, index):
         """A server stopped with nothing queued joins cleanly."""
-        server = KNNServer(index, ServeConfig(max_batch=8, max_wait_ms=50.0))
+        server = KNNServer(index, ServeConfig(admission=AdmissionPolicy(max_batch=8, max_wait_ms=50.0)))
         server.start()
         batcher = server._batcher
         server.stop(timeout=5.0)
@@ -199,8 +201,8 @@ class TestSchedulerEdgeCases:
     def test_deadline_expiring_while_queued(self, index, queries):
         """An expired request is dropped before scoring, not after."""
         counting = CountingIndex(index)
-        server = KNNServer(counting, ServeConfig(
-            max_batch=64, max_wait_ms=120.0, queue_limit=8))
+        server = KNNServer(counting, ServeConfig(admission=AdmissionPolicy(
+            max_batch=64, max_wait_ms=120.0, queue_limit=8)))
         with server:
             fut = server.submit(queries[0], 5, deadline_ms=1.0)
             with pytest.raises(DeadlineExceeded, match="while queued"):
@@ -212,7 +214,7 @@ class TestSchedulerEdgeCases:
 
     def test_single_request_below_max_wait(self, index, queries):
         """A lone request flushes on the timer as a batch of one."""
-        server = KNNServer(index, ServeConfig(max_batch=64, max_wait_ms=30.0))
+        server = KNNServer(index, ServeConfig(admission=AdmissionPolicy(max_batch=64, max_wait_ms=30.0)))
         with server:
             t0 = time.monotonic()
             res = server.query(queries[0], 5, timeout=10.0)
@@ -225,12 +227,13 @@ class TestSchedulerEdgeCases:
     def test_cache_hit_bypasses_engine(self, index, queries):
         counting = CountingIndex(index)
         server = KNNServer(counting, ServeConfig(
-            max_batch=8, max_wait_ms=1.0, cache_size=32))
+            admission=AdmissionPolicy(max_batch=8, max_wait_ms=1.0),
+            cache=CachePolicy(size=32)))
         with server:
             first = server.query(queries[0], 5, timeout=10.0)
             calls_after_first = counting.calls
             second = server.query(queries[0], 5, timeout=10.0)
-        assert not first.cached and second.cached
+        assert not first.from_cache and second.from_cache
         assert counting.calls == calls_after_first   # no extra engine call
         assert np.array_equal(first.ids, second.ids)
         assert np.allclose(first.dists, second.dists)
@@ -240,8 +243,8 @@ class TestSchedulerEdgeCases:
     def test_deterministic_for_any_max_batch(self, index, queries, max_batch):
         """Serving answers equal direct BatchedGraphSearch calls exactly."""
         direct_ids, direct_dists = index.search(queries, 5)
-        server = KNNServer(index, ServeConfig(
-            max_batch=max_batch, max_wait_ms=5.0, queue_limit=256))
+        server = KNNServer(index, ServeConfig(admission=AdmissionPolicy(
+            max_batch=max_batch, max_wait_ms=5.0, queue_limit=256)))
         with server:
             futs = [server.submit(q, 5) for q in queries]
             results = [f.result(timeout=30.0) for f in futs]
@@ -251,7 +254,7 @@ class TestSchedulerEdgeCases:
         assert np.allclose(dists, direct_dists, equal_nan=True)
 
     def test_shutdown_drains_queued_requests(self, index, queries):
-        server = KNNServer(index, ServeConfig(max_batch=4, max_wait_ms=1.0))
+        server = KNNServer(index, ServeConfig(admission=AdmissionPolicy(max_batch=4, max_wait_ms=1.0)))
         server.start()
         futs = [server.submit(q, 5) for q in queries[:12]]
         server.stop(drain=True, timeout=30.0)
@@ -259,8 +262,8 @@ class TestSchedulerEdgeCases:
             assert f.result(timeout=1.0).ids.shape == (5,)
 
     def test_shutdown_without_drain_fails_pending(self, index, queries):
-        server = KNNServer(index, ServeConfig(
-            max_batch=64, max_wait_ms=5000.0))  # huge window: stays queued
+        server = KNNServer(index, ServeConfig(admission=AdmissionPolicy(
+            max_batch=64, max_wait_ms=5000.0)))  # huge window: stays queued
         server.start()
         fut = server.submit(queries[0], 5)
         # the batcher may already hold the request; only assert the
@@ -294,7 +297,7 @@ class TestServerProtocol:
                 server.submit(queries[0], 0)
 
     def test_accepts_row_matrix_query(self, index, queries):
-        with KNNServer(index, ServeConfig(max_wait_ms=1.0)) as server:
+        with KNNServer(index, ServeConfig(admission=AdmissionPolicy(max_wait_ms=1.0))) as server:
             res = server.query(queries[:1], 5, timeout=10.0)
         assert res.ids.shape == (5,)
 
@@ -306,8 +309,8 @@ class TestServerProtocol:
                 time.sleep(0.05)
                 return super().search(q, k, ef=ef)
 
-        server = KNNServer(SlowIndex(index), ServeConfig(
-            max_batch=1, max_wait_ms=0.0, queue_limit=4))
+        server = KNNServer(SlowIndex(index), ServeConfig(admission=AdmissionPolicy(
+            max_batch=1, max_wait_ms=0.0, queue_limit=4)))
         server.start()
         try:
             rejected = 0
@@ -335,7 +338,7 @@ class TestServerProtocol:
 
         slow = SlowIndex(index)
         q0 = index._engine._x[0]
-        server = KNNServer(slow, ServeConfig(max_batch=4, max_wait_ms=1.0))
+        server = KNNServer(slow, ServeConfig(admission=AdmissionPolicy(max_batch=4, max_wait_ms=1.0)))
         with server:
             fut = server.submit(q0, 5, deadline_ms=40.0)
             with pytest.raises(DeadlineExceeded, match="past the deadline"):
@@ -360,7 +363,9 @@ class TestServerProtocol:
         slow = SlowIndex(index)
         x = index._engine._x
         server = KNNServer(slow, ServeConfig(
-            max_batch=2, max_wait_ms=1.0, queue_limit=10, ef=32,
+            admission=AdmissionPolicy(max_batch=2, max_wait_ms=1.0,
+                                      queue_limit=10),
+            ef=32,
             shed=ShedPolicy(high_water=0.3, low_water=0.05,
                             step_up_after=1, step_down_after=2,
                             factor=0.5, min_ef=8, max_level=2),
@@ -378,7 +383,7 @@ class TestServerProtocol:
                 except ServerOverloaded:
                     pass
             results = [f.result(timeout=30.0) for f in futs]
-        served_efs = {r.ef_used for r in results}
+        served_efs = {r.served_ef for r in results}
         assert 16 in served_efs or 8 in served_efs, (
             f"expected shed ef in served set, got {served_efs}")
         assert server.stats()["shed_served"] > 0
@@ -388,14 +393,16 @@ class TestServerProtocol:
         """The cache only ever stores full-quality results."""
         x = index._engine._x
         server = KNNServer(index, ServeConfig(
-            max_batch=2, max_wait_ms=1.0, queue_limit=4, ef=32, cache_size=64,
+            admission=AdmissionPolicy(max_batch=2, max_wait_ms=1.0,
+                                      queue_limit=4),
+            cache=CachePolicy(size=64), ef=32,
             shed=ShedPolicy(high_water=0.25, step_up_after=1, max_level=1),
         ))
         # force a permanent shed level, then serve one request
         server.degradation.level = 1
         with server:
             res = server.query(x[0], 5, timeout=10.0)
-        assert res.ef_used < 32
+        assert res.served_ef < 32
         assert len(server.cache) == 0
 
 
@@ -408,7 +415,8 @@ class TestServeObservability:
         seen = []
         obs.hooks.subscribe("*", lambda event, payload: seen.append(event))
         server = KNNServer(index, ServeConfig(
-            max_batch=8, max_wait_ms=2.0, cache_size=16), obs=obs)
+            admission=AdmissionPolicy(max_batch=8, max_wait_ms=2.0),
+            cache=CachePolicy(size=16)), obs=obs)
         with server:
             futs = [server.submit(q, 5) for q in queries[:16]]
             [f.result(timeout=30.0) for f in futs]
@@ -442,8 +450,8 @@ class TestServeObservability:
 
 class TestLoadgen:
     def test_closed_loop_all_answered(self, index, queries):
-        server = KNNServer(index, ServeConfig(
-            max_batch=16, max_wait_ms=2.0, queue_limit=256))
+        server = KNNServer(index, ServeConfig(admission=AdmissionPolicy(
+            max_batch=16, max_wait_ms=2.0, queue_limit=256)))
         with server:
             report = closed_loop(server, queries, 5, clients=6, repeat=2)
         assert report.ok == queries.shape[0] * 2
@@ -463,8 +471,8 @@ class TestLoadgen:
                 time.sleep(0.01)
                 return super().search(q, k, ef=ef)
 
-        server = KNNServer(SlowIndex(index), ServeConfig(
-            max_batch=4, max_wait_ms=1.0, queue_limit=8))
+        server = KNNServer(SlowIndex(index), ServeConfig(admission=AdmissionPolicy(
+            max_batch=4, max_wait_ms=1.0, queue_limit=8)))
         with server:
             report = open_loop(server, queries, 5, rate_qps=2000.0,
                                duration_s=0.6, deadline_ms=30.0, seed=3)
