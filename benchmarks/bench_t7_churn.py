@@ -1,0 +1,273 @@
+"""T7 - online churn: mutable-index serving under sustained insert/delete.
+
+T5 measured the serving envelope over a *frozen* index.  T7 measures the
+same envelope while the index is being mutated underneath it: a writer
+thread applies insert/delete batches through
+:class:`~repro.core.mutable.MutableIndex` (epoch-versioned copy-on-write
+snapshots, atomic flips) while closed-loop clients query through a
+:class:`~repro.serve.KNNServer` with the epoch-keyed result cache on.
+
+Two measurements:
+
+* **static baseline** - the same corpus, server configuration and query
+  stream with zero churn.  Its throughput / p99 / recall are the
+  reference the churn run is gated against.
+* **churn run** - closed-loop clients + a probe thread + the churn
+  writer.  The probe couples every response to the epoch it reports:
+
+  - **zero stale reads**: no response (cached or not) may contain an id
+    whose deletion was published at or before the response's epoch;
+  - **zero torn reads**: when a probe's pinned snapshot epoch matches
+    the response's epoch, re-running the query on that snapshot must
+    reproduce the response bit-for-bit (epochs are monotone and never
+    reused, so equal epoch == same immutable snapshot);
+  - **zero late successes / errors** - the T5 invariants, unchanged by
+    churn.
+
+At full scale (``WKNNG_BENCH_SCALE >= 1``) the run additionally gates:
+end-state recall (against exact ground truth over the *final* live set)
+within 0.05 of the static baseline recall, and churn-run p99 <= 3x the
+static p99.  The consistency invariants assert at every scale.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from conftest import BENCH_SCALE, publish, publish_summary
+from repro.apps.search import SearchConfig
+from repro.baselines.bruteforce import BruteForceKNN
+from repro.core import BuildConfig, MutableConfig, MutableIndex
+from repro.data.synthetic import make_dataset
+from repro.metrics.records import RecordSet
+from repro.serve import (
+    AdmissionPolicy,
+    CachePolicy,
+    ChurnReport,
+    KNNServer,
+    ServeConfig,
+    ShedPolicy,
+    churn_loop,
+    closed_loop,
+    recall_against,
+)
+
+FULL_SCALE = BENCH_SCALE >= 1.0
+
+#: headline workload (at scale 1.0)
+N_POINTS = 20_000
+N_QUERIES = 256
+DIM = 32
+EF = 64
+TOP_K = 10
+DEADLINE_MS = 2000.0
+
+SUMMARY: dict = {
+    "workload": {"n": None, "dim": DIM, "queries": None, "ef": EF,
+                 "topk": TOP_K},
+}
+
+
+def _scaled(n: int, floor: int = 256) -> int:
+    return max(floor, int(n * BENCH_SCALE))
+
+
+def _server_config() -> ServeConfig:
+    return ServeConfig(
+        admission=AdmissionPolicy(max_batch=64, max_wait_ms=2.0,
+                                  queue_limit=512),
+        cache=CachePolicy(size=1024),
+        ef=EF,
+        shed=ShedPolicy(enabled=False),   # equal-quality comparison
+    )
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    n = _scaled(N_POINTS)
+    x = make_dataset("gaussian", 2 * n, seed=0, dim=DIM)
+    base, pool = x[:n], x[n:]
+    rng = np.random.default_rng(1)
+    q = base[rng.choice(base.shape[0],
+                        size=min(_scaled(N_QUERIES, floor=64), base.shape[0]),
+                        replace=False)]
+    SUMMARY["workload"]["n"] = int(base.shape[0])
+    SUMMARY["workload"]["queries"] = int(q.shape[0])
+    return base, pool, q
+
+
+@pytest.fixture(scope="module")
+def mutable_index(corpus):
+    base, _, _ = corpus
+    return MutableIndex.build(
+        base,
+        BuildConfig(k=16, strategy="tiled", seed=0),
+        SearchConfig(ef=EF),
+        MutableConfig(compact_threshold=0.25),
+    )
+
+
+@pytest.fixture(scope="module")
+def static_baseline(mutable_index, corpus):
+    """Serve the unchurned index; returns (report, recall, gt_ids)."""
+    base, _, q = corpus
+    gt_ids, _ = BruteForceKNN(base).search(q, TOP_K)
+    with KNNServer(mutable_index, _server_config()) as server:
+        report = closed_loop(server, q, TOP_K, clients=16, repeat=2,
+                             deadline_ms=DEADLINE_MS)
+    assert report.errors == 0 and report.deadline_violations == 0
+    recall = recall_against(report, gt_ids, TOP_K)
+    return report, recall, gt_ids
+
+
+def test_t7_static_baseline(static_baseline, results_dir):
+    report, recall, _ = static_baseline
+    SUMMARY["static"] = {
+        "qps": report.throughput_qps,
+        "recall": recall,
+        "latency_ms": report.latency_summary(),
+    }
+    publish_summary(results_dir, "T7", SUMMARY)
+    if FULL_SCALE:
+        assert recall > 0.8, f"static baseline recall collapsed: {recall:.3f}"
+
+
+def test_t7_churn_slo(mutable_index, corpus, static_baseline, results_dir):
+    _, pool, q = corpus
+    static_report, static_recall, gt_ids = static_baseline
+    mut = mutable_index
+    # protect the ground-truth neighbours of the query stream so deletes
+    # cannot invalidate the static reference mid-run
+    protect = set(int(i) for i in np.unique(gt_ids))
+
+    duration_s = 2.0 + 4.0 * min(1.0, BENCH_SCALE)
+    stop = threading.Event()
+    # filled in place by churn_loop, so the probe reads deleted_at live
+    churn = ChurnReport()
+    probe_out: dict = {"checked": 0, "epoch_matched": 0, "stale": [],
+                       "torn": [], "cached_seen": 0}
+
+    with KNNServer(mut, _server_config()) as server:
+
+        def churner() -> None:
+            churn_loop(
+                mut, pool, ops_per_sec=40.0, duration_s=3600.0,
+                batch_size=32, delete_fraction=0.45, protect=protect,
+                seed=7, stop=stop, report=churn,
+            )
+
+        def probe() -> None:
+            """Couple responses to epochs: staleness + torn-read checks."""
+            rng = np.random.default_rng(11)
+            while not stop.is_set():
+                qi = int(rng.integers(q.shape[0]))
+                snap = mut.snapshot           # pin BEFORE the query
+                res = server.query(q[qi], TOP_K, timeout=60.0)
+                probe_out["checked"] += 1
+                if res.from_cache:
+                    probe_out["cached_seen"] += 1
+                # stale read: an id deleted at epoch <= the response's
+                # epoch must never be served (cached or not)
+                for i in res.ids:
+                    if i >= 0 and \
+                            churn.deleted_at.get(int(i), 1 << 62) <= res.epoch:
+                        probe_out["stale"].append((qi, int(i), res.epoch))
+                # torn read: epochs are monotone and never reused, so if
+                # the response's epoch equals the pinned snapshot's, the
+                # same immutable graph must reproduce it exactly
+                if (res.epoch == snap.epoch and not res.from_cache
+                        and res.served_ef == EF):
+                    probe_out["epoch_matched"] += 1
+                    ids, dists = snap.search(q[qi][None, :], TOP_K, ef=EF)
+                    if not np.array_equal(ids[0], res.ids):
+                        probe_out["torn"].append((qi, res.epoch))
+
+        churner_thread = threading.Thread(target=churner, daemon=True)
+        churner_thread.start()
+        probe_thread = threading.Thread(target=probe, daemon=True)
+        probe_thread.start()
+
+        t0 = time.monotonic()
+        report = closed_loop(server, q, TOP_K, clients=16,
+                             repeat=max(4, int(8 * min(1.0, BENCH_SCALE))),
+                             deadline_ms=DEADLINE_MS)
+        churn_wall = time.monotonic() - t0
+        # keep churning at least duration_s even if the closed loop was quick
+        while time.monotonic() - t0 < duration_s:
+            time.sleep(0.05)
+        stop.set()
+        churner_thread.join()
+        probe_thread.join()
+
+        # -- consistency invariants (every scale) --------------------------
+        assert report.errors == 0, f"{report.errors} serving errors"
+        assert report.deadline_violations == 0, "late success under churn"
+        assert churn.errors == 0, f"{churn.errors} mutation errors"
+        assert churn.flips > 0, "churn applied no mutations"
+        assert probe_out["checked"] > 0, "probe thread observed nothing"
+        assert not probe_out["stale"], (
+            f"stale reads (deleted id served at/after its deletion epoch): "
+            f"{probe_out['stale'][:5]}"
+        )
+        assert not probe_out["torn"], (
+            f"torn reads (response != its epoch's snapshot): "
+            f"{probe_out['torn'][:5]}"
+        )
+
+        # -- post-churn: final-state recall vs exact ground truth ----------
+        snap = mut.snapshot
+        x_live = snap.live_points()
+        ext_live = snap.live_ids()
+        gt_pos, _ = BruteForceKNN(x_live).search(q, TOP_K)
+        gt_end = ext_live[gt_pos]             # positions -> external ids
+        post = closed_loop(server, q, TOP_K, clients=16, repeat=1,
+                           deadline_ms=DEADLINE_MS)
+        assert post.errors == 0 and post.deadline_violations == 0
+        end_recall = recall_against(post, gt_end, TOP_K)
+
+    records = RecordSet()
+    records.add(
+        "T7",
+        {"n": SUMMARY["workload"]["n"], "queries": q.shape[0], "ef": EF,
+         "churn_ops_per_sec": 40.0, "batch": 32, "delete_fraction": 0.45},
+        {"qps_under_churn": report.throughput_qps,
+         "static_qps": static_report.throughput_qps,
+         "p99_ms": report.percentile_ms(0.99),
+         "static_p99_ms": static_report.percentile_ms(0.99),
+         "end_recall": end_recall, "static_recall": static_recall,
+         "flips": churn.flips, "inserted": churn.inserted,
+         "deleted": churn.deleted,
+         "probe_checked": probe_out["checked"],
+         "probe_epoch_matched": probe_out["epoch_matched"]},
+    )
+    publish(results_dir, "T7_churn", records)
+    SUMMARY["churn"] = {
+        "qps": report.throughput_qps,
+        "latency_ms": report.latency_summary(),
+        "p99_vs_static": (report.percentile_ms(0.99)
+                          / max(1e-9, static_report.percentile_ms(0.99))),
+        "end_recall": end_recall,
+        "recall_delta_vs_static": end_recall - static_recall,
+        "churn": churn.as_dict(),
+        "index": mut.stats(),
+        "probe": {"checked": probe_out["checked"],
+                  "epoch_matched": probe_out["epoch_matched"],
+                  "cached_seen": probe_out["cached_seen"],
+                  "stale": len(probe_out["stale"]),
+                  "torn": len(probe_out["torn"])},
+    }
+    publish_summary(results_dir, "T7", SUMMARY)
+
+    if FULL_SCALE:
+        assert end_recall >= static_recall - 0.05, (
+            f"recall decayed under churn: {end_recall:.3f} vs static "
+            f"{static_recall:.3f}"
+        )
+        p99_ratio = (report.percentile_ms(0.99)
+                     / max(1e-9, static_report.percentile_ms(0.99)))
+        assert p99_ratio <= 3.0, (
+            f"churn p99 {report.percentile_ms(0.99):.1f}ms is "
+            f"{p99_ratio:.1f}x the static p99"
+        )

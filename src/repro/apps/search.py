@@ -556,6 +556,29 @@ class GraphSearchIndex:
         assert builder.last_forest is not None
         return cls(points, graph, builder.last_forest, search_config, obs=obs)
 
+    @classmethod
+    def from_parts(
+        cls,
+        points: np.ndarray,
+        graph: KNNGraph,
+        forest: RPForest,
+        config: SearchConfig | None = None,
+        *,
+        prepared: bool = False,
+        obs: Observability | None = None,
+    ) -> "GraphSearchIndex":
+        """Wrap an existing ``(points, graph, forest)`` triple for search.
+
+        With ``prepared=True`` the points are taken as already transformed
+        into the graph metric's kernel space and are *not* re-prepared -
+        the constructor the mutable index uses to publish a new snapshot
+        without renormalising (and therefore without perturbing) the
+        stored vectors.
+        """
+        index = cls(config=config, obs=obs)
+        index._attach(points, graph, forest, prepared=prepared)
+        return index
+
     def fit(self, points: np.ndarray) -> "GraphSearchIndex":
         """Engine-protocol ingest: build graph + forest over ``points``."""
         cfg = self._build_config or BuildConfig(k=16, strategy="tiled", seed=0)

@@ -401,6 +401,18 @@ def _add_serve_args(p, include_rate: bool) -> None:
                        help="closed-loop client threads")
         p.add_argument("--repeat", type=int, default=1,
                        help="passes over the sampled query stream")
+        p.add_argument("--churn", type=float, default=None,
+                       help="serve a MUTABLE index and apply this many "
+                            "insert/delete batches per second while the "
+                            "closed loop runs (epoch-versioned snapshots; "
+                            "see docs/mutable.md)")
+        p.add_argument("--churn-batch", type=int, default=32,
+                       dest="churn_batch",
+                       help="points per mutation batch (churn mode)")
+        p.add_argument("--delete-fraction", type=float, default=0.5,
+                       dest="delete_fraction",
+                       help="fraction of mutation batches that delete "
+                            "instead of insert (churn mode)")
     p.add_argument("--trace-out", dest="trace_out", default=None,
                    help="write the serving JSON-lines trace here")
 
@@ -410,6 +422,8 @@ def cmd_serve(args) -> int:
     from repro.obs import Observability
     from repro.serve import closed_loop
 
+    if getattr(args, "churn", None) is not None:
+        return _cmd_serve_churn(args)
     obs = Observability()
     client, x = _make_client(args, obs)
     rng = np.random.default_rng(args.seed + 1)
@@ -423,6 +437,84 @@ def cmd_serve(args) -> int:
                              repeat=args.repeat, deadline_ms=args.deadline_ms,
                              collect_ids=False)
         _print_serve_report(client, report)
+    _maybe_write_serve_trace(args, obs, "serve")
+    return 0
+
+
+def _cmd_serve_churn(args) -> int:
+    """``serve --churn``: query a mutable index while mutating it.
+
+    Half the dataset seeds the initial index; the other half is the
+    insert pool the churn loop cycles through.  The closed-loop query
+    stream samples from the *initial* half so it stays meaningful while
+    points come and go.
+    """
+    import threading
+
+    from repro.apps.search import SearchConfig
+    from repro.core import BuildConfig, MutableIndex
+    from repro.obs import Observability
+    from repro.serve import KNNServer, churn_loop, closed_loop
+
+    if args.shards > 1 or args.replicas > 1 or args.load_index:
+        raise SystemExit(
+            "--churn serves a freshly built mutable index; it cannot be "
+            "combined with --shards/--replicas/--load-index"
+        )
+    obs = Observability()
+    x = _load_points(args)
+    half = x.shape[0] // 2
+    base, pool = x[:half], x[half:]
+    t0 = time.perf_counter()
+    mut = MutableIndex.build(
+        base,
+        BuildConfig(k=args.k, strategy="tiled", seed=args.seed,
+                    metric=args.metric),
+        SearchConfig(ef=args.ef),
+        obs=obs,
+    )
+    print(f"built mutable index over {base.shape} ({args.metric}) "
+          f"in {time.perf_counter() - t0:.2f}s; insert pool {pool.shape}")
+    rng = np.random.default_rng(args.seed + 1)
+    q = base[rng.choice(base.shape[0], size=min(args.queries, base.shape[0]),
+                        replace=False)]
+    print(f"serving closed-loop under churn: {q.shape[0]} queries "
+          f"x{args.repeat} over {args.clients} clients, "
+          f"{args.churn:.0f} mutation batches/s "
+          f"(batch={args.churn_batch}, delete_fraction="
+          f"{args.delete_fraction})")
+    stop = threading.Event()
+    churn_out: dict = {}
+
+    def churner() -> None:
+        churn_out["report"] = churn_loop(
+            mut, pool, ops_per_sec=args.churn, duration_s=3600.0,
+            batch_size=args.churn_batch,
+            delete_fraction=args.delete_fraction,
+            seed=args.seed + 2, stop=stop,
+        )
+
+    with KNNServer(mut, _serve_config(args), obs=obs) as server:
+        thread = threading.Thread(target=churner, daemon=True)
+        thread.start()
+        try:
+            report = closed_loop(
+                server, q, args.topk, clients=args.clients,
+                repeat=args.repeat, deadline_ms=args.deadline_ms,
+                collect_ids=False,
+            )
+        finally:
+            stop.set()
+            thread.join()
+        _print_serve_report(server, report)
+        churn = churn_out["report"]
+        print(f"  churn: ops={churn.ops} ({churn.ops_per_sec:.0f}/s)  "
+              f"inserted={churn.inserted}  deleted={churn.deleted}  "
+              f"errors={churn.errors}")
+        print(f"  index: epoch {churn.start_epoch} -> {churn.end_epoch} "
+              f"({churn.flips} flips)  "
+              f"n_live={mut.stats()['n_live']}  "
+              f"compactions={mut.stats()['compactions']}")
     _maybe_write_serve_trace(args, obs, "serve")
     return 0
 

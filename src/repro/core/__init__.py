@@ -17,6 +17,7 @@ Pipeline (one :meth:`~repro.core.builder.WKNNGBuilder.build` call):
 from repro.core.config import BuildConfig
 from repro.core.builder import WKNNGBuilder, BuildReport
 from repro.core.graph import KNNGraph
+from repro.core.mutable import IndexSnapshot, MutableConfig, MutableIndex
 from repro.core.rpforest import RPForest, RPTree
 
 __all__ = [
@@ -24,6 +25,9 @@ __all__ = [
     "WKNNGBuilder",
     "BuildReport",
     "KNNGraph",
+    "IndexSnapshot",
+    "MutableConfig",
+    "MutableIndex",
     "RPForest",
     "RPTree",
 ]

@@ -30,7 +30,7 @@ from repro.core.config import BuildConfig
 from repro.core.graph import KNNGraph
 from repro.core.metric import prepare_points
 from repro.core.refine import RefineState, refine_round
-from repro.core.rpforest import RPForest
+from repro.core.rpforest import RPForest, RPTree
 from repro.errors import ConfigurationError, DataError
 from repro.kernels.knn_state import KnnState
 from repro.kernels.strategy import Strategy, get_strategy
@@ -57,7 +57,21 @@ class DynamicKNNG:
     ) -> None:
         self._x = points
         self._state = state
-        self._forest = forest
+        # Private copy of the forest: ``add`` grows leaves as points join
+        # them, and sharing that mutation with the caller's forest would
+        # leak ids that other consumers (a second ``extend_graph`` on the
+        # same builder, a search index holding the forest) cannot resolve.
+        self._forest = RPForest(
+            trees=[
+                RPTree(
+                    normals=tree.normals,
+                    thresholds=tree.thresholds,
+                    children=tree.children,
+                    leaves=[leaf.copy() for leaf in tree.leaves],
+                )
+                for tree in forest.trees
+            ]
+        )
         if config.strategy == "auto":
             from dataclasses import replace
 
@@ -139,13 +153,16 @@ class DynamicKNNG:
         concentrate on the fresh entries).
         """
         new_points = np.asarray(new_points, dtype=np.float32)
+        # shape validation comes before the empty early-return: an empty
+        # batch of the wrong dimensionality is still a malformed input
+        if new_points.ndim == 2 and new_points.shape[1] != self._x.shape[1]:
+            raise DataError(
+                f"new points have dim {new_points.shape[1]}, graph has "
+                f"{self._x.shape[1]}"
+            )
         if new_points.ndim == 2 and new_points.shape[0] == 0:
             return np.empty(0, dtype=np.int64)
         q = check_points_matrix(new_points, "new_points")
-        if q.shape[1] != self._x.shape[1]:
-            raise DataError(
-                f"new points have dim {q.shape[1]}, graph has {self._x.shape[1]}"
-            )
         if self.config.metric == "cosine":
             q, _ = prepare_points(q, "cosine")
         m = q.shape[0]
@@ -224,9 +241,21 @@ def extend_graph(
 
     ``points``/``graph``/``forest`` come from a prior
     :class:`~repro.core.builder.WKNNGBuilder` run (the builder retains the
-    forest on ``last_forest``).
+    forest on ``last_forest``).  The metric is inherited from
+    ``graph.meta["metric"]`` - the extension must prepare points and score
+    candidates in the space the graph was built in - and an explicit
+    ``config`` whose metric disagrees with the graph's is rejected.
     """
-    config = config or BuildConfig(k=graph.k)
+    graph_metric = graph.meta.get("metric")
+    if config is None:
+        config = BuildConfig(
+            k=graph.k, metric=graph_metric or "sqeuclidean"
+        )
+    elif graph_metric is not None and config.metric != graph_metric:
+        raise ConfigurationError(
+            f"config metric={config.metric!r} does not match the graph's "
+            f"build metric {graph_metric!r}"
+        )
     if config.k != graph.k:
         raise ConfigurationError(
             f"config k={config.k} does not match the graph's k={graph.k}"

@@ -74,6 +74,12 @@ class Events:
     #: replica health transitions (heartbeat monitor or in-band failure)
     REPLICA_EJECTED = "replica:ejected"
     REPLICA_READMITTED = "replica:readmitted"
+    #: a mutable index published a new epoch snapshot (payload: epoch,
+    #: kind insert|delete|compact, batch size, live/total point counts)
+    INDEX_FLIP = "index:flip"
+    #: tombstone compaction rebuilding graph + forest over the survivors
+    INDEX_COMPACT_BEFORE = "index_compact:before"
+    INDEX_COMPACT_AFTER = "index_compact:after"
 
 
 class ProfilingHooks:

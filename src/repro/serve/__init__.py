@@ -62,7 +62,14 @@ from repro.serve.cluster import (
     merge_topk,
 )
 from repro.serve.degrade import DegradationController, ShedPolicy
-from repro.serve.loadgen import LoadReport, closed_loop, open_loop, recall_against
+from repro.serve.loadgen import (
+    ChurnReport,
+    LoadReport,
+    churn_loop,
+    closed_loop,
+    open_loop,
+    recall_against,
+)
 from repro.serve.queue import AdmissionQueue
 from repro.serve.scheduler import MicroBatcher, Request
 from repro.serve.server import (
@@ -98,8 +105,10 @@ __all__ = [
     "ShedPolicy",
     "DegradationController",
     "LoadReport",
+    "ChurnReport",
     "closed_loop",
     "open_loop",
+    "churn_loop",
     "recall_against",
     "ServeError",
     "ServerOverloaded",

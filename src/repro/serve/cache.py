@@ -45,13 +45,22 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
 
-    def key(self, query: np.ndarray, k: int, ef: int) -> bytes:
-        """The cache key of one (1-D, float32) query vector."""
+    def key(self, query: np.ndarray, k: int, ef: int, epoch: int = 0) -> bytes:
+        """The cache key of one (1-D, float32) query vector.
+
+        ``epoch`` is the index epoch the result was (or will be) computed
+        against.  Folding it into the key bytes is the serving stack's
+        staleness guarantee for mutable indexes: after an epoch flip every
+        old entry becomes structurally unreachable - no invalidation scan,
+        no TTL race - and the LRU ages the dead epoch's entries out.
+        Static indexes stay at epoch 0 and keep their old keys.
+        """
         q = np.round(np.asarray(query, dtype=np.float32), self.decimals)
         # normalise -0.0 -> 0.0 so the two encode to the same bytes
         q = q + np.float32(0.0)
         return q.tobytes() + int(k).to_bytes(4, "little") \
-            + int(ef).to_bytes(4, "little")
+            + int(ef).to_bytes(4, "little") \
+            + int(epoch).to_bytes(8, "little", signed=False)
 
     def get(self, key: bytes) -> Any | None:
         """Look up (and LRU-touch) a cached result; ``None`` on miss."""

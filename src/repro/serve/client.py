@@ -56,6 +56,10 @@ class SearchResult:
         Submit-to-resolve wall time.
     batch_size:
         How many requests shared the engine call (0 for cache hits).
+    epoch:
+        Index epoch the answer was computed against (0 for static
+        indexes; mutable indexes bump it on every insert/delete/compact
+        flip, so a client can correlate answers with index versions).
     """
 
     ids: np.ndarray
@@ -65,6 +69,7 @@ class SearchResult:
     shard_fanout: int = 1
     latency_ms: float = 0.0
     batch_size: int = 1
+    epoch: int = 0
 
     @property
     def ef_used(self) -> int:
@@ -168,7 +173,13 @@ class DirectClient:
         k = self._default_k if k is None else check_positive_int(k, "k")
         ef = self._ef if ef is None else check_positive_int(ef, "ef")
         t0 = time.monotonic()
-        ids, dists = self.index.search(q[None, :], k, ef=ef)
+        # pin one view for the call: against a mutable index this is the
+        # epoch-stamped snapshot, so the reported epoch is exactly the
+        # graph version that produced the answer
+        engine = getattr(self.index, "snapshot", None)
+        if engine is None or callable(engine):
+            engine = self.index
+        ids, dists = engine.search(q[None, :], k, ef=ef)
         latency_ms = (time.monotonic() - t0) * 1000.0
         self._queries += 1
         if deadline_ms is not None and latency_ms > deadline_ms:
@@ -180,6 +191,7 @@ class DirectClient:
         return SearchResult(
             ids=ids[0], dists=dists[0], served_ef=ef, from_cache=False,
             shard_fanout=1, latency_ms=latency_ms, batch_size=1,
+            epoch=int(getattr(engine, "epoch", 0)),
         )
 
     def submit(

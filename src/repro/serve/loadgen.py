@@ -237,6 +237,141 @@ def open_loop(
     return report
 
 
+@dataclass
+class ChurnReport:
+    """Outcome accounting of one mutation (churn) run.
+
+    The epoch bookkeeping is what the T7 benchmark's staleness assertions
+    consume: :attr:`deleted_at` maps every external id the loop deleted
+    to the epoch at which that deletion was *published*, so a response
+    stamped with epoch ``e`` may never contain an id whose
+    ``deleted_at`` is ``<= e``.
+    """
+
+    ops: int = 0                 #: mutation batches applied
+    inserted: int = 0            #: points inserted
+    deleted: int = 0             #: points tombstoned/compacted away
+    errors: int = 0              #: mutation calls that raised
+    wall_seconds: float = 0.0
+    start_epoch: int = 0
+    end_epoch: int = 0
+    #: external id -> epoch at which its insertion was published
+    inserted_at: dict[int, int] = field(default_factory=dict)
+    #: external id -> epoch at which its deletion was published
+    deleted_at: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def flips(self) -> int:
+        return self.end_epoch - self.start_epoch
+
+    @property
+    def ops_per_sec(self) -> float:
+        return self.ops / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "ops": self.ops, "inserted": self.inserted,
+            "deleted": self.deleted, "errors": self.errors,
+            "wall_seconds": self.wall_seconds, "flips": self.flips,
+            "start_epoch": self.start_epoch, "end_epoch": self.end_epoch,
+            "ops_per_sec": self.ops_per_sec,
+        }
+
+
+def churn_loop(
+    index: Any,
+    insert_pool: np.ndarray,
+    *,
+    ops_per_sec: float,
+    duration_s: float,
+    batch_size: int = 32,
+    delete_fraction: float = 0.5,
+    protect: set[int] | None = None,
+    min_live: int = 64,
+    seed: int = 0,
+    stop: threading.Event | None = None,
+    report: ChurnReport | None = None,
+) -> ChurnReport:
+    """Drive sustained insert/delete mutations against a mutable index.
+
+    Runs in the *calling* thread (wrap in ``threading.Thread`` to churn
+    underneath a concurrent query load).  Each scheduled op is one batch:
+    with probability ``delete_fraction`` a delete of ``batch_size`` live
+    ids sampled uniformly (never from ``protect`` - the ids ground truth
+    is pinned to), otherwise an insert of ``batch_size`` rows cycled from
+    ``insert_pool``.  Deletes are skipped while fewer than ``min_live``
+    unprotected points remain.
+
+    ``index`` is a :class:`~repro.core.mutable.MutableIndex` (anything
+    with ``insert``/``delete``/``live_ids``/``epoch`` works).  ``stop``
+    ends the loop early.  An explicit ``report`` is filled *in place* as
+    the loop runs, so a concurrent observer (the T7 benchmark's probe
+    thread) can consult :attr:`ChurnReport.deleted_at` live instead of
+    waiting for the loop to return.
+    """
+    if ops_per_sec <= 0:
+        raise ValueError(f"ops_per_sec must be > 0, got {ops_per_sec}")
+    if not 0.0 <= delete_fraction <= 1.0:
+        raise ValueError(
+            f"delete_fraction must lie in [0, 1], got {delete_fraction}"
+        )
+    pool = np.asarray(insert_pool, dtype=np.float32)
+    protect = protect or set()
+    rng = np.random.default_rng(seed)
+    if report is None:
+        report = ChurnReport()
+    report.start_epoch = int(index.epoch)
+    interval = 1.0 / ops_per_sec
+    pool_pos = 0
+
+    t0 = time.monotonic()
+    next_at = t0
+    while (stop is None or not stop.is_set()) \
+            and time.monotonic() - t0 < duration_s:
+        now = time.monotonic()
+        if now < next_at:
+            time.sleep(min(next_at - now, 0.005))
+            continue
+        next_at += interval
+        try:
+            if rng.random() < delete_fraction:
+                live = index.live_ids()
+                candidates = live[~np.isin(live, list(protect))] \
+                    if protect else live
+                if candidates.size < max(min_live, batch_size):
+                    continue  # too few victims; wait for inserts
+                victims = rng.choice(
+                    candidates, size=batch_size, replace=False
+                )
+                index.delete(victims)
+                epoch = int(index.epoch)
+                for v in victims:
+                    report.deleted_at[int(v)] = epoch
+                report.deleted += int(victims.size)
+            else:
+                batch = pool[
+                    (pool_pos + np.arange(batch_size)) % pool.shape[0]
+                ]
+                pool_pos = (pool_pos + batch_size) % pool.shape[0]
+                # perturb recycled pool rows so every insert is a novel
+                # point (re-inserting identical vectors would make
+                # "nearest neighbour" ground truth degenerate)
+                batch = batch + rng.normal(
+                    0.0, 1e-3, size=batch.shape
+                ).astype(np.float32)
+                new_ids = index.insert(batch)
+                epoch = int(index.epoch)
+                for v in new_ids:
+                    report.inserted_at[int(v)] = epoch
+                report.inserted += int(new_ids.size)
+            report.ops += 1
+        except Exception:
+            report.errors += 1
+    report.wall_seconds = time.monotonic() - t0
+    report.end_epoch = int(index.epoch)
+    return report
+
+
 def recall_against(report: LoadReport, gt_ids: np.ndarray, k: int) -> float:
     """Recall@k of the collected response ids vs ground-truth rows.
 

@@ -477,18 +477,23 @@ class KNNServer:
 
         req = Request(query=q, k=k, ef=ef, deadline=deadline, submitted=now)
         if self.cache is not None:
-            req.cache_key = self.cache.key(q, k, ef)
+            # the lookup key carries the *current* epoch: after a mutable
+            # index flips, entries computed against older graphs become
+            # structurally unreachable (zero stale hits by construction)
+            epoch = int(getattr(self._engine_view(), "epoch", 0))
+            req.cache_key = self.cache.key(q, k, ef, epoch)
             hit = self.cache.get(req.cache_key)
             if hit is not None:
                 ids, dists, served_ef = hit
                 self._count("cache_hits")
                 self._count("completed")
-                self._emit(Events.SERVE_CACHE_HIT, k=k, ef=ef)
+                self._emit(Events.SERVE_CACHE_HIT, k=k, ef=ef, epoch=epoch)
                 self._observe_latency(time.monotonic() - now)
                 resolve(req.future, SearchResult(
                     ids=ids.copy(), dists=dists.copy(), served_ef=served_ef,
                     from_cache=True, shard_fanout=1, batch_size=0,
                     latency_ms=(time.monotonic() - now) * 1000.0,
+                    epoch=epoch,
                 ))
                 return req.future
 
@@ -562,17 +567,37 @@ class KNNServer:
         for (k, ef), reqs in groups.items():
             self._run_group(k, ef, reqs, depth)
 
+    def _engine_view(self) -> Any:
+        """The engine to run searches against.
+
+        A mutable index exposes its current epoch-stamped snapshot as a
+        ``snapshot`` attribute; pinning that one reference for a whole
+        micro-batch guarantees every request of the batch is answered
+        from one consistent graph even while the writer flips epochs
+        underneath.  (``DynamicKNNG.snapshot`` is a *method* - the
+        callable check keeps the server treating it as a plain engine.)
+        Static indexes are their own view, at implicit epoch 0.
+        """
+        view = getattr(self.index, "snapshot", None)
+        if view is None or callable(view):
+            return self.index
+        return view
+
     def _run_group(self, k: int, ef: int, reqs: list[Request],
                    depth: int) -> None:
         served_ef = self.degradation.effective_ef(ef)
         shed = served_ef < ef
         qmat = np.stack([r.query for r in reqs], axis=0)
+        # one snapshot for the whole micro-batch: epoch flips between
+        # here and resolution cannot tear this group's results
+        view = self._engine_view()
+        epoch = int(getattr(view, "epoch", 0))
         self._emit(Events.SERVE_BATCH_BEFORE, batch=len(reqs), k=k,
-                   ef=served_ef, shed=shed, queue_depth=depth)
+                   ef=served_ef, shed=shed, queue_depth=depth, epoch=epoch)
         t0 = time.monotonic()
         for req in reqs:
             self._observe_hist("queue_wait_seconds", t0 - req.submitted)
-        ids, dists = self.index.search(qmat, k, ef=served_ef)
+        ids, dists = view.search(qmat, k, ef=served_ef)
         seconds = time.monotonic() - t0
         self._count("batches")
         if shed:
@@ -595,7 +620,14 @@ class KNNServer:
                 ))
                 continue
             if self.cache is not None and req.cache_key is not None and not shed:
-                self.cache.put(req.cache_key, (ids[i], dists[i], served_ef))
+                # store under the epoch actually *served*, not the one the
+                # key was cut with at submit time - if a flip landed in
+                # between, the entry must be findable by post-flip lookups
+                # and unreachable from pre-flip ones
+                self.cache.put(
+                    self.cache.key(req.query, k, ef, epoch),
+                    (ids[i], dists[i], served_ef),
+                )
             latency = now - req.submitted
             self._observe_latency(latency)
             self._count("completed")
@@ -603,6 +635,7 @@ class KNNServer:
                 ids=ids[i], dists=dists[i], served_ef=served_ef,
                 from_cache=False, shard_fanout=1,
                 latency_ms=latency * 1000.0, batch_size=len(reqs),
+                epoch=epoch,
             ))
         if late:
             self._count("timeout_late", late)

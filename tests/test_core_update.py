@@ -130,3 +130,78 @@ class TestExtendGraph:
         with pytest.raises(ConfigurationError):
             extend_graph(base, graph, builder.last_forest, more[:10],
                          config(k=5, leaf_size=48))
+
+    def test_metric_inherited_from_graph_meta(self, base_and_more):
+        # regression: `config or BuildConfig(k=graph.k)` used to default
+        # the extension to sqeuclidean, silently re-preparing a cosine
+        # graph's points (and scoring candidates) in the wrong metric
+        base, more = base_and_more
+        builder = WKNNGBuilder(config(metric="cosine"))
+        graph = builder.build(base)
+        extended = extend_graph(base, graph, builder.last_forest, more[:100])
+        assert extended.meta["metric"] == "cosine"
+
+    def test_cosine_extend_scores_in_cosine_space(self, base_and_more):
+        # the inherited-metric extension must prepare and score new edges
+        # in normalised space: stored dists are |a^ - b^|^2, not raw
+        # squared Euclidean (which the old sqeuclidean default produced)
+        base, more = base_and_more
+        builder = WKNNGBuilder(config(metric="cosine"))
+        graph = builder.build(base)
+        extended = extend_graph(base, graph, builder.last_forest, more[:100])
+        full = np.concatenate([base, more[:100]]).astype(np.float32)
+        xn = full / np.linalg.norm(full, axis=1, keepdims=True)
+        rows = extended.ids[600:]
+        diffs = xn[600:, None, :] - xn[rows]
+        expect = np.einsum("ijk,ijk->ij", diffs, diffs)
+        assert np.allclose(extended.dists[600:], expect, atol=1e-4)
+
+    def test_metric_mismatch_rejected(self, base_and_more):
+        base, more = base_and_more
+        builder = WKNNGBuilder(config(metric="cosine"))
+        graph = builder.build(base)
+        with pytest.raises(ConfigurationError, match="metric"):
+            extend_graph(base, graph, builder.last_forest, more[:10],
+                         config(metric="sqeuclidean"))
+
+    def test_repeated_extend_on_one_forest(self, base_and_more):
+        # regression: DynamicKNNG.add used to mutate the caller's forest
+        # leaves in place, so a second extend_graph on the same
+        # builder.last_forest routed through stale ids and crashed with
+        # IndexError (the second batch being smaller than the first makes
+        # the stale ids exceed the new point count)
+        base, more = base_and_more
+        builder = WKNNGBuilder(config())
+        graph = builder.build(base)
+        first = extend_graph(base, graph, builder.last_forest, more[:60])
+        assert first.n == 660
+        second = extend_graph(base, graph, builder.last_forest, more[60:70])
+        assert second.n == 610
+
+    def test_forest_not_mutated_by_add(self, base_and_more):
+        base, more = base_and_more
+        builder = WKNNGBuilder(config())
+        builder.build(base)
+        forest = builder.last_forest
+        sizes_before = [
+            [leaf.size for leaf in tree.leaves] for tree in forest.trees
+        ]
+        dyn = DynamicKNNG.build(base, config())
+        # route through the *same* forest object via extend_graph
+        graph = builder.build(base)
+        extend_graph(base, graph, forest, more[:50])
+        sizes_after = [
+            [leaf.size for leaf in tree.leaves] for tree in forest.trees
+        ]
+        assert sizes_before == sizes_after
+        assert dyn.n == 600  # unrelated instance untouched
+
+    def test_wrong_dim_empty_batch_rejected(self, base_and_more):
+        # regression: the empty early-return used to run before the dim
+        # check, silently accepting add(np.empty((0, 999))) on a 16-d graph
+        base, _ = base_and_more
+        dyn = DynamicKNNG.build(base, config())
+        with pytest.raises(DataError):
+            dyn.add(np.empty((0, 999), dtype=np.float32))
+        # a well-shaped empty batch still no-ops
+        assert dyn.add(np.empty((0, 16), dtype=np.float32)).size == 0
