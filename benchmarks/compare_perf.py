@@ -1,0 +1,224 @@
+"""Compare BENCH_T*.json headline metrics between two bench runs.
+
+CI's ``perf-compare`` job feeds this the latest ``perf-trajectory-*``
+artifact from ``main`` (the baseline) and the PR's freshly produced
+``benchmarks/results`` directory, both run at the same reduced
+``WKNNG_BENCH_SCALE``.  Each tier contributes a small set of headline
+metrics (one dotted path each into its summary JSON); a metric that
+moves against its preferred direction by more than ``--threshold``
+(default 20%, sized for shared-runner noise) fails the job.
+
+Safety rails: a tier missing from the baseline is reported as skipped -
+never failed - so new benches land cleanly, and summaries whose
+``bench_scale`` stamps disagree are refused rather than silently
+compared across workload sizes.
+
+Usage::
+
+    python compare_perf.py --baseline DIR --current DIR \
+        [--threshold 0.20] [--output report.md]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One headline metric: a dotted path and a preferred direction."""
+
+    path: str
+    lower_is_better: bool = False
+
+
+#: headline metrics per tier prefix (``BENCH_T1_<workload>.json`` files
+#: all resolve through the ``T1`` entry)
+HEADLINES: dict[str, list[Metric]] = {
+    "T1": [Metric("cases.-1.wknng_seconds", lower_is_better=True)],
+    "T3": [Metric("batched_qps")],
+    "T4": [Metric("speedup")],
+    "T5": [Metric("closed_loop.serving_qps")],
+    "T6": [Metric("shard_scaling.sweep.-1.qps")],
+    "T7": [Metric("churn.qps")],
+    # T8 headlines are deterministic (seeded data, exact code paths):
+    # wall-clock kernel ratios there are bimodal with host memory state
+    # and would false-alarm at any useful threshold
+    "T8": [
+        Metric("pq.recall"),
+        Metric("pq.memory_reduction"),
+    ],
+}
+
+
+def lookup(payload: dict, path: str):
+    """Resolve a dotted path; integer segments index lists (negatives ok).
+
+    Returns ``None`` when any segment is missing, so callers can treat
+    schema drift as "skip" rather than crash on old baselines.
+    """
+    node = payload
+    for seg in path.split("."):
+        try:
+            if isinstance(node, list):
+                node = node[int(seg)]
+            elif isinstance(node, dict):
+                node = node[seg]
+            else:
+                return None
+        except (KeyError, IndexError, ValueError):
+            return None
+    return node if isinstance(node, (int, float)) else None
+
+
+def load_summaries(directory: Path) -> dict[str, dict]:
+    """Map ``BENCH_<tier>.json`` file stems to their parsed payloads."""
+    out = {}
+    for f in sorted(directory.glob("BENCH_*.json")):
+        try:
+            out[f.stem] = json.loads(f.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+    return out
+
+
+def compare(
+    baseline_dir: Path, current_dir: Path, threshold: float
+) -> tuple[list[dict], int]:
+    """Diff every current summary against its baseline counterpart.
+
+    Returns ``(rows, n_regressions)``; each row carries ``status`` in
+    ``{"ok", "regression", "skip"}`` plus display fields.
+    """
+    baseline = load_summaries(baseline_dir)
+    current = load_summaries(current_dir)
+    rows: list[dict] = []
+    regressions = 0
+    for stem, cur in current.items():
+        tier = str(cur.get("tier", stem.removeprefix("BENCH_")))
+        prefix = tier.split("_")[0]
+        metrics = HEADLINES.get(prefix)
+        if not metrics:
+            continue
+        base = baseline.get(stem)
+        if base is None:
+            rows.append(
+                {
+                    "tier": tier,
+                    "metric": "-",
+                    "status": "skip",
+                    "note": "no baseline (new tier?)",
+                }
+            )
+            continue
+        if base.get("bench_scale") != cur.get("bench_scale"):
+            rows.append(
+                {
+                    "tier": tier,
+                    "metric": "-",
+                    "status": "skip",
+                    "note": (
+                        f"bench_scale mismatch (baseline "
+                        f"{base.get('bench_scale')}, current "
+                        f"{cur.get('bench_scale')})"
+                    ),
+                }
+            )
+            continue
+        for metric in metrics:
+            b, c = lookup(base, metric.path), lookup(cur, metric.path)
+            if b is None or c is None or b == 0:
+                rows.append(
+                    {
+                        "tier": tier,
+                        "metric": metric.path,
+                        "status": "skip",
+                        "note": "metric missing in baseline or current",
+                    }
+                )
+                continue
+            delta = (c - b) / abs(b)
+            worse = delta > threshold if metric.lower_is_better else delta < -threshold
+            status = "regression" if worse else "ok"
+            regressions += worse
+            arrow = "lower=better" if metric.lower_is_better else "higher=better"
+            rows.append(
+                {
+                    "tier": tier,
+                    "metric": metric.path,
+                    "status": status,
+                    "baseline": b,
+                    "current": c,
+                    "delta_pct": 100.0 * delta,
+                    "note": arrow,
+                }
+            )
+    return rows, regressions
+
+
+def render_markdown(rows: list[dict], threshold: float) -> str:
+    lines = [
+        "## Perf comparison vs `main`",
+        "",
+        f"Regression threshold: {threshold:.0%} against each metric's "
+        "preferred direction.",
+        "",
+        "| tier | metric | baseline | current | delta | status |",
+        "|---|---|---|---|---|---|",
+    ]
+    for r in rows:
+        if r["status"] == "skip":
+            lines.append(
+                f"| {r['tier']} | {r['metric']} | - | - | - | "
+                f"skipped: {r['note']} |"
+            )
+        else:
+            mark = ":x: regression" if r["status"] == "regression" else ":white_check_mark:"
+            lines.append(
+                f"| {r['tier']} | `{r['metric']}` | {r['baseline']:.4g} "
+                f"| {r['current']:.4g} | {r['delta_pct']:+.1f}% | {mark} |"
+            )
+    if not rows:
+        lines.append("| - | - | - | - | - | nothing to compare |")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--current", type=Path, required=True)
+    parser.add_argument("--threshold", type=float, default=0.20)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="append the markdown report here (default: $GITHUB_STEP_SUMMARY "
+        "when set, else stdout only)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline.is_dir():
+        print(f"perf-compare: no baseline directory at {args.baseline}; skipping")
+        return 0
+    rows, regressions = compare(args.baseline, args.current, args.threshold)
+    report = render_markdown(rows, args.threshold)
+    print(report)
+    output = args.output
+    if output is None and os.environ.get("GITHUB_STEP_SUMMARY"):
+        output = Path(os.environ["GITHUB_STEP_SUMMARY"])
+    if output is not None:
+        with open(output, "a") as fh:
+            fh.write(report)
+    if regressions:
+        print(f"perf-compare: {regressions} metric(s) regressed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

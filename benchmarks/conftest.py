@@ -82,12 +82,14 @@ def publish_summary(results_dir: Path, tier: str, payload: dict) -> None:
     These are the perf-trajectory artifacts CI uploads from ``main``:
     one self-describing JSON per tier (workload parameters, wall times,
     recall/speedup figures) so the trajectory accumulates run over run.
-    The bench scale is stamped in so reduced-scale smoke numbers are
-    never mistaken for full-scale ones.
+    The bench scale is stamped in *after* the payload so every summary
+    records the true ``WKNNG_BENCH_SCALE`` of its run - a payload key can
+    never shadow it, and the perf-compare job refuses to diff summaries
+    whose scales disagree rather than comparing them silently.
     """
     from repro.obs.export import write_json_summary
 
     write_json_summary(
         results_dir / f"BENCH_{tier}.json",
-        {"tier": tier, "bench_scale": BENCH_SCALE, **payload},
+        {"tier": tier, **payload, "bench_scale": BENCH_SCALE},
     )

@@ -54,9 +54,15 @@ from repro.core.builder import WKNNGBuilder
 from repro.core.config import BuildConfig
 from repro.core.graph import KNNGraph
 from repro.core.metric import check_metric, prepare_points
+from repro.core.quant import QuantizedStore, parse_quantization
 from repro.core.rpforest import RPForest
 from repro.errors import ConfigurationError
-from repro.kernels.distance import rowwise_sq_norm, sq_l2_query_gather
+from repro.kernels.distance import (
+    adc_l2_query_gather,
+    sq8_l2_query_gather,
+    rowwise_sq_norm,
+    sq_l2_query_gather,
+)
 from repro.obs import Events, Observability
 from repro.utils.arrays import blockwise_ranges
 from repro.utils.parallel import map_forked, shard_ranges
@@ -86,6 +92,9 @@ _INF_KEY = np.int64(0x7F800000) << 32
 _EMPTY_KEY = np.int64(0x7FC00000) << 32
 #: visited-filter budget: dense boolean matrix below, uint64 bitsets above
 _DENSE_VISITED_BYTES = 1 << 27
+#: byte budget for a chunk's ADC lookup tables; quantized chunks shrink
+#: below _QUERY_BLOCK so per-query (M, ksub) tables stay cache-resident
+_LUT_BYTE_BUDGET = 1 << 27
 
 
 @dataclass
@@ -108,6 +117,18 @@ class SearchConfig:
     n_jobs:
         Fork-shard query batches across this many worker processes
         (batched engine only; ``1`` = serial, results are identical).
+    quantization:
+        Compressed-tier spec for candidate scoring: ``"none"`` (score
+        float32 vectors, the default), ``"sq8"`` or ``"pq<M>"`` (score
+        uint8 codes with the ADC lookup-table kernel; see
+        :mod:`repro.core.quant`).  Quantized beams are re-ranked with
+        full-precision vectors before results are emitted, so returned
+        distances are always exact.
+    rerank:
+        Beam entries re-scored in the full-precision rerank stage when
+        quantization is on.  ``0`` (default) reranks the whole ``ef``
+        beam; smaller values trade rerank gathers for a little recall.
+        Values below ``k`` are raised to ``k`` at query time.
     """
 
     ef: int = 32
@@ -115,6 +136,8 @@ class SearchConfig:
     max_expansions: int = 512
     frontier: int = 1
     n_jobs: int = 1
+    quantization: str = "none"
+    rerank: int = 0
 
     def __post_init__(self) -> None:
         self.ef = check_positive_int(self.ef, "ef")
@@ -122,6 +145,11 @@ class SearchConfig:
         self.max_expansions = check_positive_int(self.max_expansions, "max_expansions")
         self.frontier = check_positive_int(self.frontier, "frontier")
         self.n_jobs = check_positive_int(self.n_jobs, "n_jobs")
+        self.quantization = str(self.quantization)
+        parse_quantization(self.quantization)  # fail fast on bad specs
+        self.rerank = int(self.rerank)
+        if self.rerank < 0:
+            raise ConfigurationError(f"rerank must be >= 0, got {self.rerank}")
 
 
 def _dedupe_rows(ids: np.ndarray) -> np.ndarray:
@@ -155,6 +183,13 @@ class BatchedGraphSearch:
     words.  All queries of a block advance together; a query leaves the
     lock-step as soon as every beam entry is expanded (nothing left that
     could improve its result) or its expansion budget is exhausted.
+
+    With a :class:`~repro.core.quant.QuantizedStore` attached, beam
+    scoring runs over uint8 codes via the asymmetric-distance kernel
+    (:func:`repro.kernels.distance.adc_l2_query_gather`): per-chunk
+    lookup tables replace the float32 gathers, and a final *rerank*
+    stage re-scores the top beam with the full-precision matrix so the
+    emitted ``(ids, dists)`` carry exact distances.
     """
 
     def __init__(
@@ -164,6 +199,7 @@ class BatchedGraphSearch:
         forest: RPForest,
         config: SearchConfig | None = None,
         *,
+        store: QuantizedStore | None = None,
         obs: Observability | None = None,
     ) -> None:
         self._x = check_points_matrix(points, "points")
@@ -171,9 +207,15 @@ class BatchedGraphSearch:
             raise ConfigurationError(
                 f"graph has {graph.n} nodes but points has {self._x.shape[0]} rows"
             )
+        if store is not None and (store.n, store.dim) != self._x.shape:
+            raise ConfigurationError(
+                f"quantized store shape ({store.n}, {store.dim}) does not "
+                f"match points {self._x.shape}"
+            )
         self.graph = graph
         self.forest = forest
         self.config = config or SearchConfig()
+        self.store = store
         self.obs = obs
         #: work counters of the most recent :meth:`search` call
         self.last_query_stats: dict[str, Any] = {}
@@ -212,10 +254,16 @@ class BatchedGraphSearch:
         out_ids = np.full((q.shape[0], k), -1, dtype=np.int32)
         out_dists = np.full((q.shape[0], k), np.inf, dtype=np.float32)
         stats: dict[str, Any] = {
-            "queries": 0, "rounds": 0,
-            "expansions": 0, "distance_evals": 0, "round_expansions": [],
+            "queries": 0, "rounds": 0, "expansions": 0,
+            "distance_evals": 0, "rerank_evals": 0, "round_expansions": [],
         }
-        for s, e in blockwise_ranges(q.shape[0], _QUERY_BLOCK):
+        block = _QUERY_BLOCK
+        if self.store is not None and self.store.kind != "sq8":
+            # keep the chunk's per-query (M, ksub) ADC tables within budget
+            # (sq8 scores by decode-gather and builds no tables)
+            lut_bytes = 4 * self.store.subspaces * self.store.ksub
+            block = max(64, min(block, _LUT_BYTE_BUDGET // max(1, lut_bytes)))
+        for s, e in blockwise_ranges(q.shape[0], block):
             ids, dists, chunk = self._search_chunk(q[s:e], k, config)
             out_ids[s:e] = ids
             out_dists[s:e] = dists
@@ -256,7 +304,36 @@ class BatchedGraphSearch:
         out_ids = np.full((m, k), -1, dtype=np.int32)
         out_dists = np.full((m, k), np.inf, dtype=np.float32)
         stats = {"queries": m, "rounds": 0, "expansions": 0,
-                 "distance_evals": 0, "round_expansions": []}
+                 "distance_evals": 0, "rerank_evals": 0, "round_expansions": []}
+
+        # quantized scoring: sq8 stores decode-and-score straight from the
+        # code matrix; pq stores go through per-query ADC tables, built
+        # once per chunk.  The tables are never copied on live-query
+        # compaction - only the `lut_rows` indirection vector shrinks.
+        store = self.store
+        lut_rows = None
+        if store is not None:
+            codes = store.codes
+            rerank_w = ef if config.rerank == 0 else min(ef, max(k, config.rerank))
+            if store.kind == "sq8":
+                lo, scale = store.quantizer.lo, store.quantizer.scale
+
+                def score(queries_live, lut_rows, cand, pairs):
+                    return sq8_l2_query_gather(
+                        codes, lo, scale, queries_live, cand, valid_pairs=pairs
+                    )
+            else:
+                luts = store.luts(q)
+                lut_rows = np.arange(m)
+
+                def score(queries_live, lut_rows, cand, pairs):
+                    return adc_l2_query_gather(
+                        luts, codes, cand, valid_pairs=pairs, lut_rows=lut_rows
+                    )
+        else:
+
+            def score(queries_live, lut_rows, cand, pairs):
+                return sq_l2_query_gather(queries_live, x, cand, valid_pairs=pairs)
 
         # visited filter: dense boolean matrix when it fits the budget
         # (plain fancy-index scatter/gather), per-query uint64 bitsets
@@ -309,12 +386,29 @@ class BatchedGraphSearch:
 
         def finalize(rows: np.ndarray) -> None:
             """Write the sorted top-k of the listed live rows to the output
-            (ascending distance, id tie-break - the legacy heap order)."""
-            keys = np.sort(beam[rows] & ~_EXPANDED_BIT, axis=1)[:, : min(k, ef)]
+            (ascending distance, id tie-break - the legacy heap order).
+
+            On the quantized path the beam holds approximate ADC
+            distances; the top ``rerank_w`` entries are re-scored against
+            the full-precision matrix and re-sorted first, so the emitted
+            order and distances are exact over the reranked set.
+            """
+            dest = orig[rows]
+            keys = np.sort(beam[rows] & ~_EXPANDED_BIT, axis=1)
+            if store is not None:
+                cand = keys[:, :rerank_w]
+                finite = cand < _INF_KEY  # real entries with finite dist
+                ids_w = np.where(finite, cand & _ID_MASK, -1)
+                rr, cc = np.nonzero(finite)
+                exact = sq_l2_query_gather(
+                    q[dest], x, ids_w, valid_pairs=(rr, cc)
+                )
+                stats["rerank_evals"] += int(rr.size)
+                keys = np.sort(pack(ids_w, exact), axis=1)
+            keys = keys[:, : min(k, ef)]
             top_d = (keys >> 32).astype(np.uint32).view(np.float32)
             top_i = (keys & _ID_MASK).astype(np.int32)
             found = np.isfinite(top_d)  # empty slots decode to NaN
-            dest = orig[rows]
             cols = np.arange(keys.shape[1])
             out_ids[dest[:, None], cols] = np.where(found, top_i, -1)
             out_dists[dest[:, None], cols] = np.where(found, top_d, np.float32(np.inf))
@@ -323,7 +417,7 @@ class BatchedGraphSearch:
         seeds = self._seed_matrix(q, config)
         s_rows, s_cols = np.nonzero(seeds >= 0)
         mark_visited(s_rows, seeds[s_rows, s_cols])
-        seed_dists = sq_l2_query_gather(q, x, seeds, valid_pairs=(s_rows, s_cols))
+        seed_dists = score(q, lut_rows, seeds, (s_rows, s_cols))
         stats["distance_evals"] += int(s_rows.size)
         merge(pack(seeds, seed_dists))
 
@@ -348,6 +442,8 @@ class BatchedGraphSearch:
                 orig, qv, expansions = orig[keep], qv[keep], expansions[keep]
                 beam, visited = beam[keep], visited[keep]
                 sel, expandable = sel[keep], expandable[keep]
+                if lut_rows is not None:
+                    lut_rows = lut_rows[keep]
 
             a = orig.size
             nodes = np.where(expandable, sel_keys[live] & _ID_MASK, -1)
@@ -372,7 +468,7 @@ class BatchedGraphSearch:
             rr, cc = np.nonzero(fresh)
             if rr.size:
                 mark_visited(rr, cand[rr, cc])
-            cand_dists = sq_l2_query_gather(qv, x, cand, valid_pairs=(rr, cc))
+            cand_dists = score(qv, lut_rows, cand, (rr, cc))
             stats["distance_evals"] += int(rr.size)
             merge(pack(cand, cand_dists))
 
@@ -416,7 +512,8 @@ class BatchedGraphSearch:
             ids = np.concatenate([p[0] for p in parts], axis=0)
             dists = np.concatenate([p[1] for p in parts], axis=0)
             stats: dict[str, Any] = {"queries": 0, "rounds": 0, "expansions": 0,
-                                     "distance_evals": 0, "round_expansions": []}
+                                     "distance_evals": 0, "rerank_evals": 0,
+                                     "round_expansions": []}
             for _, _, part_stats in parts:
                 _merge_stats(stats, part_stats)
             return ids, dists, stats
@@ -437,6 +534,7 @@ class BatchedGraphSearch:
             qm.counter("rounds").inc(stats["rounds"])
             qm.counter("expansions").inc(stats["expansions"])
             qm.counter("distance_evals").inc(stats["distance_evals"])
+            qm.counter("rerank_evals").inc(stats["rerank_evals"])
             qm.histogram("batch_seconds").observe(stats["seconds"])
             obs.hooks.emit(Events.QUERY_BATCH_AFTER,
                            queries=m, k=k, ef=cfg.ef, seconds=stats["seconds"],
@@ -451,6 +549,7 @@ def _merge_stats(into: dict[str, Any], part: dict[str, Any]) -> None:
     into["queries"] += part["queries"]
     into["expansions"] += part["expansions"]
     into["distance_evals"] += part["distance_evals"]
+    into["rerank_evals"] += part.get("rerank_evals", 0)
     a, b = into["round_expansions"], part["round_expansions"]
     if len(b) > len(a):
         a.extend([0] * (len(b) - len(a)))
@@ -504,7 +603,8 @@ class GraphSearchIndex:
             self._attach(points, graph, forest)
 
     def _attach(self, points: np.ndarray, graph: KNNGraph, forest: RPForest,
-                *, prepared: bool = False) -> None:
+                *, prepared: bool = False,
+                store: QuantizedStore | None = None) -> None:
         x = check_points_matrix(points, "points")
         metric = check_metric(str(graph.meta.get("metric", "sqeuclidean")))
         if metric == "inner_product":
@@ -525,10 +625,14 @@ class GraphSearchIndex:
             raise ConfigurationError(
                 f"graph has {graph.n} nodes but points has {self._x.shape[0]} rows"
             )
+        if store is None and self.config.quantization != "none":
+            # codes live in the prepared (kernel) space, same as the graph's
+            # edges - fit here so routing, ADC scoring and rerank agree
+            store = QuantizedStore.fit(self._x, self.config.quantization, seed=0)
         self.graph = graph
         self.forest = forest
         self._engine = BatchedGraphSearch(
-            self._x, graph, forest, self.config, obs=self.obs
+            self._x, graph, forest, self.config, store=store, obs=self.obs
         )
 
     def _require_fitted(self) -> BatchedGraphSearch:
@@ -611,6 +715,8 @@ class GraphSearchIndex:
         assert self.graph is not None and self.forest is not None
         self.graph.save(d / "graph.npz")
         self.forest.save(d / "forest.npz")
+        if engine.store is not None:
+            engine.store.save(d / "quant.npz")
         (d / "search_config.json").write_text(
             json.dumps(dataclasses.asdict(self.config), indent=2)
         )
@@ -636,11 +742,17 @@ class GraphSearchIndex:
                 **json.loads((d / "search_config.json").read_text())
             )
         index = cls(config=config, obs=obs)
+        store = None
+        if index.config.quantization != "none" and (d / "quant.npz").exists():
+            store = QuantizedStore.load(d / "quant.npz")
+            if store.spec != index.config.quantization:
+                store = None  # spec changed since save: refit in _attach
         index._attach(
             np.load(d / "points.npy"),
             KNNGraph.load(d / "graph.npz"),
             RPForest.load(d / "forest.npz"),
             prepared=True,
+            store=store,
         )
         return index
 
@@ -701,6 +813,32 @@ class GraphSearchIndex:
         for key, value in engine.last_query_stats.items():
             if key != "round_expansions":
                 out[key] = value
+        return out
+
+    def memory_stats(self) -> dict[str, Any]:
+        """Bytes held per component, including the compressed tier.
+
+        ``vector_bytes`` is what candidate scoring gathers from each
+        round: the quantized codes (+ parameters) when a store is
+        attached, the float32 matrix otherwise.  ``reduction`` compares
+        the two - the memory gate BENCH_T8 publishes.
+        """
+        engine = self._require_fitted()
+        assert self.graph is not None
+        full = int(engine._x.nbytes)
+        out: dict[str, Any] = {
+            "quantization": self.config.quantization,
+            "float32_bytes": full,
+            "graph_bytes": int(self.graph.ids.nbytes + self.graph.dists.nbytes),
+            "vector_bytes": full,
+            "reduction": 1.0,
+        }
+        if engine.store is not None:
+            quant = engine.store.memory_stats()
+            out["vector_bytes"] = quant["quantized_bytes"]
+            out["code_bytes"] = quant["code_bytes"]
+            out["param_bytes"] = quant["param_bytes"]
+            out["reduction"] = quant["reduction"]
         return out
 
     # -- the legacy per-query reference engine -----------------------------------

@@ -189,6 +189,7 @@ def cmd_search(args) -> int:
     search_cfg = SearchConfig(
         ef=args.ef, frontier=args.frontier, n_jobs=args.jobs,
         seeds_per_tree=args.seeds_per_tree,
+        quantization=args.quantization, rerank=args.rerank,
     )
     if args.load_index:
         index = GraphSearchIndex.load(args.load_index, search_cfg)
@@ -237,7 +238,8 @@ def _serving_index(args):
     from repro.apps.search import GraphSearchIndex, SearchConfig
     from repro.core.config import BuildConfig
 
-    search_cfg = SearchConfig(ef=args.ef)
+    search_cfg = SearchConfig(ef=args.ef, quantization=args.quantization,
+                              rerank=args.rerank)
     if args.load_index:
         index = GraphSearchIndex.load(args.load_index, search_cfg)
         print(f"loaded index from {args.load_index}: "
@@ -261,6 +263,7 @@ def _serve_config(args):
         AdmissionPolicy,
         CachePolicy,
         DeadlinePolicy,
+        QuantizationPolicy,
         ServeConfig,
         ShedPolicy,
     )
@@ -274,6 +277,7 @@ def _serve_config(args):
         ),
         deadline=DeadlinePolicy(default_ms=args.deadline_ms),
         cache=CachePolicy(size=args.cache_size),
+        quant=QuantizationPolicy(mode=args.quantization, rerank=args.rerank),
         shed=ShedPolicy(enabled=not args.no_shed),
         default_k=args.topk,
         ef=args.ef,
@@ -311,7 +315,7 @@ def _make_client(args, obs):
             x,
             build_config=BuildConfig(k=args.k, strategy="tiled",
                                      seed=args.seed, metric=args.metric),
-            search_config=SearchConfig(ef=args.ef),
+            search_config=SearchConfig(ef=args.ef, **cfg.quant.to_search_fields()),
             seed=args.seed,
             config=ccfg,
             obs=obs,
@@ -356,8 +360,19 @@ def _maybe_write_serve_trace(args, obs, command: str) -> None:
         print(f"  trace -> {path}")
 
 
+def _add_quant_args(p) -> None:
+    p.add_argument("--quantization", default="none",
+                   help="compressed vector tier: none, sq8 or pq<M> "
+                        "(e.g. pq16); candidates score via ADC lookup "
+                        "tables, the top beam reranks in full precision")
+    p.add_argument("--rerank", type=int, default=0,
+                   help="beam entries reranked in full precision "
+                        "(0 = whole beam; quantized modes only)")
+
+
 def _add_serve_args(p, include_rate: bool) -> None:
     _add_data_args(p)
+    _add_quant_args(p)
     p.add_argument("-k", "--k", type=int, default=16, help="graph degree")
     p.add_argument("--metric", default="sqeuclidean",
                    choices=("sqeuclidean", "cosine"))
@@ -460,6 +475,11 @@ def _cmd_serve_churn(args) -> int:
         raise SystemExit(
             "--churn serves a freshly built mutable index; it cannot be "
             "combined with --shards/--replicas/--load-index"
+        )
+    if args.quantization != "none":
+        raise SystemExit(
+            "--churn does not support --quantization: every epoch flip "
+            "would refit the quantizer (quantize frozen/serving indexes)"
         )
     obs = Observability()
     x = _load_points(args)
@@ -629,6 +649,7 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", default="batched", choices=("batched", "legacy"))
     p.add_argument("--compare-legacy", action="store_true", dest="compare_legacy",
                    help="time both engines on the same batch")
+    _add_quant_args(p)
     p.add_argument("--save-index", dest="save_index", default=None,
                    help="persist points+graph+forest to this directory")
     p.add_argument("--load-index", dest="load_index", default=None,

@@ -18,6 +18,12 @@ from repro.core.config import BuildConfig
 from repro.core.builder import WKNNGBuilder, BuildReport
 from repro.core.graph import KNNGraph
 from repro.core.mutable import IndexSnapshot, MutableConfig, MutableIndex
+from repro.core.quant import (
+    ProductQuantizer,
+    QuantizedStore,
+    ScalarQuantizer,
+    parse_quantization,
+)
 from repro.core.rpforest import RPForest, RPTree
 
 __all__ = [
@@ -28,6 +34,10 @@ __all__ = [
     "IndexSnapshot",
     "MutableConfig",
     "MutableIndex",
+    "ProductQuantizer",
+    "QuantizedStore",
     "RPForest",
     "RPTree",
+    "ScalarQuantizer",
+    "parse_quantization",
 ]

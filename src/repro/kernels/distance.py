@@ -168,6 +168,115 @@ def sq_l2_query_gather(
     return out
 
 
+def sq8_l2_query_gather(
+    codes: np.ndarray,
+    lo: np.ndarray,
+    scale: np.ndarray,
+    queries: np.ndarray,
+    cand_ids: np.ndarray,
+    valid_pairs: tuple[np.ndarray, np.ndarray] | None = None,
+) -> np.ndarray:
+    """Scalar-quantized candidate scoring: gather codes, decode, score.
+
+    The sq8 counterpart of :func:`sq_l2_query_gather`: candidates live as
+    ``(n, d)`` uint8 codes with per-dimension affine parameters
+    (``x_hat = lo + scale * code``), so the gather touches ``d`` bytes per
+    candidate instead of ``4d`` and the decode is two vectorised passes.
+    This beats table-lookup ADC for scalar quantization, where one
+    "sub-space" per dimension would mean ``d`` scattered lookups per
+    candidate; distances are against the *decoded* vectors, identical to
+    ``adc_l2_query_gather`` on the sq8 grid tables up to float rounding.
+    """
+    m, c = cand_ids.shape
+    dim = codes.shape[1]
+    out = np.full((m, c), np.inf, dtype=np.float32)
+    if m == 0 or c == 0:
+        return out
+    rr, cc = np.nonzero(cand_ids >= 0) if valid_pairs is None else valid_pairs
+    flat = rr * c + cc
+    ids = cand_ids.reshape(-1).take(flat)
+    out_flat = out.reshape(-1)
+    pairs = max(1, _GATHER_CHUNK_ELEMS // max(1, dim))
+    for s, e in blockwise_ranges(rr.shape[0], pairs):
+        decoded = codes.take(ids[s:e], axis=0).astype(np.float32)
+        decoded *= scale
+        decoded += lo
+        np.subtract(decoded, queries.take(rr[s:e], axis=0), out=decoded)
+        out_flat[flat[s:e]] = rowwise_sq_norm(decoded)
+    return out
+
+
+def adc_l2_query_gather(
+    luts: np.ndarray,
+    codes: np.ndarray,
+    cand_ids: np.ndarray,
+    valid_pairs: tuple[np.ndarray, np.ndarray] | None = None,
+    lut_rows: np.ndarray | None = None,
+) -> np.ndarray:
+    """Asymmetric-distance candidate scoring via lookup-table gathers.
+
+    The quantized counterpart of :func:`sq_l2_query_gather`: the database
+    side is a ``(n, M)`` uint8 code matrix (one sub-space code per column,
+    see :mod:`repro.core.quant`) and each query ``i`` carries a
+    pre-computed table ``luts[i, m, c]`` of partial squared distances to
+    codebook entry ``c`` of sub-space ``m``.  A candidate's distance is
+    then ``sum_m luts[i, m, codes[id, m]]`` - ``M`` table lookups instead
+    of a ``d``-dimensional subtract/square/sum, and the per-candidate
+    gather touches ``M`` bytes of codes instead of ``4d`` bytes of floats.
+
+    Parameters
+    ----------
+    luts:
+        ``(m_queries, M, ksub)`` float32 per-query tables (contiguous).
+    codes:
+        ``(n, M)`` uint8 code matrix.
+    cand_ids:
+        ``(m_queries, c)`` candidate-id matrix; slots ``< 0`` yield
+        ``+inf`` exactly like the full-precision kernel.
+    valid_pairs:
+        optional pre-compacted live ``(row, col)`` positions.
+    lut_rows:
+        optional ``(m_queries,)`` indirection mapping each candidate row
+        to its table row in ``luts``.  Lets a caller that compacts its
+        live-query state every round keep one full LUT block and shrink
+        only this index vector, instead of copying megabytes of tables.
+
+    Returns
+    -------
+    ``(m_queries, c)`` float32 approximate squared distances.
+    """
+    m, c = cand_ids.shape
+    n_sub, ksub = luts.shape[1], luts.shape[2]
+    out = np.full((m, c), np.inf, dtype=np.float32)
+    if m == 0 or c == 0:
+        return out
+    rr, cc = np.nonzero(cand_ids >= 0) if valid_pairs is None else valid_pairs
+    flat = rr * c + cc
+    lut_rr = rr if lut_rows is None else lut_rows.take(rr)
+    ids = cand_ids.reshape(-1).take(flat)
+    out_flat = out.reshape(-1)
+    lut_flat = np.ascontiguousarray(luts, dtype=np.float32).reshape(-1)
+    # flat index of entry (query rr, sub-space j, code codes[id, j]):
+    #   rr*(M*ksub) + j*ksub + code.  Accumulated one sub-space at a
+    #   time: M one-dimensional takes beat a single (pairs, M) fancy
+    #   gather because no (pairs, M) index matrix is ever materialised -
+    #   only the running float32 accumulator and one index vector.
+    pairs = max(1, _GATHER_CHUNK_ELEMS // max(1, n_sub))
+    for s, e in blockwise_ranges(rr.shape[0], pairs):
+        code_rows = codes.take(ids[s:e], axis=0)
+        base = lut_rr[s:e] * (n_sub * ksub)
+        idx = base + code_rows[:, 0]
+        acc = lut_flat.take(idx)
+        for j in range(1, n_sub):
+            # walk base to sub-space j in place and reuse one index
+            # buffer: the inner loop allocates nothing
+            np.add(base, ksub, out=base)
+            np.add(base, code_rows[:, j], out=idx)
+            acc += lut_flat.take(idx)
+        out_flat[flat[s:e]] = acc
+    return out
+
+
 def sq_l2_pairs(
     x: np.ndarray, rows: np.ndarray, cols: np.ndarray, chunk: int = 1 << 18
 ) -> np.ndarray:

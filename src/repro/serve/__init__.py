@@ -78,6 +78,7 @@ from repro.serve.server import (
     CachePolicy,
     DeadlinePolicy,
     KNNServer,
+    QuantizationPolicy,
     QueryResult,
     ServeConfig,
 )
@@ -91,6 +92,7 @@ __all__ = [
     "AdmissionPolicy",
     "DeadlinePolicy",
     "CachePolicy",
+    "QuantizationPolicy",
     "QueryResult",
     "SERVE_METRICS_PREFIX",
     "ClusterClient",

@@ -146,6 +146,37 @@ class CachePolicy:
             self, "decimals", check_positive_int(self.decimals, "decimals"))
 
 
+@dataclass(frozen=True)
+class QuantizationPolicy:
+    """Compressed-tier knobs the serving stack forwards to its indexes.
+
+    ``mode`` is a :func:`repro.core.quant.parse_quantization` spec
+    (``"none"``, ``"sq8"``, ``"pq<M>"``); ``rerank`` is the
+    full-precision rerank width (``0`` = the whole beam).  The policy
+    maps 1:1 onto :class:`~repro.apps.search.SearchConfig` fields - see
+    :meth:`to_search_fields` - so servers, cluster shards and the CLI
+    all build quantized stores the same way.
+    """
+
+    mode: str = "none"
+    rerank: int = 0
+
+    def __post_init__(self) -> None:
+        from repro.core.quant import parse_quantization
+
+        object.__setattr__(self, "mode", str(self.mode))
+        parse_quantization(self.mode)
+        object.__setattr__(self, "rerank", int(self.rerank))
+        if self.rerank < 0:
+            raise ConfigurationError(
+                f"quant rerank must be >= 0, got {self.rerank}"
+            )
+
+    def to_search_fields(self) -> dict[str, Any]:
+        """The :class:`~repro.apps.search.SearchConfig` kwargs this maps to."""
+        return {"quantization": self.mode, "rerank": self.rerank}
+
+
 #: deprecated flat kwarg -> (section field, field inside the section)
 _FLAT_FIELDS: dict[str, tuple[str, str]] = {
     "max_batch": ("admission", "max_batch"),
@@ -161,6 +192,7 @@ _SECTION_TYPES = {
     "admission": AdmissionPolicy,
     "deadline": DeadlinePolicy,
     "cache": CachePolicy,
+    "quant": QuantizationPolicy,
 }
 
 
@@ -176,6 +208,9 @@ class ServeConfig:
         Deadline defaults (:class:`DeadlinePolicy`).
     cache:
         Result caching (:class:`CachePolicy`).
+    quant:
+        Compressed vector tier (:class:`QuantizationPolicy`) forwarded
+        to the indexes the stack builds.
     shed:
         The degradation policy (:class:`~repro.serve.degrade.ShedPolicy`).
     default_k:
@@ -196,6 +231,7 @@ class ServeConfig:
     admission: AdmissionPolicy
     deadline: DeadlinePolicy
     cache: CachePolicy
+    quant: QuantizationPolicy
     shed: ShedPolicy
     default_k: int
     ef: int | None
@@ -205,6 +241,7 @@ class ServeConfig:
         admission: AdmissionPolicy | None = None,
         deadline: DeadlinePolicy | None = None,
         cache: CachePolicy | None = None,
+        quant: QuantizationPolicy | None = None,
         shed: ShedPolicy | None = None,
         default_k: int = 10,
         ef: int | None = None,
@@ -226,6 +263,7 @@ class ServeConfig:
             )
         sections: dict[str, Any] = {
             "admission": admission, "deadline": deadline, "cache": cache,
+            "quant": quant,
         }
         overrides: dict[str, dict[str, Any]] = {
             name: {} for name in _SECTION_TYPES
@@ -284,6 +322,7 @@ class ServeConfig:
             "admission": dataclasses.asdict(self.admission),
             "deadline": dataclasses.asdict(self.deadline),
             "cache": dataclasses.asdict(self.cache),
+            "quant": dataclasses.asdict(self.quant),
             "shed": dataclasses.asdict(self.shed),
             "default_k": self.default_k,
             "ef": self.ef,

@@ -26,5 +26,11 @@ attempt/retry counters instead (see ``repro.bench.costmodel``).
 
 from repro.simt_kernels.pipeline import build_knng_simt, simt_leaf_metrics
 from repro.simt_kernels.bruteforce_kernel import bruteforce_knng_simt
+from repro.simt_kernels.adc_kernels import adc_topk_simt
 
-__all__ = ["build_knng_simt", "simt_leaf_metrics", "bruteforce_knng_simt"]
+__all__ = [
+    "build_knng_simt",
+    "simt_leaf_metrics",
+    "bruteforce_knng_simt",
+    "adc_topk_simt",
+]

@@ -1,0 +1,147 @@
+"""The perf-compare gate: headline diffing, skips, and regression calls."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "compare_perf",
+    Path(__file__).parent.parent / "benchmarks" / "compare_perf.py",
+)
+compare_perf = importlib.util.module_from_spec(_SPEC)
+sys.modules["compare_perf"] = compare_perf
+_SPEC.loader.exec_module(compare_perf)
+
+
+def _write(directory: Path, stem: str, payload: dict) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / f"{stem}.json").write_text(json.dumps(payload))
+
+
+def _t3(qps: float, scale: float = 0.05) -> dict:
+    return {"tier": "T3", "bench_scale": scale, "batched_qps": qps}
+
+
+class TestLookup:
+    def test_dotted_path_with_negative_list_index(self):
+        payload = {"cases": [{"s": 1.0}, {"s": 2.5}]}
+        assert compare_perf.lookup(payload, "cases.-1.s") == 2.5
+
+    def test_missing_segment_returns_none(self):
+        assert compare_perf.lookup({"a": {"b": 1}}, "a.c") is None
+        assert compare_perf.lookup({"a": [1]}, "a.5") is None
+
+    def test_non_numeric_leaf_returns_none(self):
+        assert compare_perf.lookup({"a": "fast"}, "a") is None
+
+
+class TestCompare:
+    def test_within_threshold_is_ok(self, tmp_path):
+        _write(tmp_path / "base", "BENCH_T3", _t3(1000.0))
+        _write(tmp_path / "cur", "BENCH_T3", _t3(900.0))
+        rows, regressions = compare_perf.compare(
+            tmp_path / "base", tmp_path / "cur", 0.20
+        )
+        assert regressions == 0
+        assert [r["status"] for r in rows] == ["ok"]
+
+    def test_regression_beyond_threshold_flagged(self, tmp_path):
+        _write(tmp_path / "base", "BENCH_T3", _t3(1000.0))
+        _write(tmp_path / "cur", "BENCH_T3", _t3(700.0))
+        rows, regressions = compare_perf.compare(
+            tmp_path / "base", tmp_path / "cur", 0.20
+        )
+        assert regressions == 1
+        assert rows[0]["status"] == "regression"
+        assert rows[0]["delta_pct"] == pytest.approx(-30.0)
+
+    def test_lower_is_better_direction(self, tmp_path):
+        base = {
+            "tier": "T1_uniform-16d",
+            "bench_scale": 0.05,
+            "cases": [{"wknng_seconds": 1.0}],
+        }
+        slower = {**base, "cases": [{"wknng_seconds": 1.5}]}
+        _write(tmp_path / "base", "BENCH_T1_uniform-16d", base)
+        _write(tmp_path / "cur", "BENCH_T1_uniform-16d", slower)
+        rows, regressions = compare_perf.compare(
+            tmp_path / "base", tmp_path / "cur", 0.20
+        )
+        assert regressions == 1  # wall time went up: that's the regression
+
+    def test_missing_baseline_skips_not_fails(self, tmp_path):
+        (tmp_path / "base").mkdir()
+        _write(tmp_path / "cur", "BENCH_T3", _t3(1000.0))
+        rows, regressions = compare_perf.compare(
+            tmp_path / "base", tmp_path / "cur", 0.20
+        )
+        assert regressions == 0
+        assert rows[0]["status"] == "skip"
+        assert "no baseline" in rows[0]["note"]
+
+    def test_scale_mismatch_refused(self, tmp_path):
+        _write(tmp_path / "base", "BENCH_T3", _t3(1000.0, scale=0.05))
+        _write(tmp_path / "cur", "BENCH_T3", _t3(10.0, scale=0.02))
+        rows, regressions = compare_perf.compare(
+            tmp_path / "base", tmp_path / "cur", 0.20
+        )
+        assert regressions == 0  # refused, not compared: no false regression
+        assert rows[0]["status"] == "skip"
+        assert "bench_scale mismatch" in rows[0]["note"]
+
+    def test_multi_metric_tier(self, tmp_path):
+        t8 = {
+            "tier": "T8",
+            "bench_scale": 0.05,
+            "pq": {"recall": 0.95, "memory_reduction": 10.0},
+        }
+        worse = {
+            "tier": "T8",
+            "bench_scale": 0.05,
+            "pq": {"recall": 0.94, "memory_reduction": 4.0},
+        }
+        _write(tmp_path / "base", "BENCH_T8", t8)
+        _write(tmp_path / "cur", "BENCH_T8", worse)
+        rows, regressions = compare_perf.compare(
+            tmp_path / "base", tmp_path / "cur", 0.20
+        )
+        assert regressions == 1  # reduction fell 60%; recall only ~1%
+        by_metric = {r["metric"]: r["status"] for r in rows}
+        assert by_metric["pq.recall"] == "ok"
+        assert by_metric["pq.memory_reduction"] == "regression"
+
+
+class TestMain:
+    def test_exit_codes_and_report(self, tmp_path, capsys):
+        _write(tmp_path / "base", "BENCH_T3", _t3(1000.0))
+        _write(tmp_path / "cur", "BENCH_T3", _t3(700.0))
+        report = tmp_path / "report.md"
+        rc = compare_perf.main(
+            [
+                "--baseline",
+                str(tmp_path / "base"),
+                "--current",
+                str(tmp_path / "cur"),
+                "--output",
+                str(report),
+            ]
+        )
+        assert rc == 1
+        assert "batched_qps" in report.read_text()
+        assert "regression" in report.read_text()
+
+    def test_no_baseline_dir_is_clean_skip(self, tmp_path, capsys):
+        _write(tmp_path / "cur", "BENCH_T3", _t3(1000.0))
+        rc = compare_perf.main(
+            [
+                "--baseline",
+                str(tmp_path / "missing"),
+                "--current",
+                str(tmp_path / "cur"),
+            ]
+        )
+        assert rc == 0
+        assert "skipping" in capsys.readouterr().out
