@@ -28,6 +28,17 @@ At full scale (``WKNNG_BENCH_SCALE >= 1``) the run additionally gates:
 end-state recall (against exact ground truth over the *final* live set)
 within 0.05 of the static baseline recall, and churn-run p99 <= 3x the
 static p99.  The consistency invariants assert at every scale.
+
+A second, **quantized** pass repeats both measurements with the
+compressed tier on (``quantization="sq8"``): inserts encode against the
+frozen codebooks, compaction retrains, and one flip publishes graph +
+forest + store together.  The same zero-stale / zero-torn probe runs
+(the torn-read replay doubles as an epoch-pinned quantized-parity
+check), end-state recall is gated within 0.05 of the *quantized*-static
+baseline at full scale, and after the churn run two forced compactions
+verify the memory reduction is sustained across retrains (>= 3.9x at
+full scale, >= 3x at any scale where the parameter overhead is not yet
+amortised).
 """
 
 import threading
@@ -98,28 +109,47 @@ def corpus():
     return base, pool, q
 
 
-@pytest.fixture(scope="module")
-def mutable_index(corpus):
-    base, _, _ = corpus
+def _build_mutable(base, quantization: str = "none") -> MutableIndex:
     return MutableIndex.build(
         base,
         BuildConfig(k=16, strategy="tiled", seed=0),
-        SearchConfig(ef=EF),
+        SearchConfig(ef=EF, quantization=quantization),
         MutableConfig(compact_threshold=0.25),
     )
 
 
-@pytest.fixture(scope="module")
-def static_baseline(mutable_index, corpus):
+def _serve_static(mut, corpus):
     """Serve the unchurned index; returns (report, recall, gt_ids)."""
     base, _, q = corpus
     gt_ids, _ = BruteForceKNN(base).search(q, TOP_K)
-    with KNNServer(mutable_index, _server_config()) as server:
+    with KNNServer(mut, _server_config()) as server:
         report = closed_loop(server, q, TOP_K, clients=16, repeat=2,
                              deadline_ms=DEADLINE_MS)
     assert report.errors == 0 and report.deadline_violations == 0
     recall = recall_against(report, gt_ids, TOP_K)
     return report, recall, gt_ids
+
+
+@pytest.fixture(scope="module")
+def mutable_index(corpus):
+    base, _, _ = corpus
+    return _build_mutable(base)
+
+
+@pytest.fixture(scope="module")
+def static_baseline(mutable_index, corpus):
+    return _serve_static(mutable_index, corpus)
+
+
+@pytest.fixture(scope="module")
+def quantized_mutable_index(corpus):
+    base, _, _ = corpus
+    return _build_mutable(base, quantization="sq8")
+
+
+@pytest.fixture(scope="module")
+def quantized_static_baseline(quantized_mutable_index, corpus):
+    return _serve_static(quantized_mutable_index, corpus)
 
 
 def test_t7_static_baseline(static_baseline, results_dir):
@@ -134,14 +164,16 @@ def test_t7_static_baseline(static_baseline, results_dir):
         assert recall > 0.8, f"static baseline recall collapsed: {recall:.3f}"
 
 
-def test_t7_churn_slo(mutable_index, corpus, static_baseline, results_dir):
-    _, pool, q = corpus
-    static_report, static_recall, gt_ids = static_baseline
-    mut = mutable_index
-    # protect the ground-truth neighbours of the query stream so deletes
-    # cannot invalidate the static reference mid-run
-    protect = set(int(i) for i in np.unique(gt_ids))
+def _run_churn_with_probe(mut, pool, q, protect):
+    """Closed-loop clients + churn writer + consistency probe.
 
+    Asserts the every-scale invariants (no errors, no late successes,
+    zero stale reads, zero torn reads) and returns
+    ``(report, churn, probe_out, end_recall)`` for the caller's gates.
+    The torn-read replay re-runs epoch-matched responses on the pinned
+    snapshot, so on a quantized index it doubles as the epoch-pinned
+    quantized-search parity check.
+    """
     duration_s = 2.0 + 4.0 * min(1.0, BENCH_SCALE)
     stop = threading.Event()
     # filled in place by churn_loop, so the probe reads deleted_at live
@@ -226,6 +258,18 @@ def test_t7_churn_slo(mutable_index, corpus, static_baseline, results_dir):
                            deadline_ms=DEADLINE_MS)
         assert post.errors == 0 and post.deadline_violations == 0
         end_recall = recall_against(post, gt_end, TOP_K)
+    return report, churn, probe_out, end_recall
+
+
+def test_t7_churn_slo(mutable_index, corpus, static_baseline, results_dir):
+    _, pool, q = corpus
+    static_report, static_recall, gt_ids = static_baseline
+    mut = mutable_index
+    # protect the ground-truth neighbours of the query stream so deletes
+    # cannot invalidate the static reference mid-run
+    protect = set(int(i) for i in np.unique(gt_ids))
+    report, churn, probe_out, end_recall = _run_churn_with_probe(
+        mut, pool, q, protect)
 
     records = RecordSet()
     records.add(
@@ -270,4 +314,86 @@ def test_t7_churn_slo(mutable_index, corpus, static_baseline, results_dir):
         assert p99_ratio <= 3.0, (
             f"churn p99 {report.percentile_ms(0.99):.1f}ms is "
             f"{p99_ratio:.1f}x the static p99"
+        )
+
+
+# -- quantized pass: churn with the compressed tier on -------------------------
+
+
+def test_t7_quantized_static_baseline(quantized_static_baseline,
+                                      quantized_mutable_index, results_dir):
+    report, recall, _ = quantized_static_baseline
+    store = quantized_mutable_index.snapshot.store
+    assert store is not None
+    SUMMARY["quant_static"] = {
+        "quantization": store.spec,
+        "qps": report.throughput_qps,
+        "recall": recall,
+        "latency_ms": report.latency_summary(),
+        "memory_reduction": store.memory_stats()["reduction"],
+    }
+    publish_summary(results_dir, "T7", SUMMARY)
+    if FULL_SCALE:
+        assert recall > 0.75, (
+            f"quantized static baseline recall collapsed: {recall:.3f}")
+
+
+def test_t7_quantized_churn_slo(quantized_mutable_index, corpus,
+                                quantized_static_baseline, results_dir):
+    _, pool, q = corpus
+    static_report, static_recall, gt_ids = quantized_static_baseline
+    mut = quantized_mutable_index
+    protect = set(int(i) for i in np.unique(gt_ids))
+    report, churn, probe_out, end_recall = _run_churn_with_probe(
+        mut, pool, q, protect)
+
+    # -- sustained memory reduction across >= 2 retrains -------------------
+    # Each forced compaction rebuilds graph + forest and *retrains* the
+    # quantizer on the survivors; the reduction must hold after every
+    # retrain, not just at build time.  Delete a slice of unprotected live
+    # points in between so the second retrain sees a changed distribution.
+    reductions = []
+    for round_i in range(2):
+        if round_i:
+            live = [int(e) for e in mut.live_ids() if int(e) not in protect]
+            victims = live[:max(1, len(live) // 20)]
+            if victims:
+                mut.delete(np.asarray(victims, dtype=np.int64))
+        mut.compact()
+        snap = mut.snapshot
+        store = snap.store
+        assert store is not None, "compaction dropped the quantized store"
+        assert store.n == snap.n_total, (
+            f"store rows ({store.n}) != snapshot rows ({snap.n_total})")
+        reductions.append(store.memory_stats()["reduction"])
+    assert mut.counters["compactions"] >= 2
+    floor = 3.9 if FULL_SCALE else 3.0   # param overhead amortises with n
+    assert min(reductions) >= floor, (
+        f"memory reduction not sustained across compactions: {reductions}")
+
+    SUMMARY["quant_churn"] = {
+        "quantization": mut.config.quantization,
+        "qps": report.throughput_qps,
+        "latency_ms": report.latency_summary(),
+        "p99_vs_static": (report.percentile_ms(0.99)
+                          / max(1e-9, static_report.percentile_ms(0.99))),
+        "end_recall": end_recall,
+        "recall_delta_vs_static": end_recall - static_recall,
+        "memory_reduction": min(reductions),
+        "reductions_per_compaction": reductions,
+        "compactions": mut.counters["compactions"],
+        "churn": churn.as_dict(),
+        "index": mut.stats(),
+        "probe": {"checked": probe_out["checked"],
+                  "epoch_matched": probe_out["epoch_matched"],
+                  "cached_seen": probe_out["cached_seen"],
+                  "stale": len(probe_out["stale"]),
+                  "torn": len(probe_out["torn"])},
+    }
+    publish_summary(results_dir, "T7", SUMMARY)
+
+    if FULL_SCALE:
+        assert end_recall >= static_recall - 0.05, (
+            f"quantized recall decayed under churn: {end_recall:.3f} vs "
+            f"quantized-static {static_recall:.3f}"
         )

@@ -45,7 +45,11 @@ HEADLINES: dict[str, list[Metric]] = {
     "T4": [Metric("speedup")],
     "T5": [Metric("closed_loop.serving_qps")],
     "T6": [Metric("shard_scaling.sweep.-1.qps")],
-    "T7": [Metric("churn.qps")],
+    "T7": [
+        Metric("churn.qps"),
+        Metric("quant_churn.end_recall"),
+        Metric("quant_churn.memory_reduction"),
+    ],
     # T8 headlines are deterministic (seeded data, exact code paths):
     # wall-clock kernel ratios there are bimodal with host memory state
     # and would false-alarm at any useful threshold

@@ -145,8 +145,10 @@ class SearchConfig:
         self.max_expansions = check_positive_int(self.max_expansions, "max_expansions")
         self.frontier = check_positive_int(self.frontier, "frontier")
         self.n_jobs = check_positive_int(self.n_jobs, "n_jobs")
-        self.quantization = str(self.quantization)
-        parse_quantization(self.quantization)  # fail fast on bad specs
+        # canonicalize (fail fast on bad specs): keeping the raw string
+        # ("NONE", " sq8 ") used to defeat every `!= "none"` / persisted-
+        # spec equality check downstream
+        self.quantization = parse_quantization(self.quantization).spec
         self.rerank = int(self.rerank)
         if self.rerank < 0:
             raise ConfigurationError(f"rerank must be >= 0, got {self.rerank}")
@@ -669,6 +671,7 @@ class GraphSearchIndex:
         config: SearchConfig | None = None,
         *,
         prepared: bool = False,
+        store: QuantizedStore | None = None,
         obs: Observability | None = None,
     ) -> "GraphSearchIndex":
         """Wrap an existing ``(points, graph, forest)`` triple for search.
@@ -677,10 +680,12 @@ class GraphSearchIndex:
         into the graph metric's kernel space and are *not* re-prepared -
         the constructor the mutable index uses to publish a new snapshot
         without renormalising (and therefore without perturbing) the
-        stored vectors.
+        stored vectors.  An explicit ``store`` attaches an existing
+        quantized tier instead of fitting a fresh one - how the mutable
+        index keeps codebooks frozen across insert flips.
         """
         index = cls(config=config, obs=obs)
-        index._attach(points, graph, forest, prepared=prepared)
+        index._attach(points, graph, forest, prepared=prepared, store=store)
         return index
 
     def fit(self, points: np.ndarray) -> "GraphSearchIndex":
@@ -776,6 +781,11 @@ class GraphSearchIndex:
     def n(self) -> int:
         """Number of indexed points."""
         return self._require_fitted()._x.shape[0]
+
+    @property
+    def store(self) -> QuantizedStore | None:
+        """The attached compressed tier (``None`` when serving float32)."""
+        return self._engine.store if self._engine is not None else None
 
     def search(self, queries: np.ndarray, k: int, *,
                ef: int | None = None) -> tuple[np.ndarray, np.ndarray]:

@@ -476,21 +476,19 @@ def _cmd_serve_churn(args) -> int:
             "--churn serves a freshly built mutable index; it cannot be "
             "combined with --shards/--replicas/--load-index"
         )
-    if args.quantization != "none":
-        raise SystemExit(
-            "--churn does not support --quantization: every epoch flip "
-            "would refit the quantizer (quantize frozen/serving indexes)"
-        )
     obs = Observability()
+    cfg = _serve_config(args)
     x = _load_points(args)
     half = x.shape[0] // 2
     base, pool = x[:half], x[half:]
     t0 = time.perf_counter()
+    # quantization composes with churn: inserts encode against the frozen
+    # codebooks, compaction retrains (see docs/quantization.md)
     mut = MutableIndex.build(
         base,
         BuildConfig(k=args.k, strategy="tiled", seed=args.seed,
                     metric=args.metric),
-        SearchConfig(ef=args.ef),
+        SearchConfig(ef=args.ef, **cfg.quant.to_search_fields()),
         obs=obs,
     )
     print(f"built mutable index over {base.shape} ({args.metric}) "
@@ -514,7 +512,7 @@ def _cmd_serve_churn(args) -> int:
             seed=args.seed + 2, stop=stop,
         )
 
-    with KNNServer(mut, _serve_config(args), obs=obs) as server:
+    with KNNServer(mut, cfg, obs=obs) as server:
         thread = threading.Thread(target=churner, daemon=True)
         thread.start()
         try:
@@ -531,10 +529,15 @@ def _cmd_serve_churn(args) -> int:
         print(f"  churn: ops={churn.ops} ({churn.ops_per_sec:.0f}/s)  "
               f"inserted={churn.inserted}  deleted={churn.deleted}  "
               f"errors={churn.errors}")
+        stats = mut.stats()
         print(f"  index: epoch {churn.start_epoch} -> {churn.end_epoch} "
               f"({churn.flips} flips)  "
-              f"n_live={mut.stats()['n_live']}  "
-              f"compactions={mut.stats()['compactions']}")
+              f"n_live={stats['n_live']}  "
+              f"compactions={stats['compactions']}")
+        if stats["quantization"] != "none":
+            drift = stats["quant_drift"]
+            print(f"  quant: {stats['quantization']}  drift="
+                  f"{'n/a' if drift is None else format(drift, '.2f')}")
     _maybe_write_serve_trace(args, obs, "serve")
     return 0
 

@@ -90,11 +90,20 @@ class MutableConfig:
         Beam width of the graph-guided search that finds each new point's
         neighbour candidates.  ``None`` means ``max(2 * k, search ef)`` -
         wide enough that attach recall tracks query recall.
+    drift_threshold:
+        Quantized indexes only: when an insert batch's reconstruction MSE
+        exceeds this multiple of the store's training-time baseline
+        (``QuantizedStore.train_mse``), the insert compacts immediately -
+        rebuild + quantizer retrain over survivors plus the fresh batch,
+        still one flip - instead of encoding a badly-fitting batch with
+        the frozen codebooks.  ``None`` (default) disables the trigger;
+        the ``index/quant_drift`` gauge is exported either way.
     """
 
     compact_threshold: float = 0.25
     repair_rounds: int = 1
     attach_ef: int | None = None
+    drift_threshold: float | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.compact_threshold <= 1.0:
@@ -110,6 +119,10 @@ class MutableConfig:
             object.__setattr__(
                 self, "attach_ef",
                 check_positive_int(self.attach_ef, "attach_ef"))
+        if self.drift_threshold is not None and self.drift_threshold <= 0:
+            raise ConfigurationError(
+                f"drift_threshold must be > 0, got {self.drift_threshold}"
+            )
 
 
 class IndexSnapshot:
@@ -165,6 +178,17 @@ class IndexSnapshot:
     @property
     def config(self) -> SearchConfig:
         return self.index.config
+
+    @property
+    def store(self):
+        """The snapshot's compressed tier (``QuantizedStore`` or ``None``).
+
+        Versioned with the snapshot: codes cover exactly this epoch's
+        internal rows, tombstones mask codes and vectors alike, and a
+        compaction's retrained store becomes visible only through the
+        same flip that publishes the rebuilt graph and forest.
+        """
+        return self.index.store
 
     def live_ids(self) -> np.ndarray:
         """External ids of all live points (ascending insertion order)."""
@@ -261,6 +285,9 @@ class MutableIndex:
         self.counters: dict[str, int] = {
             "inserted": 0, "deleted": 0, "compactions": 0, "flips": 0,
         }
+        #: drift ratio of the most recent insert batch (None until the
+        #: first insert on a quantized index)
+        self.last_drift: float | None = None
 
     # -- construction ----------------------------------------------------------
 
@@ -338,6 +365,8 @@ class MutableIndex:
             "n_live": snap.n_live,
             "n_total": snap.n_total,
             "tombstone_fraction": snap.tombstone_fraction,
+            "quantization": snap.config.quantization,
+            "quant_drift": self.last_drift,
             **counters,
         }
 
@@ -350,6 +379,15 @@ class MutableIndex:
         snapshot; the configured maintenance strategy inserts the reverse
         edges; ``repair_rounds`` local joins repair the neighbourhood.
         One epoch flip publishes the grown graph.
+
+        On a quantized index the batch is encoded against the current
+        store's *frozen* codebooks (existing codes stay bit-identical; no
+        retrain on the hot path) and the batch's reconstruction MSE is
+        compared to the training-time baseline: the ratio is exported as
+        the ``index/quant_drift`` gauge, and when it exceeds
+        :attr:`MutableConfig.drift_threshold` the insert compacts instead
+        - rebuild + retrain over survivors plus this batch, still one
+        flip.
         """
         points = np.asarray(points, dtype=np.float32)
         if points.ndim != 2:
@@ -372,6 +410,39 @@ class MutableIndex:
             kg = graph.k
             cfg = self.mutable_config
             attach_ef = cfg.attach_ef or max(2 * kg, engine.config.ef)
+            q, _ = prepare_points(points, self._build_config.metric)
+
+            # 0. compressed tier: encode against the *frozen* codebooks
+            #    (existing codes stay bit-identical, no retrain on the hot
+            #    path) and measure how well they still fit this batch
+            store = engine.store
+            new_codes = None
+            if store is not None:
+                new_codes = store.encode(q)
+                drift = store.drift_ratio(store.reconstruction_mse(q, new_codes))
+                self.last_drift = drift
+                if drift is not None and self.obs is not None:
+                    self.obs.metrics.scoped(INDEX_METRICS_PREFIX) \
+                        .gauge("quant_drift").set(drift)
+                if (drift is not None and cfg.drift_threshold is not None
+                        and drift > cfg.drift_threshold):
+                    # the frozen codebooks no longer fit the incoming
+                    # distribution: skip the graph attach and compact now,
+                    # retraining over survivors plus this batch - the
+                    # whole insert is still exactly one flip
+                    new_ext = np.arange(
+                        self._next_ext, self._next_ext + m, dtype=np.int64
+                    )
+                    self._next_ext += m
+                    self.counters["inserted"] += m
+                    live = ~snap.deleted
+                    self._rebuild_locked(
+                        snap,
+                        np.concatenate([engine._engine._x[live], q], axis=0),
+                        np.concatenate([snap.ext_ids[live], new_ext]),
+                        n_dead=snap.n_dead,
+                    )
+                    return new_ext
 
             # 1. attach: graph-guided search finds each new point's
             #    neighbour candidates (internal ids; tombstones allowed -
@@ -379,7 +450,6 @@ class MutableIndex:
             cand_ids, cand_dists = engine.search(points, kg, ef=attach_ef)
 
             # 2. grow: copy-on-write state over old + new rows
-            q, _ = prepare_points(points, self._build_config.metric)
             n_old = graph.n
             x = np.concatenate([engine._engine._x, q], axis=0)
             state = KnnState(n_old + m, kg)
@@ -424,9 +494,15 @@ class MutableIndex:
             self._next_ext += m
             ext_ids = np.concatenate([snap.ext_ids, new_ext])
             deleted = np.concatenate([snap.deleted, np.zeros(m, dtype=bool)])
+            # frozen-codebook append: the grown store shares the trained
+            # quantizer (and MSE baseline) by reference, so old codes are
+            # the same bytes and only the new rows' codes are fresh
+            new_store = None if store is None else store.with_codes(
+                np.concatenate([store.codes, new_codes], axis=0)
+            )
             index = GraphSearchIndex.from_parts(
                 x, new_graph, engine.forest, engine.config,
-                prepared=True, obs=self.obs,
+                prepared=True, store=new_store, obs=self.obs,
             )
             for i, e in zip(new_int, new_ext):
                 self._ext_to_int[int(e)] = int(i)
@@ -485,31 +561,49 @@ class MutableIndex:
 
     def _compact_locked(self, snap: IndexSnapshot, deleted: np.ndarray) -> None:
         """Rebuild graph + forest over the survivors (write lock held)."""
-        engine = snap.index
         live = ~deleted
-        x_live = engine._engine._x[live]
-        ext_live = snap.ext_ids[live]
+        self._rebuild_locked(
+            snap, snap.index._engine._x[live], snap.ext_ids[live],
+            n_dead=int(deleted.sum()),
+        )
+
+    def _rebuild_locked(
+        self,
+        snap: IndexSnapshot,
+        x_live: np.ndarray,
+        ext_live: np.ndarray,
+        *,
+        n_dead: int,
+    ) -> None:
+        """Rebuild graph + forest over ``x_live`` (prepared rows, write
+        lock held) and publish the result as one compaction flip.
+
+        No store is threaded through: when the config is quantized,
+        ``from_parts`` refits the quantizer (seed 0, deterministic) on
+        exactly these rows - compaction is where retrain-and-re-encode
+        happens, both for tombstone-triggered and drift-forced paths.
+        """
         self._emit(Events.INDEX_COMPACT_BEFORE, epoch=snap.epoch,
-                   n_live=int(live.sum()), n_dead=int(deleted.sum()))
+                   n_live=int(x_live.shape[0]), n_dead=n_dead)
         builder = WKNNGBuilder(self._build_config, obs=self.obs)
         graph = builder.build(x_live)
         assert builder.last_forest is not None
         # points are already in prepared space; the builder re-prepared a
         # copy internally, but the index must keep serving the same bytes
         index = GraphSearchIndex.from_parts(
-            x_live, graph, builder.last_forest, engine.config,
+            x_live, graph, builder.last_forest, snap.index.config,
             prepared=True, obs=self.obs,
         )
         self._ext_to_int = {int(e): i for i, e in enumerate(ext_live)}
         self.counters["compactions"] += 1
         self._emit(Events.INDEX_COMPACT_AFTER, epoch=snap.epoch + 1,
-                   n_live=int(live.sum()))
+                   n_live=int(x_live.shape[0]))
         self._flip(
             IndexSnapshot(
                 snap.epoch + 1, index, ext_live,
                 np.zeros(x_live.shape[0], dtype=bool),
             ),
-            kind="compact", batch=int(deleted.sum()),
+            kind="compact", batch=n_dead,
         )
 
     def _flip(self, snapshot: IndexSnapshot, *, kind: str, batch: int) -> None:

@@ -37,7 +37,7 @@ distances are exact and recall loss stays within the rerank budget (see
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any
+from typing import Any, NamedTuple
 
 import numpy as np
 
@@ -56,24 +56,41 @@ _PQ_TRAIN_SAMPLE = 65_536
 _ENCODE_BLOCK = 4096
 
 
-def parse_quantization(spec: str) -> tuple[str, int]:
-    """Validate a quantization spec; returns ``(kind, m_subspaces)``.
+class QuantSpec(NamedTuple):
+    """A parsed quantization spec: kind, sub-space count, canonical string.
 
-    ``"none"`` -> ``("none", 0)``, ``"sq8"`` -> ``("sq8", 0)``, and
-    ``"pq{M}"`` (e.g. ``"pq8"``) -> ``("pq", M)``.
+    ``spec`` is the canonical form (``"none"``, ``"sq8"``, ``"pq8"``):
+    the string every config field and persisted store holds, so spec
+    equality is string equality regardless of how the user typed it.
+    """
+
+    kind: str
+    m: int
+    spec: str
+
+
+def parse_quantization(spec: str) -> QuantSpec:
+    """Validate a quantization spec; returns ``(kind, m_subspaces, spec)``.
+
+    ``"none"`` (or ``""``) -> ``("none", 0, "none")``, ``"sq8"`` ->
+    ``("sq8", 0, "sq8")``, and ``"pq{M}"`` (``M`` bare digits, e.g.
+    ``"pq8"``) -> ``("pq", M, "pq{M}")``.  Parsing is case-insensitive
+    and strips surrounding whitespace; the returned ``spec`` is the
+    canonical lowercase form, which callers must store instead of the
+    raw input (``SearchConfig`` / ``QuantizationPolicy`` /
+    ``QuantizedStore.spec`` all do).
     """
     s = str(spec).strip().lower()
     if s in ("none", ""):
-        return ("none", 0)
+        return QuantSpec("none", 0, "none")
     if s == "sq8":
-        return ("sq8", 0)
-    if s.startswith("pq"):
-        try:
-            m = int(s[2:])
-        except ValueError:
-            m = 0
+        return QuantSpec("sq8", 0, "sq8")
+    if s.startswith("pq") and s[2:].isascii() and s[2:].isdigit():
+        # bare digits only: int() would also tolerate "pq+8" / "pq 8",
+        # and those non-canonical forms would leak into persisted specs
+        m = int(s[2:])
         if m >= 1:
-            return ("pq", m)
+            return QuantSpec("pq", m, f"pq{m}")
     raise ConfigurationError(
         f"unknown quantization spec {spec!r}; use 'none', 'sq8' or 'pq<M>' (e.g. 'pq8')"
     )
@@ -117,7 +134,13 @@ class ScalarQuantizer:
         return KSUB_MAX
 
     @classmethod
-    def fit(cls, x: np.ndarray, seed: RngStream = None) -> "ScalarQuantizer":
+    def fit(cls, x: np.ndarray) -> "ScalarQuantizer":
+        """Fit the per-dimension grid to ``x``'s min/max envelope.
+
+        Deterministic - no sampling, so no ``seed`` parameter (it used
+        to accept one and silently ignore it; dropped for honesty with
+        :meth:`ProductQuantizer.fit`, which genuinely consumes its seed).
+        """
         x = _check_points(x)
         lo = x.min(axis=0)
         hi = x.max(axis=0)
@@ -284,12 +307,30 @@ class QuantizedStore:
     microkernels gather from, ``quantizer`` holds the trained parameters,
     and :meth:`luts` builds the per-query tables that
     :func:`repro.kernels.distance.adc_l2_query_gather` consumes.
+
+    Under churn (see ``docs/quantization.md``) the store is versioned
+    with the mutable index's snapshot epoch: inserted rows are encoded
+    against the *frozen* trained parameters (:meth:`encode` +
+    :meth:`with_codes` - no retrain on the hot path), encode drift is
+    tracked as :meth:`reconstruction_mse` against the training-time
+    baseline :attr:`train_mse`, and compaction retrains via :meth:`fit`
+    on the surviving distribution.
     """
 
-    def __init__(self, spec: str, quantizer: Any, codes: np.ndarray) -> None:
-        self.spec = str(spec)
+    def __init__(
+        self,
+        spec: str,
+        quantizer: Any,
+        codes: np.ndarray,
+        *,
+        train_mse: float | None = None,
+    ) -> None:
+        self.spec = parse_quantization(spec).spec
         self.quantizer = quantizer
         self.codes = np.ascontiguousarray(codes, dtype=np.uint8)
+        #: training-time reconstruction MSE - the drift baseline; ``None``
+        #: for stores persisted before drift tracking existed
+        self.train_mse = None if train_mse is None else float(train_mse)
         if self.codes.ndim != 2 or self.codes.shape[1] != quantizer.subspaces:
             raise DataError(
                 f"codes shape {self.codes.shape} does not match "
@@ -301,14 +342,62 @@ class QuantizedStore:
     @classmethod
     def fit(cls, x: np.ndarray, spec: str, seed: RngStream = None) -> "QuantizedStore":
         """Train the quantizer named by ``spec`` on ``x`` and encode it."""
-        kind, m = parse_quantization(spec)
+        kind, m, canon = parse_quantization(spec)
         if kind == "none":
             raise ConfigurationError("QuantizedStore.fit() needs sq8 or pq<M>, not 'none'")
         if kind == "sq8":
-            quantizer: Any = ScalarQuantizer.fit(x, seed=seed)
+            quantizer: Any = ScalarQuantizer.fit(x)
         else:
             quantizer = ProductQuantizer.fit(x, m, seed=seed)
-        return cls(spec, quantizer, quantizer.encode(x))
+        codes = quantizer.encode(x)
+        store = cls(canon, quantizer, codes)
+        store.train_mse = store.reconstruction_mse(x, codes)
+        return store
+
+    def with_codes(self, codes: np.ndarray) -> "QuantizedStore":
+        """A new store over ``codes`` sharing this store's frozen quantizer.
+
+        The epoch-versioning primitive: the mutable index publishes each
+        insert as ``store.with_codes(concat(store.codes, new_codes))`` -
+        parameters (and the drift baseline) are shared by reference, so
+        existing codes are bit-stable across flips and no retrain happens
+        on the write path.
+        """
+        return QuantizedStore(
+            self.spec, self.quantizer, codes, train_mse=self.train_mse
+        )
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        """Encode rows with the *frozen* trained parameters (no retrain)."""
+        return self.quantizer.encode(x)
+
+    def reconstruction_mse(
+        self, x: np.ndarray, codes: np.ndarray | None = None
+    ) -> float:
+        """Mean squared reconstruction error of ``x`` under this quantizer.
+
+        Compared against :attr:`train_mse` this is the *encode drift*
+        signal: a batch drawn from the training distribution reconstructs
+        at ~baseline MSE, while a shifted batch (codes clipped at the sq8
+        grid edge, centroids far from the pq sub-vectors) reconstructs
+        measurably worse - the gauge the mutable index exports and the
+        trigger for drift-forced compaction.
+        """
+        x = _check_points(x)
+        if codes is None:
+            codes = self.quantizer.encode(x)
+        total = 0.0
+        for s, e in blockwise_ranges(x.shape[0], _ENCODE_BLOCK):
+            diff = self.quantizer.decode(codes[s:e]) - x[s:e]
+            total += float(np.sum(np.square(diff, out=diff)))
+        return total / float(x.shape[0] * x.shape[1])
+
+    def drift_ratio(self, batch_mse: float) -> float | None:
+        """``batch_mse`` relative to the training baseline (``None`` when
+        the baseline is unknown or degenerate-zero)."""
+        if not self.train_mse:
+            return None
+        return float(batch_mse) / self.train_mse
 
     # -- properties -------------------------------------------------------------
 
@@ -371,22 +460,31 @@ class QuantizedStore:
     # -- persistence ------------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Persist spec, codes and quantizer parameters as one ``.npz``."""
+        """Persist spec, codes, quantizer parameters and the drift
+        baseline as one ``.npz``."""
+        extra: dict[str, np.ndarray] = {}
+        if self.train_mse is not None:
+            extra["train_mse"] = np.float64(self.train_mse)
         np.savez_compressed(
             path,
             spec=np.array(self.spec),
             codes=self.codes,
+            **extra,
             **self.quantizer.params(),
         )
 
     @classmethod
     def load(cls, path: str | Path) -> "QuantizedStore":
+        _meta_keys = ("spec", "codes", "train_mse")
         with np.load(path) as data:
             spec = str(data["spec"])
-            kind, _ = parse_quantization(spec)
-            arrays = {k: data[k] for k in data.files if k not in ("spec", "codes")}
+            kind = parse_quantization(spec).kind
+            arrays = {k: data[k] for k in data.files if k not in _meta_keys}
             if kind == "sq8":
                 quantizer: Any = ScalarQuantizer.from_params(arrays)
             else:
                 quantizer = ProductQuantizer.from_params(arrays)
-            return cls(spec, quantizer, data["codes"])
+            train_mse = (
+                float(data["train_mse"]) if "train_mse" in data.files else None
+            )
+            return cls(spec, quantizer, data["codes"], train_mse=train_mse)

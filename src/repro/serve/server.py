@@ -164,8 +164,9 @@ class QuantizationPolicy:
     def __post_init__(self) -> None:
         from repro.core.quant import parse_quantization
 
-        object.__setattr__(self, "mode", str(self.mode))
-        parse_quantization(self.mode)
+        # store the canonical spec, not the raw string: downstream spec
+        # comparisons (SearchConfig, persisted stores) are string equality
+        object.__setattr__(self, "mode", parse_quantization(self.mode).spec)
         object.__setattr__(self, "rerank", int(self.rerank))
         if self.rerank < 0:
             raise ConfigurationError(

@@ -33,15 +33,34 @@ def queries():
 
 class TestParseQuantization:
     def test_known_specs(self):
-        assert parse_quantization("none") == ("none", 0)
-        assert parse_quantization("sq8") == ("sq8", 0)
-        assert parse_quantization("pq8") == ("pq", 8)
-        assert parse_quantization("") == ("none", 0)  # unset config field
+        assert parse_quantization("none") == ("none", 0, "none")
+        assert parse_quantization("sq8") == ("sq8", 0, "sq8")
+        assert parse_quantization("pq8") == ("pq", 8, "pq8")
+        assert parse_quantization("") == ("none", 0, "none")  # unset field
 
-    @pytest.mark.parametrize("spec", ["pq0", "pq-1", "pqx", "int4", "sq4"])
+    def test_returns_canonical_spec(self):
+        # the .spec field is what config equality and persisted stores
+        # compare against, so it must be normalised, not the raw input
+        assert parse_quantization("NONE").spec == "none"
+        assert parse_quantization(" sq8 ").spec == "sq8"
+        assert parse_quantization("PQ8").spec == "pq8"
+        assert parse_quantization("pq08").spec == "pq8"
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["pq0", "pq-1", "pqx", "int4", "sq4",
+         # int() tolerates sign/whitespace; the parser must not
+         "pq+8", "pq 8", "pq8 x", "pq_8"],
+    )
     def test_rejects_unknown(self, spec):
         with pytest.raises(ConfigurationError):
             parse_quantization(spec)
+
+    def test_config_objects_store_canonical_spec(self):
+        assert SearchConfig(quantization="NONE").quantization == "none"
+        assert SearchConfig(quantization=" sq8 ").quantization == "sq8"
+        assert QuantizationPolicy(mode="SQ8").mode == "sq8"
+        assert QuantizationPolicy(mode="pq08").mode == "pq8"
 
 
 class TestScalarQuantizer:
@@ -160,6 +179,38 @@ class TestQuantizedStore:
         with pytest.raises(DataError):
             QuantizedStore("sq8", quantizer, np.zeros((4, 3), dtype=np.uint8))
 
+    def test_spec_canonicalised(self, points):
+        assert QuantizedStore.fit(points, " SQ8 ").spec == "sq8"
+        assert QuantizedStore.fit(points, "pq04", seed=0).spec == "pq4"
+
+    def test_scalar_fit_has_no_seed(self, points):
+        # the old signature accepted (and silently ignored) seed=...;
+        # min/max fitting is deterministic so the parameter is gone
+        with pytest.raises(TypeError):
+            ScalarQuantizer.fit(points, seed=0)
+
+    @pytest.mark.parametrize("spec", ["sq8", "pq4"])
+    def test_train_mse_baseline_round_trips(self, points, spec, tmp_path):
+        store = QuantizedStore.fit(points, spec, seed=0)
+        assert store.train_mse is not None and store.train_mse >= 0.0
+        store.save(tmp_path / "q.npz")
+        loaded = QuantizedStore.load(tmp_path / "q.npz")
+        assert loaded.train_mse == pytest.approx(store.train_mse)
+        # same data as training -> drift ratio ~1; a shifted batch drifts
+        assert store.drift_ratio(
+            store.reconstruction_mse(points)) == pytest.approx(1.0)
+        shifted = points * 4.0 + 10.0
+        assert store.drift_ratio(store.reconstruction_mse(shifted)) > 1.0
+
+    def test_with_codes_shares_frozen_quantizer(self, points):
+        store = QuantizedStore.fit(points, "sq8")
+        extra = store.encode(points[:32])
+        grown = store.with_codes(np.concatenate([store.codes, extra]))
+        assert grown.quantizer is store.quantizer
+        assert grown.train_mse == store.train_mse
+        assert grown.n == store.n + 32
+        assert np.array_equal(grown.codes[:store.n], store.codes)
+
 
 class TestEngineIntegration:
     @pytest.fixture(scope="class")
@@ -230,6 +281,29 @@ class TestEngineIntegration:
             SearchConfig(quantization="pq0")
         with pytest.raises(ConfigurationError):
             SearchConfig(rerank=-1)
+
+    def test_uncanonical_none_builds_no_store(self, points, base):
+        # the regression: raw "NONE" survived __post_init__ and tripped
+        # the != "none" check in _attach, fitting a store that the sq8
+        # kernel path then rejected at query time
+        index = GraphSearchIndex.from_parts(
+            points, base.graph, base.forest,
+            SearchConfig(ef=32, quantization="NONE"),
+        )
+        assert index.store is None
+        index.search(points[:4], 3)
+
+    def test_uncanonical_spec_matches_persisted_store(
+            self, points, base, tmp_path):
+        index = GraphSearchIndex.from_parts(
+            points, base.graph, base.forest,
+            SearchConfig(ef=32, quantization=" sq8 "),
+        )
+        index.save(tmp_path / "idx")
+        loaded = GraphSearchIndex.load(tmp_path / "idx")
+        # spec equality must hold, so the saved codes are reused verbatim
+        assert loaded.config.quantization == "sq8"
+        assert np.array_equal(loaded.store.codes, index.store.codes)
 
 
 class TestServePolicy:

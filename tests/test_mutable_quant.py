@@ -1,0 +1,204 @@
+"""Churn x quantization: the epoch-versioned QuantizedStore contract.
+
+The mutable index and the compressed tier compose through three rules
+(see docs/quantization.md, "Quantization under churn"):
+
+* inserts encode against the *frozen* codebooks of the current store -
+  existing codes stay bit-identical and no retrain runs on the hot path;
+* deletes tombstone codes alongside vectors - the mask covers both;
+* compaction retrains the quantizer on the surviving distribution and
+  re-encodes, published through the same single flip as graph + forest.
+
+Encode drift (insert-batch reconstruction MSE over the training-time
+baseline) is exported as the ``index/quant_drift`` gauge, and
+``MutableConfig.drift_threshold`` turns it into a forced early
+compaction - still exactly one flip for the whole insert.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.search import SearchConfig
+from repro.core import BuildConfig, MutableConfig, MutableIndex
+from repro.data.synthetic import gaussian_mixture
+from repro.errors import ConfigurationError
+from repro.obs import Observability
+
+
+@pytest.fixture(scope="module")
+def base_and_more():
+    x_all = gaussian_mixture(900, 16, n_clusters=15, cluster_std=0.8, seed=21)
+    return x_all[:600], x_all[600:]
+
+
+def build(base, quantization="sq8", obs=None, **kw):
+    cfg = dict(k=8, n_trees=4, leaf_size=48, refine_iters=2, seed=0)
+    return MutableIndex.build(
+        base, BuildConfig(**cfg), SearchConfig(ef=48, quantization=quantization),
+        MutableConfig(**kw) if kw else None, obs=obs,
+    )
+
+
+class TestConfig:
+    def test_drift_threshold_positive(self):
+        with pytest.raises(ConfigurationError):
+            MutableConfig(drift_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            MutableConfig(drift_threshold=-2.0)
+        MutableConfig(drift_threshold=None)  # disabled is fine
+        MutableConfig(drift_threshold=4.0)
+
+
+class TestFrozenCodebookInserts:
+    @pytest.mark.parametrize("quantization", ["sq8", "pq4"])
+    def test_insert_keeps_old_codes_bit_identical(self, base_and_more,
+                                                  quantization):
+        base, more = base_and_more
+        mut = build(base, quantization=quantization)
+        store0 = mut.snapshot.store
+        assert store0 is not None and store0.spec == quantization
+        codes0 = store0.codes.copy()
+        mut.insert(more[:80])
+        mut.insert(more[80:160])
+        store = mut.snapshot.store
+        assert store.n == 760
+        assert np.array_equal(store.codes[:600], codes0)
+        # the quantizer itself is shared by reference: frozen, not refit
+        assert store.quantizer is store0.quantizer
+        assert store.train_mse == store0.train_mse
+
+    def test_new_rows_encoded_with_frozen_quantizer(self, base_and_more):
+        base, more = base_and_more
+        mut = build(base)
+        store0 = mut.snapshot.store
+        batch = more[:50]
+        mut.insert(batch)
+        # prepared space == input space for sqeuclidean
+        expected = store0.encode(batch)
+        assert np.array_equal(mut.snapshot.store.codes[600:], expected)
+
+    def test_unquantized_index_unaffected(self, base_and_more):
+        base, more = base_and_more
+        mut = build(base, quantization="none")
+        assert mut.snapshot.store is None
+        mut.insert(more[:30])
+        assert mut.snapshot.store is None
+        assert mut.last_drift is None
+        assert mut.stats()["quant_drift"] is None
+
+    def test_delete_tombstones_codes_alongside_vectors(self, base_and_more):
+        base, more = base_and_more
+        mut = build(base)
+        ids = mut.insert(more[:40])
+        store_before = mut.snapshot.store
+        mut.delete(ids[:10])
+        snap = mut.snapshot
+        # a delete flip reuses the engine (and store) untouched: the
+        # tombstone mask is what hides both the vector and its code
+        assert snap.store is store_before
+        assert snap.store.n == snap.n_total == 640
+        assert snap.n_dead == 10
+        out, _ = mut.search(more[:40], 5)
+        assert not np.isin(out, ids[:10]).any()
+
+
+class TestRetrainAtCompaction:
+    def test_compaction_retrains_on_survivors(self, base_and_more):
+        base, more = base_and_more
+        mut = build(base)
+        ids = mut.insert(more[:100])
+        store_before = mut.snapshot.store
+        mut.delete(ids[:50])
+        mut.compact()
+        snap = mut.snapshot
+        assert snap.n_dead == 0
+        store = snap.store
+        assert store is not None
+        assert store.n == snap.n_total == 650
+        assert store.quantizer is not store_before.quantizer
+        # the retrained baseline reflects the survivors, not the old fit
+        assert store.train_mse == pytest.approx(
+            store.reconstruction_mse(snap.live_points()))
+
+    def test_retrain_is_deterministic(self, base_and_more):
+        base, more = base_and_more
+        stores = []
+        for _ in range(2):
+            mut = build(base, quantization="pq4")
+            ids = mut.insert(more[:100])
+            mut.delete(ids[::2])
+            mut.compact()
+            stores.append(mut.snapshot.store)
+        # same survivors + same seed (fit is seeded 0) -> identical codes
+        assert np.array_equal(stores[0].codes, stores[1].codes)
+        assert stores[0].train_mse == pytest.approx(stores[1].train_mse)
+
+
+class TestDriftGauge:
+    def test_drift_monotone_under_distribution_shift(self, base_and_more):
+        base, more = base_and_more
+        obs = Observability()
+        mut = build(base, obs=obs)
+        drifts = []
+        for scale in (1.0, 4.0, 16.0):
+            mut.insert((more[:20] * scale + 3.0 * scale).astype(np.float32))
+            drifts.append(mut.last_drift)
+        assert all(d is not None for d in drifts)
+        assert drifts == sorted(drifts), (
+            f"drift not monotone under growing shift: {drifts}")
+        gauge = obs.metrics.scoped("index/").gauge("quant_drift")
+        assert gauge.value == pytest.approx(drifts[-1])
+        assert mut.stats()["quant_drift"] == pytest.approx(drifts[-1])
+
+    def test_drift_threshold_forces_single_flip_compaction(
+            self, base_and_more):
+        base, more = base_and_more
+        mut = build(base, drift_threshold=2.0)
+        flips0 = mut.counters["flips"]
+        shifted = (more[:40] * 8.0 + 30.0).astype(np.float32)
+        new_ids = mut.insert(shifted)
+        assert new_ids.size == 40
+        assert mut.counters["compactions"] == 1
+        assert mut.counters["flips"] == flips0 + 1, "insert must stay one flip"
+        snap = mut.snapshot
+        assert snap.n_total == 640 and snap.n_dead == 0
+        store = snap.store
+        assert store.n == 640
+        # the retrain covered the shifted region: encoding the batch
+        # against the *new* codebooks lands near the new baseline again,
+        # where the frozen pre-compaction codebooks were >2x off
+        assert store.drift_ratio(store.reconstruction_mse(shifted)) < 2.0
+
+    def test_in_distribution_insert_does_not_trip_threshold(
+            self, base_and_more):
+        base, more = base_and_more
+        # resampling the same mixture: drift stays near 1 (sq8 clipping
+        # adds a little), far under a generous threshold
+        mut = build(base, drift_threshold=50.0)
+        mut.insert(more[:50])
+        assert mut.counters["compactions"] == 0
+        assert mut.last_drift is not None and mut.last_drift < 50.0
+
+
+class TestEpochPinnedParity:
+    def test_pinned_snapshot_replays_bit_for_bit_mid_churn(
+            self, base_and_more):
+        base, more = base_and_more
+        mut = build(base)
+        q = base[::13]
+        mut.insert(more[:60])
+        pinned = mut.snapshot
+        ids_then, dists_then = pinned.search(q, 5)
+        # churn on: more inserts, deletes, a compaction (retrain)
+        ids2 = mut.insert(more[60:160])
+        mut.delete(ids2[:40])
+        mut.compact()
+        assert mut.epoch > pinned.epoch
+        # the pinned epoch's snapshot is immutable: same query, same
+        # bytes, even though the live index retrained its quantizer
+        ids_again, dists_again = pinned.search(q, 5)
+        assert np.array_equal(ids_then, ids_again)
+        assert np.array_equal(dists_then, dists_again)
+        # and the live snapshot still serves the store epoch-consistently
+        live = mut.snapshot
+        assert live.store.n == live.n_total
