@@ -1,0 +1,275 @@
+"""T9 - downstream workloads: COO edge-building and KNN-DBSCAN.
+
+The :mod:`repro.neighbors` subsystem turns the index into the two
+consumers GNN pipelines and density clustering actually run:
+
+* **edge throughput** - ``knn_graph`` COO edges/s.  The headline path
+  serves edges from the graph the index already maintains (corpus
+  queries never search - the graph rows ARE the answer), vs the same
+  API over :class:`BruteForceKNN` recomputing them.  Build time is
+  amortised (a GNN training run re-derives edges every epoch against
+  one build) and published alongside for one-shot break-even
+  arithmetic; the engine-query path - what out-of-corpus queries pay -
+  is measured and published too, ungated;
+* **clustering quality** - :class:`KNNDBSCAN` labels vs the O(n^2)
+  :func:`exact_dbscan` reference at matched ``eps``/``min_pts``,
+  scored by adjusted Rand index (and cross-checked against sklearn
+  when that happens to be importable - it is not a dependency);
+* **frontend identity** - the same COO, bitwise, whether edges are
+  pulled through the engine, a :class:`DirectClient`, a micro-batching
+  :class:`KNNServer`, or a 2-shard :class:`ClusterClient` (exhaustive
+  search recipe, the precondition cluster parity already relies on).
+
+Full-scale gates (``WKNNG_BENCH_SCALE >= 1``): edge throughput >= 5x
+bruteforce, DBSCAN ARI >= 0.95 vs the exact reference.  The identity
+invariant asserts at every scale.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import BENCH_SCALE, publish, publish_summary
+from repro.apps.search import GraphSearchIndex, SearchConfig
+from repro.baselines.bruteforce import BruteForceKNN
+from repro.core.config import BuildConfig
+from repro.data.synthetic import gaussian_mixture, make_dataset
+from repro.metrics import adjusted_rand_index
+from repro.metrics.records import RecordSet
+from repro.neighbors import DBSCANConfig, KNNDBSCAN, exact_dbscan, knn_graph
+from repro.serve import (
+    AdmissionPolicy,
+    ClusterClient,
+    ClusterConfig,
+    DirectClient,
+    KNNServer,
+    ServeConfig,
+    ShedPolicy,
+)
+
+FULL_SCALE = BENCH_SCALE >= 1.0
+
+#: edge-building workload (at scale 1.0)
+N_POINTS = 20_000
+DIM = 64
+EDGE_K = 12
+EF = 96
+
+#: clustering workload (at scale 1.0): separated-but-overlapping blobs,
+#: eps matched to the within-cluster squared-distance scale
+N_CLUSTER = 12_000
+CLUSTER_DIM = 8
+N_BLOBS = 10
+CLUSTER_STD = 0.4
+DBSCAN_EPS = 2.0
+DBSCAN_MIN_PTS = 5
+
+SUMMARY: dict = {
+    "edges": {"n": None, "dim": DIM, "k": EDGE_K, "ef": EF},
+    "dbscan": {"n": None, "dim": CLUSTER_DIM, "eps": DBSCAN_EPS,
+               "min_pts": DBSCAN_MIN_PTS},
+}
+
+
+def _scaled(n: int, floor: int = 512) -> int:
+    return max(floor, int(n * BENCH_SCALE))
+
+
+def _best_of(fn, repeats: int = 3):
+    """Return ``(result, seconds)`` for the fastest of ``repeats`` runs."""
+    best = np.inf
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return result, best
+
+
+def test_t9_edge_throughput(results_dir):
+    n = _scaled(N_POINTS)
+    x = make_dataset("gaussian", n, seed=0, dim=DIM)
+
+    t0 = time.perf_counter()
+    index = GraphSearchIndex.build(
+        x, build_config=BuildConfig(k=16, strategy="tiled", seed=0),
+        search_config=SearchConfig(ef=EF), seed=0,
+    )
+    build_seconds = time.perf_counter() - t0
+    bf = BruteForceKNN(x)
+
+    # warm all three code paths off the timed section
+    knn_graph(x[:64], EDGE_K, backend=index)
+    knn_graph(None, EDGE_K, backend=index.graph,
+              query_mask=np.arange(64))
+    knn_graph(x[:64], EDGE_K, backend=bf)
+
+    # headline: the graph the index maintains already holds the corpus
+    # k-NN rows - edge extraction is a filter + reshape, no search
+    edges_graph, graph_seconds = _best_of(
+        lambda: knn_graph(None, EDGE_K, backend=index.graph), repeats=3)
+    # context: the engine-query path, what out-of-corpus queries pay
+    edges_idx, idx_seconds = _best_of(
+        lambda: knn_graph(x, EDGE_K, backend=index), repeats=3)
+    edges_bf, bf_seconds = _best_of(
+        lambda: knn_graph(x, EDGE_K, backend=bf), repeats=3)
+
+    assert edges_graph.shape == edges_bf.shape == (2, n * EDGE_K)
+    assert edges_idx.shape == (2, n * EDGE_K)
+    # approximation quality of the headline path, edge-set recall vs exact
+    overlap = np.intersect1d(
+        edges_graph[0] * n + edges_graph[1], edges_bf[0] * n + edges_bf[1]
+    ).size
+    edge_recall = overlap / edges_bf.shape[1]
+
+    graph_eps = edges_graph.shape[1] / graph_seconds
+    idx_eps = edges_idx.shape[1] / idx_seconds
+    bf_eps = edges_bf.shape[1] / bf_seconds
+    speedup = bf_seconds / graph_seconds
+    SUMMARY["edges"].update({
+        "n": int(n),
+        "speedup": speedup,
+        "edge_recall": edge_recall,
+        "graph_edges_per_s": graph_eps,
+        "query_edges_per_s": idx_eps,
+        "query_speedup": bf_seconds / idx_seconds,
+        "bruteforce_edges_per_s": bf_eps,
+        "index_build_seconds": build_seconds,
+    })
+    records = RecordSet()
+    for backend, eps, seconds in (("graph", graph_eps, graph_seconds),
+                                  ("query", idx_eps, idx_seconds),
+                                  ("bruteforce", bf_eps, bf_seconds)):
+        records.add(
+            "T9",
+            {"section": "edges", "backend": backend, "n": n, "k": EDGE_K},
+            {"edges_per_s": eps, "seconds": seconds},
+        )
+    publish(results_dir, "T9_workloads_edges", records)
+    publish_summary(results_dir, "T9", SUMMARY)
+
+    # structural invariant at every scale: the fast path must stay a
+    # usable approximation of the exact edge set
+    assert edge_recall >= 0.80, (
+        f"index-backed edge recall {edge_recall:.3f} below 0.80"
+    )
+    if FULL_SCALE:
+        assert speedup >= 5.0, (
+            f"edge-building speedup {speedup:.2f}x below 5x vs bruteforce "
+            f"at n={n}"
+        )
+        assert edge_recall >= 0.95, (
+            f"index-backed edge recall {edge_recall:.3f} below 0.95"
+        )
+
+
+def test_t9_dbscan_ari(results_dir):
+    n = _scaled(N_CLUSTER)
+    x = gaussian_mixture(
+        n, CLUSTER_DIM, n_clusters=N_BLOBS, cluster_std=CLUSTER_STD,
+        center_scale=6.0, seed=3,
+    )
+    cfg = DBSCANConfig(eps=DBSCAN_EPS, min_pts=DBSCAN_MIN_PTS, knn_k=24)
+
+    model = KNNDBSCAN(cfg)
+    (labels, ), knn_seconds = _best_of(
+        lambda: (model.fit_predict(x),), repeats=1)
+    t0 = time.perf_counter()
+    ref = exact_dbscan(x, DBSCAN_EPS, DBSCAN_MIN_PTS)
+    exact_seconds = time.perf_counter() - t0
+    ari = adjusted_rand_index(ref, labels)
+
+    sklearn_ari = None
+    try:  # optional cross-check only; sklearn is NOT a dependency
+        from sklearn.cluster import DBSCAN as SkDBSCAN
+
+        sk = SkDBSCAN(eps=float(np.sqrt(DBSCAN_EPS)),
+                      min_samples=DBSCAN_MIN_PTS).fit_predict(x)
+        sklearn_ari = float(adjusted_rand_index(sk, labels))
+    except ImportError:
+        pass
+
+    SUMMARY["dbscan"].update({
+        "n": int(n),
+        "ari": float(ari),
+        "n_clusters": int(model.n_clusters_),
+        "noise_points": int((labels == -1).sum()),
+        "knn_seconds": knn_seconds,
+        "exact_seconds": exact_seconds,
+        "sklearn_ari": sklearn_ari,
+    })
+    records = RecordSet()
+    records.add(
+        "T9",
+        {"section": "dbscan", "n": n, "eps": DBSCAN_EPS,
+         "min_pts": DBSCAN_MIN_PTS},
+        {"ari": float(ari), "n_clusters": model.n_clusters_,
+         "knn_seconds": knn_seconds, "exact_seconds": exact_seconds},
+    )
+    publish(results_dir, "T9_workloads_dbscan", records)
+    publish_summary(results_dir, "T9", SUMMARY)
+
+    # the blobs are separated: both implementations must find real
+    # structure at any scale
+    assert model.n_clusters_ >= 2
+    assert ari >= 0.5, f"ARI {ari:.3f} vs exact DBSCAN below sanity floor"
+    if FULL_SCALE:
+        assert ari >= 0.95, (
+            f"KNN-DBSCAN ARI {ari:.3f} vs exact reference below 0.95 at "
+            f"n={n} (eps={DBSCAN_EPS}, min_pts={DBSCAN_MIN_PTS})"
+        )
+
+
+def test_t9_frontend_identity(results_dir):
+    """One COO, four frontends, bitwise.
+
+    Small fixed n with the exhaustive-search recipe from the cluster
+    parity tests (beam covers every point), so engine, DirectClient,
+    KNNServer and a 2-shard ClusterClient all return the same rows and
+    the assembled edge lists must match to the last bit.
+    """
+    n, dim, k, ef = 240, 16, 8, 480
+    rng = np.random.default_rng(11)
+    x = rng.standard_normal((n, dim), dtype=np.float32)
+    search_cfg = SearchConfig(ef=ef, max_expansions=8 * n, seeds_per_tree=16)
+    build_cfg = BuildConfig(k=24, strategy="tiled", seed=7)
+    index = GraphSearchIndex.build(
+        x, build_config=build_cfg, search_config=search_cfg, seed=7)
+
+    def coo(backend):
+        return knn_graph(x, k, backend=backend, ef=ef, return_dists=True)
+
+    ref_edges, ref_dists = coo(index)
+    serve_cfg = ServeConfig(
+        admission=AdmissionPolicy(max_batch=32, max_wait_ms=1.0,
+                                  queue_limit=512),
+        ef=ef, shed=ShedPolicy(enabled=False),
+    )
+    frontends = {"direct": DirectClient(index, ef=ef)}
+    results = {}
+    for name, client in frontends.items():
+        with client:
+            results[name] = coo(client)
+    with KNNServer(index, serve_cfg) as server:
+        results["server"] = coo(server)
+    with ClusterClient.build(
+        x, build_config=build_cfg, search_config=search_cfg, seed=7,
+        config=ClusterConfig(n_shards=2, backend="thread", serve=serve_cfg),
+    ) as cluster:
+        results["cluster_2shard"] = coo(cluster)
+
+    for name, (edges, dists) in results.items():
+        assert np.array_equal(edges, ref_edges), (
+            f"{name} edge_index diverges from the engine path"
+        )
+        assert np.array_equal(dists, ref_dists), (
+            f"{name} edge dists diverge from the engine path"
+        )
+    SUMMARY["frontend_identity"] = {
+        "n": n, "k": k,
+        "frontends": ["engine", *results.keys()],
+        "bitwise_equal": True,
+        "edges": int(ref_edges.shape[1]),
+    }
+    publish_summary(results_dir, "T9", SUMMARY)

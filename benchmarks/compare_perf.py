@@ -57,6 +57,12 @@ HEADLINES: dict[str, list[Metric]] = {
         Metric("pq.recall"),
         Metric("pq.memory_reduction"),
     ],
+    # T9: edge-extraction speedup over bruteforce and DBSCAN agreement
+    # with the exact reference - the workload-facing headlines
+    "T9": [
+        Metric("edges.speedup"),
+        Metric("dbscan.ari"),
+    ],
 }
 
 

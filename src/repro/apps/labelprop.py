@@ -74,21 +74,7 @@ class LabelPropagation:
 
     def _normalized_affinity(self) -> sparse.csr_matrix:
         """Symmetrised, Gaussian-weighted, symmetrically-normalised S."""
-        g = self.graph
-        valid = g.ids >= 0
-        rows = np.repeat(np.arange(g.n), valid.sum(axis=1))
-        cols = g.ids[valid].astype(np.int64)
-        d2 = g.dists[valid].astype(np.float64)
-        mean_d2 = float(d2.mean()) if d2.size else 1.0
-        if mean_d2 <= 0:
-            mean_d2 = 1.0
-        w = np.exp(-d2 / (self.config.kernel_scale * mean_d2))
-        a = sparse.csr_matrix((w, (rows, cols)), shape=(g.n, g.n))
-        a = a.maximum(a.T)  # undirected closure
-        deg = np.asarray(a.sum(axis=1)).reshape(-1)
-        deg[deg == 0] = 1.0
-        inv_sqrt = sparse.diags(1.0 / np.sqrt(deg))
-        return inv_sqrt @ a @ inv_sqrt
+        return self.graph.gaussian_affinity(self.config.kernel_scale)
 
     def fit_predict(self, seed_labels: np.ndarray) -> np.ndarray:
         """Diffuse seeds (-1 = unlabelled) and return a full label vector."""

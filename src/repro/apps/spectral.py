@@ -86,17 +86,5 @@ class SpectralEmbedding:
         return vecs
 
     def _normalized_laplacian(self, graph: KNNGraph) -> sparse.csr_matrix:
-        valid = graph.ids >= 0
-        rows = np.repeat(np.arange(graph.n), valid.sum(axis=1))
-        cols = graph.ids[valid].astype(np.int64)
-        d2 = graph.dists[valid].astype(np.float64)
-        mean_d2 = float(d2.mean()) if d2.size else 1.0
-        if mean_d2 <= 0:
-            mean_d2 = 1.0
-        w = np.exp(-d2 / (self.config.kernel_scale * mean_d2))
-        a = sparse.csr_matrix((w, (rows, cols)), shape=(graph.n, graph.n))
-        a = a.maximum(a.T)
-        deg = np.asarray(a.sum(axis=1)).reshape(-1)
-        deg[deg == 0] = 1.0
-        inv_sqrt = sparse.diags(1.0 / np.sqrt(deg))
-        return sparse.identity(graph.n, format="csr") - inv_sqrt @ a @ inv_sqrt
+        s = graph.gaussian_affinity(self.config.kernel_scale)
+        return sparse.identity(graph.n, format="csr") - s

@@ -20,6 +20,10 @@ Commands
 ``loadgen``
     Drive open-loop load (target arrival rate, per-request deadlines)
     against the server: the overload/SLO instrument.
+``neighbors``
+    Emit a GNN-style COO edge list (``knn_graph``/``radius_graph``)
+    through a serving frontend - single server or sharded cluster - and
+    optionally run KNN-DBSCAN over the built graph.
 ``info``
     Show the library version, available strategies, datasets, workloads.
 
@@ -35,6 +39,8 @@ Examples
     python -m repro search --dataset gaussian --metric cosine --save-index idx/
     python -m repro serve --dataset gaussian --n 20000 --clients 16 --cache-size 512
     python -m repro loadgen --load-index idx/ --rate 3000 --deadline-ms 50
+    python -m repro neighbors --dataset gaussian --n 20000 --topk 8 -o edges.npz
+    python -m repro neighbors --dataset clustered --radius 2.5 --dbscan-eps 2.5
     python -m repro info
 """
 
@@ -563,6 +569,67 @@ def cmd_loadgen(args) -> int:
     return 0
 
 
+def cmd_neighbors(args) -> int:
+    """COO edge lists (and optional DBSCAN labels) via a serving frontend."""
+    from repro.neighbors import DBSCANConfig, KNNDBSCAN, knn_graph, radius_graph
+    from repro.obs import Observability
+
+    obs = Observability()
+    client, x = _make_client(args, obs)
+    query_mask = None
+    if args.query_limit is not None:
+        query_mask = np.arange(min(args.query_limit, x.shape[0]))
+    t0 = time.perf_counter()
+    with client:
+        kwargs = dict(query_mask=query_mask, metric=args.metric,
+                      backend=client, ef=args.ef, obs=obs, return_dists=True)
+        if args.radius is not None:
+            edges, dists = radius_graph(
+                x, args.radius, max_num_neighbors=args.topk,
+                loop=args.loop, **kwargs)
+        else:
+            edges, dists = knn_graph(x, args.topk, loop=args.loop, **kwargs)
+        dt = time.perf_counter() - t0
+        scoped = obs.metrics.scoped("neighbors/")
+        truncated = scoped.counter("radius_truncated").get()
+        mode = (f"radius_graph(r={args.radius}, "
+                f"max_num_neighbors={args.topk})"
+                if args.radius is not None else f"knn_graph(k={args.topk})")
+        print(f"{mode}: {edges.shape[1]} edges over "
+              f"{np.unique(edges[1]).size} queries in {dt:.2f}s "
+              f"({edges.shape[1] / max(dt, 1e-9):.0f} edges/s, "
+              f"loop={args.loop}, truncated_rows={truncated})")
+
+        labels = None
+        if args.dbscan_eps is not None:
+            cfg = DBSCANConfig(eps=args.dbscan_eps,
+                               min_pts=args.dbscan_min_pts,
+                               metric=args.metric)
+            model = KNNDBSCAN(cfg, obs=obs)
+            # reuse the served graph when the frontend exposes one with
+            # enough degree; otherwise build one for the clustering pass
+            graph = getattr(getattr(client, "index", None), "graph", None)
+            t0 = time.perf_counter()
+            if graph is not None and graph.k >= cfg.min_pts - 1:
+                labels = model.fit_predict(graph)
+            else:
+                labels = model.fit_predict(x)
+            print(f"knn-dbscan(eps={args.dbscan_eps}, "
+                  f"min_pts={args.dbscan_min_pts}): "
+                  f"{model.n_clusters_} clusters, "
+                  f"{int((labels == -1).sum())} noise, "
+                  f"{int(model.core_mask_.sum())} core points "
+                  f"in {time.perf_counter() - t0:.2f}s")
+    if args.output:
+        payload = {"edge_index": edges, "dists": dists}
+        if labels is not None:
+            payload["labels"] = labels
+        np.savez_compressed(args.output, **payload)
+        print(f"wrote {', '.join(payload)} -> {args.output}")
+    _maybe_write_serve_trace(args, obs, "neighbors")
+    return 0
+
+
 def cmd_verify(args) -> int:
     from repro.verify import run_verification
 
@@ -672,6 +739,54 @@ def make_parser() -> argparse.ArgumentParser:
     )
     _add_serve_args(p, include_rate=True)
     p.set_defaults(func=cmd_loadgen)
+
+    p = sub.add_parser(
+        "neighbors",
+        help="emit GNN-style COO edge lists (knn_graph/radius_graph) "
+             "through a serving frontend, optionally with KNN-DBSCAN",
+    )
+    _add_data_args(p)
+    _add_quant_args(p)
+    p.add_argument("-k", "--k", type=int, default=16, help="graph degree")
+    p.add_argument("--metric", default="sqeuclidean",
+                   choices=("sqeuclidean", "cosine"))
+    p.add_argument("--load-index", dest="load_index", default=None,
+                   help="serve a previously saved index directory")
+    p.add_argument("--topk", type=int, default=10,
+                   help="neighbours per query (radius mode: "
+                        "max_num_neighbors cap)")
+    p.add_argument("--ef", type=int, default=64, help="beam width")
+    p.add_argument("--loop", action="store_true",
+                   help="keep self-loop edges (the self-edge counts "
+                        "toward --topk)")
+    p.add_argument("--radius", type=float, default=None,
+                   help="squared-distance radius cutoff: emit "
+                        "radius_graph edges instead of plain k-NN")
+    p.add_argument("--query-limit", type=int, default=None,
+                   dest="query_limit",
+                   help="only the first N points emit edges (query mask)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="index shards; >1 emits through the sharded "
+                        "cluster")
+    p.add_argument("--replicas", type=int, default=1,
+                   help="replica workers per shard (cluster mode)")
+    p.add_argument("--cluster-backend", dest="cluster_backend",
+                   default="auto", choices=("auto", "process", "thread"))
+    p.add_argument("--cache-size", type=int, default=0, dest="cache_size",
+                   help="LRU result-cache entries (0 disables)")
+    p.add_argument("--dbscan-eps", type=float, default=None,
+                   dest="dbscan_eps",
+                   help="also run KNN-DBSCAN at this squared-distance eps")
+    p.add_argument("--dbscan-min-pts", type=int, default=5,
+                   dest="dbscan_min_pts",
+                   help="DBSCAN core threshold (the point itself counts)")
+    p.add_argument("-o", "--output", default=None,
+                   help="write .npz (edge_index, dists[, labels]) here")
+    p.add_argument("--trace-out", dest="trace_out", default=None,
+                   help="write the JSON-lines trace here")
+    p.set_defaults(func=cmd_neighbors, max_batch=64, max_wait_ms=2.0,
+                   queue_limit=256, workers=1, deadline_ms=None,
+                   no_shed=False, shard_ef_policy="scaled")
 
     p = sub.add_parser("info", help="show version and registries")
     p.set_defaults(func=cmd_info)

@@ -137,6 +137,77 @@ class KNNGraph:
         g.add_weighted_edges_from(zip(rows.tolist(), cols.tolist(), vals.tolist()))
         return g
 
+    def to_coo(
+        self, *, symmetrize: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Edge list as ``(edge_index, dists)`` COO arrays.
+
+        ``edge_index`` is ``(2, E)`` int64 with row 0 the source point
+        (the graph row) and row 1 its neighbour; ``dists`` is the
+        ``(E,)`` per-edge squared distance (the graph's native dtype).
+        Unfilled slots are omitted.
+
+        With ``symmetrize=False`` (default) the directed graph edges are
+        emitted row-major: points in order, neighbours by ascending
+        distance - exactly the valid ``(ids, dists)`` slots.
+
+        With ``symmetrize=True`` the undirected closure is emitted: every
+        unique pair ``{i, j}`` stored in either direction contributes
+        *both* directions, each carrying the minimum distance over
+        whichever directions the graph stores (for a Gaussian kernel this
+        reproduces the classic ``A.maximum(A.T)`` symmetrisation exactly,
+        since ``exp`` is monotone).  Edges are sorted by (source, dest).
+        """
+        valid = self.ids >= 0
+        src = np.repeat(np.arange(self.n, dtype=np.int64), valid.sum(axis=1))
+        dst = self.ids[valid].astype(np.int64)
+        d = self.dists[valid]
+        if not symmetrize:
+            return np.stack([src, dst]), d
+        n = np.int64(self.n)
+        lo = np.minimum(src, dst)
+        hi = np.maximum(src, dst)
+        key = lo * n + hi
+        # sort by (pair, distance); the first entry per pair is its min
+        order = np.lexsort((d, key))
+        key_s, d_s = key[order], d[order]
+        first = np.ones(key_s.shape[0], dtype=bool)
+        first[1:] = key_s[1:] != key_s[:-1]
+        ukey, ud = key_s[first], d_s[first]
+        ulo, uhi = ukey // n, ukey % n
+        off_diag = ulo != uhi  # self-loops (if any) are emitted once
+        out_src = np.concatenate([ulo, uhi[off_diag]])
+        out_dst = np.concatenate([uhi, ulo[off_diag]])
+        out_d = np.concatenate([ud, ud[off_diag]])
+        order = np.lexsort((out_dst, out_src))
+        return np.stack([out_src[order], out_dst[order]]), out_d[order]
+
+    def gaussian_affinity(self, kernel_scale: float = 1.0):
+        """Symmetrised, Gaussian-weighted, symmetrically-normalised affinity.
+
+        The shared affinity stage of label propagation and spectral
+        embedding: edges are weighted ``exp(-d2 / (kernel_scale *
+        mean_d2))`` with ``mean_d2`` the mean *directed* valid edge
+        distance, symmetrised over the undirected closure (per-pair
+        weight = max of the two directions, via :meth:`to_coo`'s
+        min-distance closure), then normalised as ``D^-1/2 A D^-1/2``.
+        Returns a ``scipy.sparse.csr_matrix``.
+        """
+        from scipy import sparse
+
+        _, d_dir = self.to_coo()
+        d_dir = d_dir.astype(np.float64)
+        mean_d2 = float(d_dir.mean()) if d_dir.size else 1.0
+        if mean_d2 <= 0:
+            mean_d2 = 1.0
+        sym, d2 = self.to_coo(symmetrize=True)
+        w = np.exp(-d2.astype(np.float64) / (kernel_scale * mean_d2))
+        a = sparse.csr_matrix((w, (sym[0], sym[1])), shape=(self.n, self.n))
+        deg = np.asarray(a.sum(axis=1)).reshape(-1)
+        deg[deg == 0] = 1.0
+        inv_sqrt = sparse.diags(1.0 / np.sqrt(deg))
+        return inv_sqrt @ a @ inv_sqrt
+
     def symmetrized_ids(self) -> list[np.ndarray]:
         """Per-point neighbour sets of the undirected closure (i~j if either
         direction is present).  Used by t-SNE, which symmetrises affinities.

@@ -98,12 +98,28 @@ class MutableConfig:
         still one flip - instead of encoding a badly-fitting batch with
         the frozen codebooks.  ``None`` (default) disables the trigger;
         the ``index/quant_drift`` gauge is exported either way.
+
+        The comparison uses the EWMA-smoothed drift (see
+        ``drift_ewma_alpha``), so one outlier batch does not force a
+        retrain but sustained drift does.
+    drift_ewma_alpha:
+        Weight of the newest batch in the exponentially-smoothed drift
+        signal ``ewma = alpha * drift + (1 - alpha) * ewma`` that
+        ``drift_threshold`` triggers on.  ``1.0`` (default) means no
+        smoothing - the threshold sees each batch's raw ratio, the
+        pre-smoothing behaviour.  Lower values damp bursts: a single
+        out-of-distribution batch moves the signal by only ``alpha`` of
+        its excursion, while a sustained shift converges to the raw
+        ratio within a few batches.  The smoothed value is exported as
+        the ``index/quant_drift_ewma`` gauge and resets whenever a
+        compaction retrains the codebooks.
     """
 
     compact_threshold: float = 0.25
     repair_rounds: int = 1
     attach_ef: int | None = None
     drift_threshold: float | None = None
+    drift_ewma_alpha: float = 1.0
 
     def __post_init__(self) -> None:
         if not 0.0 < self.compact_threshold <= 1.0:
@@ -122,6 +138,11 @@ class MutableConfig:
         if self.drift_threshold is not None and self.drift_threshold <= 0:
             raise ConfigurationError(
                 f"drift_threshold must be > 0, got {self.drift_threshold}"
+            )
+        if not 0.0 < self.drift_ewma_alpha <= 1.0:
+            raise ConfigurationError(
+                f"drift_ewma_alpha must lie in (0, 1], got "
+                f"{self.drift_ewma_alpha}"
             )
 
 
@@ -288,6 +309,9 @@ class MutableIndex:
         #: drift ratio of the most recent insert batch (None until the
         #: first insert on a quantized index)
         self.last_drift: float | None = None
+        #: EWMA-smoothed drift the threshold triggers on; resets whenever
+        #: a compaction retrains the codebooks
+        self.last_drift_ewma: float | None = None
 
     # -- construction ----------------------------------------------------------
 
@@ -367,6 +391,7 @@ class MutableIndex:
             "tombstone_fraction": snap.tombstone_fraction,
             "quantization": snap.config.quantization,
             "quant_drift": self.last_drift,
+            "quant_drift_ewma": self.last_drift_ewma,
             **counters,
         }
 
@@ -421,11 +446,22 @@ class MutableIndex:
                 new_codes = store.encode(q)
                 drift = store.drift_ratio(store.reconstruction_mse(q, new_codes))
                 self.last_drift = drift
+                smoothed = drift
+                if drift is not None:
+                    alpha = cfg.drift_ewma_alpha
+                    prev = self.last_drift_ewma
+                    if prev is not None:
+                        smoothed = alpha * drift + (1.0 - alpha) * prev
+                    self.last_drift_ewma = smoothed
                 if drift is not None and self.obs is not None:
-                    self.obs.metrics.scoped(INDEX_METRICS_PREFIX) \
-                        .gauge("quant_drift").set(drift)
-                if (drift is not None and cfg.drift_threshold is not None
-                        and drift > cfg.drift_threshold):
+                    im = self.obs.metrics.scoped(INDEX_METRICS_PREFIX)
+                    im.gauge("quant_drift").set(drift)
+                    im.gauge("quant_drift_ewma").set(smoothed)
+                # the threshold reads the smoothed signal: a lone outlier
+                # batch moves it by only alpha of its excursion, sustained
+                # drift converges to the raw ratio and trips it
+                if (smoothed is not None and cfg.drift_threshold is not None
+                        and smoothed > cfg.drift_threshold):
                     # the frozen codebooks no longer fit the incoming
                     # distribution: skip the graph attach and compact now,
                     # retraining over survivors plus this batch - the
@@ -596,6 +632,8 @@ class MutableIndex:
         )
         self._ext_to_int = {int(e): i for i, e in enumerate(ext_live)}
         self.counters["compactions"] += 1
+        # fresh codebooks -> the smoothed drift history no longer applies
+        self.last_drift_ewma = None
         self._emit(Events.INDEX_COMPACT_AFTER, epoch=snap.epoch + 1,
                    n_live=int(x_live.shape[0]))
         self._flip(

@@ -2,6 +2,7 @@
 
 from repro.metrics.recall import knn_recall, per_point_recall
 from repro.metrics.quality import distance_ratio, edge_overlap
+from repro.metrics.clustering import adjusted_rand_index
 from repro.metrics.connectivity import (
     connected_components,
     giant_component_fraction,
@@ -11,6 +12,7 @@ from repro.metrics.timer import Timer, time_call
 from repro.metrics.records import ExperimentRecord, RecordSet
 
 __all__ = [
+    "adjusted_rand_index",
     "knn_recall",
     "per_point_recall",
     "distance_ratio",

@@ -1,0 +1,48 @@
+"""Clustering-quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+def adjusted_rand_index(labels_true, labels_pred) -> float:
+    """Adjusted Rand index between two labelings (1.0 = identical).
+
+    The chance-corrected pair-counting agreement (Hubert & Arabie, 1985)
+    computed from the contingency table; symmetric in its arguments and
+    invariant to label permutation.  Noise markers (e.g. DBSCAN's ``-1``)
+    are treated as one more cluster, matching scikit-learn's behaviour
+    when comparing DBSCAN labelings directly.
+    """
+    a = np.asarray(labels_true).ravel()
+    b = np.asarray(labels_pred).ravel()
+    if a.shape != b.shape:
+        raise DataError(
+            f"labelings must have matching shapes, got {a.shape} and {b.shape}"
+        )
+    n = a.size
+    if n == 0:
+        return 1.0
+    _, ai = np.unique(a, return_inverse=True)
+    _, bi = np.unique(b, return_inverse=True)
+    n_a = int(ai.max()) + 1
+    n_b = int(bi.max()) + 1
+    contingency = np.bincount(
+        ai.astype(np.int64) * n_b + bi.astype(np.int64), minlength=n_a * n_b
+    ).reshape(n_a, n_b)
+
+    def comb2(x):
+        x = x.astype(np.float64)
+        return (x * (x - 1.0) / 2.0).sum()
+
+    sum_ij = comb2(contingency)
+    sum_a = comb2(contingency.sum(axis=1))
+    sum_b = comb2(contingency.sum(axis=0))
+    total = n * (n - 1.0) / 2.0
+    expected = sum_a * sum_b / total if total else 0.0
+    max_index = (sum_a + sum_b) / 2.0
+    if max_index == expected:  # both labelings are a single cluster (or n=1)
+        return 1.0
+    return float((sum_ij - expected) / (max_index - expected))

@@ -54,15 +54,16 @@ def connected_components(graph: KNNGraph) -> np.ndarray:
 
     A healthy K-NN graph of a connected data distribution has one giant
     component; isolated islands mean the forest/refinement never linked a
-    region to the rest.
+    region to the rest.  Components come from the vectorized edge-list
+    union-find (:mod:`repro.neighbors.unionfind`) - no per-edge Python
+    loop.
     """
-    uf = UnionFind(graph.n)
-    valid = graph.ids >= 0
-    rows = np.repeat(np.arange(graph.n), valid.sum(axis=1))
-    cols = graph.ids[valid].astype(np.int64)
-    for a, b in zip(rows.tolist(), cols.tolist()):
-        uf.union(a, b)
-    return uf.component_sizes()
+    from repro.neighbors.unionfind import connected_components as cc_edges
+
+    edges, _ = graph.to_coo()
+    labels = cc_edges(graph.n, edges[0], edges[1])
+    _, counts = np.unique(labels, return_counts=True)
+    return np.sort(counts)[::-1]
 
 
 def giant_component_fraction(graph: KNNGraph) -> float:

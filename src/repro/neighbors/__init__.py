@@ -1,0 +1,36 @@
+"""Downstream workload surface: edge lists, radius queries, KNN-DBSCAN.
+
+The index answers ``(ids, dists)`` top-k queries; real consumers want
+other shapes.  This package converts between them:
+
+* :func:`knn_graph` / :func:`radius_graph` - int64 COO ``(2, E)`` edge
+  lists with self-loop control, max-radius cutoffs and query-subset
+  masks (the GNN message-passing interface, EggNet-compatible), backed
+  by a prebuilt :class:`~repro.core.graph.KNNGraph`, any engine with a
+  ``query``/``search`` surface, a :class:`~repro.serve.SearchClient`
+  frontend (server or sharded cluster), or a one-shot build;
+* :class:`KNNDBSCAN` - density clustering reduced to the k-NN graph
+  (Chen et al., "KNN-DBSCAN"): core points from the k-NN distance
+  column, an eps-restricted symmetrised edge set, and union-find
+  connected components;
+* :func:`exact_dbscan` - the O(n^2) reference implementation DBSCAN
+  quality is measured against;
+* :func:`connected_components` - the vectorized union-find used by the
+  clustering layer.
+
+See ``docs/workloads.md`` for semantics (edge conventions, distance
+units per metric, DBSCAN guarantees and limits).
+"""
+
+from repro.neighbors.dbscan import DBSCANConfig, KNNDBSCAN, exact_dbscan
+from repro.neighbors.edges import knn_graph, radius_graph
+from repro.neighbors.unionfind import connected_components
+
+__all__ = [
+    "DBSCANConfig",
+    "KNNDBSCAN",
+    "connected_components",
+    "exact_dbscan",
+    "knn_graph",
+    "radius_graph",
+]

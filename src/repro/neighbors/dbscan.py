@@ -1,0 +1,262 @@
+"""KNN-DBSCAN: density clustering reduced to the k-NN graph.
+
+Chen et al. ("KNN-DBSCAN", arXiv:2009.04552) observe that DBSCAN's two
+primitives - core-point selection and density-connectivity - both reduce
+to the k-NN graph this library builds fast:
+
+* a point is *core* iff at least ``min_pts`` points (itself included)
+  lie within ``eps``; since k-NN rows are distance-sorted, that is one
+  comparison against the ``(min_pts - 1)``-th neighbour distance column;
+* two core points are density-connected along core-core edges of length
+  <= ``eps``; restricting the symmetrised k-NN edge set to ``eps`` and
+  running connected components over the core-core subset recovers the
+  clusters;
+* non-core points within ``eps`` of a core point are *border* points
+  (assigned to their nearest core's cluster here, smallest core id on
+  ties); everything else is noise (label ``-1``).
+
+The reduction is exact when every point's eps-neighbourhood fits inside
+its k nearest neighbours; larger neighbourhoods are truncated at k,
+which can split clusters joined only through edges the graph does not
+store (choose ``knn_k`` generously relative to the expected density).
+:func:`exact_dbscan` is the O(n^2) reference used to measure that gap.
+
+Follows the t-SNE app's build-then-consume pattern: construct with a
+config, call :meth:`KNNDBSCAN.fit_predict` on raw points (builds the
+graph internally) or on a prebuilt :class:`~repro.core.graph.KNNGraph`.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import BuildConfig
+from repro.core.graph import KNNGraph
+from repro.errors import ConfigurationError, DataError
+from repro.neighbors.unionfind import connected_components
+
+#: registry namespace the clustering metrics emit under
+DBSCAN_METRICS_PREFIX = "dbscan/"
+
+
+@dataclass
+class DBSCANConfig:
+    """KNN-DBSCAN parameters.
+
+    Attributes
+    ----------
+    eps:
+        Neighbourhood radius as a *squared* distance in the metric's
+        prepared space (plain squared L2 for ``sqeuclidean``; for
+        ``cosine``, ``2 * (1 - cos_sim)`` over normalised points) - the
+        same units the graph's ``dists`` are stored in.
+    min_pts:
+        Minimum neighbourhood size (the point itself included, sklearn's
+        ``min_samples`` convention) for a point to be core.
+    knn_k:
+        Graph degree to build when :meth:`KNNDBSCAN.fit_predict` receives
+        raw points (default ``max(16, min_pts)``).  A prebuilt graph just
+        needs ``k >= min_pts - 1``.
+    metric:
+        ``sqeuclidean`` or ``cosine`` (build-time metric for raw points).
+    build:
+        Full :class:`~repro.core.config.BuildConfig` override; when set,
+        ``knn_k``/``metric`` are taken from it.
+    """
+
+    eps: float = 0.5
+    min_pts: int = 5
+    knn_k: int | None = None
+    metric: str = "sqeuclidean"
+    build: BuildConfig | None = None
+
+    def __post_init__(self) -> None:
+        if not self.eps > 0:
+            raise ConfigurationError(f"eps must be > 0, got {self.eps}")
+        if self.min_pts < 1:
+            raise ConfigurationError(f"min_pts must be >= 1, got {self.min_pts}")
+        if self.knn_k is not None and self.knn_k < max(1, self.min_pts - 1):
+            raise ConfigurationError(
+                f"knn_k={self.knn_k} cannot resolve min_pts={self.min_pts} "
+                f"core tests (need >= {max(1, self.min_pts - 1)})"
+            )
+
+    def effective_k(self) -> int:
+        return self.knn_k if self.knn_k is not None else max(16, self.min_pts)
+
+
+class KNNDBSCAN:
+    """DBSCAN over a k-NN graph.
+
+    Usage::
+
+        labels = KNNDBSCAN(DBSCANConfig(eps=0.4, min_pts=8)).fit_predict(x)
+
+    After fitting, :attr:`labels_` holds the labels (``-1`` = noise),
+    :attr:`core_mask_` the core-point mask, :attr:`n_clusters_` the
+    cluster count, and :attr:`knn_graph` the graph consumed.
+    """
+
+    def __init__(self, config: DBSCANConfig | None = None, *, obs=None) -> None:
+        self.config = config or DBSCANConfig()
+        self.obs = obs
+        self.knn_graph: KNNGraph | None = None
+        self.labels_: np.ndarray | None = None
+        self.core_mask_: np.ndarray | None = None
+        self.n_clusters_: int = 0
+
+    def _build_graph(self, points: np.ndarray) -> KNNGraph:
+        from repro.core.builder import WKNNGBuilder  # lazy: keep import light
+
+        cfg = self.config
+        build = cfg.build or BuildConfig(
+            k=min(cfg.effective_k(), max(1, points.shape[0] - 1)),
+            strategy="tiled", seed=0, metric=cfg.metric,
+        )
+        return WKNNGBuilder(build, obs=self.obs).build(points)
+
+    def fit_predict(self, data) -> np.ndarray:
+        """Cluster a prebuilt :class:`KNNGraph` or raw ``(n, d)`` points."""
+        cfg = self.config
+        if isinstance(data, KNNGraph):
+            graph = data
+        else:
+            points = np.asarray(data, dtype=np.float32)
+            if points.ndim != 2:
+                raise DataError(
+                    f"points must be a 2-D (n, d) matrix, got ndim={points.ndim}"
+                )
+            graph = self._build_graph(points)
+        if graph.k < cfg.min_pts - 1:
+            raise ConfigurationError(
+                f"graph degree {graph.k} cannot resolve min_pts="
+                f"{cfg.min_pts} core tests (need k >= {cfg.min_pts - 1})"
+            )
+        self.knn_graph = graph
+        span = (
+            self.obs.trace.span(
+                "dbscan.fit", n=graph.n, k=graph.k,
+                eps=float(cfg.eps), min_pts=int(cfg.min_pts),
+            )
+            if self.obs is not None
+            else nullcontext()
+        )
+        with span:
+            labels, core = self._cluster(graph)
+        self.labels_ = labels
+        self.core_mask_ = core
+        self.n_clusters_ = int(labels.max() + 1) if labels.size else 0
+        if self.obs is not None:
+            scoped = self.obs.metrics.scoped(DBSCAN_METRICS_PREFIX)
+            scoped.counter("core_points").inc(int(core.sum()))
+            scoped.counter("clusters").inc(self.n_clusters_)
+            scoped.counter("noise").inc(int((labels == -1).sum()))
+            scoped.counter("border").inc(int(((labels >= 0) & ~core).sum()))
+        return labels
+
+    def _cluster(self, graph: KNNGraph) -> tuple[np.ndarray, np.ndarray]:
+        cfg = self.config
+        n = graph.n
+        eps = float(cfg.eps)
+        # core test: the (min_pts - 1)-th nearest *other* point sits in
+        # distance column min_pts - 2 (the point itself supplies one count)
+        if cfg.min_pts == 1:
+            core = np.ones(n, dtype=bool)
+        else:
+            col = cfg.min_pts - 2
+            if col < 0:  # min_pts == 2 handled by col 0; guard anyway
+                core = np.ones(n, dtype=bool)
+            else:
+                core = (graph.ids[:, col] >= 0) & (graph.dists[:, col] <= eps)
+        edges, d = graph.to_coo(symmetrize=True)
+        within = d <= eps
+        if self.obs is not None:
+            self.obs.metrics.scoped(DBSCAN_METRICS_PREFIX) \
+                .counter("edges_eps").inc(int(within.sum()))
+        u, v, d_eps = edges[0][within], edges[1][within], d[within]
+        cc = core[u] & core[v]
+        reps = connected_components(n, u[cc], v[cc])
+        labels = np.where(core, reps, np.int64(-1))
+        # border points: non-core with an eps-edge to a core point join
+        # their nearest such core's cluster (smallest core id on ties)
+        sel = core[u] & ~core[v]
+        if sel.any():
+            cores_sel, pts_sel, d_sel = u[sel], v[sel], d_eps[sel]
+            order = np.lexsort((cores_sel, d_sel, pts_sel))
+            pts_sorted = pts_sel[order]
+            first = np.ones(pts_sorted.size, dtype=bool)
+            first[1:] = pts_sorted[1:] != pts_sorted[:-1]
+            labels[pts_sorted[first]] = reps[cores_sel[order][first]]
+        # compact representative labels to 0..C-1 by first appearance
+        assigned = np.flatnonzero(labels >= 0)
+        final = np.full(n, -1, dtype=np.int64)
+        if assigned.size:
+            reps_in_order = labels[assigned]
+            uniq, first_pos = np.unique(reps_in_order, return_index=True)
+            rank = np.empty(uniq.size, dtype=np.int64)
+            rank[np.argsort(first_pos, kind="stable")] = np.arange(uniq.size)
+            final[assigned] = rank[np.searchsorted(uniq, reps_in_order)]
+        return final, core
+
+
+def exact_dbscan(
+    x: np.ndarray,
+    eps: float,
+    min_pts: int,
+    *,
+    metric: str = "sqeuclidean",
+    block_rows: int = 512,
+) -> np.ndarray:
+    """Reference DBSCAN by blocked brute force (sklearn-faithful).
+
+    ``eps`` is a *squared* prepared-space distance, exactly as in
+    :class:`DBSCANConfig`, so the two implementations compare at matched
+    parameters.  Border points join the cluster of whichever core point
+    reaches them first in the seeded BFS expansion (scan order by point
+    id), matching sklearn's semantics; KNN-DBSCAN assigns borders to
+    their *nearest* core instead, so labelings can differ on border
+    points even when both are otherwise exact.
+    """
+    from repro.core.metric import check_metric, prepare_points
+    from repro.kernels.distance import pairwise_sq_l2_gemm
+
+    if not eps > 0:
+        raise ConfigurationError(f"eps must be > 0, got {eps}")
+    if min_pts < 1:
+        raise ConfigurationError(f"min_pts must be >= 1, got {min_pts}")
+    check_metric(metric)
+    x = np.asarray(x, dtype=np.float32)
+    if x.ndim != 2:
+        raise DataError(f"x must be a 2-D (n, d) matrix, got ndim={x.ndim}")
+    p, _ = prepare_points(x, metric)
+    n = p.shape[0]
+    # blocked eps-neighbourhood lists (self included)
+    neighborhoods: list[np.ndarray] = []
+    for lo in range(0, n, block_rows):
+        d2 = pairwise_sq_l2_gemm(p[lo:lo + block_rows], p)
+        for row in d2:
+            neighborhoods.append(np.flatnonzero(row <= eps))
+    core = np.fromiter(
+        (nb.size >= min_pts for nb in neighborhoods), dtype=bool, count=n
+    )
+    labels = np.full(n, -1, dtype=np.int64)
+    cluster = 0
+    for i in range(n):
+        if labels[i] != -1 or not core[i]:
+            continue
+        # BFS from the seed core point: cores expand, borders only join
+        labels[i] = cluster
+        queue = [i]
+        while queue:
+            j = queue.pop()
+            if not core[j]:
+                continue
+            for nb in neighborhoods[j]:
+                if labels[nb] == -1:
+                    labels[nb] = cluster
+                    queue.append(int(nb))
+        cluster += 1
+    return labels

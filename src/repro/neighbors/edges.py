@@ -1,0 +1,309 @@
+"""COO edge-list construction: ``knn_graph`` / ``radius_graph``.
+
+The GNN message-passing interface over this library's indexes, with
+EggNet-compatible semantics: edges come back as an int64 ``(2, E)``
+array where **row 0 is the neighbour (source) and row 1 the query
+(target)**, self-loops are controlled by ``loop``, a max radius ``r``
+cuts edges on the exact reranked distances, and ``query_mask`` restricts
+which points act as queries (targets) while neighbours still come from
+the whole dataset.
+
+Distances are squared distances in the metric's *prepared* space: plain
+squared L2 for ``sqeuclidean``; for ``cosine`` the points are
+L2-normalised first, so ``d = 2 * (1 - cos_sim)`` and ``r``/returned
+distances live in that space too.
+
+Backends
+--------
+``backend=None``
+    One-shot :class:`~repro.apps.search.GraphSearchIndex` build over
+    ``x`` (deterministic, seed 0 unless ``build_config`` says otherwise).
+:class:`~repro.core.graph.KNNGraph`
+    Use the prebuilt rows directly - no search at all (``x`` may be
+    ``None``).  ``loop=True`` prepends the implicit zero-distance
+    self-edge.
+Engines (``query``/``search`` surface)
+    :class:`~repro.apps.search.GraphSearchIndex`,
+    :class:`~repro.core.mutable.MutableIndex` (or a pinned snapshot),
+    :class:`~repro.baselines.bruteforce.BruteForceKNN` - one batched
+    call.
+:class:`~repro.serve.SearchClient` (``submit`` surface)
+    :class:`~repro.serve.DirectClient`, :class:`~repro.serve.KNNServer`,
+    :class:`~repro.serve.ClusterClient` - per-query futures, so the
+    serving layer batches, caches and deadlines edge-building like any
+    other traffic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import nullcontext
+from typing import Any
+
+import numpy as np
+
+from repro.core.graph import KNNGraph
+from repro.errors import ConfigurationError, DataError
+
+#: registry namespace the edge-building metrics emit under
+NEIGHBORS_METRICS_PREFIX = "neighbors/"
+
+#: submissions kept in flight against a SearchClient frontend - enough to
+#: keep the micro-batcher fed, comfortably under the default admission
+#: queue limit so bulk edge-building never trips backpressure rejections
+CLIENT_WINDOW = 64
+
+
+def _resolve_query_ids(query_mask, n: int) -> np.ndarray:
+    """Normalise ``query_mask`` to an int64 index array into the dataset."""
+    if query_mask is None:
+        return np.arange(n, dtype=np.int64)
+    mask = np.asarray(query_mask)
+    if mask.dtype == bool:
+        if mask.shape != (n,):
+            raise DataError(
+                f"boolean query_mask must have shape ({n},), got {mask.shape}"
+            )
+        return np.flatnonzero(mask).astype(np.int64)
+    if mask.ndim != 1:
+        raise DataError(f"query_mask must be 1-D, got ndim={mask.ndim}")
+    idx = mask.astype(np.int64)
+    if idx.size and (idx.min() < 0 or idx.max() >= n):
+        raise DataError(f"query_mask indices must lie in [0, {n})")
+    return idx
+
+
+def _check_metric(backend, metric: str) -> None:
+    """Refuse a metric that contradicts what the backend was built with."""
+    if isinstance(backend, KNNGraph):
+        built = backend.meta.get("metric")
+    else:
+        built = getattr(backend, "metric", None)
+    if isinstance(built, str) and built != metric:
+        raise ConfigurationError(
+            f"backend was built with metric '{built}' but metric="
+            f"'{metric}' was requested"
+        )
+
+
+def _one_shot_index(x, k, metric, build_config, search_config, obs):
+    from repro.apps.search import GraphSearchIndex  # lazy: avoid app cycle
+    from repro.core.config import BuildConfig
+
+    if build_config is None:
+        n = x.shape[0]
+        degree = int(min(max(16, k + 1), max(1, n - 1)))
+        build_config = BuildConfig(
+            k=degree, strategy="tiled", seed=0, metric=metric
+        )
+    return GraphSearchIndex.build(
+        x, build_config=build_config, search_config=search_config, obs=obs
+    )
+
+
+def _rows_from_graph(graph: KNNGraph, qids: np.ndarray, k: int, loop: bool):
+    """Fetch per-query candidate rows straight from a prebuilt graph."""
+    need = k if not loop else k - 1  # non-self columns required
+    if need > graph.k:
+        raise ConfigurationError(
+            f"backend graph has degree {graph.k}; k={k} with loop={loop} "
+            f"needs {need} non-self neighbours per row"
+        )
+    ids = graph.ids[qids].astype(np.int64)
+    dists = graph.dists[qids]
+    if loop:
+        # the graph stores no self-edges; the self-loop is implicit at
+        # distance zero and deterministically outranks any tie
+        ids = np.concatenate([qids[:, None], ids], axis=1)
+        dists = np.concatenate(
+            [np.zeros((qids.size, 1), dtype=dists.dtype), dists], axis=1
+        )
+    return ids, dists
+
+
+def _fetch(backend: Any, queries: np.ndarray, k_fetch: int, ef):
+    """One (m, k_fetch) candidate matrix from any non-graph backend."""
+    if hasattr(backend, "submit"):
+        # SearchClient frontends: per-query futures so the serving layer
+        # micro-batches/caches/deadlines them.  A bounded in-flight
+        # window respects the server's admission queue (no backpressure
+        # rejections on bulk edge-building); positional collection keeps
+        # the query -> row mapping
+        results: list[Any] = [None] * queries.shape[0]
+        pending: deque = deque()
+        for i, q in enumerate(queries):
+            while len(pending) >= CLIENT_WINDOW:
+                j, fut = pending.popleft()
+                results[j] = fut.result()
+            pending.append((i, backend.submit(q, k_fetch, ef=ef)))
+        while pending:
+            j, fut = pending.popleft()
+            results[j] = fut.result()
+        ids = np.stack([res.ids for res in results])
+        dists = np.stack([res.dists for res in results])
+    elif hasattr(backend, "query"):
+        ids, dists = backend.query(queries, k_fetch, ef=ef)
+    elif hasattr(backend, "search"):
+        ids, dists = backend.search(queries, k_fetch, ef=ef)
+    else:
+        raise ConfigurationError(
+            f"backend {type(backend).__name__} exposes none of "
+            "submit/query/search"
+        )
+    return np.asarray(ids, dtype=np.int64), np.asarray(dists)
+
+
+def _assemble(ids, dists, qids, k, loop, r):
+    """Filter candidate rows into the final edge arrays.
+
+    Returns ``(edge_index, edge_dists, n_truncated)`` where
+    ``n_truncated`` counts rows whose radius ball still held a full k
+    edges - i.e. rows where ``r`` may be hiding neighbours beyond the
+    fetch horizon (only meaningful when ``r`` is set).
+    """
+    valid = ids >= 0
+    if not loop:
+        valid &= ids != qids[:, None]
+    # keep the first k valid candidates per row (ascending distance)
+    rank = np.cumsum(valid, axis=1)
+    valid &= rank <= k
+    truncated = 0
+    if r is not None:
+        kept_full = valid.sum(axis=1) == k
+        valid &= dists <= r
+        truncated = int((kept_full & (valid.sum(axis=1) == k)).sum())
+    counts = valid.sum(axis=1)
+    src = ids[valid]  # row-major: query order, then ascending rank
+    dst = np.repeat(qids, counts)
+    return np.stack([src, dst]), dists[valid], truncated
+
+
+def knn_graph(
+    x,
+    k: int,
+    *,
+    loop: bool = False,
+    r: float | None = None,
+    query_mask=None,
+    metric: str = "sqeuclidean",
+    backend: Any = None,
+    ef: int | None = None,
+    build_config=None,
+    search_config=None,
+    obs=None,
+    return_dists: bool = False,
+):
+    """k-NN edges of ``x`` as an int64 COO ``(2, E)`` array.
+
+    ``edge_index[0]`` holds neighbour (source) ids, ``edge_index[1]``
+    the query (target) ids - the EggNet/PyG ``knn_graph`` convention -
+    ordered by query, then ascending distance.  ``loop=False`` (default)
+    excludes the self-edge by id; ``loop=True`` counts the self-edge
+    toward ``k``.  ``r`` drops edges with (exact, reranked) squared
+    distance above it; ``query_mask`` (bool mask or index array)
+    restricts which points emit edges.  With ``return_dists=True`` the
+    per-edge distances come back too.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if r is not None and not r > 0:
+        raise ConfigurationError(f"r must be > 0, got {r}")
+
+    if isinstance(backend, KNNGraph):
+        n = backend.n
+    else:
+        if x is None:
+            raise DataError("x is required unless backend is a KNNGraph")
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim != 2:
+            raise DataError(f"x must be a 2-D (n, d) matrix, got ndim={x.ndim}")
+        n = x.shape[0]
+        dim = getattr(backend, "dim", None)
+        if dim is not None and int(dim) != x.shape[1]:
+            raise DataError(
+                f"x has dim {x.shape[1]} but the backend serves dim {int(dim)}"
+            )
+    if backend is not None:
+        _check_metric(backend, metric)
+
+    qids = _resolve_query_ids(query_mask, n)
+    span = (
+        obs.trace.span(
+            "neighbors.knn_graph", k=int(k), loop=bool(loop),
+            n_queries=int(qids.size), radius=float(r) if r is not None else -1.0,
+        )
+        if obs is not None
+        else nullcontext()
+    )
+    with span:
+        if qids.size == 0:
+            edge_index = np.empty((2, 0), dtype=np.int64)
+            edge_dists = np.empty(0, dtype=np.float32)
+            truncated = 0
+        elif isinstance(backend, KNNGraph):
+            ids, dists = _rows_from_graph(backend, qids, k, loop)
+            edge_index, edge_dists, truncated = _assemble(
+                ids, dists, qids, k, loop, r
+            )
+        else:
+            if backend is None:
+                backend = _one_shot_index(
+                    x, k, metric, build_config, search_config, obs
+                )
+            # over-fetch one slot when the self-edge will be dropped, so
+            # a full k non-self neighbours survive the filter
+            k_fetch = min(k if loop else k + 1, n)
+            ids, dists = _fetch(backend, x[qids], k_fetch, ef)
+            edge_index, edge_dists, truncated = _assemble(
+                ids, dists, qids, k, loop, r
+            )
+        if obs is not None:
+            scoped = obs.metrics.scoped(NEIGHBORS_METRICS_PREFIX)
+            scoped.counter("edges_emitted").inc(int(edge_index.shape[1]))
+            if truncated:
+                scoped.counter("radius_truncated").inc(truncated)
+    if return_dists:
+        return edge_index, edge_dists
+    return edge_index
+
+
+def radius_graph(
+    x,
+    r: float,
+    *,
+    max_num_neighbors: int = 32,
+    loop: bool = False,
+    query_mask=None,
+    metric: str = "sqeuclidean",
+    backend: Any = None,
+    ef: int | None = None,
+    build_config=None,
+    search_config=None,
+    obs=None,
+    return_dists: bool = False,
+):
+    """Edges within squared radius ``r``, at most ``max_num_neighbors`` each.
+
+    Implemented as over-fetch-then-filter: the ``max_num_neighbors``
+    nearest candidates are fetched and edges beyond ``r`` dropped on the
+    exact distances.  A query whose ball holds more than
+    ``max_num_neighbors`` points is silently truncated to the nearest
+    ones - flagged on the ``neighbors/radius_truncated`` counter when
+    ``obs`` is passed.
+    """
+    if r is None or not r > 0:
+        raise ConfigurationError(f"r must be > 0, got {r}")
+    return knn_graph(
+        x,
+        max_num_neighbors,
+        loop=loop,
+        r=r,
+        query_mask=query_mask,
+        metric=metric,
+        backend=backend,
+        ef=ef,
+        build_config=build_config,
+        search_config=search_config,
+        obs=obs,
+        return_dists=return_dists,
+    )

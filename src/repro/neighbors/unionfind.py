@@ -1,0 +1,52 @@
+"""Vectorized connected components over an edge list.
+
+Label propagation with pointer jumping (the array formulation of
+union-find, a la Shiloach-Vishkin): every vertex starts as its own
+component label; each round pulls the minimum label across edges and
+then compresses label chains by repeated ``labels[labels]`` jumps.
+Rounds are O(E) NumPy work and the label forest halves in depth per
+jump, so convergence takes O(log n) rounds on real graphs - no Python
+per-edge loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+def connected_components(
+    n_nodes: int, src: np.ndarray, dst: np.ndarray
+) -> np.ndarray:
+    """Component label per vertex; labels are component-minimum vertex ids.
+
+    Edges are undirected regardless of orientation: ``(src[i], dst[i])``
+    connects both endpoints.  Isolated vertices keep their own id.
+    """
+    src = np.asarray(src, dtype=np.int64).ravel()
+    dst = np.asarray(dst, dtype=np.int64).ravel()
+    if src.shape != dst.shape:
+        raise DataError(
+            f"src/dst must have matching shapes, got {src.shape} and {dst.shape}"
+        )
+    labels = np.arange(int(n_nodes), dtype=np.int64)
+    if src.size == 0:
+        return labels
+    if src.size and (min(src.min(), dst.min()) < 0
+                     or max(src.max(), dst.max()) >= n_nodes):
+        raise DataError(f"edge endpoints must lie in [0, {n_nodes})")
+    while True:
+        prev = labels
+        # hook: both endpoints of every edge adopt the smaller label
+        labels = labels.copy()
+        np.minimum.at(labels, src, prev[dst])
+        np.minimum.at(labels, dst, prev[src])
+        # compress: jump each label to its label until the forest is flat
+        while True:
+            jumped = labels[labels]
+            if np.array_equal(jumped, labels):
+                break
+            labels = jumped
+        if np.array_equal(labels, prev):
+            return labels

@@ -100,3 +100,50 @@ class TestLabelPropagation:
         pred = LabelPropagation(graph).fit_predict(seeds)
         assert set(np.unique(pred)) <= {10, 42, 99}
         assert (pred == mapped).mean() > 0.9
+
+
+class TestAffinityParity:
+    """The `gaussian_affinity` port must reproduce the original inline
+    construction bitwise (max(exp(-a/c), exp(-b/c)) == exp(-min(a,b)/c)
+    since exp is monotone, the float32 -> float64 cast is exact, and csr
+    canonicalisation orders both the same way)."""
+
+    @staticmethod
+    def _legacy_affinity(graph, kernel_scale):
+        from scipy import sparse
+        valid = graph.ids >= 0
+        rows = np.repeat(np.arange(graph.n), valid.sum(axis=1))
+        cols = graph.ids[valid].astype(np.int64)
+        d2 = graph.dists[valid].astype(np.float64)
+        mean_d2 = float(d2.mean()) if d2.size else 1.0
+        if mean_d2 <= 0:
+            mean_d2 = 1.0
+        w = np.exp(-d2 / (kernel_scale * mean_d2))
+        a = sparse.csr_matrix((w, (rows, cols)), shape=(graph.n, graph.n))
+        a = a.maximum(a.T)
+        deg = np.asarray(a.sum(axis=1)).reshape(-1)
+        deg[deg == 0] = 1.0
+        inv_sqrt = sparse.diags(1.0 / np.sqrt(deg))
+        return inv_sqrt @ a @ inv_sqrt
+
+    @pytest.mark.parametrize("kernel_scale", [0.5, 1.0, 2.0])
+    def test_bitwise_identical_to_legacy(self, blob_graph, kernel_scale):
+        graph, _ = blob_graph
+        legacy = self._legacy_affinity(graph, kernel_scale).tocsr()
+        ported = LabelPropagation(
+            graph, LabelPropConfig(kernel_scale=kernel_scale))._s.tocsr()
+        legacy.sort_indices()
+        ported.sort_indices()
+        assert (legacy != ported).nnz == 0
+        assert np.array_equal(legacy.indptr, ported.indptr)
+        assert np.array_equal(legacy.indices, ported.indices)
+        assert np.array_equal(legacy.data, ported.data)
+
+    def test_unfilled_rows_handled(self):
+        ids = np.array([[1, -1], [0, -1], [-1, -1]], dtype=np.int32)
+        dists = np.array([[1.0, np.inf], [1.0, np.inf], [np.inf, np.inf]],
+                         dtype=np.float32)
+        graph = KNNGraph(ids=ids, dists=dists)
+        legacy = self._legacy_affinity(graph, 1.0).tocsr()
+        ported = LabelPropagation(graph)._s.tocsr()
+        assert (legacy != ported).nnz == 0

@@ -78,3 +78,39 @@ class TestSpectralEmbedding:
             SpectralConfig(n_components=1, drop_trivial=False)
         ).fit_transform(graph)
         assert emb.shape == (360, 1)
+
+
+class TestLaplacianParity:
+    """The Laplacian must be exactly I - gaussian_affinity, bitwise equal
+    to the original inline construction."""
+
+    @staticmethod
+    def _legacy_laplacian(graph, kernel_scale):
+        import numpy as np
+        from scipy import sparse
+        valid = graph.ids >= 0
+        rows = np.repeat(np.arange(graph.n), valid.sum(axis=1))
+        cols = graph.ids[valid].astype(np.int64)
+        d2 = graph.dists[valid].astype(np.float64)
+        mean_d2 = float(d2.mean()) if d2.size else 1.0
+        if mean_d2 <= 0:
+            mean_d2 = 1.0
+        w = np.exp(-d2 / (kernel_scale * mean_d2))
+        a = sparse.csr_matrix((w, (rows, cols)), shape=(graph.n, graph.n))
+        a = a.maximum(a.T)
+        deg = np.asarray(a.sum(axis=1)).reshape(-1)
+        deg[deg == 0] = 1.0
+        inv_sqrt = sparse.diags(1.0 / np.sqrt(deg))
+        return (sparse.identity(graph.n, format="csr")
+                - inv_sqrt @ a @ inv_sqrt)
+
+    @pytest.mark.parametrize("kernel_scale", [0.5, 1.0])
+    def test_bitwise_identical_to_legacy(self, blob_graph, kernel_scale):
+        graph, _ = blob_graph
+        legacy = self._legacy_laplacian(graph, kernel_scale).tocsr()
+        model = SpectralEmbedding(SpectralConfig(kernel_scale=kernel_scale))
+        ported = model._normalized_laplacian(graph).tocsr()
+        legacy.sort_indices()
+        ported.sort_indices()
+        assert (legacy != ported).nnz == 0
+        assert np.array_equal(legacy.data, ported.data)

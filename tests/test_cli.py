@@ -142,3 +142,43 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "offered" in out and "deadline_violations=0" in out
+
+
+class TestNeighborsCommand:
+    def test_knn_edges_with_dbscan_npz(self, tmp_path, capsys):
+        out_npz = tmp_path / "edges.npz"
+        rc = main([
+            "neighbors", "--dataset", "gaussian", "--n", "400", "--dim", "8",
+            "--topk", "5", "--dbscan-eps", "3.0", "--dbscan-min-pts", "4",
+            "-o", str(out_npz),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "knn_graph(k=5)" in out and "edges/s" in out
+        assert "knn-dbscan" in out
+        payload = np.load(out_npz)
+        assert payload["edge_index"].shape == (2, 400 * 5)
+        assert payload["edge_index"].dtype == np.int64
+        assert payload["dists"].shape == (400 * 5,)
+        assert payload["labels"].shape == (400,)
+
+    def test_radius_through_cluster(self, capsys):
+        rc = main([
+            "neighbors", "--dataset", "gaussian", "--n", "300", "--dim", "8",
+            "--topk", "4", "--radius", "8.0", "--query-limit", "100",
+            "--shards", "2", "--cluster-backend", "thread",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "radius_graph(r=8.0" in out
+
+    def test_query_limit_caps_targets(self, tmp_path, capsys):
+        out_npz = tmp_path / "edges.npz"
+        rc = main([
+            "neighbors", "--dataset", "gaussian", "--n", "300", "--dim", "8",
+            "--topk", "3", "--query-limit", "50", "-o", str(out_npz),
+        ])
+        assert rc == 0
+        edges = np.load(out_npz)["edge_index"]
+        assert edges.shape == (2, 150)
+        assert edges[1].max() < 50

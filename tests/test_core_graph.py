@@ -87,6 +87,56 @@ class TestConversions:
         assert sym[1].tolist() == [0, 2]
 
 
+class TestToCOO:
+    def test_directed_matches_rows(self, graph):
+        edges, dists = graph.to_coo()
+        assert edges.dtype == np.int64
+        assert edges.shape == (2, 6)
+        # row-major: query order, then stored (ascending-distance) order
+        assert edges[0].tolist() == [0, 0, 1, 1, 2, 2]
+        assert edges[1].tolist() == [1, 2, 0, 2, 0, 1]
+        assert dists.tolist() == [1.0, 4.0, 1.0, 2.0, 4.0, 2.0]
+
+    def test_unfilled_slots_excluded(self):
+        g = KNNGraph(ids=np.array([[1, -1], [0, -1], [-1, -1]],
+                                  dtype=np.int32),
+                     dists=np.array([[1.0, np.inf], [1.0, np.inf],
+                                     [np.inf, np.inf]], dtype=np.float32))
+        edges, dists = g.to_coo()
+        assert edges.shape == (2, 2)
+        assert np.isfinite(dists).all()
+
+    def test_symmetrize_emits_both_directions_once(self):
+        # 0->1 stored both ways, 1->2 stored one way only
+        g = KNNGraph(ids=np.array([[1], [0], [1]], dtype=np.int32),
+                     dists=np.array([[1.0], [1.0], [2.0]],
+                                    dtype=np.float32))
+        edges, dists = g.to_coo(symmetrize=True)
+        pairs = list(zip(edges[0].tolist(), edges[1].tolist(), dists.tolist()))
+        assert pairs == [(0, 1, 1.0), (1, 0, 1.0), (1, 2, 2.0), (2, 1, 2.0)]
+
+    def test_symmetrize_takes_min_distance_on_asymmetric_pairs(self):
+        g = KNNGraph(ids=np.array([[1], [0]], dtype=np.int32),
+                     dists=np.array([[3.0], [1.5]], dtype=np.float32))
+        edges, dists = g.to_coo(symmetrize=True)
+        assert (dists == 1.5).all()
+        assert edges.shape == (2, 2)
+
+    def test_symmetrize_sorted_by_src_then_dst(self, graph):
+        edges, _ = graph.to_coo(symmetrize=True)
+        keys = edges[0] * graph.n + edges[1]
+        assert (np.diff(keys) > 0).all()
+
+    def test_gaussian_affinity_symmetric_normalised(self, graph):
+        s = graph.gaussian_affinity()
+        assert s.shape == (3, 3)
+        dense = s.toarray()
+        assert np.allclose(dense, dense.T)
+        # symmetric normalisation bounds the spectral radius by 1
+        vals = np.linalg.eigvalsh(dense)
+        assert vals.max() <= 1.0 + 1e-12
+
+
 class TestPersistence:
     def test_save_load_round_trip(self, graph, tmp_path):
         path = tmp_path / "g.npz"

@@ -13,8 +13,8 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
-FAST = {"cluster_demo.py", "custom_simt_kernel.py", "quickstart.py",
-        "serving_demo.py"}
+FAST = {"cluster_demo.py", "custom_simt_kernel.py", "gnn_edges_demo.py",
+        "quickstart.py", "serving_demo.py"}
 
 
 @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
@@ -47,4 +47,5 @@ def test_expected_examples_present():
         "label_propagation.py",
         "serving_demo.py",
         "cluster_demo.py",
+        "gnn_edges_demo.py",
     } <= names

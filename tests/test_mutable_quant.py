@@ -202,3 +202,64 @@ class TestEpochPinnedParity:
         # and the live snapshot still serves the store epoch-consistently
         live = mut.snapshot
         assert live.store.n == live.n_total
+
+
+class TestDriftEWMA:
+    def test_alpha_validation(self):
+        for alpha in (0.0, -0.5, 1.5):
+            with pytest.raises(ConfigurationError):
+                MutableConfig(drift_ewma_alpha=alpha)
+        MutableConfig(drift_ewma_alpha=1.0)   # unsmoothed (default)
+        MutableConfig(drift_ewma_alpha=0.25)
+
+    def test_default_alpha_one_tracks_raw(self, base_and_more):
+        base, more = base_and_more
+        mut = build(base)
+        mut.insert(more[:30])
+        assert mut.last_drift_ewma == pytest.approx(mut.last_drift)
+
+    def test_first_observation_seeds_the_ewma(self, base_and_more):
+        base, more = base_and_more
+        mut = build(base, drift_ewma_alpha=0.25)
+        mut.insert(more[:30])
+        # no history yet: smoothed == raw, not 0.25 * raw
+        assert mut.last_drift_ewma == pytest.approx(mut.last_drift)
+
+    def test_burst_absorbed_sustained_trips(self, base_and_more):
+        """The smoothing rationale: one out-of-distribution batch must
+        not force a retrain, the same shift sustained must."""
+        base, more = base_and_more
+        obs = Observability()
+        # threshold sits between the burst's smoothed drift (~7.4e5 at
+        # alpha=0.25 over an in-distribution history) and its raw drift
+        # (~3e6): alpha=1 would have compacted on the burst
+        threshold = 1.5e6
+        mut = build(base, obs=obs, drift_threshold=threshold,
+                    drift_ewma_alpha=0.25)
+        mut.insert(more[:30])         # in-distribution history, drift ~1
+        shifted = (more[30:60] * 8.0 + 30.0).astype(np.float32)
+        mut.insert(shifted)           # the burst
+        assert mut.last_drift > threshold, "raw drift should exceed threshold"
+        assert mut.last_drift_ewma < threshold
+        assert mut.counters["compactions"] == 0, (
+            "a single burst must not trip the smoothed threshold")
+        im = obs.metrics.scoped("index/")
+        assert im.gauge("quant_drift").value == pytest.approx(mut.last_drift)
+        assert im.gauge("quant_drift_ewma").value == pytest.approx(
+            mut.last_drift_ewma)
+        assert mut.stats()["quant_drift_ewma"] == pytest.approx(
+            mut.last_drift_ewma)
+        # sustained shift: the EWMA converges toward the raw level and
+        # crosses the threshold within a few batches
+        for i in range(5):
+            batch = (more[60 + i * 20: 80 + i * 20] * 8.0 + 30.0) \
+                .astype(np.float32)
+            mut.insert(batch)
+            if mut.counters["compactions"]:
+                break
+        assert mut.counters["compactions"] == 1, (
+            "sustained drift must force the retrain the burst was spared")
+        # compaction retrains the codebooks: the drift history no longer
+        # describes them, so the EWMA restarts
+        assert mut.last_drift_ewma is None
+        assert mut.stats()["quant_drift_ewma"] is None

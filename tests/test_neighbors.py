@@ -1,0 +1,288 @@
+"""Tests for the COO edge-list builders (`repro.neighbors.edges`).
+
+The acceptance bar: against an *exact* backend, ``knn_graph`` must
+reproduce a hand-built brute-force reference edge list to the last bit
+for every combination of ``loop`` x ``r`` x ``query_mask`` x metric -
+and the same edges must come back bitwise through every serving
+frontend (engine, DirectClient, KNNServer, 2-shard ClusterClient) under
+the exhaustive-search recipe.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.search import GraphSearchIndex, SearchConfig
+from repro.baselines.bruteforce import BruteForceKNN
+from repro.core.config import BuildConfig
+from repro.core.metric import prepare_points
+from repro.errors import ConfigurationError, DataError
+from repro.neighbors import knn_graph, radius_graph
+from repro.obs import Observability
+from repro.serve import (
+    AdmissionPolicy,
+    ClusterClient,
+    ClusterConfig,
+    DirectClient,
+    KNNServer,
+    ServeConfig,
+    ShedPolicy,
+)
+
+N, DIM = 120, 6
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(5)
+    return rng.standard_normal((N, DIM), dtype=np.float32)
+
+
+def reference_coo(x, k, *, loop=False, r=None, query_mask=None,
+                  metric="sqeuclidean"):
+    """Brute-force COO edges straight from the definition."""
+    p, _ = prepare_points(x, metric)
+    n = p.shape[0]
+    if query_mask is None:
+        qids = np.arange(n)
+    elif np.asarray(query_mask).dtype == bool:
+        qids = np.flatnonzero(query_mask)
+    else:
+        qids = np.asarray(query_mask, dtype=np.int64)
+    d = ((p[qids][:, None, :] - p[None, :, :]) ** 2).sum(-1)
+    src_rows, dst_rows, dist_rows = [], [], []
+    for row, q in enumerate(qids):
+        order = np.argsort(d[row], kind="stable")
+        if not loop:
+            order = order[order != q]
+        order = order[:k]
+        dd = d[row][order]
+        if r is not None:
+            keep = dd <= r
+            order, dd = order[keep], dd[keep]
+        src_rows.append(order.astype(np.int64))
+        dst_rows.append(np.full(order.size, q, dtype=np.int64))
+        dist_rows.append(dd)
+    return (
+        np.stack([np.concatenate(src_rows), np.concatenate(dst_rows)]),
+        np.concatenate(dist_rows),
+    )
+
+
+class TestExactParity:
+    """knn_graph over an exact backend == the definition, bitwise."""
+
+    @pytest.mark.parametrize("metric", ["sqeuclidean", "cosine"])
+    @pytest.mark.parametrize("loop", [False, True])
+    @pytest.mark.parametrize("use_r", [False, True])
+    @pytest.mark.parametrize("mask_kind", [None, "bool", "index"])
+    def test_matches_bruteforce_reference(self, points, metric, loop,
+                                          use_r, mask_kind):
+        k = 7
+        if mask_kind == "bool":
+            mask = np.zeros(N, dtype=bool)
+            mask[::3] = True
+        elif mask_kind == "index":
+            mask = np.array([4, 9, 17, 50, 118])
+        else:
+            mask = None
+        # r near the median edge distance, placed at the midpoint of a
+        # well-separated pair of consecutive distances: the backend's
+        # GEMM distances and the reference's direct sums differ in the
+        # last ulp, so r must not sit exactly on a data value
+        ref_full, ref_d = reference_coo(points, k, loop=loop,
+                                        query_mask=mask, metric=metric)
+        r = None
+        if use_r:
+            srt = np.sort(np.unique(ref_d[ref_d > 0]))
+            mid = srt.size // 2
+            for i in range(mid, srt.size - 1):
+                if srt[i + 1] - srt[i] > 1e-3 * srt[i]:
+                    r = float((srt[i] + srt[i + 1]) / 2)
+                    break
+            assert r is not None
+        ref, ref_d = reference_coo(points, k, loop=loop, r=r,
+                                   query_mask=mask, metric=metric)
+        bf = BruteForceKNN(points, metric=metric)
+        edges, dists = knn_graph(points, k, loop=loop, r=r,
+                                 query_mask=mask, metric=metric,
+                                 backend=bf, return_dists=True)
+        assert np.array_equal(edges, ref)
+        # atol absorbs the backend's GEMM self-distance (~4e-6 where the
+        # reference is exactly 0 on loop=True rows)
+        assert np.allclose(dists, ref_d, rtol=1e-5, atol=1e-5)
+
+    @pytest.mark.parametrize("metric", ["sqeuclidean", "cosine"])
+    def test_graph_backend_matches_reference(self, points, metric):
+        """Edges extracted from an exact prebuilt graph == definition."""
+        k = 6
+        graph = BruteForceKNN(points, metric=metric).knn_graph(k + 1)
+        for loop in (False, True):
+            ref, _ = reference_coo(points, k, loop=loop, metric=metric)
+            edges = knn_graph(None, k, loop=loop, metric=metric,
+                              backend=graph)
+            assert np.array_equal(edges, ref)
+
+    def test_one_shot_build_shape_and_recall(self, points):
+        """backend=None builds internally; edges are a high-recall
+        approximation of the exact set (tiny n -> near-exhaustive)."""
+        k = 5
+        edges = knn_graph(points, k)
+        assert edges.shape == (2, N * k)
+        ref, _ = reference_coo(points, k)
+        overlap = np.intersect1d(edges[0] * N + edges[1],
+                                 ref[0] * N + ref[1]).size
+        assert overlap / ref.shape[1] > 0.9
+
+    def test_loop_true_puts_self_first(self, points):
+        edges = knn_graph(points, 4, loop=True,
+                          backend=BruteForceKNN(points))
+        assert np.array_equal(edges[0][::4], np.arange(N))
+        assert np.array_equal(edges[1][::4], np.arange(N))
+
+
+class TestRadiusEdgeCases:
+    # "tiny" r: above the GEMM self-distance rounding error (~4e-6 on
+    # this data), far below the smallest true NN distance (~0.15)
+    TINY_R = 1e-3
+
+    def test_r_below_nearest_neighbor_gives_empty(self, points):
+        edges, dists = radius_graph(points, self.TINY_R, max_num_neighbors=4,
+                                    backend=BruteForceKNN(points),
+                                    return_dists=True)
+        assert edges.shape == (2, 0)
+        assert dists.size == 0
+
+    def test_tiny_r_with_loop_keeps_only_self_edges(self, points):
+        edges = radius_graph(points, self.TINY_R, max_num_neighbors=4,
+                             loop=True, backend=BruteForceKNN(points))
+        assert np.array_equal(edges[0], np.arange(N))
+        assert np.array_equal(edges[1], np.arange(N))
+
+    def test_truncation_counter(self, points):
+        """A radius ball larger than max_num_neighbors flags the row."""
+        obs = Observability()
+        huge = float(1e9)
+        radius_graph(points, huge, max_num_neighbors=3,
+                     backend=BruteForceKNN(points), obs=obs)
+        scoped = obs.metrics.scoped("neighbors/")
+        assert scoped.counter("radius_truncated").get() == N
+        assert scoped.counter("edges_emitted").get() == 3 * N
+
+    def test_no_truncation_flag_when_ball_fits(self, points):
+        obs = Observability()
+        radius_graph(points, self.TINY_R, max_num_neighbors=4,
+                     backend=BruteForceKNN(points), obs=obs)
+        assert obs.metrics.scoped("neighbors/") \
+            .counter("radius_truncated").get() == 0
+
+    def test_cosine_radius_semantics(self):
+        """r = 2*(1 - cos_sim): near-parallel vectors connect, near-
+        orthogonal ones do not, regardless of magnitude."""
+        base = np.zeros((4, 8), dtype=np.float32)
+        base[0, 0] = 1.0
+        base[1, 0] = 5.0          # parallel to 0, different norm
+        base[2, 1] = 1.0          # orthogonal to 0
+        base[3, :2] = [1.0, 0.02]  # nearly parallel to 0
+        r = 2 * (1 - 0.99)        # cosine similarity floor 0.99
+        edges = radius_graph(base, r, max_num_neighbors=3, metric="cosine",
+                             backend=BruteForceKNN(base, metric="cosine"))
+        pairs = set(zip(edges[0].tolist(), edges[1].tolist()))
+        assert (1, 0) in pairs and (3, 0) in pairs
+        assert (2, 0) not in pairs
+
+    def test_query_mask_restricts_targets_only(self, points):
+        qids = np.array([3, 77])
+        edges = knn_graph(points, 5, query_mask=qids,
+                          backend=BruteForceKNN(points))
+        assert set(edges[1]) == {3, 77}
+        # sources are drawn from the whole corpus
+        assert edges.shape[1] == 10
+
+
+class TestValidation:
+    def test_bad_k(self, points):
+        with pytest.raises(ConfigurationError):
+            knn_graph(points, 0)
+
+    def test_bad_r(self, points):
+        with pytest.raises(ConfigurationError):
+            knn_graph(points, 3, r=-1.0)
+        with pytest.raises(ConfigurationError):
+            radius_graph(points, 0.0)
+
+    def test_missing_x(self):
+        with pytest.raises(DataError):
+            knn_graph(None, 3)
+
+    def test_bad_query_mask(self, points):
+        bf = BruteForceKNN(points)
+        with pytest.raises(DataError):
+            knn_graph(points, 3, backend=bf,
+                      query_mask=np.zeros(N + 1, dtype=bool))
+        with pytest.raises(DataError):
+            knn_graph(points, 3, backend=bf, query_mask=np.array([N + 5]))
+
+    def test_metric_mismatch_rejected(self, points):
+        bf = BruteForceKNN(points, metric="cosine")
+        with pytest.raises(ConfigurationError):
+            knn_graph(points, 3, backend=bf, metric="sqeuclidean")
+        graph = BruteForceKNN(points).knn_graph(4)
+        with pytest.raises(ConfigurationError):
+            knn_graph(None, 3, backend=graph, metric="cosine")
+
+    def test_graph_degree_too_small(self, points):
+        graph = BruteForceKNN(points).knn_graph(3)
+        with pytest.raises(ConfigurationError):
+            knn_graph(None, 4, backend=graph)
+
+    def test_backend_without_search_surface(self, points):
+        with pytest.raises(ConfigurationError):
+            knn_graph(points, 3, backend=object())
+
+    def test_empty_query_mask(self, points):
+        edges = knn_graph(points, 3, backend=BruteForceKNN(points),
+                          query_mask=np.array([], dtype=np.int64))
+        assert edges.shape == (2, 0)
+
+
+class TestFrontendIdentity:
+    """One COO, every frontend, bitwise (exhaustive-search recipe)."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        n, dim, ef = 160, 8, 320
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((n, dim), dtype=np.float32)
+        search_cfg = SearchConfig(ef=ef, max_expansions=8 * n,
+                                  seeds_per_tree=16)
+        build_cfg = BuildConfig(k=20, strategy="tiled", seed=7)
+        index = GraphSearchIndex.build(
+            x, build_config=build_cfg, search_config=search_cfg, seed=7)
+        return x, index, build_cfg, search_cfg, ef
+
+    def test_engine_vs_clients_bitwise(self, setup):
+        x, index, build_cfg, search_cfg, ef = setup
+        k = 6
+        ref, ref_d = knn_graph(x, k, backend=index, ef=ef,
+                               return_dists=True)
+        # queue_limit below the query count: proves the client path's
+        # bounded in-flight window respects admission control
+        serve = ServeConfig(
+            admission=AdmissionPolicy(max_batch=32, max_wait_ms=1.0,
+                                      queue_limit=96),
+            ef=ef, shed=ShedPolicy(enabled=False))
+        with DirectClient(index, ef=ef) as client:
+            e1, d1 = knn_graph(x, k, backend=client, ef=ef,
+                               return_dists=True)
+        with KNNServer(index, serve) as server:
+            e2, d2 = knn_graph(x, k, backend=server, ef=ef,
+                               return_dists=True)
+        with ClusterClient.build(
+            x, build_config=build_cfg, search_config=search_cfg, seed=7,
+            config=ClusterConfig(n_shards=2, backend="thread", serve=serve),
+        ) as cluster:
+            e3, d3 = knn_graph(x, k, backend=cluster, ef=ef,
+                               return_dists=True)
+        for edges, dists in ((e1, d1), (e2, d2), (e3, d3)):
+            assert np.array_equal(edges, ref)
+            assert np.array_equal(dists, ref_d)

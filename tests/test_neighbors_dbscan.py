@@ -1,0 +1,212 @@
+"""Tests for KNN-DBSCAN, the union-find kernel, and the ARI metric."""
+
+import numpy as np
+import pytest
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import connected_components as scipy_cc
+
+from repro.baselines.bruteforce import BruteForceKNN
+from repro.data.synthetic import gaussian_mixture
+from repro.errors import ConfigurationError, DataError
+from repro.metrics import adjusted_rand_index
+from repro.neighbors import (
+    DBSCANConfig,
+    KNNDBSCAN,
+    connected_components,
+    exact_dbscan,
+)
+from repro.obs import Observability
+
+
+def same_partition(a, b) -> bool:
+    """True iff two labelings induce the same partition (bijective map)."""
+    a, b = np.asarray(a), np.asarray(b)
+    pairs = set(zip(a.tolist(), b.tolist()))
+    return (len({x for x, _ in pairs}) == len(pairs)
+            and len({y for _, y in pairs}) == len(pairs))
+
+
+class TestUnionFind:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_scipy_on_random_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        n, m = 200, 300
+        src = rng.integers(0, n, m)
+        dst = rng.integers(0, n, m)
+        labels = connected_components(n, src, dst)
+        adj = csr_matrix((np.ones(m), (src, dst)), shape=(n, n))
+        n_ref, ref = scipy_cc(adj, directed=False)
+        assert np.unique(labels).size == n_ref
+        assert same_partition(labels, ref)
+
+    def test_no_edges_every_node_its_own_component(self):
+        e = np.array([], dtype=np.int64)
+        labels = connected_components(5, e, e)
+        assert np.array_equal(labels, np.arange(5))
+
+    def test_labels_are_component_min_ids(self):
+        src = np.array([4, 1])
+        dst = np.array([2, 3])
+        labels = connected_components(5, src, dst)
+        assert labels.tolist() == [0, 1, 2, 1, 2]
+
+    def test_chain_collapses_to_one_component(self):
+        src = np.arange(99)
+        labels = connected_components(100, src, src + 1)
+        assert (labels == 0).all()
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            connected_components(3, np.array([0]), np.array([1, 2]))
+        with pytest.raises(DataError):
+            connected_components(3, np.array([0]), np.array([3]))
+        with pytest.raises(DataError):
+            connected_components(3, np.array([-1]), np.array([0]))
+
+
+class TestARI:
+    def test_identical_and_permuted(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        assert adjusted_rand_index(a, a) == pytest.approx(1.0)
+        assert adjusted_rand_index(a, (a + 1) % 3) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # classic small case: ARI((0,0,1,1),(0,0,1,2)) == 0.5714...
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 0, 1, 2])
+        assert adjusted_rand_index(a, b) == pytest.approx(4 / 7)
+
+    def test_random_labels_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 5, 2000)
+        b = rng.integers(0, 5, 2000)
+        assert abs(adjusted_rand_index(a, b)) < 0.02
+
+    def test_single_cluster_degenerate(self):
+        a = np.zeros(10, dtype=int)
+        assert adjusted_rand_index(a, a) == 1.0
+
+
+class TestConfig:
+    def test_bad_eps(self):
+        with pytest.raises(ConfigurationError):
+            DBSCANConfig(eps=0.0)
+        with pytest.raises(ConfigurationError):
+            DBSCANConfig(eps=-1.0)
+
+    def test_bad_min_pts(self):
+        with pytest.raises(ConfigurationError):
+            DBSCANConfig(min_pts=0)
+
+    def test_knn_k_must_cover_core_test(self):
+        with pytest.raises(ConfigurationError):
+            DBSCANConfig(min_pts=10, knn_k=5)
+        DBSCANConfig(min_pts=10, knn_k=9)  # exactly min_pts - 1 is fine
+
+    def test_effective_k_default(self):
+        assert DBSCANConfig(min_pts=5).effective_k() == 16
+        assert DBSCANConfig(min_pts=30).effective_k() == 30
+        assert DBSCANConfig(knn_k=12).effective_k() == 12
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    x = gaussian_mixture(600, 8, n_clusters=5, cluster_std=0.4,
+                         center_scale=6.0, seed=3)
+    return x
+
+
+class TestKNNDBSCAN:
+    @pytest.mark.parametrize("min_pts", [1, 2, 5])
+    def test_ari_vs_exact_reference(self, blobs, min_pts):
+        """Exact graph (brute-force rows) -> the reduction recovers the
+        reference clustering at matched eps/min_pts."""
+        eps = 2.0
+        graph = BruteForceKNN(blobs).knn_graph(24)
+        labels = KNNDBSCAN(DBSCANConfig(eps=eps, min_pts=min_pts)) \
+            .fit_predict(graph)
+        ref = exact_dbscan(blobs, eps, min_pts)
+        assert adjusted_rand_index(ref, labels) >= 0.95
+
+    def test_fit_predict_on_raw_points(self, blobs):
+        model = KNNDBSCAN(DBSCANConfig(eps=2.0, min_pts=5, knn_k=24))
+        labels = model.fit_predict(blobs)
+        assert labels.shape == (600,)
+        assert model.knn_graph is not None
+        assert model.n_clusters_ >= 2
+        ref = exact_dbscan(blobs, 2.0, 5)
+        assert adjusted_rand_index(ref, labels) >= 0.95
+
+    def test_min_pts_one_everything_core(self, blobs):
+        graph = BruteForceKNN(blobs).knn_graph(8)
+        model = KNNDBSCAN(DBSCANConfig(eps=2.0, min_pts=1))
+        labels = model.fit_predict(graph)
+        assert model.core_mask_.all()
+        assert (labels >= 0).all()
+
+    def test_handcrafted_borders_and_noise(self):
+        """Two dense groups, one border point, one far outlier."""
+        x = np.array([
+            [0.0], [0.1], [0.2],      # cluster A (dense)
+            [5.0], [5.1], [5.2],      # cluster B (dense)
+            [0.45], [50.0],           # border of A, noise
+        ], dtype=np.float32)
+        graph = BruteForceKNN(x).knn_graph(6)
+        model = KNNDBSCAN(DBSCANConfig(eps=0.1, min_pts=3))
+        labels = model.fit_predict(graph)
+        # eps is squared: radius sqrt(0.1) ~ 0.316 covers the 0.1-0.2
+        # spacings inside groups
+        assert labels[0] == labels[1] == labels[2] == 0
+        assert labels[3] == labels[4] == labels[5] == 1
+        # the border point (0.45) is within eps of the core at 0.2 but
+        # holds only 2 points in its own ball -> border, joins A
+        assert not model.core_mask_[6]
+        assert labels[6] == 0
+        assert labels[7] == -1
+        assert model.n_clusters_ == 2
+
+    def test_labels_numbered_by_first_appearance(self, blobs):
+        graph = BruteForceKNN(blobs).knn_graph(24)
+        labels = KNNDBSCAN(DBSCANConfig(eps=2.0, min_pts=5)) \
+            .fit_predict(graph)
+        assigned = labels[labels >= 0]
+        firsts = [np.flatnonzero(labels == c)[0]
+                  for c in range(int(assigned.max()) + 1)]
+        assert firsts == sorted(firsts)
+
+    def test_degree_too_small_rejected(self, blobs):
+        graph = BruteForceKNN(blobs).knn_graph(3)
+        with pytest.raises(ConfigurationError):
+            KNNDBSCAN(DBSCANConfig(eps=2.0, min_pts=6)).fit_predict(graph)
+
+    def test_bad_points_shape(self):
+        with pytest.raises(DataError):
+            KNNDBSCAN().fit_predict(np.zeros(7, dtype=np.float32))
+
+    def test_obs_counters(self, blobs):
+        obs = Observability()
+        graph = BruteForceKNN(blobs).knn_graph(24)
+        model = KNNDBSCAN(DBSCANConfig(eps=2.0, min_pts=5), obs=obs)
+        labels = model.fit_predict(graph)
+        scoped = obs.metrics.scoped("dbscan/")
+        assert scoped.counter("core_points").get() == int(model.core_mask_.sum())
+        assert scoped.counter("clusters").get() == model.n_clusters_
+        assert scoped.counter("noise").get() == int((labels == -1).sum())
+        assert scoped.counter("border").get() == int(
+            ((labels >= 0) & ~model.core_mask_).sum())
+
+
+class TestExactDBSCAN:
+    def test_validation(self):
+        x = np.zeros((4, 2), dtype=np.float32)
+        with pytest.raises(ConfigurationError):
+            exact_dbscan(x, 0.0, 3)
+        with pytest.raises(ConfigurationError):
+            exact_dbscan(x, 1.0, 0)
+        with pytest.raises(DataError):
+            exact_dbscan(np.zeros(4, dtype=np.float32), 1.0, 3)
+
+    def test_blocked_equals_unblocked(self, blobs):
+        a = exact_dbscan(blobs, 2.0, 5, block_rows=64)
+        b = exact_dbscan(blobs, 2.0, 5, block_rows=10_000)
+        assert np.array_equal(a, b)
